@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Ablation — the DRS dispatch-policy knobs this reproduction adds on top
+ * of the paper's textual description (see DESIGN.md section 5/6):
+ * minority tolerance, batched hole-refill threshold, full-dispatch
+ * circulation target, and idealized shuffling, measured on the
+ * conference room's second bounce (the worst-case incoherent workload).
+ */
+
+#include <iostream>
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace drs;
+    const auto scale = harness::ExperimentScale::fromEnvironment();
+    bench::printBanner("Ablation: DRS dispatch-policy knobs", scale);
+
+    auto &prepared =
+        bench::preparedScene(scene::SceneId::Conference, scale);
+    const auto &rays = prepared.trace.bounce(2).rays;
+
+    struct Variant
+    {
+        const char *name;
+        int tolerance;
+        int refill;
+        int target;
+        bool ideal;
+    };
+    const Variant variants[] = {
+        {"strict (paper text)", 0, 32, 0, false},
+        {"tolerance only", 7, 32, 0, false},
+        {"refill only", 0, 4, 0, false},
+        {"tolerance+refill", 7, 4, 0, false},
+        {"default (tol+refill+circulate)", 7, 4, 26, false},
+        {"idealized shuffle", 7, 4, 26, true},
+    };
+
+    stats::Table table({"variant", "SIMD eff", "issue util", "stall rate",
+                        "Mrays/s"});
+    for (const Variant &v : variants) {
+        harness::RunConfig config = bench::makeRunConfig(scale);
+        config.drs.dispatchMinorityTolerance = v.tolerance;
+        config.drs.fetchRefillThreshold = v.refill;
+        config.drs.fullDispatchTarget = v.target;
+        config.drs.idealized = v.ideal;
+        const auto stats = harness::runBatch(
+            harness::Arch::Drs, *prepared.tracer, rays, config);
+        const double util =
+            static_cast<double>(stats.histogram.instructions()) /
+            (static_cast<double>(stats.cycles) *
+             config.gpu.dispatchUnitsPerSmx * config.gpu.numSmx);
+        table.addRow({v.name,
+                      stats::formatPercent(stats.histogram.simdEfficiency()),
+                      stats::formatPercent(util),
+                      stats::formatPercent(stats.rdctrlStallRate()),
+                      stats::formatDouble(
+                          stats.mraysPerSecond(config.gpu.clockGhz), 1)});
+        std::cout << "." << std::flush;
+    }
+    std::cout << "\n\n";
+    table.print(std::cout);
+
+    // Aila reference for context.
+    harness::RunConfig config = bench::makeRunConfig(scale);
+    const auto aila = harness::runBatch(harness::Arch::Aila,
+                                        *prepared.tracer, rays, config);
+    std::cout << "\nAila reference: "
+              << stats::formatDouble(
+                     aila.mraysPerSecond(config.gpu.clockGhz), 1)
+              << " Mrays/s at "
+              << stats::formatPercent(aila.histogram.simdEfficiency())
+              << " SIMD efficiency\n";
+    return 0;
+}

@@ -1,0 +1,69 @@
+#pragma once
+
+/**
+ * @file
+ * Shared plumbing for the paper-reproduction bench binaries: experiment
+ * scale from the environment, scene preparation with in-process caching,
+ * and result-row formatting. Every bench prints the rows/series of one
+ * paper table or figure (see DESIGN.md section 4).
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "harness/harness.h"
+#include "stats/table.h"
+
+namespace drs::bench {
+
+/** Scale banner so every output records its configuration. */
+inline void
+printBanner(const std::string &title, const harness::ExperimentScale &scale)
+{
+    std::cout << "==== " << title << " ====\n";
+    std::cout << "scenes at scale " << scale.sceneScale << ", "
+              << scale.raysPerBounce << " rays/bounce (paper: 2M), "
+              << scale.numSmx << " SMX, film " << scale.width << "x"
+              << scale.height << "x" << scale.samplesPerPixel << "spp\n"
+              << "override via DRS_RAYS / DRS_SCALE / DRS_SMX / DRS_WIDTH / "
+                 "DRS_HEIGHT / DRS_SPP\n\n";
+    std::cout.flush();
+}
+
+/** Prepared scenes, cached per process so multi-scene benches pay once. */
+inline harness::PreparedScene &
+preparedScene(scene::SceneId id, const harness::ExperimentScale &scale)
+{
+    static std::map<int, std::unique_ptr<harness::PreparedScene>> cache;
+    auto &slot = cache[static_cast<int>(id)];
+    if (!slot) {
+        std::cout << "[prep] building scene '" << scene::sceneName(id)
+                  << "' and capturing ray trace...\n";
+        std::cout.flush();
+        slot = std::make_unique<harness::PreparedScene>(
+            harness::prepareScene(id, scale));
+        std::cout << "[prep] " << slot->scene().triangleCount()
+                  << " triangles, " << slot->trace.totalRays()
+                  << " rays captured over " << slot->trace.bounces.size()
+                  << " bounces\n";
+        std::cout.flush();
+    }
+    return *slot;
+}
+
+/** Default run configuration derived from the experiment scale. */
+inline harness::RunConfig
+makeRunConfig(const harness::ExperimentScale &scale)
+{
+    harness::RunConfig config;
+    config.gpu.numSmx = scale.numSmx;
+    return config;
+}
+
+/** Bounces simulated by the sweep benches (B1..B4, like Figure 8). */
+inline constexpr int kSweepBounces = 4;
+
+} // namespace drs::bench

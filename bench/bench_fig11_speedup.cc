@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Figure 11 — simulated ray tracing performance (Mrays/s) and speedups
+ * of DMK, TBC and DRS normalized to Aila's software method, per scene
+ * for bounces B1..B3 and overall (B1..B4 aggregate; later bounces behave
+ * like B3 per the paper).
+ */
+
+#include <iostream>
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace drs;
+    const auto scale = harness::ExperimentScale::fromEnvironment();
+    bench::printBanner("Figure 11: performance and speedups", scale);
+
+    const harness::Arch archs[] = {harness::Arch::Aila, harness::Arch::Dmk,
+                                   harness::Arch::Tbc, harness::Arch::Drs};
+
+    double geomean_accumulator[4] = {0, 0, 0, 0};
+    int scene_count = 0;
+
+    for (scene::SceneId id : scene::allSceneIds()) {
+        auto &prepared = bench::preparedScene(id, scale);
+        stats::Table table({"arch", "B1", "B2", "B3", "overall Mrays/s",
+                            "speedup vs aila"});
+        double aila_overall = 0.0;
+        int arch_index = 0;
+        for (harness::Arch arch : archs) {
+            harness::RunConfig config = bench::makeRunConfig(scale);
+            const auto result =
+                harness::runCapture(arch, *prepared.tracer, prepared.trace,
+                                    config, bench::kSweepBounces);
+            const double overall =
+                result.overallMrays(config.gpu.clockGhz);
+            if (arch == harness::Arch::Aila)
+                aila_overall = overall;
+            auto bounce_mrays = [&](std::size_t b) {
+                if (b >= result.perBounce.size())
+                    return std::string("-");
+                return stats::formatDouble(
+                    result.perBounce[b].mraysPerSecond(config.gpu.clockGhz),
+                    1);
+            };
+            table.addRow({harness::archName(arch), bounce_mrays(0),
+                          bounce_mrays(1), bounce_mrays(2),
+                          stats::formatDouble(overall, 1),
+                          stats::formatDouble(overall / aila_overall, 2) +
+                              "x"});
+            geomean_accumulator[arch_index++] +=
+                std::log(overall / aila_overall);
+            std::cout << "." << std::flush;
+        }
+        ++scene_count;
+        std::cout << "\n\n--- " << scene::sceneName(id) << " ---\n";
+        table.print(std::cout);
+        std::cout.flush();
+    }
+
+    std::cout << "\nAverage speedup vs Aila (geometric mean over scenes):\n";
+    const char *names[] = {"aila", "dmk", "tbc", "drs"};
+    for (int i = 0; i < 4; ++i) {
+        std::cout << "  " << names[i] << ": "
+                  << stats::formatDouble(
+                         std::exp(geomean_accumulator[i] / scene_count), 2)
+                  << "x\n";
+    }
+    std::cout << "\nPaper: DRS 1.67x-1.92x (1.79x avg); TBC 1.18x avg;\n"
+                 "DMK 1.06x avg (slowdown on primary rays).\n";
+    return 0;
+}

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the substrates: BVH construction,
+ * reference traversal, triangle intersection, low-discrepancy sampling
+ * and the cache model. Guards against performance regressions in the
+ * host-side simulator infrastructure.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bvh/builder.h"
+#include "bvh/traverse.h"
+#include "geom/rng.h"
+#include "geom/sampler.h"
+#include "scene/scenes.h"
+#include "simt/cache.h"
+
+namespace {
+
+using namespace drs;
+
+std::vector<geom::Triangle>
+randomTriangles(int count)
+{
+    geom::Pcg32 rng(5);
+    std::vector<geom::Triangle> tris;
+    tris.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) {
+        const geom::Vec3 base{rng.nextFloat(0, 50), rng.nextFloat(0, 50),
+                              rng.nextFloat(0, 50)};
+        auto j = [&] {
+            return geom::Vec3{rng.nextFloat(-0.5f, 0.5f),
+                              rng.nextFloat(-0.5f, 0.5f),
+                              rng.nextFloat(-0.5f, 0.5f)};
+        };
+        tris.push_back({base, base + j(), base + j(), 0});
+    }
+    return tris;
+}
+
+void
+BM_BvhBuild(benchmark::State &state)
+{
+    const auto tris = randomTriangles(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        auto bvh = bvh::build(tris);
+        benchmark::DoNotOptimize(bvh.nodeCount());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BvhBuild)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void
+BM_BvhTraverse(benchmark::State &state)
+{
+    const auto tris = randomTriangles(static_cast<int>(state.range(0)));
+    const auto bvh = bvh::build(tris);
+    geom::Pcg32 rng(11);
+    for (auto _ : state) {
+        geom::Ray ray;
+        ray.origin = {rng.nextFloat(0, 50), rng.nextFloat(0, 50),
+                      rng.nextFloat(0, 50)};
+        ray.direction = geom::normalize(geom::Vec3{
+            rng.nextFloat(-1, 1), rng.nextFloat(-1, 1),
+            rng.nextFloat(-1, 1)});
+        benchmark::DoNotOptimize(bvh::intersect(bvh, tris, ray));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BvhTraverse)->Arg(10000)->Arg(50000);
+
+void
+BM_TriangleIntersect(benchmark::State &state)
+{
+    const geom::Triangle tri{{0, 0, 5}, {4, 0, 5}, {0, 4, 5}, 0};
+    geom::Ray ray;
+    ray.origin = {1, 1, 0};
+    ray.direction = {0, 0, 1};
+    float t, u, v;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(tri.intersect(ray, t, u, v));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TriangleIntersect);
+
+void
+BM_HaltonSampler(benchmark::State &state)
+{
+    geom::HaltonSampler sampler(3);
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        sampler.startSample(i++);
+        benchmark::DoNotOptimize(sampler.next2D());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HaltonSampler);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    simt::Cache cache(48 * 1024, 128, 6);
+    geom::Pcg32 rng(13);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            cache.access(rng.nextUInt(1 << 20)));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_SceneGeneration(benchmark::State &state)
+{
+    for (auto _ : state) {
+        auto scene = scene::makeConferenceScene(0.2f);
+        benchmark::DoNotOptimize(scene.triangleCount());
+    }
+}
+BENCHMARK(BM_SceneGeneration);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Table 2 — ray tracing performance with 6/9/12/18 swap buffers, plus
+ * the mean ray-swap duration the paper quotes in the accompanying text
+ * (31.6 / 25.0 / 24.3 / 22.0 cycles).
+ */
+
+#include <iostream>
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace drs;
+    const auto scale = harness::ExperimentScale::fromEnvironment();
+    bench::printBanner("Table 2: swap-buffer configurations", scale);
+
+    const int buffer_configs[] = {6, 9, 12, 18};
+    std::vector<double> mean_swap_cycles(4, 0.0);
+    std::vector<int> mean_swap_samples(4, 0);
+
+    for (scene::SceneId id : scene::allSceneIds()) {
+        auto &prepared = bench::preparedScene(id, scale);
+        stats::Table table({"bounce", "#6", "#9", "#12", "#18"});
+        for (int b = 1; b <= bench::kSweepBounces; ++b) {
+            if (static_cast<std::size_t>(b) > prepared.trace.bounces.size())
+                break;
+            std::vector<std::string> row = {"B" + std::to_string(b)};
+            for (int i = 0; i < 4; ++i) {
+                harness::RunConfig config = bench::makeRunConfig(scale);
+                config.drs.swapBuffers = buffer_configs[i];
+                const auto stats = harness::runBatch(
+                    harness::Arch::Drs, *prepared.tracer,
+                    prepared.trace.bounce(b).rays, config);
+                row.push_back(stats::formatDouble(
+                    stats.mraysPerSecond(config.gpu.clockGhz), 2));
+                if (stats.raySwapsCompleted > 0) {
+                    mean_swap_cycles[static_cast<std::size_t>(i)] +=
+                        stats.meanSwapCycles();
+                    mean_swap_samples[static_cast<std::size_t>(i)] += 1;
+                }
+                std::cout << "." << std::flush;
+            }
+            table.addRow(std::move(row));
+        }
+        std::cout << "\n\n--- " << scene::sceneName(id)
+                  << " (Mrays/s) ---\n";
+        table.print(std::cout);
+        std::cout.flush();
+    }
+
+    std::cout << "\nMean ray-swap duration (paper: 31.6 / 25.0 / 24.3 / "
+                 "22.0 cycles):\n";
+    for (int i = 0; i < 4; ++i) {
+        const int n = mean_swap_samples[static_cast<std::size_t>(i)];
+        std::cout << "  " << buffer_configs[i] << " buffers: "
+                  << stats::formatDouble(
+                         n ? mean_swap_cycles[static_cast<std::size_t>(i)] / n
+                           : 0.0,
+                         1)
+                  << " cycles\n";
+    }
+    std::cout << "\nPaper shape: performance differences between buffer\n"
+                 "configurations are minimal; swap duration shrinks only\n"
+                 "mildly with more buffers (register-bank conflicts).\n";
+    return 0;
+}

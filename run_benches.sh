@@ -1,0 +1,14 @@
+#!/bin/bash
+# Final bench sweep. DRS_SMX=4 keeps the drain tail <6% at this ray count
+# (results are per-SMX-invariant; see EXPERIMENTS.md).
+export DRS_RAYS=${DRS_RAYS:-150000} DRS_SMX=${DRS_SMX:-4}
+for b in build/bench/bench_*; do
+  [ -x "$b" ] && [ -f "$b" ] || continue
+  case "$b" in *.cmake) continue;; esac
+  echo; echo "######## $(basename $b) ########"; echo
+  if [ "$(basename $b)" = "bench_micro" ]; then
+    "$b" --benchmark_min_time=0.2
+  else
+    "$b"
+  fi
+done

@@ -1,0 +1,204 @@
+#include "baselines/dmk_control.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "simt/smx.h"
+
+namespace drs::baselines {
+
+using simt::RdctrlResult;
+using simt::TravState;
+
+DmkControl::DmkControl(const DmkConfig &config,
+                       kernels::TravWorkspace &workspace)
+    : config_(config), workspace_(workspace)
+{
+}
+
+int
+DmkControl::allocSpawnSlot()
+{
+    if (!freeSlots_.empty()) {
+        const int slot = freeSlots_.back();
+        freeSlots_.pop_back();
+        return slot;
+    }
+    return nextSpawnSlot_++;
+}
+
+void
+DmkControl::freeSpawnSlot(int slot)
+{
+    freeSlots_.push_back(slot);
+}
+
+std::size_t
+DmkControl::pooledRays(TravState state) const
+{
+    return pools_[static_cast<std::size_t>(state)].size();
+}
+
+std::uint32_t
+DmkControl::conflictCost(const std::vector<int> &slots) const
+{
+    // Each of the 17 ray variables is one warp-wide spawn-memory access;
+    // lanes touch bank (slot + variable) % banks. Extra cycles per access
+    // = (max per-bank population - 1), summed over the variables.
+    std::uint32_t total = 0;
+    const int banks = config_.spawnBanks;
+    std::vector<int> population(static_cast<std::size_t>(banks));
+    for (int var = 0; var < config_.cost.rayVariables; ++var) {
+        std::fill(population.begin(), population.end(), 0);
+        int worst = 0;
+        for (int slot : slots) {
+            auto &p = population[static_cast<std::size_t>(
+                (slot + var) % banks)];
+            ++p;
+            worst = std::max(worst, p);
+        }
+        total += static_cast<std::uint32_t>(worst - 1);
+    }
+    return total;
+}
+
+RdctrlResult
+DmkControl::onRdctrl(int warp)
+{
+    const int row = warp; // DMK has no renaming: warps keep their rows
+    const int lanes = workspace_.laneCount();
+
+    // Census of the warp's own row.
+    int fetch = 0;
+    int inner = 0;
+    int leaf = 0;
+    for (int lane = 0; lane < lanes; ++lane) {
+        switch (workspace_.state(row, lane)) {
+          case TravState::Fetch: ++fetch; break;
+          case TravState::Inner: ++inner; break;
+          case TravState::Leaf: ++leaf; break;
+        }
+    }
+    const bool input_rays = !workspace_.poolEmpty();
+    const bool pools_empty = pools_[1].empty() && pools_[2].empty();
+
+    auto make_dispatch = [&](TravState state) {
+        RdctrlResult r;
+        r.ctrl = state;
+        r.row = row;
+        std::uint32_t mask = 0;
+        std::uint32_t holes = 0;
+        for (int lane = 0; lane < lanes; ++lane) {
+            const TravState s = workspace_.state(row, lane);
+            if (s == state)
+                mask |= 1u << lane;
+            else if (s == TravState::Fetch)
+                holes |= 1u << lane;
+        }
+        if (state == TravState::Fetch) {
+            mask = simt::fullMask(lanes);
+            holes = 0;
+        }
+        r.mask = mask;
+        // Terminated lanes refetch in place, like any while-if kernel.
+        if (holes != 0 && input_rays &&
+            simt::popcount(holes) >= config_.fetchRefillThreshold)
+            r.fetchMask = holes;
+        return r;
+    };
+
+    // Fast path: the row's live rays (tolerating a small minority, the
+    // same dispatch rule the DRS uses, so Figure 10's "DMK ~= DRS when
+    // SI is excluded" comparison is apples to apples) need no spawn.
+    const int live = inner + leaf;
+    const int minority = std::min(inner, leaf);
+    if (live > 0 && minority <= config_.dispatchMinorityTolerance)
+        return make_dispatch(inner >= leaf ? TravState::Inner
+                                           : TravState::Leaf);
+    if (live == 0) {
+        if (input_rays && pools_empty)
+            return make_dispatch(TravState::Fetch);
+        if (pools_empty && !input_rays) {
+            // Nothing anywhere for this warp: leave the kernel.
+            RdctrlResult r;
+            r.exit = true;
+            return r;
+        }
+        // Fall through: reload parked rays from spawn memory.
+    }
+
+    // Micro-kernel spawn: dump the row's live rays to spawn memory, then
+    // reload a same-state group. The dump writes a contiguous slab (no
+    // bank conflicts); the reload gathers scattered slots and pays them.
+    RdctrlResult result;
+    int overhead = 0;
+    std::uint32_t conflicts = 0;
+
+    int dumped = 0;
+    for (int lane = 0; lane < lanes; ++lane) {
+        const TravState s = workspace_.state(row, lane);
+        if (s == TravState::Fetch)
+            continue;
+        PooledRay pooled;
+        pooled.payload = workspace_.slot(row, lane);
+        workspace_.slot(row, lane) = kernels::RaySlot{};
+        pooled.spawnSlot = allocSpawnSlot();
+        pools_[static_cast<std::size_t>(s)].push_back(std::move(pooled));
+        ++dumped;
+        ++stats_.raysDumped;
+    }
+    if (dumped > 0)
+        overhead += config_.cost.spawnDump;
+
+    // Reload the most plentiful pooled state (leaf priority on ties, so
+    // nearly finished rays drain first).
+    auto &leaf_pool = pools_[static_cast<std::size_t>(TravState::Leaf)];
+    auto &inner_pool = pools_[static_cast<std::size_t>(TravState::Inner)];
+    auto *pool = &inner_pool;
+    TravState reload_state = TravState::Inner;
+    if (leaf_pool.size() >= inner_pool.size()) {
+        pool = &leaf_pool;
+        reload_state = TravState::Leaf;
+    }
+
+    if (pool->empty()) {
+        // Nothing parked: fetch fresh rays instead (row is now empty).
+        if (!input_rays) {
+            RdctrlResult r;
+            r.exit = true;
+            return r;
+        }
+        result = make_dispatch(TravState::Fetch);
+        result.overheadInstructions = overhead;
+        if (overhead > 0)
+            ++stats_.spawns;
+        return result;
+    }
+
+    std::vector<int> load_slots;
+    const int take = std::min<int>(lanes, static_cast<int>(pool->size()));
+    for (int lane = 0; lane < take; ++lane) {
+        PooledRay pooled = std::move(pool->back());
+        pool->pop_back();
+        workspace_.slot(row, lane) = std::move(pooled.payload);
+        load_slots.push_back(pooled.spawnSlot);
+        freeSpawnSlot(pooled.spawnSlot);
+        ++stats_.raysLoaded;
+    }
+    overhead += config_.cost.spawnLoad;
+    conflicts += conflictCost(load_slots);
+
+    ++stats_.spawns;
+    stats_.conflictCycles += conflicts;
+    if (smx_ != nullptr)
+        smx_->addSpawnConflictCycles(conflicts);
+
+    result = make_dispatch(reload_state);
+    // Bank conflicts replay the conflicting spawn-memory instructions;
+    // replays occupy issue slots, so — as the paper stresses — these
+    // cycles cannot be hidden by other warps.
+    result.overheadInstructions = overhead + static_cast<int>(conflicts);
+    return result;
+}
+
+} // namespace drs::baselines

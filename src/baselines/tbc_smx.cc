@@ -1,0 +1,337 @@
+#include "baselines/tbc_smx.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <stdexcept>
+
+namespace drs::baselines {
+
+using simt::Program;
+using simt::ThreadStep;
+
+namespace {
+
+constexpr std::uint64_t kRfAccessesPerInstruction = 3;
+
+} // namespace
+
+TbcSmx::TbcSmx(const simt::GpuConfig &config, const TbcConfig &tbc,
+               kernels::AilaKernel &kernel, simt::SharedMemorySide &shared)
+    : config_(config),
+      tbc_(tbc),
+      kernel_(kernel),
+      memory_(config.memory, shared),
+      lastIssuedBlock_(static_cast<std::size_t>(config.schedulersPerSmx), -1)
+{
+    if (tbc.numWarps % tbc.warpsPerBlock != 0)
+        throw std::invalid_argument(
+            "TBC: numWarps must be a multiple of warpsPerBlock");
+
+    const int num_blocks = tbc.numWarps / tbc.warpsPerBlock;
+    const int lanes = config.simdLanes;
+    blocks_.resize(static_cast<std::size_t>(num_blocks));
+    for (int b = 0; b < num_blocks; ++b) {
+        ThreadBlock &block = blocks_[static_cast<std::size_t>(b)];
+        BlockEntry entry;
+        entry.pc = 0;
+        entry.rpc = kernel.program().exitBlock();
+        for (int w = 0; w < tbc.warpsPerBlock; ++w) {
+            CompactedWarp warp;
+            warp.lanes.resize(static_cast<std::size_t>(lanes));
+            const int row = b * tbc.warpsPerBlock + w;
+            for (int lane = 0; lane < lanes; ++lane)
+                warp.lanes[static_cast<std::size_t>(lane)] = {row, lane};
+            entry.warps.push_back(std::move(warp));
+        }
+        block.stack.push_back(std::move(entry));
+        block.nextBlocks.assign(
+            static_cast<std::size_t>(tbc.numWarps) * lanes, -1);
+        // Arm the initial entry.
+        for (auto &warp : block.stack.back().warps) {
+            warp.remainingInstructions =
+                kernel.program().block(0).instructionCount;
+            warp.semanticsDone = false;
+            warp.readyCycle = 0;
+        }
+    }
+}
+
+int
+TbcSmx::threadSlotIndex(const ThreadRef &t) const
+{
+    return t.row * config_.simdLanes + t.lane;
+}
+
+bool
+TbcSmx::done() const
+{
+    for (const auto &b : blocks_)
+        if (!b.exited)
+            return false;
+    return true;
+}
+
+std::vector<TbcSmx::CompactedWarp>
+TbcSmx::compact(const std::vector<std::vector<ThreadRef>> &per_lane,
+                int lanes)
+{
+    std::size_t depth = 0;
+    for (const auto &list : per_lane)
+        depth = std::max(depth, list.size());
+
+    std::vector<CompactedWarp> warps(depth);
+    for (auto &warp : warps)
+        warp.lanes.assign(static_cast<std::size_t>(lanes), ThreadRef{});
+    for (int lane = 0; lane < lanes; ++lane) {
+        const auto &list = per_lane[static_cast<std::size_t>(lane)];
+        for (std::size_t k = 0; k < list.size(); ++k)
+            warps[k].lanes[static_cast<std::size_t>(lane)] = list[k];
+    }
+    return warps;
+}
+
+void
+TbcSmx::completeWarp(ThreadBlock &block, CompactedWarp &warp)
+{
+    BlockEntry &top = block.stack.back();
+    const simt::Block &blk = kernel_.program().block(top.pc);
+
+    std::vector<std::uint64_t> addresses;
+    std::uint32_t bytes = 0;
+    for (const auto &t : warp.lanes) {
+        if (t.row < 0)
+            continue;
+        const ThreadStep step = kernel_.execute(top.pc, t.row, t.lane);
+        block.nextBlocks[static_cast<std::size_t>(threadSlotIndex(t))] =
+            step.nextBlock;
+        if (blk.memSpace != simt::MemSpace::None && step.memBytes > 0) {
+            addresses.push_back(step.memAddress);
+            bytes = step.memBytes;
+        }
+    }
+    if (!addresses.empty()) {
+        const std::uint32_t latency =
+            memory_.warpAccess(blk.memSpace, addresses, bytes);
+        warp.readyCycle = cycle_ + latency;
+    }
+    warp.semanticsDone = true;
+}
+
+void
+TbcSmx::finishEntry(ThreadBlock &block)
+{
+    const Program &prog = kernel_.program();
+    BlockEntry &top = block.stack.back();
+    const int lanes = config_.simdLanes;
+
+    // Partition all threads of the entry by their buffered successor.
+    std::map<int, std::vector<std::vector<ThreadRef>>> targets;
+    for (const auto &warp : top.warps) {
+        for (const auto &t : warp.lanes) {
+            if (t.row < 0)
+                continue;
+            const int next = block.nextBlocks[static_cast<std::size_t>(
+                threadSlotIndex(t))];
+            auto [it, inserted] = targets.try_emplace(next);
+            if (inserted)
+                it->second.resize(static_cast<std::size_t>(lanes));
+            it->second[static_cast<std::size_t>(t.lane)].push_back(t);
+        }
+    }
+    assert(!targets.empty());
+
+    auto arm_top = [&](BlockEntry &entry) {
+        const int count = prog.block(entry.pc).instructionCount;
+        for (auto &warp : entry.warps) {
+            warp.remainingInstructions = count;
+            warp.semanticsDone = false;
+            warp.readyCycle = cycle_;
+        }
+    };
+
+    if (targets.size() == 1) {
+        const int next = targets.begin()->first;
+        if (next == top.rpc) {
+            if (block.stack.size() > 1) {
+                block.stack.pop_back();
+            } else {
+                top.pc = next;
+            }
+        } else {
+            top.pc = next;
+            // Straight-line continuation: recompact anyway, which merges
+            // holes left by threads that reached the reconvergence point.
+            top.warps = compact(targets.begin()->second, lanes);
+        }
+    } else {
+        // Block-wide divergence: barrier + compaction.
+        const int rpc = prog.immediatePostDominator(top.pc);
+        top.pc = rpc;
+        for (auto &[next, per_lane] : targets) {
+            if (next == rpc)
+                continue;
+            BlockEntry entry;
+            entry.pc = next;
+            entry.rpc = rpc;
+            entry.warps = compact(per_lane, lanes);
+            block.stack.push_back(std::move(entry));
+        }
+        block.barrierUntil = cycle_ + static_cast<std::uint64_t>(
+                                          tbc_.syncLatency);
+        syncStallCycles_ += static_cast<std::uint64_t>(tbc_.syncLatency);
+    }
+
+    while (block.stack.size() > 1 &&
+           block.stack.back().pc == block.stack.back().rpc)
+        block.stack.pop_back();
+
+    BlockEntry &new_top = block.stack.back();
+    if (block.stack.size() == 1 && new_top.pc == prog.exitBlock()) {
+        block.exited = true;
+        return;
+    }
+    arm_top(new_top);
+}
+
+int
+TbcSmx::issueFromBlock(ThreadBlock &block, int max_issues)
+{
+    if (block.exited || block.barrierUntil > cycle_)
+        return 0;
+
+    BlockEntry &top = block.stack.back();
+    const simt::Block &blk = kernel_.program().block(top.pc);
+
+    // Issue from the first warp that still has instructions.
+    for (auto &warp : top.warps) {
+        if (warp.semanticsDone || warp.readyCycle > cycle_ ||
+            warp.remainingInstructions <= 0)
+            continue;
+        const int active = warp.activeThreads();
+        int issued = 0;
+        while (issued < max_issues && warp.remainingInstructions > 0) {
+            histogram_.recordInstruction(active, blk.spawnRelated);
+            normalRfAccesses_ += kRfAccessesPerInstruction;
+            --warp.remainingInstructions;
+            ++issued;
+        }
+        if (warp.remainingInstructions == 0)
+            completeWarp(block, warp);
+        return issued;
+    }
+
+    return 0;
+}
+
+void
+TbcSmx::step()
+{
+    const int per_scheduler = config_.issuesPerScheduler();
+    const int schedulers = config_.schedulersPerSmx;
+
+    // Barrier maintenance: an entry whose warps have all completed (and
+    // waited out their memory latency) partitions and compacts, whether
+    // or not a scheduler visits the block this cycle.
+    for (auto &block : blocks_) {
+        if (block.exited || block.barrierUntil > cycle_)
+            continue;
+        bool all_done = true;
+        for (const auto &warp : block.stack.back().warps)
+            all_done = all_done && warp.semanticsDone &&
+                       warp.readyCycle <= cycle_;
+        if (all_done)
+            finishEntry(block);
+    }
+
+    for (int s = 0; s < schedulers; ++s) {
+        // Greedy-then-oldest over this scheduler's block partition.
+        const int last = lastIssuedBlock_[static_cast<std::size_t>(s)];
+        int issued = 0;
+        if (last >= 0)
+            issued = issueFromBlock(blocks_[static_cast<std::size_t>(last)],
+                                    per_scheduler);
+        if (issued == 0) {
+            for (std::size_t b = static_cast<std::size_t>(s);
+                 b < blocks_.size();
+                 b += static_cast<std::size_t>(schedulers)) {
+                issued = issueFromBlock(blocks_[b], per_scheduler);
+                if (issued > 0) {
+                    lastIssuedBlock_[static_cast<std::size_t>(s)] =
+                        static_cast<int>(b);
+                    break;
+                }
+            }
+        }
+    }
+    ++cycle_;
+}
+
+void
+TbcSmx::run(std::uint64_t max_cycles)
+{
+    while (!done() && cycle_ < max_cycles)
+        step();
+    if (!done())
+        throw std::runtime_error("TBC simulation exceeded max_cycles");
+}
+
+simt::SimStats
+TbcSmx::collectStats() const
+{
+    simt::SimStats s;
+    s.cycles = cycle_;
+    s.histogram = histogram_;
+    s.raysTraced = kernel_.raysCompleted();
+    s.rfAccessesNormal = normalRfAccesses_;
+    s.l1Data = memory_.l1DataStats();
+    s.l1Texture = memory_.l1TextureStats();
+    return s;
+}
+
+simt::SimStats
+runTbcGpu(const simt::GpuConfig &config, const TbcConfig &tbc,
+          const std::function<std::unique_ptr<kernels::AilaKernel>(int)>
+              &make_kernel,
+          std::uint64_t max_cycles)
+{
+    simt::SharedMemorySide shared(config.memory);
+
+    struct Unit
+    {
+        std::unique_ptr<kernels::AilaKernel> kernel;
+        std::unique_ptr<TbcSmx> smx;
+    };
+    std::vector<Unit> units;
+    units.reserve(static_cast<std::size_t>(config.numSmx));
+    for (int i = 0; i < config.numSmx; ++i) {
+        Unit unit;
+        unit.kernel = make_kernel(i);
+        unit.smx = std::make_unique<TbcSmx>(config, tbc, *unit.kernel,
+                                            shared);
+        units.push_back(std::move(unit));
+    }
+
+    bool all_done = false;
+    std::uint64_t cycle = 0;
+    while (!all_done && cycle < max_cycles) {
+        all_done = true;
+        for (auto &unit : units) {
+            if (!unit.smx->done()) {
+                unit.smx->step();
+                all_done = false;
+            }
+        }
+        ++cycle;
+    }
+    if (!all_done)
+        throw std::runtime_error("TBC GPU simulation exceeded max_cycles");
+
+    simt::SimStats total;
+    for (auto &unit : units)
+        total.merge(unit.smx->collectStats());
+    total.l2 = shared.l2Stats();
+    return total;
+}
+
+} // namespace drs::baselines

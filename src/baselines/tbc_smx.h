@@ -1,0 +1,144 @@
+#pragma once
+
+/**
+ * @file
+ * Thread Block Compaction baseline (Fung & Aamodt, HPCA 2011), as the
+ * paper evaluates it: the Aila while-while kernel runs on thread blocks
+ * of 6 warps that share a block-wide reconvergence stack. At a divergent
+ * branch all warps of the block synchronize, then threads are compacted
+ * into new warps — but a thread can only move to its own SIMD lane in
+ * another warp (per-lane compaction), and the block-wide barrier costs
+ * synchronization latency. Both limits are the reasons the paper gives
+ * for TBC's modest SIMD-efficiency gains.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "kernels/aila_kernel.h"
+#include "simt/config.h"
+#include "simt/memory.h"
+#include "simt/sim_stats.h"
+
+namespace drs::baselines {
+
+/** TBC configuration. */
+struct TbcConfig
+{
+    /** Warps per thread block (paper: 6, as in the TBC paper). */
+    int warpsPerBlock = 6;
+    /** Resident warps per SMX (runs Aila's kernel: 48). */
+    int numWarps = 48;
+    /** Cycles a block pays at each divergence barrier. */
+    int syncLatency = 4;
+    kernels::AilaConfig kernelConfig{};
+};
+
+/**
+ * One SMX executing the while-while kernel under TBC. Self-contained
+ * executor (the block-wide stack does not fit the per-warp Smx), sharing
+ * the memory system, program and workspace semantics with the rest of
+ * the simulator.
+ */
+class TbcSmx
+{
+  public:
+    /**
+     * @param config GPU configuration
+     * @param tbc TBC parameters
+     * @param kernel the Aila kernel instance bound to this SMX
+     * @param shared GPU-wide L2/DRAM
+     */
+    TbcSmx(const simt::GpuConfig &config, const TbcConfig &tbc,
+           kernels::AilaKernel &kernel, simt::SharedMemorySide &shared);
+
+    bool done() const;
+    void step();
+    void run(std::uint64_t max_cycles = 2'000'000'000ULL);
+    std::uint64_t cycle() const { return cycle_; }
+
+    simt::SimStats collectStats() const;
+
+  private:
+    /** A thread's permanent identity: its home (row, lane) slot. */
+    struct ThreadRef
+    {
+        int row = -1;
+        int lane = -1;
+    };
+
+    /** A compacted warp: per lane, one thread or none. */
+    struct CompactedWarp
+    {
+        std::vector<ThreadRef> lanes; ///< size = warp width; row<0 = hole
+        int remainingInstructions = 0;
+        std::uint64_t readyCycle = 0;
+        bool semanticsDone = false;
+        int activeThreads() const
+        {
+            int n = 0;
+            for (const auto &t : lanes)
+                n += t.row >= 0 ? 1 : 0;
+            return n;
+        }
+    };
+
+    /** One block-wide reconvergence stack entry. */
+    struct BlockEntry
+    {
+        int pc = 0;
+        int rpc = 0;
+        std::vector<CompactedWarp> warps;
+    };
+
+    /** One thread block: 6 warps sharing a stack. */
+    struct ThreadBlock
+    {
+        std::vector<BlockEntry> stack;
+        bool exited = false;
+        /** Buffered successor per thread slot, filled at warp completion. */
+        std::vector<int> nextBlocks; // indexed row-major over block slots
+        std::uint64_t barrierUntil = 0;
+    };
+
+    /** Compact @p threads (per lane lists) into warps, lane-preserving. */
+    static std::vector<CompactedWarp>
+    compact(const std::vector<std::vector<ThreadRef>> &per_lane, int lanes);
+
+    /** All warps of the top entry finished: partition and push. */
+    void finishEntry(ThreadBlock &block);
+
+    int issueFromBlock(ThreadBlock &block, int max_issues);
+    void completeWarp(ThreadBlock &block, CompactedWarp &warp);
+
+    int threadSlotIndex(const ThreadRef &t) const;
+
+    const simt::GpuConfig &config_;
+    TbcConfig tbc_;
+    kernels::AilaKernel &kernel_;
+    simt::SmxMemory memory_;
+    std::vector<ThreadBlock> blocks_;
+    std::vector<int> lastIssuedBlock_; ///< per scheduler
+    std::uint64_t cycle_ = 0;
+
+    stats::ActiveThreadHistogram histogram_;
+    std::uint64_t normalRfAccesses_ = 0;
+    std::uint64_t syncStallCycles_ = 0;
+};
+
+/**
+ * Run a full ray batch on a TBC GPU (all SMXs, shared L2).
+ *
+ * @param config GPU parameters
+ * @param tbc TBC parameters
+ * @param make_kernel per-SMX Aila kernel factory
+ */
+simt::SimStats runTbcGpu(
+    const simt::GpuConfig &config, const TbcConfig &tbc,
+    const std::function<std::unique_ptr<kernels::AilaKernel>(int)>
+        &make_kernel,
+    std::uint64_t max_cycles = 2'000'000'000ULL);
+
+} // namespace drs::baselines

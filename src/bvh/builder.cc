@@ -1,0 +1,227 @@
+#include "bvh/builder.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace drs::bvh {
+
+using geom::Aabb;
+using geom::Vec3;
+
+namespace {
+
+/** Per-triangle precomputed build data. */
+struct Primitive
+{
+    Aabb bounds;
+    Vec3 centroid;
+    std::int32_t triangle;
+};
+
+struct Bin
+{
+    Aabb bounds;
+    int count = 0;
+};
+
+/** Recursive builder state shared across the recursion. */
+class Builder
+{
+  public:
+    Builder(const std::vector<geom::Triangle> &triangles,
+            const BuildConfig &config)
+        : config_(config)
+    {
+        prims_.reserve(triangles.size());
+        for (std::size_t i = 0; i < triangles.size(); ++i) {
+            Primitive p;
+            p.bounds = triangles[i].bounds();
+            p.centroid = triangles[i].centroid();
+            p.triangle = static_cast<std::int32_t>(i);
+            prims_.push_back(p);
+        }
+    }
+
+    Bvh run()
+    {
+        if (prims_.empty())
+            return Bvh{};
+        // Reserve a generous upper bound to avoid reallocation: a binary
+        // tree over n leaves has < 2n nodes even with max_leaf_size = 1.
+        nodes_.reserve(prims_.size() * 2 + 1);
+        buildRange(0, prims_.size());
+
+        std::vector<std::int32_t> indices;
+        indices.reserve(prims_.size());
+        for (const auto &p : prims_)
+            indices.push_back(p.triangle);
+        return Bvh(std::move(nodes_), std::move(indices));
+    }
+
+  private:
+    /** Build the subtree over prims_[begin, end); returns its node index. */
+    std::int32_t
+    buildRange(std::size_t begin, std::size_t end)
+    {
+        const std::int32_t node_index = static_cast<std::int32_t>(nodes_.size());
+        nodes_.emplace_back();
+
+        Aabb bounds;
+        Aabb centroid_bounds;
+        for (std::size_t i = begin; i < end; ++i) {
+            bounds.extend(prims_[i].bounds);
+            centroid_bounds.extend(prims_[i].centroid);
+        }
+        nodes_[node_index].bounds = bounds;
+
+        const std::size_t count = end - begin;
+        if (count <= static_cast<std::size_t>(config_.maxLeafSize)) {
+            makeLeaf(node_index, begin, end);
+            return node_index;
+        }
+
+        int axis = -1;
+        std::size_t mid = 0;
+        if (!findBestSplit(begin, end, bounds, centroid_bounds, axis, mid)) {
+            // Splitting does not pay off (or all centroids coincide):
+            // fall back to a leaf unless it would be degenerately large,
+            // in which case split in the middle to bound leaf size.
+            if (count <= 4 * static_cast<std::size_t>(config_.maxLeafSize)) {
+                makeLeaf(node_index, begin, end);
+                return node_index;
+            }
+            axis = geom::maxDimension(centroid_bounds.extent());
+            mid = begin + count / 2;
+            std::nth_element(prims_.begin() + begin, prims_.begin() + mid,
+                             prims_.begin() + end,
+                             [axis](const Primitive &a, const Primitive &b) {
+                                 return a.centroid[axis] < b.centroid[axis];
+                             });
+        }
+
+        nodes_[node_index].splitAxis = axis;
+        buildRange(begin, mid); // left child lands at node_index + 1
+        const std::int32_t right = buildRange(mid, end);
+        nodes_[node_index].rightChild = right;
+        return node_index;
+    }
+
+    void
+    makeLeaf(std::int32_t node_index, std::size_t begin, std::size_t end)
+    {
+        Node &n = nodes_[node_index];
+        n.firstTriangle = static_cast<std::int32_t>(begin);
+        n.triangleCount = static_cast<std::int32_t>(end - begin);
+        n.rightChild = -1;
+    }
+
+    /**
+     * Binned SAH split search. On success, partitions prims_[begin, end)
+     * around the split and reports the axis and partition point.
+     *
+     * @return false when no split improves on the leaf cost.
+     */
+    bool
+    findBestSplit(std::size_t begin, std::size_t end, const Aabb &bounds,
+                  const Aabb &centroid_bounds, int &best_axis,
+                  std::size_t &best_mid)
+    {
+        const int nbins = config_.binCount;
+        const std::size_t count = end - begin;
+        const float leaf_cost = config_.intersectCost * count;
+
+        float best_cost = std::numeric_limits<float>::max();
+        int best_bin = -1;
+        best_axis = -1;
+
+        const Vec3 cext = centroid_bounds.extent();
+        for (int axis = 0; axis < 3; ++axis) {
+            if (cext[axis] <= 0.0f)
+                continue;
+
+            std::vector<Bin> bins(nbins);
+            const float scale = nbins / cext[axis];
+            const float offset = centroid_bounds.lo[axis];
+            for (std::size_t i = begin; i < end; ++i) {
+                int b = static_cast<int>((prims_[i].centroid[axis] - offset) *
+                                         scale);
+                b = std::clamp(b, 0, nbins - 1);
+                bins[b].bounds.extend(prims_[i].bounds);
+                bins[b].count += 1;
+            }
+
+            // Sweep from the right to accumulate suffix bounds/counts.
+            std::vector<float> right_area(nbins);
+            std::vector<int> right_count(nbins);
+            Aabb acc;
+            int acc_count = 0;
+            for (int b = nbins - 1; b > 0; --b) {
+                acc.extend(bins[b].bounds);
+                acc_count += bins[b].count;
+                right_area[b] = acc.surfaceArea();
+                right_count[b] = acc_count;
+            }
+
+            // Sweep from the left evaluating each split plane.
+            Aabb left;
+            int left_count = 0;
+            const float inv_area =
+                bounds.surfaceArea() > 0 ? 1.0f / bounds.surfaceArea() : 0.0f;
+            for (int b = 0; b < nbins - 1; ++b) {
+                left.extend(bins[b].bounds);
+                left_count += bins[b].count;
+                if (left_count == 0 ||
+                    right_count[b + 1] == static_cast<int>(count) ||
+                    right_count[b + 1] == 0 || left_count == static_cast<int>(count))
+                    continue;
+                const float cost =
+                    config_.traversalCost +
+                    config_.intersectCost * inv_area *
+                        (left.surfaceArea() * left_count +
+                         right_area[b + 1] * right_count[b + 1]);
+                if (cost < best_cost) {
+                    best_cost = cost;
+                    best_axis = axis;
+                    best_bin = b;
+                }
+            }
+        }
+
+        if (best_axis < 0 || best_cost >= leaf_cost)
+            return false;
+
+        // Partition primitives by bin index on the winning axis.
+        const float scale = nbins / cext[best_axis];
+        const float offset = centroid_bounds.lo[best_axis];
+        auto it = std::partition(
+            prims_.begin() + begin, prims_.begin() + end,
+            [&](const Primitive &p) {
+                int b = static_cast<int>((p.centroid[best_axis] - offset) *
+                                         scale);
+                b = std::clamp(b, 0, nbins - 1);
+                return b <= best_bin;
+            });
+        best_mid = static_cast<std::size_t>(it - prims_.begin());
+        if (best_mid == begin || best_mid == end)
+            return false; // numeric edge case: degenerate partition
+        return true;
+    }
+
+    const BuildConfig config_;
+    std::vector<Primitive> prims_;
+    std::vector<Node> nodes_;
+};
+
+} // namespace
+
+Bvh
+build(const std::vector<geom::Triangle> &triangles, const BuildConfig &config)
+{
+    Builder builder(triangles, config);
+    return builder.run();
+}
+
+} // namespace drs::bvh

@@ -1,0 +1,38 @@
+#pragma once
+
+/**
+ * @file
+ * Binned SAH BVH builder (Wald 2007 style). Produces the flattened
+ * depth-first layout defined in bvh.h.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "bvh/bvh.h"
+#include "geom/triangle.h"
+
+namespace drs::bvh {
+
+/** Parameters controlling BVH construction. */
+struct BuildConfig
+{
+    /** Number of SAH bins per axis. */
+    int binCount = 16;
+    /** Leaves are created when a range has at most this many triangles. */
+    int maxLeafSize = 4;
+    /** Relative cost of a triangle intersection vs. a node traversal. */
+    float intersectCost = 1.0f;
+    float traversalCost = 1.0f;
+};
+
+/**
+ * Build a BVH over @p triangles.
+ *
+ * The triangle array itself is not reordered; the BVH references
+ * triangles through its index array.
+ */
+Bvh build(const std::vector<geom::Triangle> &triangles,
+          const BuildConfig &config = {});
+
+} // namespace drs::bvh

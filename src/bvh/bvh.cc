@@ -1,0 +1,71 @@
+#include "bvh/bvh.h"
+
+#include <stack>
+#include <stdexcept>
+
+namespace drs::bvh {
+
+Bvh::Bvh(std::vector<Node> nodes, std::vector<std::int32_t> triangle_indices)
+    : nodes_(std::move(nodes)), triangleIndices_(std::move(triangle_indices))
+{
+    // Validate leaf ranges so downstream traversal never reads out of
+    // bounds; an invalid tree is a builder bug, so fail loudly.
+    for (const auto &n : nodes_) {
+        if (n.isLeaf()) {
+            if (n.firstTriangle < 0 ||
+                static_cast<std::size_t>(n.firstTriangle + n.triangleCount) >
+                    triangleIndices_.size()) {
+                throw std::out_of_range("BVH leaf range out of bounds");
+            }
+        } else if (!nodes_.empty()) {
+            if (n.rightChild <= 0 ||
+                static_cast<std::size_t>(n.rightChild) >= nodes_.size()) {
+                throw std::out_of_range("BVH interior child out of bounds");
+            }
+        }
+    }
+}
+
+TreeStats
+Bvh::computeStats() const
+{
+    TreeStats stats;
+    if (nodes_.empty())
+        return stats;
+
+    stats.nodeCount = nodes_.size();
+
+    const double root_area = nodes_[0].bounds.surfaceArea();
+    std::uint64_t leaf_tris = 0;
+
+    struct Item { std::int32_t node; std::size_t depth; };
+    std::stack<Item> work;
+    work.push({0, 1});
+    while (!work.empty()) {
+        auto [idx, depth] = work.top();
+        work.pop();
+        const Node &n = nodes_[idx];
+        stats.maxDepth = std::max(stats.maxDepth, depth);
+        const double rel_area =
+            root_area > 0.0 ? n.bounds.surfaceArea() / root_area : 0.0;
+        if (n.isLeaf()) {
+            ++stats.leafCount;
+            leaf_tris += static_cast<std::uint64_t>(n.triangleCount);
+            stats.maxLeafTriangles = std::max(
+                stats.maxLeafTriangles,
+                static_cast<std::size_t>(n.triangleCount));
+            // SAH leaf term: area-weighted intersection cost.
+            stats.sahCost += rel_area * n.triangleCount;
+        } else {
+            // SAH interior term: area-weighted traversal cost (1.0).
+            stats.sahCost += rel_area;
+            work.push({idx + 1, depth + 1});
+            work.push({n.rightChild, depth + 1});
+        }
+    }
+    stats.meanLeafTriangles =
+        stats.leafCount ? static_cast<double>(leaf_tris) / stats.leafCount : 0;
+    return stats;
+}
+
+} // namespace drs::bvh

@@ -1,0 +1,96 @@
+#pragma once
+
+/**
+ * @file
+ * Flattened bounding volume hierarchy. Nodes are laid out in depth-first
+ * order in a contiguous array — the layout the simulated kernels fetch
+ * through the L1 texture cache, matching the paper's setup ("the BVH
+ * acceleration structure is used and accessed through the L1 texture
+ * cache").
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/aabb.h"
+#include "geom/triangle.h"
+
+namespace drs::bvh {
+
+/**
+ * One flattened BVH node (2-wide tree).
+ *
+ * Interior nodes store the index of their right child (the left child is
+ * adjacent at index + 1). Leaf nodes store a range into the reordered
+ * triangle-index array.
+ */
+struct Node
+{
+    geom::Aabb bounds;
+    /** Index of the right child for interior nodes; unused for leaves. */
+    std::int32_t rightChild = -1;
+    /** First triangle-index slot for leaves; -1 marks interior nodes. */
+    std::int32_t firstTriangle = -1;
+    /** Number of triangles in a leaf; 0 for interior nodes. */
+    std::int32_t triangleCount = 0;
+    /** Split axis of interior nodes (0/1/2), used for ordered traversal. */
+    std::int32_t splitAxis = 0;
+
+    bool isLeaf() const { return triangleCount > 0; }
+};
+
+/** Aggregate statistics about a built tree (used by tests and Fig 7). */
+struct TreeStats
+{
+    std::size_t nodeCount = 0;
+    std::size_t leafCount = 0;
+    std::size_t maxDepth = 0;
+    double meanLeafTriangles = 0.0;
+    std::size_t maxLeafTriangles = 0;
+    double sahCost = 0.0;
+};
+
+/**
+ * An immutable flattened BVH over an externally owned triangle array.
+ *
+ * The BVH stores triangle *indices*; callers keep the triangle array and
+ * index it through triangleIndex().
+ */
+class Bvh
+{
+  public:
+    Bvh() = default;
+
+    Bvh(std::vector<Node> nodes, std::vector<std::int32_t> triangle_indices);
+
+    bool empty() const { return nodes_.empty(); }
+    const std::vector<Node> &nodes() const { return nodes_; }
+    const Node &node(std::int32_t i) const { return nodes_.at(i); }
+    std::size_t nodeCount() const { return nodes_.size(); }
+
+    /** Scene triangle id stored in leaf slot @p slot. */
+    std::int32_t triangleIndex(std::int32_t slot) const
+    {
+        return triangleIndices_.at(slot);
+    }
+
+    const std::vector<std::int32_t> &triangleIndices() const
+    {
+        return triangleIndices_;
+    }
+
+    /** Root node bounds (empty box for an empty tree). */
+    geom::Aabb bounds() const
+    {
+        return nodes_.empty() ? geom::Aabb{} : nodes_[0].bounds;
+    }
+
+    /** Compute tree statistics (walks the whole tree). */
+    TreeStats computeStats() const;
+
+  private:
+    std::vector<Node> nodes_;
+    std::vector<std::int32_t> triangleIndices_;
+};
+
+} // namespace drs::bvh

@@ -1,0 +1,120 @@
+#include "bvh/traverse.h"
+
+#include <array>
+
+namespace drs::bvh {
+
+using geom::Hit;
+using geom::Ray;
+using geom::Vec3;
+
+namespace {
+
+Vec3
+inverseDirection(const Vec3 &d)
+{
+    // IEEE division yields +/-inf for zero components, which the slab
+    // test handles correctly.
+    return {1.0f / d.x, 1.0f / d.y, 1.0f / d.z};
+}
+
+} // namespace
+
+Hit
+intersect(const Bvh &bvh, const std::vector<geom::Triangle> &triangles,
+          const Ray &ray, TraversalStats *stats)
+{
+    Hit hit;
+    if (bvh.empty())
+        return hit;
+
+    Ray r = ray;
+    const Vec3 inv_dir = inverseDirection(r.direction);
+
+    std::array<std::int32_t, 128> stack;
+    int sp = 0;
+    std::int32_t current = 0;
+
+    for (;;) {
+        const Node &node = bvh.node(current);
+        if (stats)
+            ++stats->nodesVisited;
+
+        float t_entry;
+        if (node.bounds.intersect(r.origin, inv_dir, r.tMin, r.tMax,
+                                  t_entry)) {
+            if (node.isLeaf()) {
+                if (stats)
+                    ++stats->leavesVisited;
+                for (std::int32_t i = 0; i < node.triangleCount; ++i) {
+                    const std::int32_t tri =
+                        bvh.triangleIndex(node.firstTriangle + i);
+                    if (stats)
+                        ++stats->trianglesTested;
+                    float t, u, v;
+                    if (triangles[tri].intersect(r, t, u, v)) {
+                        hit.triangle = tri;
+                        hit.t = t;
+                        hit.u = u;
+                        hit.v = v;
+                        r.tMax = t;
+                    }
+                }
+            } else {
+                // Ordered traversal: visit the child on the ray's near
+                // side first so tMax shrinks early.
+                std::int32_t near_child = current + 1;
+                std::int32_t far_child = node.rightChild;
+                if (r.direction[node.splitAxis] < 0.0f)
+                    std::swap(near_child, far_child);
+                stack[sp++] = far_child;
+                current = near_child;
+                continue;
+            }
+        }
+
+        if (sp == 0)
+            break;
+        current = stack[--sp];
+    }
+    return hit;
+}
+
+bool
+intersectAny(const Bvh &bvh, const std::vector<geom::Triangle> &triangles,
+             const Ray &ray)
+{
+    if (bvh.empty())
+        return false;
+
+    const Vec3 inv_dir = inverseDirection(ray.direction);
+    std::array<std::int32_t, 128> stack;
+    int sp = 0;
+    std::int32_t current = 0;
+
+    for (;;) {
+        const Node &node = bvh.node(current);
+        float t_entry;
+        if (node.bounds.intersect(ray.origin, inv_dir, ray.tMin, ray.tMax,
+                                  t_entry)) {
+            if (node.isLeaf()) {
+                for (std::int32_t i = 0; i < node.triangleCount; ++i) {
+                    const std::int32_t tri =
+                        bvh.triangleIndex(node.firstTriangle + i);
+                    float t, u, v;
+                    if (triangles[tri].intersect(ray, t, u, v))
+                        return true;
+                }
+            } else {
+                stack[sp++] = node.rightChild;
+                current = current + 1;
+                continue;
+            }
+        }
+        if (sp == 0)
+            return false;
+        current = stack[--sp];
+    }
+}
+
+} // namespace drs::bvh

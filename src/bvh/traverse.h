@@ -1,0 +1,45 @@
+#pragma once
+
+/**
+ * @file
+ * CPU reference BVH traversal. The simulated kernels must produce exactly
+ * the same hits as this traversal — integration tests enforce it — and the
+ * path tracer uses it to shade between bounces.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "bvh/bvh.h"
+#include "geom/ray.h"
+#include "geom/triangle.h"
+
+namespace drs::bvh {
+
+/** Traversal statistics for one ray (BVH quality analysis, Fig 7). */
+struct TraversalStats
+{
+    std::uint32_t nodesVisited = 0;
+    std::uint32_t leavesVisited = 0;
+    std::uint32_t trianglesTested = 0;
+};
+
+/**
+ * Find the closest intersection of @p ray with the triangles in @p bvh.
+ *
+ * @param bvh the hierarchy
+ * @param triangles triangle array the hierarchy was built over
+ * @param ray ray to trace (tMax bounds the search)
+ * @param[out] stats optional traversal statistics accumulator
+ * @return hit record; Hit::valid() is false on a miss
+ */
+geom::Hit intersect(const Bvh &bvh,
+                    const std::vector<geom::Triangle> &triangles,
+                    const geom::Ray &ray, TraversalStats *stats = nullptr);
+
+/** True when any intersection exists (early-out occlusion query). */
+bool intersectAny(const Bvh &bvh,
+                  const std::vector<geom::Triangle> &triangles,
+                  const geom::Ray &ray);
+
+} // namespace drs::bvh

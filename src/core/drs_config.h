@@ -1,0 +1,97 @@
+#pragma once
+
+/**
+ * @file
+ * DRS hardware configuration (paper Sections 3, 4.2, 4.3).
+ */
+
+namespace drs::core {
+
+/** Configuration of the DRS control logic and swap engine. */
+struct DrsConfig
+{
+    /**
+     * Backup ray rows (M). The paper sweeps 1/2/4/8 (Figure 8) and
+     * concludes one row, carved out of the main register file, suffices.
+     */
+    int backupRows = 1;
+
+    /**
+     * Whether backup rows live in an extra register bank. Without it, the
+     * main register file makes room, reducing spawnable warps from 60 to
+     * 58 (the paper's preferred configuration).
+     */
+    bool useExtraRegisterBank = false;
+
+    /**
+     * Total swap buffers, evenly divided between the three shuffle tasks
+     * (fetch-collect, leaf-collect, inner-eject). Paper sweeps 6/9/12/18
+     * (Table 2) and defaults to 6.
+     */
+    int swapBuffers = 6;
+
+    /** Idealized shuffling: any ray move completes in one cycle. */
+    bool idealized = false;
+
+    /**
+     * Minimum number of empty slots in a dispatched row before their
+     * lanes receive FETCH as their per-thread trav_ctrl_val (batched
+     * hole refill). Scattered holes below the threshold are gathered by
+     * the fetch-collect shuffle row instead.
+     */
+    int fetchRefillThreshold = 4;
+
+    /**
+     * Dispatch tolerance: a row may be dispatched while holding up to
+     * this many opposite-state rays; their lanes simply stay inactive
+     * for the pass and are extracted by the swap engine in the
+     * background. 0 reproduces the strict textual rule of the paper;
+     * the small default keeps warp-issue throughput at the paper's
+     * near-ideal level (see DESIGN.md). Ablated by the Figure 8 bench.
+     */
+    int dispatchMinorityTolerance = 7;
+
+    /**
+     * A warp whose own row is dispatchable but holds fewer live rays
+     * than this target first looks for a fuller unbound row, releasing
+     * its own row to the swap engine for topping up. Keeps dispatches
+     * near-full (the paper's engine maintains full 32-ray rows), at the
+     * cost of extra remaps.
+     */
+    int fullDispatchTarget = 26;
+
+    /** Register file banks visible to the swap engine. */
+    int registerBanks = 8;
+
+    /** Live variables per ray moved by a shuffle (paper: 17). */
+    int rayVariables = 17;
+
+    /** Fixed per-operation setup cycles (request table allocation). */
+    int opSetupCycles = 1;
+
+    /** Swap buffers per shuffle task. */
+    int buffersPerTask() const { return swapBuffers / 3; }
+
+    /** Registers per SMX (Table 1). */
+    int registersPerSmx = 65536;
+
+    /** Registers used per thread by Kernel 1 (sets 60 spawnable warps). */
+    int registersPerThread = 34;
+
+    /**
+     * Warps spawnable with this configuration (paper Section 4.2):
+     * Kernel 1 spawns 60 warps; without an extra register bank the main
+     * register file makes room for the M backup + 2 empty rows (17
+     * registers x 32 lanes each), which costs warps — 58 for M = 1.
+     */
+    int spawnableWarps() const
+    {
+        const int regs_per_warp = registersPerThread * 32;
+        if (useExtraRegisterBank)
+            return registersPerSmx / regs_per_warp;
+        const int row_regs = (backupRows + 2) * rayVariables * 32;
+        return (registersPerSmx - row_regs) / regs_per_warp;
+    }
+};
+
+} // namespace drs::core

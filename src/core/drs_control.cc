@@ -1,0 +1,672 @@
+#include "core/drs_control.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "simt/smx.h"
+
+namespace drs::core {
+
+using simt::RdctrlResult;
+using simt::TravState;
+
+DrsControl::DrsControl(const DrsConfig &config,
+                       simt::RowWorkspace &workspace, int num_warps)
+    : config_(config),
+      workspace_(workspace),
+      numWarps_(num_warps),
+      rows_(workspace.rowCount()),
+      lanes_(workspace.laneCount())
+{
+    if (rows_ < num_warps + config.backupRows + 2)
+        throw std::invalid_argument(
+            "workspace must provide N + M + 2 rows for the DRS");
+    if (config.swapBuffers < 3)
+        throw std::invalid_argument("DRS needs at least 3 swap buffers");
+
+    opsPerTask_ = std::max(config.buffersPerTask(), 1);
+    ops_.assign(static_cast<std::size_t>(opsPerTask_) * 3, Operation{});
+    warpRow_.assign(static_cast<std::size_t>(num_warps), -1);
+    rowOwner_.assign(static_cast<std::size_t>(rows_), -1);
+    censusCache_.assign(static_cast<std::size_t>(rows_), RowCensus{});
+    censusValid_.assign(static_cast<std::size_t>(rows_), 0);
+    // Initially the first N rows are bound to the N warps (Section 3.2.2).
+    for (int w = 0; w < num_warps; ++w) {
+        warpRow_[static_cast<std::size_t>(w)] = w;
+        rowOwner_[static_cast<std::size_t>(w)] = w;
+    }
+}
+
+DrsControl::RowCensus
+DrsControl::census(int row) const
+{
+    RowCensus c;
+    for (int lane = 0; lane < lanes_; ++lane)
+        ++c.count[static_cast<std::size_t>(workspace_.state(row, lane))];
+    return c;
+}
+
+const DrsControl::RowCensus &
+DrsControl::cachedCensus(int row)
+{
+    if (!censusValid_[static_cast<std::size_t>(row)]) {
+        censusCache_[static_cast<std::size_t>(row)] = census(row);
+        censusValid_[static_cast<std::size_t>(row)] = 1;
+    }
+    return censusCache_[static_cast<std::size_t>(row)];
+}
+
+void
+DrsControl::invalidateCensus(int row)
+{
+    censusValid_[static_cast<std::size_t>(row)] = 0;
+}
+
+bool
+DrsControl::dispatchable(const RowCensus &c) const
+{
+    if (c.live() == 0)
+        return !workspace_.poolEmpty(); // all-fetch row: batched refill
+    // Live rays must share a single traversal state; holes are fine, and
+    // a minority of opposite-state rays within the tolerance rides along
+    // with its lanes inactive.
+    const int minority = std::min(c.inner(), c.leaf());
+    return minority <= config_.dispatchMinorityTolerance;
+}
+
+RdctrlResult
+DrsControl::dispatch(int warp, int row, const RowCensus &c)
+{
+    bindRow(warp, row);
+
+    RdctrlResult result;
+    result.row = row;
+    if (c.live() == 0) {
+        result.ctrl = TravState::Fetch;
+        result.mask = simt::fullMask(lanes_);
+        return result;
+    }
+
+    const TravState state =
+        c.inner() >= c.leaf() ? TravState::Inner : TravState::Leaf;
+    result.ctrl = state;
+    std::uint32_t mask = 0;
+    std::uint32_t holes = 0;
+    for (int lane = 0; lane < lanes_; ++lane) {
+        const TravState s = workspace_.state(row, lane);
+        if (s == state)
+            mask |= 1u << lane;
+        else if (s == TravState::Fetch)
+            holes |= 1u << lane;
+    }
+    result.mask = mask;
+    assert(mask != 0);
+    // Batched hole refill: when enough empty slots accumulated, their
+    // lanes receive FETCH as their per-thread trav_ctrl_val.
+    if (holes != 0 && !workspace_.poolEmpty() &&
+        simt::popcount(holes) >= config_.fetchRefillThreshold) {
+        result.fetchMask = holes;
+    }
+    return result;
+}
+
+bool
+DrsControl::rowLocked(int row) const
+{
+    for (const auto &op : ops_)
+        if (op.active && (op.rowA == row || op.rowB == row))
+            return true;
+    return false;
+}
+
+void
+DrsControl::bindRow(int warp, int row)
+{
+    const int old = warpRow_[static_cast<std::size_t>(warp)];
+    if (old == row)
+        return;
+    if (old >= 0) {
+        rowOwner_[static_cast<std::size_t>(old)] = -1;
+        invalidateCensus(old);
+    }
+    assert(rowOwner_[static_cast<std::size_t>(row)] == -1 &&
+           "a row may not be bound to more than one warp");
+    warpRow_[static_cast<std::size_t>(warp)] = row;
+    rowOwner_[static_cast<std::size_t>(row)] = warp;
+    invalidateCensus(row);
+    dirty_ = true;
+    uniformCacheValid_ = false;
+}
+
+void
+DrsControl::unbindWarpRow(int warp)
+{
+    const int old = warpRow_[static_cast<std::size_t>(warp)];
+    if (old < 0)
+        return;
+    rowOwner_[static_cast<std::size_t>(old)] = -1;
+    warpRow_[static_cast<std::size_t>(warp)] = -1;
+    invalidateCensus(old);
+    dirty_ = true;
+    uniformCacheValid_ = false;
+}
+
+int
+DrsControl::findUniformRow()
+{
+    // Preference order: drain leaf rows first, keep inner rows moving,
+    // fetch new work last; prefer fuller rows for higher SIMD payoff.
+    int best = -1;
+    int best_score = -1;
+    for (int row = 0; row < rows_; ++row) {
+        if (rowOwner_[static_cast<std::size_t>(row)] >= 0 || rowLocked(row))
+            continue;
+        const RowCensus &c = cachedCensus(row);
+        if (!dispatchable(c))
+            continue;
+        // Fuller rows give higher SIMD payoff per dispatch; leaf rows
+        // break ties so nearly finished rays drain.
+        int score;
+        if (c.live() > 0) {
+            score = c.live() * 4 + (c.leaf() > 0 ? 1 : 0);
+        } else {
+            score = 1; // all-fetch (pool non-empty)
+        }
+        if (score > best_score) {
+            best_score = score;
+            best = row;
+        }
+    }
+    return best;
+}
+
+int
+DrsControl::cachedUniformRow()
+{
+    if (uniformCacheValid_) {
+        const int row = uniformCacheRow_;
+        if (row < 0)
+            return -1;
+        if (rowOwner_[static_cast<std::size_t>(row)] == -1 &&
+            !rowLocked(row))
+            return row;
+    }
+    uniformCacheRow_ = findUniformRow();
+    uniformCacheValid_ = true;
+    return uniformCacheRow_;
+}
+
+RdctrlResult
+DrsControl::onRdctrl(int warp)
+{
+    // Terminal condition: no pool rays and no live rays anywhere. The
+    // live-ray census is cached per cycle: every stalled warp retries
+    // each cycle during the drain phase.
+    if (liveCacheCycle_ != now_) {
+        liveCacheCycle_ = now_;
+        liveCachePoolEmpty_ = workspace_.poolEmpty();
+        liveCacheValue_ = liveCachePoolEmpty_ ? workspace_.liveRays() : 1;
+    }
+    if (liveCachePoolEmpty_ && liveCacheValue_ == 0) {
+        unbindWarpRow(warp);
+        RdctrlResult result;
+        result.exit = true;
+        return result;
+    }
+
+    const int own = warpRow_[static_cast<std::size_t>(warp)];
+    if (own >= 0) {
+        const RowCensus c = census(own);
+        if (dispatchable(c)) {
+            // Near-full rows run in place. Under-full rows circulate:
+            // the warp takes a fuller unbound row and releases its own
+            // to the swap engine for topping up.
+            const int majority = std::max(c.inner(), c.leaf());
+            const int refill =
+                !workspace_.poolEmpty() &&
+                        c.fetch() >= config_.fetchRefillThreshold
+                    ? c.fetch()
+                    : 0;
+            const bool full_enough =
+                majority + refill >= config_.fullDispatchTarget ||
+                workspace_.poolEmpty();
+            if (!full_enough) {
+                const int fuller = cachedUniformRow();
+                if (fuller >= 0 &&
+                    cachedCensus(fuller).live() > c.live()) {
+                    const RowCensus fc = cachedCensus(fuller);
+                    unbindWarpRow(warp);
+                    ++stats_.remaps;
+                    return dispatch(warp, fuller, fc);
+                }
+            }
+            return dispatch(warp, own, c);
+        }
+    }
+
+    const int found = cachedUniformRow();
+    if (found >= 0) {
+        if (own >= 0)
+            unbindWarpRow(warp);
+        ++stats_.remaps;
+        const RowCensus c = cachedCensus(found);
+        return dispatch(warp, found, c);
+    }
+
+    // Stall: release the warp's row so the swap engine may reorganize it.
+    if (own >= 0) {
+        unbindWarpRow(warp);
+        ++stats_.stallsStarted;
+    }
+    RdctrlResult result;
+    result.stall = true;
+    return result;
+}
+
+void
+DrsControl::refreshDesignatedRow(ShuffleTask task)
+{
+    const auto t = static_cast<std::size_t>(task);
+    auto eligible = [&](int row) {
+        if (rowOwner_[static_cast<std::size_t>(row)] >= 0 || rowLocked(row))
+            return false;
+        for (std::size_t other = 0; other < designated_.size(); ++other)
+            if (other != t && designated_[other] == row)
+                return false;
+        return true;
+    };
+
+    // Keep the current designation while it is still useful.
+    const int current = designated_[t];
+    if (current >= 0 && eligible(current)) {
+        const RowCensus &c = cachedCensus(current);
+        const bool still_useful =
+            (task == ShuffleTask::FetchCollect && c.fetch() < lanes_ &&
+             c.live() > 0) ||
+            (task == ShuffleTask::LeafCollect && c.leaf() > 0 &&
+             c.leaf() < lanes_) ||
+            (task == ShuffleTask::InnerEject && c.inner() > 0 &&
+             c.inner() < lanes_);
+        if (still_useful)
+            return;
+    }
+    designated_[t] = -1;
+
+    int best = -1;
+    int best_score = -1;
+    for (int row = 0; row < rows_; ++row) {
+        if (!eligible(row))
+            continue;
+        const RowCensus &c = cachedCensus(row);
+        int score = -1;
+        switch (task) {
+          case ShuffleTask::FetchCollect:
+            // Nearly-empty mixed rows are cheapest to finish emptying.
+            if (c.fetch() > 0 && c.fetch() < lanes_ && c.live() > 0)
+                score = c.fetch();
+            break;
+          case ShuffleTask::LeafCollect:
+            // Rows already rich in leaf rays finish collecting fastest.
+            // Only rows that actually mix leaf with inner need fixing.
+            if (c.leaf() > 0 && c.inner() > 0)
+                score = c.leaf();
+            break;
+          case ShuffleTask::InnerEject:
+            // Rows with few inner rays are emptied of them fastest.
+            if (c.inner() > 0 && c.leaf() > 0)
+                score = lanes_ - c.inner();
+            break;
+        }
+        if (score > best_score) {
+            best_score = score;
+            best = row;
+        }
+    }
+    designated_[t] = best;
+}
+
+std::optional<DrsControl::Operation>
+DrsControl::chooseOperation(ShuffleTask task)
+{
+    refreshDesignatedRow(task);
+    const int home = designated_[static_cast<std::size_t>(task)];
+    if (home < 0)
+        return std::nullopt;
+
+    auto find_lane = [&](int row, TravState state) {
+        for (int lane = 0; lane < lanes_; ++lane)
+            if (workspace_.state(row, lane) == state)
+                return lane;
+        return -1;
+    };
+
+    auto partner_rows = [&](auto &&accept) {
+        for (int row = 0; row < rows_; ++row) {
+            if (row == home ||
+                rowOwner_[static_cast<std::size_t>(row)] >= 0 ||
+                rowLocked(row))
+                continue;
+            if (accept(cachedCensus(row)))
+                return row;
+        }
+        return -1;
+    };
+
+    Operation op;
+    op.rowA = home;
+    op.startCycle = now_;
+    op.setupRemaining = config_.opSetupCycles;
+
+    switch (task) {
+      case ShuffleTask::FetchCollect: {
+        // Empty the home row: move a live ray into a hole of a row whose
+        // live rays share the ray's state (keeping that row dispatchable).
+        int lane = find_lane(home, TravState::Inner);
+        TravState state = TravState::Inner;
+        if (lane < 0) {
+            lane = find_lane(home, TravState::Leaf);
+            state = TravState::Leaf;
+        }
+        if (lane < 0)
+            return std::nullopt;
+        const bool want_inner = state == TravState::Inner;
+        const int home_live = cachedCensus(home).live();
+        // Monotone consolidation: rays only move from emptier rows into
+        // strictly fuller compatible rows, so the engine cannot ping-pong
+        // with the inner-eject task. Prefer a hole in a row whose live
+        // rays already match; accept a majority-compatible mixed row
+        // otherwise.
+        // Only pure, strictly fuller rows accept rays: anything looser
+        // lets this task undo the separation the other two tasks make.
+        const int partner = partner_rows([&](const RowCensus &c) {
+            if (c.fetch() == 0 || c.live() <= home_live)
+                return false;
+            return want_inner ? (c.leaf() == 0 && c.inner() > 0)
+                              : (c.inner() == 0 && c.leaf() > 0);
+        });
+        if (partner < 0)
+            return std::nullopt;
+        op.rowA = home;
+        op.laneA = lane;
+        op.rowB = partner;
+        op.laneB = find_lane(partner, TravState::Fetch);
+        op.isExchange = false;
+        break;
+      }
+      case ShuffleTask::LeafCollect: {
+        // Fill a non-leaf slot of the home row with a leaf ray, or
+        // exchange one of its inner rays for a donor's leaf ray. The
+        // donor is the mixed row with the fewest leaf rays: it becomes
+        // dispatchable after the fewest moves.
+        const int hole = find_lane(home, TravState::Fetch);
+        const int inner_slot = find_lane(home, TravState::Inner);
+        int donor = -1;
+        int donor_leaves = lanes_ + 1;
+        for (int row = 0; row < rows_; ++row) {
+            if (row == home ||
+                rowOwner_[static_cast<std::size_t>(row)] >= 0 ||
+                rowLocked(row))
+                continue;
+            const RowCensus &c = cachedCensus(row);
+            if (c.leaf() > 0 && c.inner() > 0 && c.leaf() < donor_leaves) {
+                donor = row;
+                donor_leaves = c.leaf();
+            }
+        }
+        if (donor < 0)
+            return std::nullopt;
+        if (hole >= 0) {
+            op.rowA = donor;
+            op.laneA = find_lane(donor, TravState::Leaf);
+            op.rowB = home;
+            op.laneB = hole;
+            op.isExchange = false;
+        } else if (inner_slot >= 0) {
+            op.rowA = home;
+            op.laneA = inner_slot;
+            op.rowB = donor;
+            op.laneB = find_lane(donor, TravState::Leaf);
+            op.isExchange = true;
+        } else {
+            return std::nullopt;
+        }
+        break;
+      }
+      case ShuffleTask::InnerEject: {
+        // Push an inner ray from the home row into an inner-compatible
+        // row (hole first, leaf-exchange second, any hole as last resort
+        // — the paper's "empty slots on other rows").
+        const int lane = find_lane(home, TravState::Inner);
+        if (lane < 0)
+            return std::nullopt;
+        int partner = partner_rows([&](const RowCensus &c) {
+            return c.fetch() > 0 && c.leaf() == 0 && c.inner() > 0;
+        });
+        bool exchange = false;
+        int partner_lane = -1;
+        if (partner >= 0) {
+            partner_lane = find_lane(partner, TravState::Fetch);
+        } else {
+            partner = partner_rows([&](const RowCensus &c) {
+                return c.leaf() > 0 && c.inner() > c.leaf();
+            });
+            if (partner >= 0) {
+                partner_lane = find_lane(partner, TravState::Leaf);
+                exchange = true;
+            }
+        }
+        if (partner_lane < 0) {
+            partner = partner_rows([&](const RowCensus &c) {
+                return c.fetch() > 0;
+            });
+            if (partner < 0)
+                return std::nullopt;
+            partner_lane = find_lane(partner, TravState::Fetch);
+            exchange = false;
+        }
+        op.rowA = home;
+        op.laneA = lane;
+        op.rowB = partner;
+        op.laneB = partner_lane;
+        op.isExchange = exchange;
+        break;
+      }
+    }
+
+    assert(op.laneA >= 0 && op.laneB >= 0);
+    // A move streams 17 variables through the buffers (read + write per
+    // variable); an exchange streams both rays.
+    op.transfersRemaining = config_.rayVariables * (op.isExchange ? 2 : 1);
+    op.active = true;
+    return op;
+}
+
+void
+DrsControl::completeOperation(Operation &op)
+{
+    if (op.isExchange) {
+        workspace_.swapRays(op.rowA, op.laneA, op.rowB, op.laneB);
+        ++stats_.exchangesCompleted;
+    } else {
+        workspace_.moveRay(op.rowA, op.laneA, op.rowB, op.laneB);
+        ++stats_.movesCompleted;
+    }
+    invalidateCensus(op.rowA);
+    invalidateCensus(op.rowB);
+    if (smx_ != nullptr) {
+        smx_->recordRaySwap(now_ - op.startCycle);
+        smx_->addShuffleRfAccesses(
+            2ULL * static_cast<std::uint64_t>(config_.rayVariables) *
+            (op.isExchange ? 2 : 1));
+    }
+    op = Operation{};
+    dirty_ = true;
+    uniformCacheValid_ = false;
+}
+
+int
+DrsControl::activeOperations() const
+{
+    int n = 0;
+    for (const auto &op : ops_)
+        if (op.active)
+            ++n;
+    return n;
+}
+
+void
+DrsControl::cycle(int issued_instructions)
+{
+    ++now_;
+
+    if (config_.idealized) {
+        if (dirty_) {
+            dirty_ = false;
+            idealConsolidate(); // may re-set dirty_ when work remains
+        }
+        return;
+    }
+
+    // Start new operations on idle tasks. Scanning is gated on dirty_:
+    // candidate rows only change through events that set it. A task whose
+    // designated row blocks another task's only viable move releases it;
+    // bounded retry rounds let designations rotate to a feasible
+    // assignment within one event.
+    bool any_active = false;
+    if (dirty_) {
+        dirty_ = false;
+        for (int round = 0; round < 3; ++round) {
+            bool released = false;
+            for (int t = 0; t < 3; ++t) {
+                bool failed = false;
+                for (int k = 0; k < opsPerTask_ && !failed; ++k) {
+                    auto &op = ops_[static_cast<std::size_t>(
+                        t * opsPerTask_ + k)];
+                    if (op.active)
+                        continue;
+                    auto chosen =
+                        chooseOperation(static_cast<ShuffleTask>(t));
+                    if (chosen) {
+                        chosen->startCycle = now_;
+                        op = *chosen;
+                    } else {
+                        failed = true;
+                    }
+                }
+                if (failed &&
+                    designated_[static_cast<std::size_t>(t)] >= 0) {
+                    designated_[static_cast<std::size_t>(t)] = -1;
+                    released = true;
+                }
+            }
+            if (!released)
+                break;
+        }
+    }
+
+    // Advance active operations. A swap buffer holds one 32-bit variable
+    // between its read and write cycle, so k buffers sustain ~k/2
+    // variable transfers per cycle; register-bank ports are shared with
+    // the operand collectors of normal execution (the paper's
+    // bank-conflict effect).
+    int ports = config_.registerBanks - (issued_instructions + 1) / 2;
+    ports = std::max(ports, 2);
+    // One buffer sustains about one variable transfer per two cycles;
+    // generous configurations also speed up individual operations.
+    const int per_op_rate = config_.buffersPerTask() >= 4 ? 2 : 1;
+
+    for (int t = 0; t < 3; ++t) {
+        int task_budget = config_.buffersPerTask();
+        for (int k = 0; k < opsPerTask_; ++k) {
+            auto &op = ops_[static_cast<std::size_t>(t * opsPerTask_ + k)];
+            if (!op.active)
+                continue;
+            any_active = true;
+            if (op.setupRemaining > 0) {
+                --op.setupRemaining;
+                continue;
+            }
+            const int grant = std::min(
+                {per_op_rate, task_budget, ports, op.transfersRemaining});
+            if (grant <= 0)
+                continue;
+            ports -= grant;
+            task_budget -= grant;
+            op.transfersRemaining -= grant;
+            if (op.transfersRemaining == 0)
+                completeOperation(op);
+        }
+    }
+
+    if (!any_active)
+        ++stats_.idleCycles;
+}
+
+void
+DrsControl::idealConsolidate()
+{
+    // Idealized 1-cycle shuffling: gather the live rays of ALL unbound
+    // rows and repack them into full, state-pure rows (inner rows first,
+    // then leaf rows, then empty rows). This is the fixed point the real
+    // swap engine works toward.
+    std::vector<int> pool_rows;
+    std::vector<std::pair<int, int>> inner_rays;
+    std::vector<std::pair<int, int>> leaf_rays;
+    for (int row = 0; row < rows_; ++row) {
+        if (rowOwner_[static_cast<std::size_t>(row)] >= 0 || rowLocked(row))
+            continue;
+        pool_rows.push_back(row);
+        for (int lane = 0; lane < lanes_; ++lane) {
+            switch (workspace_.state(row, lane)) {
+              case TravState::Inner:
+                inner_rays.emplace_back(row, lane);
+                break;
+              case TravState::Leaf:
+                leaf_rays.emplace_back(row, lane);
+                break;
+              case TravState::Fetch:
+                break;
+            }
+        }
+    }
+    if (pool_rows.empty())
+        return;
+
+    std::vector<std::pair<int, int>> targets;
+    targets.reserve(pool_rows.size() * static_cast<std::size_t>(lanes_));
+    for (int row : pool_rows)
+        for (int lane = 0; lane < lanes_; ++lane)
+            targets.emplace_back(row, lane);
+
+    std::size_t cursor = 0;
+    auto place = [&](std::vector<std::pair<int, int>> &rays) {
+        for (std::size_t i = 0; i < rays.size() && cursor < targets.size();
+             ++i) {
+            const auto target = targets[cursor++];
+            const auto src = rays[i];
+            if (src == target)
+                continue;
+            workspace_.swapRays(src.first, src.second, target.first,
+                                target.second);
+            // A later source may have occupied the target slot; it now
+            // lives where src was.
+            for (auto *list : {&inner_rays, &leaf_rays})
+                for (std::size_t j = 0; j < list->size(); ++j)
+                    if ((*list)[j] == target)
+                        (*list)[j] = src;
+        }
+    };
+    place(inner_rays);
+    // Leaf rays start at the next row boundary so no row mixes states.
+    if (cursor % static_cast<std::size_t>(lanes_) != 0)
+        cursor += static_cast<std::size_t>(lanes_) -
+                  cursor % static_cast<std::size_t>(lanes_);
+    place(leaf_rays);
+
+    for (int row : pool_rows)
+        invalidateCensus(row);
+    uniformCacheValid_ = false;
+}
+
+} // namespace drs::core

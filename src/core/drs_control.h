@@ -1,0 +1,183 @@
+#pragma once
+
+/**
+ * @file
+ * The DRS control logic (paper Section 3): ray state table, warp renaming
+ * table, and the greedy ray-swap engine with its three designated rows
+ * (fetch-state collecting, leaf-state collecting, inner-state ejecting).
+ *
+ * Attached to one SMX as its WarpController: it intercepts rdctrl issue,
+ * maps warps onto state-uniform rows (possibly stalling them while
+ * shuffling is in flight), and moves ray register data between rows
+ * through the swap buffers, modeling register-bank contention with the
+ * operand collectors.
+ *
+ * Dispatch rule: a row is dispatchable when its live rays all share one
+ * traversal state. Empty (fetch-state) slots are tolerated — rdctrl is a
+ * per-thread read, so hole lanes receive FETCH and refill in place when
+ * enough of them accumulate; scattered holes are gathered by the
+ * fetch-collect shuffle task, exactly the row's purpose in the paper.
+ * Rows mixing inner- and leaf-state rays stall the warp until shuffling
+ * separates them.
+ */
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/drs_config.h"
+#include "simt/controller.h"
+
+namespace drs::simt {
+class Smx;
+}
+
+namespace drs::core {
+
+/** The three shuffle tasks of the greedy swap scheme. */
+enum class ShuffleTask
+{
+    FetchCollect = 0,
+    LeafCollect = 1,
+    InnerEject = 2,
+};
+
+/** Counters exposed for tests and benches. */
+struct DrsControlStats
+{
+    std::uint64_t remaps = 0;          ///< warp-to-new-row mappings
+    std::uint64_t stallsStarted = 0;   ///< rdctrl issues that had to wait
+    std::uint64_t movesCompleted = 0;  ///< single-ray moves
+    std::uint64_t exchangesCompleted = 0; ///< two-ray exchanges
+    std::uint64_t idleCycles = 0;      ///< cycles with no shuffle work
+};
+
+/**
+ * DRS control for one SMX.
+ *
+ * Lifecycle: construct with the kernel's RowWorkspace, attach() to the
+ * Smx, then the Smx drives onRdctrl()/cycle().
+ */
+class DrsControl : public simt::WarpController
+{
+  public:
+    /**
+     * @param config hardware configuration
+     * @param workspace the kernel's row-addressed ray state
+     * @param num_warps resident warps (N); rows = N + M + 2
+     */
+    DrsControl(const DrsConfig &config, simt::RowWorkspace &workspace,
+               int num_warps);
+
+    void attach(simt::Smx &smx) override { smx_ = &smx; }
+    simt::RdctrlResult onRdctrl(int warp) override;
+    void cycle(int issued_instructions) override;
+
+    /** Row currently renamed to @p warp, or -1 while stalled. */
+    int warpRow(int warp) const { return warpRow_.at(warp); }
+
+    const DrsControlStats &stats() const { return stats_; }
+
+    /** Number of in-flight shuffle operations (tests). */
+    int activeOperations() const;
+
+  private:
+    /** One in-flight ray move/exchange. */
+    struct Operation
+    {
+        bool active = false;
+        bool isExchange = false;
+        int rowA = -1, laneA = -1;
+        int rowB = -1, laneB = -1;
+        int transfersRemaining = 0; ///< variable read+write pairs left
+        int setupRemaining = 0;     ///< fixed op setup cycles left
+        std::uint64_t startCycle = 0;
+    };
+
+    /** Per-row state census. */
+    struct RowCensus
+    {
+        std::array<int, simt::kNumTravStates> count{};
+        int total() const { return count[0] + count[1] + count[2]; }
+        int fetch() const { return count[0]; }
+        int inner() const { return count[1]; }
+        int leaf() const { return count[2]; }
+        int live() const { return count[1] + count[2]; }
+    };
+
+    /** Fresh census straight from the workspace. */
+    RowCensus census(int row) const;
+
+    /**
+     * Cached census for engine decisions. Valid only for unbound rows —
+     * their contents change exclusively through engine operations, which
+     * invalidate the cache.
+     */
+    const RowCensus &cachedCensus(int row);
+
+    void invalidateCensus(int row);
+
+    /** True when the row can be dispatched without divergence stalls. */
+    bool dispatchable(const RowCensus &c) const;
+
+    /** Dispatch decision for a dispatchable row. */
+    simt::RdctrlResult dispatch(int warp, int row, const RowCensus &c);
+
+    /** Find the best unbound, unlocked, dispatchable row (or -1). */
+    int findUniformRow();
+
+    /** Memoized findUniformRow (stalled warps retry every cycle). */
+    int cachedUniformRow();
+
+    bool rowLocked(int row) const;
+    void bindRow(int warp, int row);
+    void unbindWarpRow(int warp);
+
+    /** Pick the next operation for an idle shuffle task. */
+    std::optional<Operation> chooseOperation(ShuffleTask task);
+
+    /** Re-select a designated row for @p task if needed. */
+    void refreshDesignatedRow(ShuffleTask task);
+
+    void completeOperation(Operation &op);
+
+    /** Idealized mode: consolidate all unbound rows instantly. */
+    void idealConsolidate();
+
+    DrsConfig config_;
+    simt::RowWorkspace &workspace_;
+    simt::Smx *smx_ = nullptr;
+    int numWarps_;
+    int rows_;
+    int lanes_;
+
+    std::vector<int> warpRow_;    ///< renaming table: warp -> row (-1 none)
+    std::vector<int> rowOwner_;   ///< row -> warp (-1 unbound)
+    std::array<int, 3> designated_{-1, -1, -1}; ///< per ShuffleTask row
+    /**
+     * In-flight operations: the swapping request table. Each shuffle
+     * task pipelines up to buffersPerTask() concurrent operations (one
+     * buffer carries one variable between its read and write cycle).
+     */
+    std::vector<Operation> ops_;
+    int opsPerTask_ = 2;
+    std::uint64_t now_ = 0;
+    bool dirty_ = true; ///< unbound-row set or contents changed
+
+    std::vector<RowCensus> censusCache_;
+    std::vector<char> censusValid_;
+
+    // Per-cycle cache of the drain-termination check.
+    std::uint64_t liveCacheCycle_ = ~0ULL;
+    std::size_t liveCacheValue_ = 1;
+    bool liveCachePoolEmpty_ = false;
+
+    // Memoized uniform-row search (see cachedUniformRow()).
+    bool uniformCacheValid_ = false;
+    int uniformCacheRow_ = -1;
+
+    DrsControlStats stats_;
+};
+
+} // namespace drs::core

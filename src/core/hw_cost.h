@@ -1,0 +1,68 @@
+#pragma once
+
+/**
+ * @file
+ * Hardware overhead model (paper Section 4.5). The paper's numbers are
+ * storage arithmetic plus one synthesis result; this module reproduces the
+ * arithmetic exactly and estimates area from bit counts scaled to the
+ * paper's synthesized 0.042 mm^2 per GPU core at TSMC 28 nm.
+ */
+
+#include <cstdint>
+
+#include "core/drs_config.h"
+
+namespace drs::core {
+
+/** Storage overheads of the DRS hardware, in bytes (per SMX). */
+struct DrsStorage
+{
+    std::uint64_t swapBufferBytes = 0; ///< paper: 744 B for 6 buffers
+    std::uint64_t rayStateTableBytes = 0; ///< paper: 488 B for 61 rows
+    std::uint64_t renamingTableBytes = 0;
+    std::uint64_t controlStateBytes = 0;
+    std::uint64_t totalBytes = 0; ///< paper: ~1.4 KB per SMX
+};
+
+/** Comparison-point storage (paper Section 4.5). */
+struct BaselineStorage
+{
+    std::uint64_t dmkSpawnMemoryBytes = 0; ///< paper: 114.75 KB per SMX
+    std::uint64_t tbcWarpBufferBytes = 0;  ///< paper: 2.5 KB per SMX
+};
+
+/** Area estimate of the DRS. */
+struct DrsArea
+{
+    double mm2PerCore = 0.0;   ///< paper: 0.042 mm^2 (TSMC 28 nm)
+    double mm2PerGpu = 0.0;    ///< 15 SMX
+    double fractionOfGpu = 0.0; ///< paper: ~0.11% of 550 mm^2
+};
+
+/**
+ * Compute DRS storage for @p config with @p num_warps resident warps.
+ *
+ * Matches the paper's arithmetic: swap buffers are (warp_size - 1) x 32
+ * bits each; the ray state table holds (N + M + 2) x 32 entries of 20
+ * bits.
+ */
+DrsStorage computeDrsStorage(const DrsConfig &config, int num_warps,
+                             int warp_size = 32);
+
+/**
+ * Storage of the comparison points: DMK spawn memory sized for
+ * @p dmk_warps warps of @p ray_variables 32-bit values, TBC warp buffer
+ * for Kepler's 1024 threads/block and 64 warps/SMX.
+ */
+BaselineStorage computeBaselineStorage(int dmk_warps = 54,
+                                       int ray_variables = 17);
+
+/**
+ * Area estimate: bit count scaled against the paper's synthesis point
+ * (0.042 mm^2 for the default configuration), GPU fraction against a
+ * 550 mm^2 Kepler die.
+ */
+DrsArea estimateDrsArea(const DrsStorage &storage, int num_smx = 15,
+                        double gpu_mm2 = 550.0);
+
+} // namespace drs::core

@@ -1,0 +1,34 @@
+#include "geom/aabb.h"
+
+#include <algorithm>
+
+namespace drs::geom {
+
+bool
+Aabb::intersect(const Vec3 &origin, const Vec3 &inv_dir, float t_min,
+                float t_max, float &t_entry) const
+{
+    // Classic branchless slab test. When a direction component is zero the
+    // corresponding inv_dir component is +/-inf and the min/max below still
+    // produce the correct interval (NaNs from 0*inf cannot occur because
+    // origin is finite and lo/hi are finite for non-empty boxes).
+    float tx1 = (lo.x - origin.x) * inv_dir.x;
+    float tx2 = (hi.x - origin.x) * inv_dir.x;
+    float tn = std::min(tx1, tx2);
+    float tf = std::max(tx1, tx2);
+
+    float ty1 = (lo.y - origin.y) * inv_dir.y;
+    float ty2 = (hi.y - origin.y) * inv_dir.y;
+    tn = std::max(tn, std::min(ty1, ty2));
+    tf = std::min(tf, std::max(ty1, ty2));
+
+    float tz1 = (lo.z - origin.z) * inv_dir.z;
+    float tz2 = (hi.z - origin.z) * inv_dir.z;
+    tn = std::max(tn, std::min(tz1, tz2));
+    tf = std::min(tf, std::max(tz1, tz2));
+
+    t_entry = tn;
+    return tf >= tn && tn <= t_max && tf >= t_min;
+}
+
+} // namespace drs::geom

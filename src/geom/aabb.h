@@ -1,0 +1,92 @@
+#pragma once
+
+/**
+ * @file
+ * Axis-aligned bounding box with the slab intersection test used by the
+ * BVH traversal kernels.
+ */
+
+#include <limits>
+
+#include "geom/ray.h"
+#include "geom/vec.h"
+
+namespace drs::geom {
+
+/** An axis-aligned bounding box; default-constructed boxes are empty. */
+struct Aabb
+{
+    Vec3 lo{ std::numeric_limits<float>::max(),
+             std::numeric_limits<float>::max(),
+             std::numeric_limits<float>::max() };
+    Vec3 hi{ std::numeric_limits<float>::lowest(),
+             std::numeric_limits<float>::lowest(),
+             std::numeric_limits<float>::lowest() };
+
+    /** True when the box contains no points. */
+    bool empty() const { return lo.x > hi.x || lo.y > hi.y || lo.z > hi.z; }
+
+    /** Grow to include point @p p. */
+    void extend(const Vec3 &p)
+    {
+        lo = min(lo, p);
+        hi = max(hi, p);
+    }
+
+    /** Grow to include box @p b. */
+    void extend(const Aabb &b)
+    {
+        lo = min(lo, b.lo);
+        hi = max(hi, b.hi);
+    }
+
+    Vec3 center() const { return (lo + hi) * 0.5f; }
+    Vec3 extent() const { return hi - lo; }
+
+    /** Surface area; zero for empty boxes (used by the SAH builder). */
+    float surfaceArea() const
+    {
+        if (empty())
+            return 0.0f;
+        Vec3 e = extent();
+        return 2.0f * (e.x * e.y + e.y * e.z + e.z * e.x);
+    }
+
+    /** True when @p p lies inside or on the boundary. */
+    bool contains(const Vec3 &p) const
+    {
+        return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y &&
+               p.z >= lo.z && p.z <= hi.z;
+    }
+
+    bool overlaps(const Aabb &b) const
+    {
+        return lo.x <= b.hi.x && hi.x >= b.lo.x && lo.y <= b.hi.y &&
+               hi.y >= b.lo.y && lo.z <= b.hi.z && hi.z >= b.lo.z;
+    }
+
+    bool operator==(const Aabb &o) const = default;
+
+    /**
+     * Slab test against a ray whose inverse direction is precomputed.
+     *
+     * @param origin ray origin
+     * @param inv_dir componentwise 1/direction (infinities allowed)
+     * @param t_min ray interval start
+     * @param t_max ray interval end (current hit length)
+     * @param[out] t_entry distance at which the ray enters the box
+     * @return true when the ray interval overlaps the box
+     */
+    bool intersect(const Vec3 &origin, const Vec3 &inv_dir, float t_min,
+                   float t_max, float &t_entry) const;
+};
+
+/** Union of two boxes. */
+inline Aabb merge(const Aabb &a, const Aabb &b)
+{
+    Aabb r = a;
+    r.extend(b);
+    return r;
+}
+
+} // namespace drs::geom

@@ -1,0 +1,133 @@
+#include "geom/sampler.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace drs::geom {
+
+namespace {
+
+/** First 32 primes: enough dimensions for an 8-bounce path (4 dims/bounce). */
+constexpr std::uint32_t kPrimes[] = {
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53,
+    59, 61, 67, 71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131,
+};
+constexpr std::uint32_t kNumPrimes = sizeof(kPrimes) / sizeof(kPrimes[0]);
+
+/** Cheap 64->32 bit hash (splitmix64 finalizer) for rotations. */
+std::uint32_t
+hashDimension(std::uint64_t seed, std::uint32_t dim)
+{
+    std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (dim + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::uint32_t>(z ^ (z >> 31));
+}
+
+} // namespace
+
+float
+radicalInverse(std::uint32_t base, std::uint64_t index)
+{
+    const float inv_base = 1.0f / static_cast<float>(base);
+    float inv_base_n = 1.0f;
+    std::uint64_t reversed = 0;
+    while (index) {
+        std::uint64_t next = index / base;
+        std::uint64_t digit = index - next * base;
+        reversed = reversed * base + digit;
+        inv_base_n *= inv_base;
+        index = next;
+    }
+    float v = static_cast<float>(reversed) * inv_base_n;
+    return v < 1.0f ? v : std::nextafter(1.0f, 0.0f);
+}
+
+float
+vanDerCorput(std::uint32_t index)
+{
+    index = (index << 16u) | (index >> 16u);
+    index = ((index & 0x55555555u) << 1u) | ((index & 0xAAAAAAAAu) >> 1u);
+    index = ((index & 0x33333333u) << 2u) | ((index & 0xCCCCCCCCu) >> 2u);
+    index = ((index & 0x0F0F0F0Fu) << 4u) | ((index & 0xF0F0F0F0u) >> 4u);
+    index = ((index & 0x00FF00FFu) << 8u) | ((index & 0xFF00FF00u) >> 8u);
+    return static_cast<float>(index) * 2.3283064365386963e-10f; // 2^-32
+}
+
+HaltonSampler::HaltonSampler(std::uint64_t rotation_seed)
+    : rotationSeed_(rotation_seed)
+{
+}
+
+void
+HaltonSampler::startSample(std::uint64_t index)
+{
+    index_ = index;
+    dimension_ = 0;
+}
+
+float
+HaltonSampler::next1D()
+{
+    std::uint32_t dim = dimension_++;
+    float v = radicalInverse(kPrimes[dim % kNumPrimes], index_);
+    // Cranley-Patterson rotation decorrelates reused dimensions.
+    float rot = static_cast<float>(hashDimension(rotationSeed_, dim)) *
+                2.3283064365386963e-10f;
+    v += rot;
+    if (v >= 1.0f)
+        v -= 1.0f;
+    return v;
+}
+
+Vec2
+HaltonSampler::next2D()
+{
+    float a = next1D();
+    float b = next1D();
+    return {a, b};
+}
+
+Vec2
+concentricSampleDisk(const Vec2 &u)
+{
+    const float ox = 2.0f * u.x - 1.0f;
+    const float oy = 2.0f * u.y - 1.0f;
+    if (ox == 0.0f && oy == 0.0f)
+        return {0.0f, 0.0f};
+
+    float r;
+    float theta;
+    if (std::fabs(ox) > std::fabs(oy)) {
+        r = ox;
+        theta = (std::numbers::pi_v<float> / 4.0f) * (oy / ox);
+    } else {
+        r = oy;
+        theta = (std::numbers::pi_v<float> / 2.0f) -
+                (std::numbers::pi_v<float> / 4.0f) * (ox / oy);
+    }
+    return {r * std::cos(theta), r * std::sin(theta)};
+}
+
+Vec3
+cosineSampleHemisphere(const Vec2 &u)
+{
+    Vec2 d = concentricSampleDisk(u);
+    float z = std::sqrt(std::max(0.0f, 1.0f - d.x * d.x - d.y * d.y));
+    return {d.x, d.y, z};
+}
+
+float
+cosineHemispherePdf(float cos_theta)
+{
+    return cos_theta > 0.0f ? cos_theta / std::numbers::pi_v<float> : 0.0f;
+}
+
+Vec2
+uniformSampleTriangle(const Vec2 &u)
+{
+    float su0 = std::sqrt(u.x);
+    return {1.0f - su0, u.y * su0};
+}
+
+} // namespace drs::geom

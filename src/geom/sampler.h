@@ -1,0 +1,66 @@
+#pragma once
+
+/**
+ * @file
+ * Low-discrepancy sampling. The paper renders with PBRT's low-discrepancy
+ * sampler; we provide a scrambled Halton sequence plus the standard warping
+ * functions (cosine hemisphere, uniform disk/triangle) used by the path
+ * tracer's Lambertian BSDF sampling.
+ */
+
+#include <cstdint>
+
+#include "geom/vec.h"
+
+namespace drs::geom {
+
+/** Radical inverse of @p index in base @p base (Halton component). */
+float radicalInverse(std::uint32_t base, std::uint64_t index);
+
+/** Van der Corput sequence (radical inverse base 2), computed bitwise. */
+float vanDerCorput(std::uint32_t index);
+
+/**
+ * Low-discrepancy sample generator.
+ *
+ * Produces a Halton sequence with per-dimension Cranley–Patterson rotation
+ * so that distinct pixels decorrelate while each pixel's sample set keeps
+ * its low-discrepancy structure.
+ */
+class HaltonSampler
+{
+  public:
+    /** @param rotation_seed seed for the per-dimension rotations. */
+    explicit HaltonSampler(std::uint64_t rotation_seed = 0);
+
+    /** Position to sample @p index, dimension 0. */
+    void startSample(std::uint64_t index);
+
+    /** Next 1D sample value in [0, 1). */
+    float next1D();
+
+    /** Next 2D sample value in [0, 1)^2. */
+    Vec2 next2D();
+
+    std::uint64_t currentSample() const { return index_; }
+    std::uint32_t currentDimension() const { return dimension_; }
+
+  private:
+    std::uint64_t index_ = 0;
+    std::uint32_t dimension_ = 0;
+    std::uint64_t rotationSeed_ = 0;
+};
+
+/** Cosine-weighted hemisphere direction around +Z from a 2D sample. */
+Vec3 cosineSampleHemisphere(const Vec2 &u);
+
+/** Uniform point on the unit disk (concentric mapping). */
+Vec2 concentricSampleDisk(const Vec2 &u);
+
+/** Uniform barycentric coordinates on a triangle. */
+Vec2 uniformSampleTriangle(const Vec2 &u);
+
+/** PDF of cosineSampleHemisphere for direction with cos(theta)=cos_theta. */
+float cosineHemispherePdf(float cos_theta);
+
+} // namespace drs::geom

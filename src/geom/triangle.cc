@@ -1,0 +1,42 @@
+#include "geom/triangle.h"
+
+#include <cmath>
+
+namespace drs::geom {
+
+bool
+Triangle::intersect(const Ray &ray, float &t, float &u, float &v) const
+{
+    constexpr float epsilon = 1e-9f;
+
+    const Vec3 e1 = v1 - v0;
+    const Vec3 e2 = v2 - v0;
+    const Vec3 pvec = cross(ray.direction, e2);
+    const float det = dot(e1, pvec);
+
+    // Cull nothing: two-sided test, reject only near-degenerate dets.
+    if (std::fabs(det) < epsilon)
+        return false;
+
+    const float inv_det = 1.0f / det;
+    const Vec3 tvec = ray.origin - v0;
+    const float bu = dot(tvec, pvec) * inv_det;
+    if (bu < 0.0f || bu > 1.0f)
+        return false;
+
+    const Vec3 qvec = cross(tvec, e1);
+    const float bv = dot(ray.direction, qvec) * inv_det;
+    if (bv < 0.0f || bu + bv > 1.0f)
+        return false;
+
+    const float bt = dot(e2, qvec) * inv_det;
+    if (bt <= ray.tMin || bt >= ray.tMax)
+        return false;
+
+    t = bt;
+    u = bu;
+    v = bv;
+    return true;
+}
+
+} // namespace drs::geom

@@ -1,0 +1,56 @@
+#pragma once
+
+/**
+ * @file
+ * Triangle primitive and the Möller–Trumbore intersection test.
+ */
+
+#include <cstdint>
+
+#include "geom/aabb.h"
+#include "geom/ray.h"
+#include "geom/vec.h"
+
+namespace drs::geom {
+
+/**
+ * A triangle with explicit vertices and a material handle.
+ *
+ * Scenes in this reproduction are flat triangle soups: the BVH indexes
+ * directly into an array of these.
+ */
+struct Triangle
+{
+    Vec3 v0;
+    Vec3 v1;
+    Vec3 v2;
+    std::int32_t material = 0;
+
+    Aabb bounds() const
+    {
+        Aabb b;
+        b.extend(v0);
+        b.extend(v1);
+        b.extend(v2);
+        return b;
+    }
+
+    Vec3 centroid() const { return (v0 + v1 + v2) / 3.0f; }
+
+    /** Geometric (unnormalized) normal; zero for degenerate triangles. */
+    Vec3 geometricNormal() const { return cross(v1 - v0, v2 - v0); }
+
+    float area() const { return 0.5f * length(geometricNormal()); }
+
+    /**
+     * Möller–Trumbore ray-triangle test.
+     *
+     * @param ray ray to test; ray.tMax is the current hit length
+     * @param[out] t hit distance when the test succeeds
+     * @param[out] u,v barycentric coordinates of the hit
+     * @return true when the ray hits within (ray.tMin, ray.tMax)
+     */
+    bool intersect(const Ray &ray, float &t, float &u, float &v) const;
+};
+
+} // namespace drs::geom

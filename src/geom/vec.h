@@ -1,0 +1,155 @@
+#pragma once
+
+/**
+ * @file
+ * Small fixed-size vector types used throughout the renderer and the
+ * traversal kernels. Deliberately minimal: only the operations the ray
+ * tracer needs, all constexpr-friendly and branch-free where possible.
+ */
+
+#include <cmath>
+#include <cstdint>
+#include <algorithm>
+#include <ostream>
+
+namespace drs::geom {
+
+/** A 3-component float vector (points, directions, colors). */
+struct Vec3
+{
+    float x = 0.0f;
+    float y = 0.0f;
+    float z = 0.0f;
+
+    constexpr Vec3() = default;
+    constexpr Vec3(float xx, float yy, float zz) : x(xx), y(yy), z(zz) {}
+    constexpr explicit Vec3(float s) : x(s), y(s), z(s) {}
+
+    constexpr float operator[](int i) const { return i == 0 ? x : (i == 1 ? y : z); }
+
+    constexpr Vec3 operator+(const Vec3 &o) const { return {x + o.x, y + o.y, z + o.z}; }
+    constexpr Vec3 operator-(const Vec3 &o) const { return {x - o.x, y - o.y, z - o.z}; }
+    constexpr Vec3 operator*(const Vec3 &o) const { return {x * o.x, y * o.y, z * o.z}; }
+    constexpr Vec3 operator*(float s) const { return {x * s, y * s, z * s}; }
+    constexpr Vec3 operator/(float s) const { return {x / s, y / s, z / s}; }
+    constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+
+    constexpr Vec3 &operator+=(const Vec3 &o) { x += o.x; y += o.y; z += o.z; return *this; }
+    constexpr Vec3 &operator-=(const Vec3 &o) { x -= o.x; y -= o.y; z -= o.z; return *this; }
+    constexpr Vec3 &operator*=(float s) { x *= s; y *= s; z *= s; return *this; }
+
+    constexpr bool operator==(const Vec3 &o) const = default;
+};
+
+constexpr Vec3 operator*(float s, const Vec3 &v) { return v * s; }
+
+constexpr float dot(const Vec3 &a, const Vec3 &b)
+{
+    return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+constexpr Vec3 cross(const Vec3 &a, const Vec3 &b)
+{
+    return {a.y * b.z - a.z * b.y,
+            a.z * b.x - a.x * b.z,
+            a.x * b.y - a.y * b.x};
+}
+
+inline float length(const Vec3 &v) { return std::sqrt(dot(v, v)); }
+constexpr float lengthSquared(const Vec3 &v) { return dot(v, v); }
+
+/** Normalize @p v; returns a zero vector when |v| underflows to zero. */
+inline Vec3 normalize(const Vec3 &v)
+{
+    float len = length(v);
+    return len > 0.0f ? v / len : Vec3{};
+}
+
+constexpr Vec3 min(const Vec3 &a, const Vec3 &b)
+{
+    return {std::min(a.x, b.x), std::min(a.y, b.y), std::min(a.z, b.z)};
+}
+
+constexpr Vec3 max(const Vec3 &a, const Vec3 &b)
+{
+    return {std::max(a.x, b.x), std::max(a.y, b.y), std::max(a.z, b.z)};
+}
+
+constexpr float maxComponent(const Vec3 &v)
+{
+    return std::max(v.x, std::max(v.y, v.z));
+}
+
+constexpr float minComponent(const Vec3 &v)
+{
+    return std::min(v.x, std::min(v.y, v.z));
+}
+
+/** Index (0/1/2) of the component with the largest absolute value. */
+constexpr int maxDimension(const Vec3 &v)
+{
+    float ax = v.x < 0 ? -v.x : v.x;
+    float ay = v.y < 0 ? -v.y : v.y;
+    float az = v.z < 0 ? -v.z : v.z;
+    if (ax >= ay && ax >= az) return 0;
+    return ay >= az ? 1 : 2;
+}
+
+constexpr Vec3 lerp(const Vec3 &a, const Vec3 &b, float t)
+{
+    return a * (1.0f - t) + b * t;
+}
+
+/** Reflect direction @p d about unit normal @p n. */
+constexpr Vec3 reflect(const Vec3 &d, const Vec3 &n)
+{
+    return d - n * (2.0f * dot(d, n));
+}
+
+inline std::ostream &operator<<(std::ostream &os, const Vec3 &v)
+{
+    return os << "(" << v.x << ", " << v.y << ", " << v.z << ")";
+}
+
+/** A 2-component float vector (film samples, barycentrics). */
+struct Vec2
+{
+    float x = 0.0f;
+    float y = 0.0f;
+
+    constexpr Vec2() = default;
+    constexpr Vec2(float xx, float yy) : x(xx), y(yy) {}
+
+    constexpr Vec2 operator+(const Vec2 &o) const { return {x + o.x, y + o.y}; }
+    constexpr Vec2 operator-(const Vec2 &o) const { return {x - o.x, y - o.y}; }
+    constexpr Vec2 operator*(float s) const { return {x * s, y * s}; }
+    constexpr bool operator==(const Vec2 &o) const = default;
+};
+
+/**
+ * Build an orthonormal basis around unit vector @p n (Duff et al. 2017,
+ * "Building an Orthonormal Basis, Revisited"). @p n becomes the third axis.
+ */
+struct OrthonormalBasis
+{
+    Vec3 tangent;
+    Vec3 bitangent;
+    Vec3 normal;
+
+    explicit OrthonormalBasis(const Vec3 &n) : normal(n)
+    {
+        const float sign = std::copysign(1.0f, n.z);
+        const float a = -1.0f / (sign + n.z);
+        const float b = n.x * n.y * a;
+        tangent = {1.0f + sign * n.x * n.x * a, sign * b, -sign * n.x};
+        bitangent = {b, sign + n.y * n.y * a, -n.y};
+    }
+
+    /** Transform local coordinates (x, y, z) into world space. */
+    Vec3 toWorld(const Vec3 &local) const
+    {
+        return tangent * local.x + bitangent * local.y + normal * local.z;
+    }
+};
+
+} // namespace drs::geom

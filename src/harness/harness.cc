@@ -1,0 +1,213 @@
+#include "harness/harness.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace drs::harness {
+
+std::string
+archName(Arch arch)
+{
+    switch (arch) {
+      case Arch::Aila: return "aila";
+      case Arch::Drs: return "drs";
+      case Arch::Dmk: return "dmk";
+      case Arch::Tbc: return "tbc";
+    }
+    return "unknown";
+}
+
+namespace {
+
+simt::SimStats
+runAila(const render::PathTracer &tracer, const std::vector<geom::Ray> &rays,
+        const RunConfig &config)
+{
+    return simt::runGpu(
+        config.gpu,
+        [&](int smx) {
+            auto [first, count] = simt::rayStripe(
+                rays.size(), config.gpu.numSmx, smx, config.gpu.simdLanes);
+            std::vector<geom::Ray> stripe(rays.begin() + first,
+                                          rays.begin() + first + count);
+            simt::SmxSetup setup;
+            setup.kernel = std::make_unique<kernels::AilaKernel>(
+                tracer.bvh(), tracer.sceneTriangles(), std::move(stripe),
+                first, config.aila);
+            setup.numWarps = config.aila.numWarps;
+            return setup;
+        },
+        config.maxCycles);
+}
+
+simt::SimStats
+runDrs(const render::PathTracer &tracer, const std::vector<geom::Ray> &rays,
+       const RunConfig &config)
+{
+    return simt::runGpu(
+        config.gpu,
+        [&](int smx) {
+            auto [first, count] = simt::rayStripe(
+                rays.size(), config.gpu.numSmx, smx, config.gpu.simdLanes);
+            std::vector<geom::Ray> stripe(rays.begin() + first,
+                                          rays.begin() + first + count);
+            kernels::DrsKernelConfig kernel_config;
+            kernel_config.numWarps = config.drs.spawnableWarps();
+            kernel_config.backupRows = config.drs.backupRows;
+            auto kernel = std::make_unique<kernels::DrsKernel>(
+                tracer.bvh(), tracer.sceneTriangles(), std::move(stripe),
+                first, kernel_config);
+            simt::SmxSetup setup;
+            setup.numWarps = kernel_config.numWarps;
+            setup.controller = std::make_unique<core::DrsControl>(
+                config.drs, kernel->workspace(), kernel_config.numWarps);
+            setup.kernel = std::move(kernel);
+            return setup;
+        },
+        config.maxCycles);
+}
+
+simt::SimStats
+runDmk(const render::PathTracer &tracer, const std::vector<geom::Ray> &rays,
+       const RunConfig &config)
+{
+    return simt::runGpu(
+        config.gpu,
+        [&](int smx) {
+            auto [first, count] = simt::rayStripe(
+                rays.size(), config.gpu.numSmx, smx, config.gpu.simdLanes);
+            std::vector<geom::Ray> stripe(rays.begin() + first,
+                                          rays.begin() + first + count);
+            kernels::DrsKernelConfig kernel_config;
+            kernel_config.numWarps = config.dmk.numWarps;
+            kernel_config.backupRows = 0; // DMK regroups via spawn memory
+            auto kernel = std::make_unique<kernels::DrsKernel>(
+                tracer.bvh(), tracer.sceneTriangles(), std::move(stripe),
+                first, kernel_config);
+            simt::SmxSetup setup;
+            setup.numWarps = kernel_config.numWarps;
+            setup.controller = std::make_unique<baselines::DmkControl>(
+                config.dmk, kernel->travWorkspace());
+            setup.kernel = std::move(kernel);
+            return setup;
+        },
+        config.maxCycles);
+}
+
+simt::SimStats
+runTbc(const render::PathTracer &tracer, const std::vector<geom::Ray> &rays,
+       const RunConfig &config)
+{
+    kernels::AilaConfig aila = config.aila;
+    aila.numWarps = config.tbc.numWarps;
+    return baselines::runTbcGpu(
+        config.gpu, config.tbc,
+        [&](int smx) {
+            auto [first, count] = simt::rayStripe(
+                rays.size(), config.gpu.numSmx, smx, config.gpu.simdLanes);
+            std::vector<geom::Ray> stripe(rays.begin() + first,
+                                          rays.begin() + first + count);
+            return std::make_unique<kernels::AilaKernel>(
+                tracer.bvh(), tracer.sceneTriangles(), std::move(stripe),
+                first, aila);
+        },
+        config.maxCycles);
+}
+
+} // namespace
+
+simt::SimStats
+runBatch(Arch arch, const render::PathTracer &tracer,
+         const std::vector<geom::Ray> &rays, const RunConfig &config)
+{
+    switch (arch) {
+      case Arch::Aila: return runAila(tracer, rays, config);
+      case Arch::Drs: return runDrs(tracer, rays, config);
+      case Arch::Dmk: return runDmk(tracer, rays, config);
+      case Arch::Tbc: return runTbc(tracer, rays, config);
+    }
+    throw std::invalid_argument("unknown architecture");
+}
+
+double
+CaptureResult::overallMrays(double clock_ghz) const
+{
+    // Paper Section 4.4: total rays traced in all bounces over total
+    // cycles of all bounces.
+    std::uint64_t cycles = 0;
+    std::uint64_t rays = 0;
+    for (const auto &b : perBounce) {
+        cycles += b.cycles;
+        rays += b.raysTraced;
+    }
+    if (cycles == 0)
+        return 0.0;
+    const double seconds = static_cast<double>(cycles) / (clock_ghz * 1e9);
+    return static_cast<double>(rays) / seconds / 1e6;
+}
+
+CaptureResult
+runCapture(Arch arch, const render::PathTracer &tracer,
+           const render::RayTrace &trace, const RunConfig &config,
+           int max_bounces, std::size_t max_rays_per_bounce)
+{
+    CaptureResult result;
+    for (const auto &bounce : trace.bounces) {
+        if (max_bounces > 0 && bounce.bounce > max_bounces)
+            break;
+        std::vector<geom::Ray> rays = bounce.rays;
+        if (max_rays_per_bounce && rays.size() > max_rays_per_bounce)
+            rays.resize(max_rays_per_bounce);
+        if (rays.empty())
+            continue;
+        simt::SimStats stats = runBatch(arch, tracer, rays, config);
+        result.overall.merge(stats);
+        result.perBounce.push_back(std::move(stats));
+    }
+    // "cycles" of the overall stats should accumulate bounces, not take
+    // the max (bounces run back-to-back).
+    std::uint64_t cycles = 0;
+    for (const auto &b : result.perBounce)
+        cycles += b.cycles;
+    result.overall.cycles = cycles;
+    return result;
+}
+
+ExperimentScale
+ExperimentScale::fromEnvironment()
+{
+    ExperimentScale scale;
+    auto read_env = [](const char *name, auto &value) {
+        if (const char *s = std::getenv(name)) {
+            const double v = std::atof(s);
+            if (v > 0)
+                value = static_cast<std::remove_reference_t<decltype(value)>>(v);
+        }
+    };
+    read_env("DRS_RAYS", scale.raysPerBounce);
+    read_env("DRS_SCALE", scale.sceneScale);
+    read_env("DRS_SMX", scale.numSmx);
+    read_env("DRS_WIDTH", scale.width);
+    read_env("DRS_HEIGHT", scale.height);
+    read_env("DRS_SPP", scale.samplesPerPixel);
+    return scale;
+}
+
+PreparedScene
+prepareScene(scene::SceneId id, const ExperimentScale &scale)
+{
+    PreparedScene prepared;
+    prepared.scenePtr = std::make_unique<scene::Scene>(
+        scene::makeScene(id, scale.sceneScale));
+    render::RenderConfig render_config;
+    render_config.width = scale.width;
+    render_config.height = scale.height;
+    render_config.samplesPerPixel = scale.samplesPerPixel;
+    render_config.maxDepth = scale.maxDepth;
+    prepared.tracer = std::make_unique<render::PathTracer>(
+        *prepared.scenePtr, render_config);
+    prepared.trace = prepared.tracer->capture(scale.raysPerBounce);
+    return prepared;
+}
+
+} // namespace drs::harness

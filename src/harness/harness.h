@@ -1,0 +1,120 @@
+#pragma once
+
+/**
+ * @file
+ * Experiment harness: glues scenes, ray captures and the four simulated
+ * architectures (Aila software baseline, DRS, DMK, TBC) into the runs the
+ * paper's figures and tables report. Used by the bench binaries, the
+ * examples and the integration tests.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/dmk_control.h"
+#include "baselines/tbc_smx.h"
+#include "core/drs_config.h"
+#include "core/drs_control.h"
+#include "kernels/aila_kernel.h"
+#include "kernels/drs_kernel.h"
+#include "render/path_tracer.h"
+#include "scene/scenes.h"
+#include "simt/gpu.h"
+
+namespace drs::harness {
+
+/** Which architecture traces the rays. */
+enum class Arch
+{
+    Aila, ///< software while-while kernel (baseline)
+    Drs,  ///< while-if kernel + DRS hardware
+    Dmk,  ///< while-if kernel + dynamic micro-kernel spawning
+    Tbc,  ///< while-while kernel + thread block compaction
+};
+
+std::string archName(Arch arch);
+
+/** Everything configurable about one experiment run. */
+struct RunConfig
+{
+    simt::GpuConfig gpu{};
+    core::DrsConfig drs{};
+    baselines::DmkConfig dmk{};
+    baselines::TbcConfig tbc{};
+    kernels::AilaConfig aila{};
+    std::uint64_t maxCycles = 2'000'000'000ULL;
+};
+
+/**
+ * Trace one ray batch on @p arch.
+ *
+ * @param arch architecture to simulate
+ * @param tracer path tracer owning scene + BVH
+ * @param rays the batch (one bounce of a capture)
+ * @param config run configuration
+ * @return aggregated GPU statistics
+ */
+simt::SimStats runBatch(Arch arch, const render::PathTracer &tracer,
+                        const std::vector<geom::Ray> &rays,
+                        const RunConfig &config = {});
+
+/** Per-bounce plus overall results of tracing a full capture. */
+struct CaptureResult
+{
+    std::vector<simt::SimStats> perBounce; ///< index 0 = bounce 1
+    simt::SimStats overall;                ///< merged across bounces
+
+    /** Overall Mrays/s: total rays / summed cycles (paper Section 4.4). */
+    double overallMrays(double clock_ghz) const;
+};
+
+/**
+ * Trace every bounce of @p trace on @p arch.
+ *
+ * @param max_bounces 0 = all captured bounces
+ * @param max_rays_per_bounce 0 = no cap (paper uses 2M rays per bounce)
+ */
+CaptureResult runCapture(Arch arch, const render::PathTracer &tracer,
+                         const render::RayTrace &trace,
+                         const RunConfig &config = {}, int max_bounces = 0,
+                         std::size_t max_rays_per_bounce = 0);
+
+/**
+ * Environment-tunable experiment scale so the full paper-sized runs stay
+ * reachable: DRS_RAYS (rays per bounce), DRS_SCALE (scene tessellation),
+ * DRS_SMX (simulated SMX count), DRS_SPP (samples per pixel),
+ * DRS_WIDTH/DRS_HEIGHT (film size).
+ */
+struct ExperimentScale
+{
+    std::size_t raysPerBounce = 500'000; ///< paper: 2'000'000
+    float sceneScale = 0.25f;            ///< paper: 1.0 (full meshes)
+    int numSmx = 15;                     ///< Table 1: 15
+    int width = 640;                     ///< paper resolution
+    int height = 480;
+    int samplesPerPixel = 2;             ///< paper: 64
+    int maxDepth = 8;                  ///< paper: 8
+
+    /** Read overrides from the environment. */
+    static ExperimentScale fromEnvironment();
+};
+
+/**
+ * Build scene + tracer + capture for one benchmark scene. The scene is
+ * heap-allocated because the tracer holds a reference to it: the struct
+ * stays safely movable.
+ */
+struct PreparedScene
+{
+    std::unique_ptr<scene::Scene> scenePtr;
+    std::unique_ptr<render::PathTracer> tracer;
+    render::RayTrace trace;
+
+    const scene::Scene &scene() const { return *scenePtr; }
+};
+
+PreparedScene prepareScene(scene::SceneId id, const ExperimentScale &scale);
+
+} // namespace drs::harness

@@ -1,0 +1,151 @@
+#include "kernels/aila_kernel.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace drs::kernels {
+
+using simt::Block;
+using simt::MemSpace;
+using simt::Program;
+using simt::ThreadStep;
+using simt::TravState;
+
+simt::Program
+makeAilaProgram(const CostModel &cost)
+{
+    std::vector<Block> blocks(AilaBlocks::kCount);
+
+    auto &fetch = blocks[AilaBlocks::kFetch];
+    fetch.name = "FETCH";
+    fetch.instructionCount = cost.fetchRay;
+    fetch.successors = {AilaBlocks::kInnerHead, AilaBlocks::kExit};
+    fetch.memSpace = MemSpace::Global;
+
+    auto &ihead = blocks[AilaBlocks::kInnerHead];
+    ihead.name = "INNER_HEAD";
+    ihead.instructionCount = cost.innerLoopHead;
+    ihead.successors = {AilaBlocks::kInnerTest, AilaBlocks::kLeafHead};
+
+    auto &itest = blocks[AilaBlocks::kInnerTest];
+    itest.name = "INNER_TEST";
+    itest.instructionCount = cost.innerTest;
+    itest.successors = {AilaBlocks::kInnerHead};
+    itest.memSpace = MemSpace::Texture;
+
+    auto &lhead = blocks[AilaBlocks::kLeafHead];
+    lhead.name = "LEAF_HEAD";
+    lhead.instructionCount = cost.leafLoopHead;
+    lhead.successors = {AilaBlocks::kLeafTest, AilaBlocks::kDoneCheck};
+
+    auto &ltest = blocks[AilaBlocks::kLeafTest];
+    ltest.name = "LEAF_TEST";
+    ltest.instructionCount = cost.leafTest;
+    ltest.successors = {AilaBlocks::kLeafHead};
+    ltest.memSpace = MemSpace::Texture;
+
+    auto &done = blocks[AilaBlocks::kDoneCheck];
+    done.name = "DONE_CHECK";
+    done.instructionCount = cost.doneCheck;
+    done.successors = {AilaBlocks::kInnerHead, AilaBlocks::kStore};
+
+    auto &store = blocks[AilaBlocks::kStore];
+    store.name = "STORE";
+    store.instructionCount = cost.storeResult;
+    store.successors = {AilaBlocks::kFetch};
+    store.memSpace = MemSpace::Global;
+
+    blocks[AilaBlocks::kExit].name = "EXIT";
+    blocks[AilaBlocks::kExit].instructionCount = 1;
+
+    return Program(std::move(blocks), AilaBlocks::kExit);
+}
+
+AilaKernel::AilaKernel(const bvh::Bvh &bvh,
+                       const std::vector<geom::Triangle> &triangles,
+                       std::vector<geom::Ray> rays,
+                       std::size_t first_ray, const AilaConfig &config)
+    : config_(config),
+      program_(makeAilaProgram(config.cost)),
+      workspace_(bvh, triangles, std::move(rays), first_ray, config.numWarps,
+                 32, config.anyHit),
+      postponedLeaf_(static_cast<std::size_t>(config.numWarps) * 32, -1)
+{
+}
+
+ThreadStep
+AilaKernel::execute(int block, int row, int lane)
+{
+    ThreadStep step;
+    RaySlot &slot = workspace_.slot(row, lane);
+
+    switch (block) {
+      case AilaBlocks::kFetch: {
+        const bool got = workspace_.fetchStep(row, lane);
+        if (got) {
+            step.nextBlock = AilaBlocks::kInnerHead;
+            step.memAddress = workspace_.rayAddress(
+                workspace_.slot(row, lane).rayId);
+            step.memBytes = workspace_.addressMap().rayBytes;
+        } else {
+            step.nextBlock = AilaBlocks::kExit;
+        }
+        return step;
+      }
+      case AilaBlocks::kInnerHead: {
+        if (slot.state == TravState::Inner) {
+            step.nextBlock = AilaBlocks::kInnerTest;
+        } else if (config_.speculativeTraversal &&
+                   slot.state == TravState::Leaf &&
+                   workspace_.deferLeaf(row, lane)) {
+            // The leaf was postponed (pushed to the stack bottom); the
+            // thread continues traversing inner nodes speculatively.
+            step.nextBlock = AilaBlocks::kInnerTest;
+        } else {
+            step.nextBlock = AilaBlocks::kLeafHead;
+        }
+        return step;
+      }
+      case AilaBlocks::kInnerTest: {
+        const std::int32_t node = slot.nodeIndex;
+        // The child-select / push / pop tails are predicated in the
+        // block's instruction count; the outcome only drives semantics.
+        (void)workspace_.innerStep(row, lane);
+        step.nextBlock = AilaBlocks::kInnerHead;
+        step.memAddress = workspace_.nodeAddress(node);
+        step.memBytes = workspace_.addressMap().nodeBytes;
+        return step;
+      }
+      case AilaBlocks::kLeafHead:
+        step.nextBlock = workspace_.leafHasWork(row, lane)
+                             ? AilaBlocks::kLeafTest
+                             : AilaBlocks::kDoneCheck;
+        return step;
+      case AilaBlocks::kLeafTest: {
+        const std::int32_t cursor = slot.leafCursor;
+        (void)workspace_.leafStep(row, lane); // hit update is predicated
+        step.nextBlock = AilaBlocks::kLeafHead;
+        step.memAddress = workspace_.triangleAddress(cursor);
+        step.memBytes = workspace_.addressMap().triangleBytes;
+        return step;
+      }
+      case AilaBlocks::kDoneCheck:
+        // A terminated slot is back in the Fetch state.
+        step.nextBlock = slot.state == TravState::Fetch
+                             ? AilaBlocks::kStore
+                             : AilaBlocks::kInnerHead;
+        return step;
+      case AilaBlocks::kStore: {
+        step.nextBlock = AilaBlocks::kFetch;
+        if (slot.lastRayId >= 0) {
+            step.memAddress = workspace_.resultAddress(slot.lastRayId);
+            step.memBytes = workspace_.addressMap().resultBytes;
+        }
+        return step;
+      }
+      default:
+        throw std::logic_error("AilaKernel: unexpected block");
+    }
+}
+
+} // namespace drs::kernels

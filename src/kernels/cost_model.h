@@ -1,0 +1,61 @@
+#pragma once
+
+/**
+ * @file
+ * Instruction-count calibration of the traversal kernels. These weights
+ * stand in for compiled SASS instruction counts: the absolute values set
+ * the Mrays/s scale, the relative values set SIMD-efficiency shapes, and
+ * both kernels share them so the Aila-vs-DRS comparison is apples to
+ * apples. Derived from the structure of Aila's published kernels (two
+ * child-AABB slab tests per inner step, one Möller–Trumbore test per leaf
+ * step) at roughly one instruction per arithmetic operation.
+ */
+
+namespace drs::kernels {
+
+/** Warp-instruction weights of kernel basic blocks. */
+struct CostModel
+{
+    // Shared traversal arithmetic. Scaled to SASS reality: Aila's
+    // unrolled two-child inner-loop iteration is ~60-80 instructions and
+    // the paper notes the whole while-if loop body exceeds 300.
+    int fetchRay = 40;        ///< load + init ray registers, pool pointer
+    /**
+     * One inner-node step: node fetch address math, two AABB slab tests,
+     * and the predicated child-select / push-far / stack-pop tails (real
+     * kernels use select/predication here, not branches).
+     */
+    int innerTest = 66;
+    /** One triangle test: fetch + Möller-Trumbore + predicated hit update. */
+    int leafTest = 60;
+    int storeResult = 8;      ///< write the hit record
+
+    // "while-while" (Aila) loop plumbing.
+    int innerLoopHead = 4;    ///< inner-while condition
+    int leafLoopHead = 3;     ///< leaf-while condition
+    int doneCheck = 3;        ///< outer-while condition
+
+    // "while-if" (Kernel 1 / DRS) plumbing.
+    int rdctrl = 2;           ///< rdctrl + dispatch branch
+    int setRayState = 2;      ///< write reg_ray_state
+    int leafBodyHead = 3;     ///< triangle-loop condition inside the leaf if
+
+    // DMK micro-kernel spawn overhead (the SI category): dumping and
+    // reloading the 17 ray variables through spawn memory, plus queue
+    // bookkeeping.
+    int spawnDump = 24;       ///< 17 stores + address/bookkeeping
+    int spawnLoad = 24;       ///< 17 loads + address/bookkeeping
+
+    /** Live ray variables moved by a shuffle (paper Section 4.2). */
+    int rayVariables = 17;
+};
+
+/** The default calibration used by all experiments. */
+inline const CostModel &
+defaultCostModel()
+{
+    static const CostModel model{};
+    return model;
+}
+
+} // namespace drs::kernels

@@ -1,0 +1,74 @@
+#include "render/image.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace drs::render {
+
+using geom::Vec3;
+
+Image::Image(int width, int height)
+    : width_(width),
+      height_(height),
+      sum_(static_cast<std::size_t>(width) * height),
+      count_(static_cast<std::size_t>(width) * height, 0)
+{
+}
+
+void
+Image::addSample(int x, int y, const Vec3 &radiance)
+{
+    const std::size_t i = static_cast<std::size_t>(y) * width_ + x;
+    sum_[i] += radiance;
+    count_[i] += 1;
+}
+
+Vec3
+Image::pixel(int x, int y) const
+{
+    const std::size_t i = static_cast<std::size_t>(y) * width_ + x;
+    return count_[i] ? sum_[i] / static_cast<float>(count_[i]) : Vec3{};
+}
+
+double
+Image::meanLuminance() const
+{
+    double total = 0.0;
+    for (int y = 0; y < height_; ++y) {
+        for (int x = 0; x < width_; ++x) {
+            const Vec3 c = pixel(x, y);
+            total += 0.2126 * c.x + 0.7152 * c.y + 0.0722 * c.z;
+        }
+    }
+    return total / (static_cast<double>(width_) * height_);
+}
+
+bool
+Image::writePpm(const std::string &path) const
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        return false;
+
+    os << "P6\n" << width_ << " " << height_ << "\n255\n";
+    auto encode = [](float v) {
+        // Reinhard tonemap + gamma 2.2.
+        const float mapped = v / (1.0f + v);
+        const float g = std::pow(std::max(mapped, 0.0f), 1.0f / 2.2f);
+        return static_cast<unsigned char>(
+            std::min(255.0f, std::max(0.0f, g * 255.0f + 0.5f)));
+    };
+    // PPM rows go top to bottom; our origin is lower-left.
+    for (int y = height_ - 1; y >= 0; --y) {
+        for (int x = 0; x < width_; ++x) {
+            const Vec3 c = pixel(x, y);
+            const unsigned char rgb[3] = {encode(c.x), encode(c.y),
+                                          encode(c.z)};
+            os.write(reinterpret_cast<const char *>(rgb), 3);
+        }
+    }
+    return static_cast<bool>(os);
+}
+
+} // namespace drs::render

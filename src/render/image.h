@@ -1,0 +1,47 @@
+#pragma once
+
+/**
+ * @file
+ * Minimal HDR accumulation image with tonemapped PPM output, used by the
+ * example renderers to prove the path tracer produces sensible pictures.
+ */
+
+#include <string>
+#include <vector>
+
+#include "geom/vec.h"
+
+namespace drs::render {
+
+/** A float RGB framebuffer that accumulates samples per pixel. */
+class Image
+{
+  public:
+    Image(int width, int height);
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+
+    /** Add one radiance sample to pixel (x, y); origin at lower-left. */
+    void addSample(int x, int y, const geom::Vec3 &radiance);
+
+    /** Mean radiance of pixel (x, y) over its samples. */
+    geom::Vec3 pixel(int x, int y) const;
+
+    /** Mean luminance across the image (tests use this as a sanity probe). */
+    double meanLuminance() const;
+
+    /**
+     * Write a gamma-2.2, Reinhard-tonemapped binary PPM.
+     * @return true on success.
+     */
+    bool writePpm(const std::string &path) const;
+
+  private:
+    int width_;
+    int height_;
+    std::vector<geom::Vec3> sum_;
+    std::vector<std::uint32_t> count_;
+};
+
+} // namespace drs::render

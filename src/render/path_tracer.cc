@@ -1,0 +1,213 @@
+#include "render/path_tracer.h"
+
+#include <cmath>
+
+#include "bvh/builder.h"
+#include "bvh/traverse.h"
+#include "geom/sampler.h"
+
+namespace drs::render {
+
+using geom::Hit;
+using geom::Ray;
+using geom::Vec2;
+using geom::Vec3;
+
+/** Per-path bookkeeping carried across bounces. */
+struct PathTracer::PathState
+{
+    int pixelX = 0;
+    int pixelY = 0;
+    Vec3 throughput{1.0f, 1.0f, 1.0f};
+    Vec3 radiance{0.0f, 0.0f, 0.0f};
+    geom::HaltonSampler sampler;
+    bool alive = true;
+};
+
+PathTracer::PathTracer(const scene::Scene &scene, const RenderConfig &config)
+    : scene_(scene), config_(config),
+      bvh_(bvh::build(scene.triangles(), config.bvhConfig))
+{
+}
+
+std::optional<Ray>
+PathTracer::shade(PathState &path, const Ray &ray, const Hit &hit) const
+{
+    if (!hit.valid()) {
+        // Escaped the scene: collect nothing (no environment light; the
+        // scenes carry explicit emissive sky geometry instead).
+        path.alive = false;
+        return std::nullopt;
+    }
+
+    const geom::Triangle &tri = scene_.triangles()[hit.triangle];
+    const scene::Material &mat = scene_.materialOf(hit.triangle);
+
+    if (mat.emissive()) {
+        // Path hit a light source: terminate and collect.
+        path.radiance += path.throughput * mat.emission;
+        path.alive = false;
+        return std::nullopt;
+    }
+
+    Vec3 n = geom::normalize(tri.geometricNormal());
+    if (geom::dot(n, ray.direction) > 0.0f)
+        n = -n; // shade the side the ray arrived on
+
+    const Vec3 hit_point = ray.at(hit.t);
+
+    // Mixture lobe: mirror with probability `specularity`, else cosine-
+    // weighted Lambertian. Secondary rays therefore range from perfectly
+    // coherent (mirror) to fully randomized (diffuse), like the paper's
+    // PBRT BSDF sampling.
+    const float lobe = path.sampler.next1D();
+    Vec3 new_dir;
+    if (lobe < mat.specularity) {
+        new_dir = geom::reflect(ray.direction, n);
+        path.throughput = path.throughput * mat.albedo;
+        path.sampler.next2D(); // keep dimension alignment across lobes
+    } else {
+        const Vec2 u = path.sampler.next2D();
+        const Vec3 local = geom::cosineSampleHemisphere(u);
+        new_dir = geom::OrthonormalBasis(n).toWorld(local);
+        // Cosine-weighted sampling of a Lambertian cancels the cosine and
+        // the 1/pi, leaving just the albedo.
+        path.throughput = path.throughput * mat.albedo;
+    }
+
+    if (geom::lengthSquared(new_dir) == 0.0f) {
+        path.alive = false;
+        return std::nullopt;
+    }
+
+    Ray next;
+    next.origin = hit_point + n * 1e-4f;
+    next.direction = geom::normalize(new_dir);
+    next.tMin = 1e-4f;
+    next.tMax = geom::kRayInfinity;
+    return next;
+}
+
+Image
+PathTracer::render() const
+{
+    Image image(config_.width, config_.height);
+
+    for (int y = 0; y < config_.height; ++y) {
+        for (int x = 0; x < config_.width; ++x) {
+            for (int s = 0; s < config_.samplesPerPixel; ++s) {
+                PathState path;
+                path.pixelX = x;
+                path.pixelY = y;
+                path.sampler = geom::HaltonSampler(
+                    config_.seed + (static_cast<std::uint64_t>(y) *
+                                    config_.width + x));
+                path.sampler.startSample(static_cast<std::uint64_t>(s));
+
+                const Vec2 jitter = path.sampler.next2D();
+                Ray ray = scene_.camera().generateRay(
+                    (x + jitter.x) / config_.width,
+                    (y + jitter.y) / config_.height);
+
+                for (int depth = 0; depth < config_.maxDepth && path.alive;
+                     ++depth) {
+                    const Hit hit =
+                        bvh::intersect(bvh_, scene_.triangles(), ray);
+                    auto next = shade(path, ray, hit);
+                    if (!next)
+                        break;
+                    ray = *next;
+                }
+                image.addSample(x, y, path.radiance);
+            }
+        }
+    }
+    return image;
+}
+
+RayTrace
+PathTracer::capture(std::size_t max_rays_per_bounce) const
+{
+    RayTrace trace;
+    trace.sceneName = scene_.name();
+
+    // Wavefront state: all live paths and their current rays.
+    std::vector<PathState> paths;
+    std::vector<Ray> rays;
+    const std::size_t total_paths =
+        static_cast<std::size_t>(config_.width) * config_.height *
+        config_.samplesPerPixel;
+    paths.reserve(total_paths);
+    rays.reserve(total_paths);
+
+    for (int y = 0; y < config_.height; ++y) {
+        for (int x = 0; x < config_.width; ++x) {
+            for (int s = 0; s < config_.samplesPerPixel; ++s) {
+                PathState path;
+                path.pixelX = x;
+                path.pixelY = y;
+                path.sampler = geom::HaltonSampler(
+                    config_.seed + (static_cast<std::uint64_t>(y) *
+                                    config_.width + x));
+                path.sampler.startSample(static_cast<std::uint64_t>(s));
+
+                const Vec2 jitter = path.sampler.next2D();
+                rays.push_back(scene_.camera().generateRay(
+                    (x + jitter.x) / config_.width,
+                    (y + jitter.y) / config_.height));
+                paths.push_back(std::move(path));
+            }
+        }
+    }
+
+    for (int bounce = 1; bounce <= config_.maxDepth && !rays.empty();
+         ++bounce) {
+        BounceRays batch;
+        batch.bounce = bounce;
+        batch.rays = rays;
+        if (max_rays_per_bounce && batch.rays.size() > max_rays_per_bounce)
+            batch.rays.resize(max_rays_per_bounce);
+        trace.bounces.push_back(std::move(batch));
+
+        // Trace + shade every live path to produce the next wavefront.
+        std::vector<PathState> next_paths;
+        std::vector<Ray> next_rays;
+        next_paths.reserve(paths.size());
+        next_rays.reserve(paths.size());
+        for (std::size_t i = 0; i < rays.size(); ++i) {
+            const Hit hit = bvh::intersect(bvh_, scene_.triangles(), rays[i]);
+            auto next = shade(paths[i], rays[i], hit);
+            if (next && paths[i].alive) {
+                next_paths.push_back(std::move(paths[i]));
+                next_rays.push_back(*next);
+            }
+        }
+        paths = std::move(next_paths);
+        rays = std::move(next_rays);
+    }
+    return trace;
+}
+
+CoherenceStats
+PathTracer::analyzeCoherence(const std::vector<Ray> &rays) const
+{
+    CoherenceStats stats;
+    if (rays.empty())
+        return stats;
+
+    Vec3 mean_dir;
+    std::size_t terminated = 0;
+    for (const auto &r : rays) {
+        mean_dir += geom::normalize(r.direction);
+        const Hit hit = bvh::intersect(bvh_, scene_.triangles(), r);
+        if (!hit.valid() || scene_.materialOf(hit.triangle).emissive())
+            ++terminated;
+    }
+    stats.directionCoherence =
+        geom::length(mean_dir) / static_cast<double>(rays.size());
+    stats.terminationRate =
+        static_cast<double>(terminated) / static_cast<double>(rays.size());
+    return stats;
+}
+
+} // namespace drs::render

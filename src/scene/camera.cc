@@ -1,0 +1,37 @@
+#include "scene/camera.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace drs::scene {
+
+using geom::Vec3;
+
+Camera::Camera(const Vec3 &position, const Vec3 &look_at, const Vec3 &up,
+               float vertical_fov_degrees, float aspect)
+    : position_(position)
+{
+    const float theta = vertical_fov_degrees * std::numbers::pi_v<float> / 180.0f;
+    const float half_height = std::tan(theta / 2.0f);
+    const float half_width = aspect * half_height;
+
+    const Vec3 w = geom::normalize(position - look_at);
+    const Vec3 u = geom::normalize(geom::cross(up, w));
+    const Vec3 v = geom::cross(w, u);
+
+    lowerLeft_ = position - u * half_width - v * half_height - w;
+    horizontal_ = u * (2.0f * half_width);
+    vertical_ = v * (2.0f * half_height);
+}
+
+geom::Ray
+Camera::generateRay(float s, float t) const
+{
+    geom::Ray ray;
+    ray.origin = position_;
+    ray.direction = geom::normalize(lowerLeft_ + horizontal_ * s +
+                                    vertical_ * t - position_);
+    return ray;
+}
+
+} // namespace drs::scene

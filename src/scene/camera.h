@@ -1,0 +1,45 @@
+#pragma once
+
+/**
+ * @file
+ * Pinhole camera generating primary rays. Primary rays from a pinhole
+ * camera are the coherent "bounce 1" rays of the experiments.
+ */
+
+#include "geom/ray.h"
+#include "geom/vec.h"
+
+namespace drs::scene {
+
+/** A pinhole camera with a vertical field of view. */
+class Camera
+{
+  public:
+    /**
+     * @param position eye position
+     * @param look_at point the camera looks at
+     * @param up approximate up vector
+     * @param vertical_fov_degrees full vertical field of view
+     * @param aspect width / height of the film
+     */
+    Camera(const geom::Vec3 &position, const geom::Vec3 &look_at,
+           const geom::Vec3 &up, float vertical_fov_degrees, float aspect);
+
+    Camera() : Camera({0, 0, 0}, {0, 0, -1}, {0, 1, 0}, 60.0f, 4.0f / 3.0f) {}
+
+    /**
+     * Primary ray through film coordinates (s, t) in [0, 1)^2, where
+     * (0, 0) is the lower-left corner of the film.
+     */
+    geom::Ray generateRay(float s, float t) const;
+
+    const geom::Vec3 &position() const { return position_; }
+
+  private:
+    geom::Vec3 position_;
+    geom::Vec3 lowerLeft_;
+    geom::Vec3 horizontal_;
+    geom::Vec3 vertical_;
+};
+
+} // namespace drs::scene

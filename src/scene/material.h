@@ -1,0 +1,33 @@
+#pragma once
+
+/**
+ * @file
+ * Material model for the path tracer. The paper treats shading as a black
+ * box around ray traversal, so a small Lambertian + emissive model is
+ * sufficient: it produces exactly the incoherent, cosine-distributed
+ * secondary rays the experiments depend on.
+ */
+
+#include "geom/vec.h"
+
+namespace drs::scene {
+
+/** A diffuse (Lambertian) material with an optional emission term. */
+struct Material
+{
+    geom::Vec3 albedo{0.5f, 0.5f, 0.5f};
+    geom::Vec3 emission{0.0f, 0.0f, 0.0f};
+    /**
+     * Mirror-reflection probability in [0, 1]; the remainder of the lobe
+     * is Lambertian. Lets scenes mix in some specular bounces so
+     * secondary-ray coherence varies the way real materials make it vary.
+     */
+    float specularity = 0.0f;
+
+    bool emissive() const
+    {
+        return emission.x > 0.0f || emission.y > 0.0f || emission.z > 0.0f;
+    }
+};
+
+} // namespace drs::scene

@@ -1,0 +1,167 @@
+#include "scene/mesh.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace drs::scene {
+
+using geom::Pcg32;
+using geom::Vec3;
+
+void
+MeshBuilder::addTriangle(const Vec3 &a, const Vec3 &b, const Vec3 &c,
+                         std::int32_t material)
+{
+    triangles_.push_back(geom::Triangle{a, b, c, material});
+}
+
+void
+MeshBuilder::addQuad(const Vec3 &a, const Vec3 &b, const Vec3 &c,
+                     const Vec3 &d, std::int32_t material)
+{
+    addTriangle(a, b, c, material);
+    addTriangle(a, c, d, material);
+}
+
+void
+MeshBuilder::addBox(const Vec3 &lo, const Vec3 &hi, std::int32_t material)
+{
+    const Vec3 p000{lo.x, lo.y, lo.z}, p001{lo.x, lo.y, hi.z};
+    const Vec3 p010{lo.x, hi.y, lo.z}, p011{lo.x, hi.y, hi.z};
+    const Vec3 p100{hi.x, lo.y, lo.z}, p101{hi.x, lo.y, hi.z};
+    const Vec3 p110{hi.x, hi.y, lo.z}, p111{hi.x, hi.y, hi.z};
+
+    addQuad(p000, p100, p110, p010, material); // -z
+    addQuad(p101, p001, p011, p111, material); // +z
+    addQuad(p001, p000, p010, p011, material); // -x
+    addQuad(p100, p101, p111, p110, material); // +x
+    addQuad(p001, p101, p100, p000, material); // -y
+    addQuad(p010, p110, p111, p011, material); // +y
+}
+
+void
+MeshBuilder::addCylinder(const Vec3 &base, float radius, float height,
+                         int segments, std::int32_t material, bool capped)
+{
+    segments = std::max(segments, 3);
+    const float two_pi = 2.0f * std::numbers::pi_v<float>;
+    const Vec3 top = base + Vec3{0.0f, height, 0.0f};
+
+    for (int i = 0; i < segments; ++i) {
+        const float a0 = two_pi * static_cast<float>(i) / segments;
+        const float a1 = two_pi * static_cast<float>(i + 1) / segments;
+        const Vec3 r0{radius * std::cos(a0), 0.0f, radius * std::sin(a0)};
+        const Vec3 r1{radius * std::cos(a1), 0.0f, radius * std::sin(a1)};
+
+        addQuad(base + r0, base + r1, top + r1, top + r0, material);
+        if (capped) {
+            addTriangle(base, base + r1, base + r0, material);
+            addTriangle(top, top + r0, top + r1, material);
+        }
+    }
+}
+
+void
+MeshBuilder::addSphere(const Vec3 &center, float radius, int stacks,
+                       int slices, std::int32_t material)
+{
+    stacks = std::max(stacks, 2);
+    slices = std::max(slices, 3);
+    const float pi = std::numbers::pi_v<float>;
+
+    auto point = [&](int stack, int slice) {
+        const float phi = pi * static_cast<float>(stack) / stacks;
+        const float theta = 2.0f * pi * static_cast<float>(slice) / slices;
+        return center + Vec3{radius * std::sin(phi) * std::cos(theta),
+                             radius * std::cos(phi),
+                             radius * std::sin(phi) * std::sin(theta)};
+    };
+
+    for (int st = 0; st < stacks; ++st) {
+        for (int sl = 0; sl < slices; ++sl) {
+            const Vec3 p00 = point(st, sl);
+            const Vec3 p01 = point(st, sl + 1);
+            const Vec3 p10 = point(st + 1, sl);
+            const Vec3 p11 = point(st + 1, sl + 1);
+            if (st != 0)
+                addTriangle(p00, p01, p11, material);
+            if (st != stacks - 1)
+                addTriangle(p00, p11, p10, material);
+        }
+    }
+}
+
+void
+MeshBuilder::addSphereflake(const Vec3 &center, float radius, int depth,
+                            int children, int stacks, int slices,
+                            std::int32_t material)
+{
+    addSphere(center, radius, stacks, slices, material);
+    if (depth <= 0)
+        return;
+
+    const float pi = std::numbers::pi_v<float>;
+    const float child_radius = radius * 0.45f;
+    for (int i = 0; i < children; ++i) {
+        // Children distributed on a band around the parent sphere.
+        const float theta = 2.0f * pi * static_cast<float>(i) / children;
+        const float phi = pi * (0.25f + 0.5f * ((i % 3) / 3.0f));
+        const Vec3 dir{std::sin(phi) * std::cos(theta), std::cos(phi),
+                       std::sin(phi) * std::sin(theta)};
+        const Vec3 child_center = center + dir * (radius + child_radius);
+        addSphereflake(child_center, child_radius, depth - 1, children,
+                       std::max(stacks / 2, 3), std::max(slices / 2, 4),
+                       material);
+    }
+}
+
+void
+MeshBuilder::addPlant(const Vec3 &base, float height, int leaves,
+                      std::int32_t stem_material, std::int32_t leaf_material,
+                      Pcg32 &rng)
+{
+    const float two_pi = 2.0f * std::numbers::pi_v<float>;
+
+    // Stem: a thin 4-sided tapering column, built from quads.
+    const int stem_sections = 3;
+    float radius = 0.02f * height;
+    Vec3 p = base;
+    for (int s = 0; s < stem_sections; ++s) {
+        const float seg = height / stem_sections;
+        const float next_radius = radius * 0.6f;
+        const Vec3 q = p + Vec3{rng.nextFloat(-0.05f, 0.05f) * height, seg,
+                                rng.nextFloat(-0.05f, 0.05f) * height};
+        for (int i = 0; i < 4; ++i) {
+            const float a0 = two_pi * static_cast<float>(i) / 4.0f;
+            const float a1 = two_pi * static_cast<float>(i + 1) / 4.0f;
+            const Vec3 r0{std::cos(a0), 0.0f, std::sin(a0)};
+            const Vec3 r1{std::cos(a1), 0.0f, std::sin(a1)};
+            addQuad(p + r0 * radius, p + r1 * radius,
+                    q + r1 * next_radius, q + r0 * next_radius,
+                    stem_material);
+        }
+        p = q;
+        radius = next_radius;
+    }
+
+    // Leaves: two-triangle elliptical blades at random heights/orientations.
+    for (int i = 0; i < leaves; ++i) {
+        const float h = rng.nextFloat(0.3f, 1.0f) * height;
+        const float yaw = rng.nextFloat(0.0f, two_pi);
+        const float pitch = rng.nextFloat(0.2f, 1.2f);
+        const float len = rng.nextFloat(0.25f, 0.5f) * height;
+        const float wid = len * 0.3f;
+
+        const Vec3 attach = base + Vec3{0.0f, h, 0.0f};
+        const Vec3 out{std::cos(yaw) * std::cos(pitch), std::sin(pitch),
+                       std::sin(yaw) * std::cos(pitch)};
+        const Vec3 side = geom::normalize(geom::cross(out, Vec3{0, 1, 0}));
+        const Vec3 tip = attach + out * len;
+        const Vec3 mid = attach + out * (0.5f * len);
+
+        addTriangle(attach, mid + side * wid, tip, leaf_material);
+        addTriangle(attach, tip, mid - side * wid, leaf_material);
+    }
+}
+
+} // namespace drs::scene

@@ -1,0 +1,90 @@
+#pragma once
+
+/**
+ * @file
+ * Procedural mesh builders. The benchmark scenes are generated rather than
+ * loaded from disk (the original meshes are not redistributable); these
+ * primitives are combined by scenes.cc to reproduce each scene's geometric
+ * character (see DESIGN.md section 2).
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/rng.h"
+#include "geom/triangle.h"
+#include "geom/vec.h"
+
+namespace drs::scene {
+
+/** A growable triangle soup with per-triangle material ids. */
+class MeshBuilder
+{
+  public:
+    /** Append one triangle. */
+    void addTriangle(const geom::Vec3 &a, const geom::Vec3 &b,
+                     const geom::Vec3 &c, std::int32_t material);
+
+    /** Append a quad (two triangles) with vertices in CCW order. */
+    void addQuad(const geom::Vec3 &a, const geom::Vec3 &b,
+                 const geom::Vec3 &c, const geom::Vec3 &d,
+                 std::int32_t material);
+
+    /** Append an axis-aligned box spanning [lo, hi]. */
+    void addBox(const geom::Vec3 &lo, const geom::Vec3 &hi,
+                std::int32_t material);
+
+    /**
+     * Append a tessellated vertical cylinder.
+     *
+     * @param base center of the bottom cap
+     * @param radius cylinder radius
+     * @param height cylinder height (along +Y)
+     * @param segments number of side quads (>= 3)
+     * @param capped whether to add top/bottom caps
+     */
+    void addCylinder(const geom::Vec3 &base, float radius, float height,
+                     int segments, std::int32_t material, bool capped = true);
+
+    /**
+     * Append a UV-sphere.
+     *
+     * @param center sphere center
+     * @param radius sphere radius
+     * @param stacks latitudinal subdivisions (>= 2)
+     * @param slices longitudinal subdivisions (>= 3)
+     */
+    void addSphere(const geom::Vec3 &center, float radius, int stacks,
+                   int slices, std::int32_t material);
+
+    /**
+     * Append a sphereflake fractal: a sphere with @p children child
+     * spheres per level recursively attached, a classic stand-in for a
+     * "small detailed model" (the fairy in the fairy forest scene).
+     *
+     * @param depth recursion depth (0 = just the root sphere)
+     */
+    void addSphereflake(const geom::Vec3 &center, float radius, int depth,
+                        int children, int stacks, int slices,
+                        std::int32_t material);
+
+    /**
+     * Append a plant: a thin tapering stem with randomly oriented
+     * elliptical leaves, used by the plants scene.
+     *
+     * @param rng randomness source (plants vary individually)
+     * @param leaves number of leaves
+     */
+    void addPlant(const geom::Vec3 &base, float height, int leaves,
+                  std::int32_t stem_material, std::int32_t leaf_material,
+                  geom::Pcg32 &rng);
+
+    const std::vector<geom::Triangle> &triangles() const { return triangles_; }
+    std::vector<geom::Triangle> takeTriangles() { return std::move(triangles_); }
+    std::size_t size() const { return triangles_.size(); }
+
+  private:
+    std::vector<geom::Triangle> triangles_;
+};
+
+} // namespace drs::scene

@@ -1,0 +1,32 @@
+#include "scene/scene.h"
+
+#include <stdexcept>
+
+namespace drs::scene {
+
+Scene::Scene(std::string name, std::vector<geom::Triangle> triangles,
+             std::vector<Material> materials, Camera camera)
+    : name_(std::move(name)),
+      triangles_(std::move(triangles)),
+      materials_(std::move(materials)),
+      camera_(camera)
+{
+    for (std::size_t i = 0; i < triangles_.size(); ++i) {
+        const auto mat = triangles_[i].material;
+        if (mat < 0 || static_cast<std::size_t>(mat) >= materials_.size())
+            throw std::out_of_range("triangle references unknown material");
+        if (materials_[static_cast<std::size_t>(mat)].emissive())
+            emissive_.push_back(static_cast<std::int32_t>(i));
+    }
+}
+
+geom::Aabb
+Scene::bounds() const
+{
+    geom::Aabb b;
+    for (const auto &t : triangles_)
+        b.extend(t.bounds());
+    return b;
+}
+
+} // namespace drs::scene

@@ -1,0 +1,61 @@
+#pragma once
+
+/**
+ * @file
+ * Scene container: triangle soup + materials + camera + emissive-triangle
+ * index. This is the single input consumed by the BVH builder and the path
+ * tracer.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/triangle.h"
+#include "scene/camera.h"
+#include "scene/material.h"
+
+namespace drs::scene {
+
+/** A complete renderable scene. */
+class Scene
+{
+  public:
+    Scene() = default;
+
+    Scene(std::string name, std::vector<geom::Triangle> triangles,
+          std::vector<Material> materials, Camera camera);
+
+    const std::string &name() const { return name_; }
+    const std::vector<geom::Triangle> &triangles() const { return triangles_; }
+    const std::vector<Material> &materials() const { return materials_; }
+    const Camera &camera() const { return camera_; }
+
+    /** Material for triangle @p tri. */
+    const Material &materialOf(std::int32_t tri) const
+    {
+        return materials_.at(
+            static_cast<std::size_t>(triangles_.at(tri).material));
+    }
+
+    /** Indices of emissive triangles (the scene's light geometry). */
+    const std::vector<std::int32_t> &emissiveTriangles() const
+    {
+        return emissive_;
+    }
+
+    /** World-space bounds over all triangles. */
+    geom::Aabb bounds() const;
+
+    bool empty() const { return triangles_.empty(); }
+    std::size_t triangleCount() const { return triangles_.size(); }
+
+  private:
+    std::string name_;
+    std::vector<geom::Triangle> triangles_;
+    std::vector<Material> materials_;
+    Camera camera_;
+    std::vector<std::int32_t> emissive_;
+};
+
+} // namespace drs::scene

@@ -1,0 +1,401 @@
+#include "scene/scenes.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "geom/rng.h"
+#include "scene/mesh.h"
+
+namespace drs::scene {
+
+using geom::Pcg32;
+using geom::Vec3;
+
+namespace {
+
+/** Scale an integer tessellation parameter, keeping a floor of @p lo. */
+int
+scaled(int full, float scale, int lo)
+{
+    int v = static_cast<int>(std::lround(full * scale));
+    return std::max(v, lo);
+}
+
+} // namespace
+
+const std::vector<SceneId> &
+allSceneIds()
+{
+    static const std::vector<SceneId> ids{
+        SceneId::Conference, SceneId::Fairy, SceneId::Sponza, SceneId::Plants};
+    return ids;
+}
+
+std::string
+sceneName(SceneId id)
+{
+    switch (id) {
+      case SceneId::Conference: return "conference";
+      case SceneId::Fairy: return "fairy";
+      case SceneId::Sponza: return "sponza";
+      case SceneId::Plants: return "plants";
+    }
+    return "unknown";
+}
+
+SceneId
+sceneFromName(const std::string &name)
+{
+    for (SceneId id : allSceneIds())
+        if (sceneName(id) == name)
+            return id;
+    throw std::invalid_argument("unknown scene: " + name);
+}
+
+Scene
+makeScene(SceneId id, float scale)
+{
+    switch (id) {
+      case SceneId::Conference: return makeConferenceScene(scale);
+      case SceneId::Fairy: return makeFairyScene(scale);
+      case SceneId::Sponza: return makeSponzaScene(scale);
+      case SceneId::Plants: return makePlantsScene(scale);
+    }
+    throw std::invalid_argument("unknown scene id");
+}
+
+Scene
+makeConferenceScene(float scale)
+{
+    // An indoor conference room: floor/walls/ceiling, a large central
+    // table, rings of chairs, and bright ceiling light panels. Lights on
+    // the ceiling make bounced rays terminate relatively quickly, matching
+    // the paper's observation that conference rays are "easier to
+    // terminate" than sponza rays.
+    std::vector<Material> mats = {
+        {{0.70f, 0.68f, 0.62f}, {}, 0.0f},          // 0 walls
+        {{0.35f, 0.25f, 0.18f}, {}, 0.10f},         // 1 wood furniture
+        {{0.25f, 0.25f, 0.30f}, {}, 0.0f},          // 2 chair fabric
+        {{0.9f, 0.9f, 0.9f}, {14.f, 14.f, 13.f}, 0.0f}, // 3 light panels
+        {{0.55f, 0.55f, 0.58f}, {}, 0.25f},         // 4 metal trim
+    };
+
+    MeshBuilder mb;
+    Pcg32 rng(101);
+
+    const Vec3 room_lo{0, 0, 0};
+    const Vec3 room_hi{20, 6, 14};
+
+    // Room shell: inward-facing quads.
+    mb.addQuad({0, 0, 0}, {20, 0, 0}, {20, 0, 14}, {0, 0, 14}, 0);  // floor
+    mb.addQuad({0, 6, 0}, {0, 6, 14}, {20, 6, 14}, {20, 6, 0}, 0);  // ceiling
+    mb.addQuad({0, 0, 0}, {0, 0, 14}, {0, 6, 14}, {0, 6, 0}, 0);    // -x wall
+    mb.addQuad({20, 0, 0}, {20, 6, 0}, {20, 6, 14}, {20, 0, 14}, 0); // +x
+    mb.addQuad({0, 0, 0}, {0, 6, 0}, {20, 6, 0}, {20, 0, 0}, 0);    // -z
+    mb.addQuad({0, 0, 14}, {20, 0, 14}, {20, 6, 14}, {0, 6, 14}, 0); // +z
+
+    // Ceiling light panels (emissive quads just below the ceiling).
+    for (int ix = 0; ix < 4; ++ix) {
+        for (int iz = 0; iz < 3; ++iz) {
+            const float x0 = 2.5f + 4.5f * ix;
+            const float z0 = 2.0f + 4.0f * iz;
+            mb.addQuad({x0, 5.95f, z0}, {x0, 5.95f, z0 + 2.0f},
+                       {x0 + 2.5f, 5.95f, z0 + 2.0f}, {x0 + 2.5f, 5.95f, z0},
+                       3);
+        }
+    }
+
+    // Central conference table: a slab on cylindrical legs.
+    mb.addBox({5, 1.4f, 5}, {15, 1.6f, 9}, 1);
+    const int leg_segments = scaled(24, scale, 6);
+    for (float x : {6.0f, 14.0f})
+        for (float z : {5.8f, 8.2f})
+            mb.addCylinder({x, 0, z}, 0.18f, 1.4f, leg_segments, 4);
+
+    // Chairs around the table and stacked along walls (uneven clusters).
+    auto add_chair = [&](const Vec3 &p, float yaw) {
+        const float c = std::cos(yaw);
+        const float s = std::sin(yaw);
+        auto rot = [&](const Vec3 &v) {
+            return Vec3{p.x + v.x * c - v.z * s, p.y + v.y,
+                        p.z + v.x * s + v.z * c};
+        };
+        // Seat, backrest and four legs made of rotated quads.
+        MeshBuilder part;
+        part.addBox({-0.35f, 0.85f, -0.35f}, {0.35f, 0.95f, 0.35f}, 2);
+        part.addBox({-0.35f, 0.95f, 0.25f}, {0.35f, 1.8f, 0.35f}, 2);
+        for (float lx : {-0.3f, 0.3f})
+            for (float lz : {-0.3f, 0.3f})
+                part.addBox({lx - 0.03f, 0.0f, lz - 0.03f},
+                            {lx + 0.03f, 0.85f, lz + 0.03f}, 4);
+        for (auto t : part.triangles())
+            mb.addTriangle(rot(t.v0), rot(t.v1), rot(t.v2), t.material);
+    };
+
+    const int chairs_per_side = scaled(7, scale, 3);
+    for (int i = 0; i < chairs_per_side; ++i) {
+        const float x = 5.8f + 8.4f * static_cast<float>(i) /
+                        std::max(chairs_per_side - 1, 1);
+        add_chair({x, 0, 4.0f}, 0.0f);
+        add_chair({x, 0, 10.0f}, std::numbers::pi_v<float>);
+    }
+    // Uneven wall clusters (the paper notes objects are "not evenly
+    // distributed throughout the scene").
+    const int wall_chairs = scaled(18, scale, 5);
+    for (int i = 0; i < wall_chairs; ++i) {
+        const float x = rng.nextFloat(1.0f, 6.0f);
+        const float z = rng.nextFloat(1.0f, 13.0f);
+        add_chair({x, 0, z}, rng.nextFloat(0.0f, 6.28f));
+    }
+
+    // A sideboard and detailed decorative spheres on it.
+    mb.addBox({17.5f, 0, 3}, {19.5f, 1.1f, 11}, 1);
+    const int deco = scaled(10, scale, 3);
+    for (int i = 0; i < deco; ++i) {
+        const float z = 3.6f + 7.0f * static_cast<float>(i) / deco;
+        mb.addSphere({18.5f, 1.35f, z}, 0.25f, scaled(16, scale, 5),
+                     scaled(24, scale, 8), 4);
+    }
+
+    Camera cam({2.2f, 2.6f, 12.2f}, {12.0f, 1.6f, 6.0f}, {0, 1, 0}, 58.0f,
+               4.0f / 3.0f);
+    (void)room_lo;
+    (void)room_hi;
+    return Scene("conference", mb.takeTriangles(), std::move(mats), cam);
+}
+
+Scene
+makeFairyScene(float scale)
+{
+    // "Teapot in a stadium": a very detailed small model (sphereflake
+    // "fairy") in a large, sparse outdoor environment under a bright sky
+    // dome opening. Rays that bounce up escape quickly.
+    std::vector<Material> mats = {
+        {{0.30f, 0.45f, 0.20f}, {}, 0.0f},            // 0 ground
+        {{0.45f, 0.35f, 0.25f}, {}, 0.0f},            // 1 tree trunks
+        {{0.20f, 0.50f, 0.22f}, {}, 0.0f},            // 2 canopy
+        {{0.80f, 0.70f, 0.85f}, {}, 0.35f},           // 3 fairy body
+        {{1.0f, 1.0f, 1.0f}, {10.f, 10.f, 12.f}, 0.0f}, // 4 sky light
+    };
+
+    MeshBuilder mb;
+    Pcg32 rng(202);
+
+    // Large ground plane, mildly tessellated so it contributes geometry.
+    const int gres = scaled(20, scale, 4);
+    const float gsize = 120.0f;
+    for (int ix = 0; ix < gres; ++ix) {
+        for (int iz = 0; iz < gres; ++iz) {
+            const float x0 = -gsize / 2 + gsize * ix / gres;
+            const float x1 = -gsize / 2 + gsize * (ix + 1) / gres;
+            const float z0 = -gsize / 2 + gsize * iz / gres;
+            const float z1 = -gsize / 2 + gsize * (iz + 1) / gres;
+            mb.addQuad({x0, 0, z0}, {x1, 0, z0}, {x1, 0, z1}, {x0, 0, z1}, 0);
+        }
+    }
+
+    // Emissive sky: one huge overhead quad far above the scene.
+    mb.addQuad({-200, 80, -200}, {-200, 80, 200}, {200, 80, 200},
+               {200, 80, -200}, 4);
+
+    // Sparse forest ring: simple trunk + canopy trees, far from the model.
+    const int trees = scaled(26, scale, 6);
+    for (int i = 0; i < trees; ++i) {
+        const float angle = 6.2831853f * i / trees + rng.nextFloat(-0.1f, 0.1f);
+        const float dist = rng.nextFloat(25.0f, 55.0f);
+        const Vec3 base{dist * std::cos(angle), 0.0f, dist * std::sin(angle)};
+        const float h = rng.nextFloat(6.0f, 12.0f);
+        mb.addCylinder(base, 0.5f, h, scaled(10, scale, 4), 1, false);
+        mb.addSphere(base + Vec3{0, h + 1.5f, 0}, rng.nextFloat(2.5f, 4.5f),
+                     scaled(8, scale, 3), scaled(12, scale, 5), 2);
+    }
+
+    // The "fairy": a dense sphereflake near the camera. Most of the
+    // scene's triangles concentrate here — the teapot-in-a-stadium
+    // property that stresses BVH quality.
+    const int flake_depth = scale >= 0.5f ? 3 : 2;
+    mb.addSphereflake({0.0f, 1.6f, 0.0f}, 1.2f, flake_depth, 9,
+                      scaled(24, scale, 8), scaled(36, scale, 12), 3);
+
+    Camera cam({4.5f, 2.4f, 5.5f}, {0.0f, 1.5f, 0.0f}, {0, 1, 0}, 50.0f,
+               4.0f / 3.0f);
+    return Scene("fairy", mb.takeTriangles(), std::move(mats), cam);
+}
+
+Scene
+makeSponzaScene(float scale)
+{
+    // An enclosed courtyard with two colonnade galleries and arches. The
+    // only light is a modest sky opening high above the atrium, so rays
+    // bounce many times before terminating — the paper's explanation for
+    // sponza's low Mrays/s despite mid-pack SIMD efficiency.
+    std::vector<Material> mats = {
+        {{0.55f, 0.50f, 0.45f}, {}, 0.0f},             // 0 stone
+        {{0.60f, 0.45f, 0.35f}, {}, 0.0f},             // 1 brick
+        {{0.75f, 0.15f, 0.15f}, {}, 0.0f},             // 2 drapes
+        {{1.0f, 1.0f, 1.0f}, {6.f, 6.f, 7.f}, 0.0f},   // 3 sky slot
+    };
+
+    MeshBuilder mb;
+    Pcg32 rng(303);
+
+    const float L = 36.0f; // courtyard length (x)
+    const float W = 16.0f; // width (z)
+    const float H = 12.0f; // height
+
+    // Floor and outer walls; ceiling is closed except a narrow sky slot.
+    mb.addQuad({0, 0, 0}, {L, 0, 0}, {L, 0, W}, {0, 0, W}, 0);
+    mb.addQuad({0, 0, 0}, {0, H, 0}, {L, H, 0}, {L, 0, 0}, 1);
+    mb.addQuad({0, 0, W}, {L, 0, W}, {L, H, W}, {0, H, W}, 1);
+    mb.addQuad({0, 0, 0}, {0, 0, W}, {0, H, W}, {0, H, 0}, 1);
+    mb.addQuad({L, 0, 0}, {L, H, 0}, {L, H, W}, {L, 0, W}, 1);
+    // Ceiling strips each side of the slot.
+    mb.addQuad({0, H, 0}, {0, H, 6}, {L, H, 6}, {L, H, 0}, 1);
+    mb.addQuad({0, H, 10}, {0, H, W}, {L, H, W}, {L, H, 10}, 1);
+    // Emissive sky slot.
+    mb.addQuad({0, H - 0.01f, 6}, {0, H - 0.01f, 10}, {L, H - 0.01f, 10},
+               {L, H - 0.01f, 6}, 3);
+
+    // Two levels of colonnades along both long walls.
+    const int columns = scaled(14, scale, 6);
+    const int seg = scaled(20, scale, 6);
+    for (int level = 0; level < 2; ++level) {
+        const float y0 = level * 5.0f;
+        for (int i = 0; i < columns; ++i) {
+            const float x = 2.0f + (L - 4.0f) * i / (columns - 1);
+            for (float z : {3.0f, W - 3.0f}) {
+                mb.addCylinder({x, y0, z}, 0.45f, 4.2f, seg, 0);
+                // Capital and base blocks.
+                mb.addBox({x - 0.6f, y0 + 4.2f, z - 0.6f},
+                          {x + 0.6f, y0 + 4.8f, z + 0.6f}, 0);
+                mb.addBox({x - 0.55f, y0, z - 0.55f},
+                          {x + 0.55f, y0 + 0.25f, z + 0.55f}, 0);
+            }
+        }
+        // Gallery floors (walkways behind the columns).
+        mb.addBox({0.5f, y0 + 4.8f, 0.5f}, {L - 0.5f, y0 + 5.0f, 4.5f}, 1);
+        mb.addBox({0.5f, y0 + 4.8f, W - 4.5f}, {L - 0.5f, y0 + 5.0f, W - 0.5f}, 1);
+    }
+
+    // Arches between columns: approximated by tessellated ribbon strips.
+    const int arch_steps = scaled(10, scale, 4);
+    for (int i = 0; i + 1 < columns; ++i) {
+        const float x0 = 2.0f + (L - 4.0f) * i / (columns - 1);
+        const float x1 = 2.0f + (L - 4.0f) * (i + 1) / (columns - 1);
+        for (float z : {3.0f, W - 3.0f}) {
+            for (int s = 0; s < arch_steps; ++s) {
+                const float t0 = static_cast<float>(s) / arch_steps;
+                const float t1 = static_cast<float>(s + 1) / arch_steps;
+                auto arch_point = [&](float t) {
+                    const float x = x0 + (x1 - x0) * t;
+                    const float y = 4.2f +
+                        1.2f * std::sin(t * std::numbers::pi_v<float>);
+                    return Vec3{x, y, z};
+                };
+                const Vec3 a = arch_point(t0);
+                const Vec3 b = arch_point(t1);
+                mb.addQuad(a, b, b + Vec3{0, 0.3f, 0}, a + Vec3{0, 0.3f, 0}, 0);
+            }
+        }
+    }
+
+    // Hanging drapes (large cloth quads) and floor clutter.
+    const int drapes = scaled(8, scale, 3);
+    for (int i = 0; i < drapes; ++i) {
+        const float x = 4.0f + (L - 8.0f) * i / std::max(drapes - 1, 1);
+        const float z = (i % 2) ? 4.6f : W - 4.6f;
+        mb.addQuad({x, 9.5f, z}, {x + 2.0f, 9.5f, z}, {x + 2.0f, 3.0f, z},
+                   {x, 3.0f, z}, 2);
+    }
+    const int clutter = scaled(30, scale, 8);
+    for (int i = 0; i < clutter; ++i) {
+        const Vec3 p{rng.nextFloat(3.0f, L - 3.0f), 0.0f,
+                     rng.nextFloat(5.5f, W - 5.5f)};
+        const float s = rng.nextFloat(0.3f, 0.9f);
+        mb.addBox(p, p + Vec3{s, s * rng.nextFloat(0.5f, 2.0f), s}, 0);
+    }
+
+    Camera cam({3.0f, 2.0f, W / 2}, {L - 4.0f, 4.0f, W / 2}, {0, 1, 0},
+               62.0f, 4.0f / 3.0f);
+    return Scene("sponza", mb.takeTriangles(), std::move(mats), cam);
+}
+
+Scene
+makePlantsScene(float scale)
+{
+    // Dense field of plants: the highest triangle count of the four, with
+    // triangles densely and fairly uniformly distributed. Reflected rays
+    // are mostly occluded by foliage, so bounce-2 rays do NOT terminate
+    // quickly (the paper's explanation for plants' different B2 trend).
+    std::vector<Material> mats = {
+        {{0.35f, 0.28f, 0.18f}, {}, 0.0f},             // 0 soil
+        {{0.30f, 0.40f, 0.15f}, {}, 0.0f},             // 1 stems
+        {{0.20f, 0.55f, 0.18f}, {}, 0.05f},            // 2 leaves
+        {{1.0f, 1.0f, 1.0f}, {8.f, 8.f, 9.f}, 0.0f},   // 3 sky
+    };
+
+    MeshBuilder mb;
+    Pcg32 rng(404);
+
+    const float field = 40.0f;
+    // Soil plane.
+    const int gres = scaled(10, scale, 3);
+    for (int ix = 0; ix < gres; ++ix) {
+        for (int iz = 0; iz < gres; ++iz) {
+            const float x0 = -field / 2 + field * ix / gres;
+            const float x1 = -field / 2 + field * (ix + 1) / gres;
+            const float z0 = -field / 2 + field * iz / gres;
+            const float z1 = -field / 2 + field * (iz + 1) / gres;
+            mb.addQuad({x0, 0, z0}, {x1, 0, z0}, {x1, 0, z1}, {x0, 0, z1}, 0);
+        }
+    }
+    // Sky.
+    mb.addQuad({-120, 60, -120}, {-120, 60, 120}, {120, 60, 120},
+               {120, 60, -120}, 3);
+
+    // Dense jittered grid of plants. At scale 1 this yields ~1M triangles.
+    const int rows = scaled(56, std::sqrt(scale), 10);
+    const int leaves = scaled(24, scale, 6);
+    for (int ix = 0; ix < rows; ++ix) {
+        for (int iz = 0; iz < rows; ++iz) {
+            const Vec3 base{-field / 2 + field * (ix + rng.nextFloat()) / rows,
+                            0.0f,
+                            -field / 2 + field * (iz + rng.nextFloat()) / rows};
+            mb.addPlant(base, rng.nextFloat(0.8f, 2.2f), leaves, 1, 2, rng);
+        }
+    }
+
+    Camera cam({-14.0f, 3.2f, -14.0f}, {4.0f, 0.8f, 4.0f}, {0, 1, 0}, 55.0f,
+               4.0f / 3.0f);
+    return Scene("plants", mb.takeTriangles(), std::move(mats), cam);
+}
+
+Scene
+makeTestScene()
+{
+    std::vector<Material> mats = {
+        {{0.7f, 0.7f, 0.7f}, {}, 0.0f},
+        {{0.9f, 0.9f, 0.9f}, {12.f, 12.f, 12.f}, 0.0f},
+        {{0.6f, 0.3f, 0.3f}, {}, 0.0f},
+    };
+
+    MeshBuilder mb;
+    // Closed 10x6x10 box (inward normals irrelevant: two-sided test).
+    mb.addQuad({0, 0, 0}, {10, 0, 0}, {10, 0, 10}, {0, 0, 10}, 0); // floor
+    mb.addQuad({0, 6, 0}, {0, 6, 10}, {10, 6, 10}, {10, 6, 0}, 0); // ceiling
+    mb.addQuad({0, 0, 0}, {0, 6, 0}, {0, 6, 10}, {0, 0, 10}, 0);
+    mb.addQuad({10, 0, 0}, {10, 0, 10}, {10, 6, 10}, {10, 6, 0}, 0);
+    mb.addQuad({0, 0, 0}, {10, 0, 0}, {10, 6, 0}, {0, 6, 0}, 0);
+    mb.addQuad({0, 0, 10}, {0, 6, 10}, {10, 6, 10}, {10, 0, 10}, 0);
+    // Ceiling light.
+    mb.addQuad({4, 5.95f, 4}, {4, 5.95f, 6}, {6, 5.95f, 6}, {6, 5.95f, 4}, 1);
+    // A block in the middle.
+    mb.addBox({4, 0, 4.5f}, {6, 2, 6.5f}, 2);
+
+    Camera cam({5.0f, 3.0f, 0.8f}, {5.0f, 1.5f, 6.0f}, {0, 1, 0}, 60.0f,
+               4.0f / 3.0f);
+    return Scene("test", mb.takeTriangles(), std::move(mats), cam);
+}
+
+} // namespace drs::scene

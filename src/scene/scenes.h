@@ -1,0 +1,58 @@
+#pragma once
+
+/**
+ * @file
+ * The four benchmark scenes of the paper's evaluation (Figure 7), rebuilt
+ * procedurally with matching geometric character:
+ *
+ *  - conference: indoor room, medium triangle count, unevenly distributed
+ *    furniture, area lights on the ceiling (rays terminate easily).
+ *  - fairy: "teapot in a stadium" — a small, highly detailed model inside
+ *    a large, simple open environment.
+ *  - sponza: enclosed courtyard with complex architecture (colonnades,
+ *    arches, galleries); rays are hard to terminate.
+ *  - plants: outdoor scene with a large number of densely distributed
+ *    triangles (foliage) that occlude reflected rays.
+ *
+ * Every generator takes a @c scale in (0, 1]: 1.0 approximates the paper's
+ * triangle counts (283K / 174K / 262K / 1.1M); smaller values reduce
+ * tessellation for faster simulation while preserving scene structure.
+ */
+
+#include <string>
+#include <vector>
+
+#include "scene/scene.h"
+
+namespace drs::scene {
+
+/** Identifier for the four benchmark scenes. */
+enum class SceneId
+{
+    Conference,
+    Fairy,
+    Sponza,
+    Plants,
+};
+
+/** All four scene ids in the paper's presentation order. */
+const std::vector<SceneId> &allSceneIds();
+
+/** Short lowercase name ("conference", "fairy", "sponza", "plants"). */
+std::string sceneName(SceneId id);
+
+/** Parse a scene name; throws std::invalid_argument on unknown names. */
+SceneId sceneFromName(const std::string &name);
+
+/** Build the scene @p id at tessellation @p scale in (0, 1]. */
+Scene makeScene(SceneId id, float scale = 0.25f);
+
+Scene makeConferenceScene(float scale = 0.25f);
+Scene makeFairyScene(float scale = 0.25f);
+Scene makeSponzaScene(float scale = 0.25f);
+Scene makePlantsScene(float scale = 0.25f);
+
+/** A tiny deterministic scene for unit tests (a lit box with one block). */
+Scene makeTestScene();
+
+} // namespace drs::scene

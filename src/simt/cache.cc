@@ -1,0 +1,60 @@
+#include "simt/cache.h"
+
+#include <stdexcept>
+
+namespace drs::simt {
+
+Cache::Cache(std::uint32_t size_bytes, std::uint32_t line_bytes,
+             std::uint32_t ways)
+    : lineBytes_(line_bytes), ways_(ways)
+{
+    if (line_bytes == 0 || (line_bytes & (line_bytes - 1)) != 0)
+        throw std::invalid_argument("cache line size must be a power of two");
+    if (ways == 0 || size_bytes < line_bytes * ways)
+        throw std::invalid_argument("cache too small for its associativity");
+    numSets_ = size_bytes / (line_bytes * ways);
+    if (numSets_ == 0)
+        numSets_ = 1;
+    lines_.resize(static_cast<std::size_t>(numSets_) * ways_);
+}
+
+bool
+Cache::access(std::uint64_t address)
+{
+    ++stats_.accesses;
+    ++useCounter_;
+
+    const std::uint64_t line_addr = address / lineBytes_;
+    const std::uint32_t set = static_cast<std::uint32_t>(line_addr % numSets_);
+    const std::uint64_t tag = line_addr / numSets_;
+
+    Line *base = &lines_[static_cast<std::size_t>(set) * ways_];
+    Line *victim = base;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            line.lastUse = useCounter_;
+            return true;
+        }
+        if (!line.valid) {
+            victim = &line;
+        } else if (victim->valid && line.lastUse < victim->lastUse) {
+            victim = &line;
+        }
+    }
+
+    ++stats_.misses;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lastUse = useCounter_;
+    return false;
+}
+
+void
+Cache::flush()
+{
+    for (auto &line : lines_)
+        line.valid = false;
+}
+
+} // namespace drs::simt

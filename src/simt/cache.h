@@ -1,0 +1,80 @@
+#pragma once
+
+/**
+ * @file
+ * Set-associative LRU cache model. Tag-only (no data), single-cycle lookup
+ * — latency is modeled by the memory system, this class just tracks
+ * hit/miss behaviour and working-set displacement so effects like the
+ * paper's "additional backup rays lead to L1 cache thrashing" reproduce.
+ */
+
+#include <cstdint>
+#include <vector>
+
+namespace drs::simt {
+
+/** Hit/miss statistics of one cache instance. */
+struct CacheStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t misses = 0;
+
+    double hitRate() const
+    {
+        return accesses ? 1.0 - static_cast<double>(misses) / accesses : 0.0;
+    }
+
+    void merge(const CacheStats &o)
+    {
+        accesses += o.accesses;
+        misses += o.misses;
+    }
+};
+
+/** A set-associative cache with true-LRU replacement. */
+class Cache
+{
+  public:
+    /**
+     * @param size_bytes total capacity
+     * @param line_bytes line size (power of two)
+     * @param ways associativity
+     */
+    Cache(std::uint32_t size_bytes, std::uint32_t line_bytes,
+          std::uint32_t ways);
+
+    /**
+     * Access the line containing @p address.
+     * @return true on hit; on miss the line is filled (allocate-on-miss).
+     */
+    bool access(std::uint64_t address);
+
+    /** Line size in bytes. */
+    std::uint32_t lineBytes() const { return lineBytes_; }
+
+    /** Number of sets. */
+    std::uint32_t numSets() const { return numSets_; }
+
+    const CacheStats &stats() const { return stats_; }
+    void resetStats() { stats_ = CacheStats{}; }
+
+    /** Invalidate all lines (does not reset stats). */
+    void flush();
+
+  private:
+    struct Line
+    {
+        std::uint64_t tag = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    std::uint32_t lineBytes_;
+    std::uint32_t ways_;
+    std::uint32_t numSets_;
+    std::uint64_t useCounter_ = 0;
+    std::vector<Line> lines_; // numSets_ * ways_, set-major
+    CacheStats stats_;
+};
+
+} // namespace drs::simt

@@ -1,0 +1,56 @@
+#pragma once
+
+/**
+ * @file
+ * Simulated GPU configuration. Defaults model the NVIDIA GeForce GTX780
+ * (Kepler) exactly as the paper's Table 1 configures GPGPU-Sim.
+ */
+
+#include <cstdint>
+
+namespace drs::simt {
+
+/** One cache level's geometry and hit latency. */
+struct CacheConfig
+{
+    std::uint32_t sizeBytes = 48 * 1024;
+    std::uint32_t lineBytes = 128;
+    std::uint32_t ways = 6;
+    /** Pipelined hit latency in core cycles. */
+    std::uint32_t hitLatency = 28;
+};
+
+/** Memory hierarchy parameters. */
+struct MemoryConfig
+{
+    CacheConfig l1Data{48 * 1024, 128, 6, 28};     ///< Table 1: 48 KB
+    CacheConfig l1Texture{48 * 1024, 128, 6, 28};  ///< Table 1: 48 KB
+    CacheConfig l2{1536 * 1024, 128, 12, 120};     ///< Table 1: 1536 KB
+    /** Additional latency of a DRAM access beyond an L2 hit. */
+    std::uint32_t dramLatency = 220;
+    /** Extra cycles per additional cache line touched by one warp access. */
+    std::uint32_t perLineSerialization = 2;
+};
+
+/**
+ * GPU microarchitectural parameters (paper Table 1).
+ */
+struct GpuConfig
+{
+    double clockGhz = 0.980;            ///< SMX clock frequency: 980 MHz
+    int simdLanes = 32;                 ///< SIMD lanes (= warp size)
+    int numSmx = 15;                    ///< SMXs/GPU
+    int schedulersPerSmx = 4;           ///< Warp schedulers/SMX (GTO)
+    int dispatchUnitsPerSmx = 8;        ///< Inst. dispatch units/SMX
+    int registersPerSmx = 65536;        ///< Registers/SMX
+    int registerBanks = 8;              ///< single-ported RF banks
+    MemoryConfig memory{};
+
+    /** Dual issue per scheduler (dispatch units / schedulers). */
+    int issuesPerScheduler() const
+    {
+        return dispatchUnitsPerSmx / schedulersPerSmx;
+    }
+};
+
+} // namespace drs::simt

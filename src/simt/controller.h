@@ -1,0 +1,128 @@
+#pragma once
+
+/**
+ * @file
+ * Interfaces between the SIMT core and ray-management hardware.
+ *
+ * The DRS control unit (src/core) and the DMK baseline (src/baselines)
+ * both sit on the warp-issue path of an SMX: they intercept the rdctrl
+ * instruction, may stall it, and decide which row of rays a warp works on
+ * and which traversal state the warp will process next. The SIMT core only
+ * sees these two small interfaces; it never depends on the concrete
+ * hardware models.
+ */
+
+#include <cstdint>
+
+namespace drs::simt {
+
+/** Ray traversal states, exactly the paper's three (Figure 1/4). */
+enum class TravState : std::uint8_t
+{
+    Fetch = 0, ///< slot must fetch a new ray (empty slots are Fetch)
+    Inner = 1, ///< ray must traverse inner BVH nodes
+    Leaf = 2,  ///< ray must test leaf triangles
+};
+
+/** Number of distinct TravState values. */
+inline constexpr int kNumTravStates = 3;
+
+/**
+ * The register-file-resident rows of ray state, as seen by ray-management
+ * hardware. Implemented by the traversal kernels (they own the actual
+ * per-slot live variables); the DRS control reads states and commands
+ * logical ray moves through it.
+ */
+class RowWorkspace
+{
+  public:
+    virtual ~RowWorkspace() = default;
+
+    /** Number of logical rows (N warps + M backup + 2 empty). */
+    virtual int rowCount() const = 0;
+
+    /** Lanes per row (the warp size). */
+    virtual int laneCount() const = 0;
+
+    /** Traversal state of slot (row, lane). */
+    virtual TravState state(int row, int lane) const = 0;
+
+    /**
+     * Move the ray of (src_row, src_lane) into (dst_row, dst_lane); the
+     * source slot becomes Fetch (empty). The destination must be Fetch.
+     */
+    virtual void moveRay(int src_row, int src_lane, int dst_row,
+                         int dst_lane) = 0;
+
+    /** Exchange the rays (or emptiness) of two slots. */
+    virtual void swapRays(int row_a, int lane_a, int row_b, int lane_b) = 0;
+
+    /** True when the SMX's input ray pool is exhausted. */
+    virtual bool poolEmpty() const = 0;
+
+    /** Number of live (Inner or Leaf) rays currently held in rows. */
+    virtual std::size_t liveRays() const = 0;
+};
+
+/** Outcome of a warp's attempt to issue the rdctrl instruction. */
+struct RdctrlResult
+{
+    /** Issue cannot proceed this cycle (ongoing shuffling, no row). */
+    bool stall = false;
+    /** trav_ctrl_val == EXIT: the warp leaves the kernel. */
+    bool exit = false;
+    /** Traversal state the warp will process (valid when proceeding). */
+    TravState ctrl = TravState::Fetch;
+    /** Row the warp is now mapped to (valid when proceeding). */
+    int row = -1;
+    /** Active-lane mask for the selected body. */
+    std::uint32_t mask = 0;
+    /**
+     * Lanes whose slots are empty and receive FETCH as their per-thread
+     * trav_ctrl_val (rdctrl reads a value per thread): these lanes run
+     * the fetch if-body before the warp returns to rdctrl, refilling
+     * holes without a shuffle. 0 when the row has no refillable holes.
+     */
+    std::uint32_t fetchMask = 0;
+    /**
+     * Spawn-overhead warp instructions to issue before the body (the
+     * DMK's data dump/load instructions; 0 for DRS).
+     */
+    int overheadInstructions = 0;
+    /** Unhidden stall cycles charged with the overhead (bank conflicts). */
+    std::uint32_t overheadStallCycles = 0;
+};
+
+class Smx; // forward declaration (simt/smx.h)
+
+/**
+ * Ray-management hardware attached to one SMX (DRS control or DMK).
+ * A null controller means the plain baseline GPU (Aila's kernel).
+ */
+class WarpController
+{
+  public:
+    virtual ~WarpController() = default;
+
+    /**
+     * Bind to the SMX this controller serves, after the SMX exists.
+     * Controllers use it for shuffle-statistic callbacks.
+     */
+    virtual void attach(Smx &smx) { (void)smx; }
+
+    /**
+     * A warp wants to issue rdctrl. Called once per issue attempt; a
+     * stalled warp retries every cycle.
+     */
+    virtual RdctrlResult onRdctrl(int warp) = 0;
+
+    /**
+     * Advance one core cycle (ray-swap engine progress).
+     * @param issued_instructions instructions the SMX issued this cycle,
+     *        used to model register-bank contention with the operand
+     *        collectors.
+     */
+    virtual void cycle(int issued_instructions) = 0;
+};
+
+} // namespace drs::simt

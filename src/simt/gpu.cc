@@ -1,0 +1,86 @@
+#include "simt/gpu.h"
+
+#include <stdexcept>
+
+namespace drs::simt {
+
+SimStats
+runGpu(const GpuConfig &config, const SmxFactory &factory,
+       std::uint64_t max_cycles)
+{
+    SharedMemorySide shared(config.memory);
+
+    // Two-phase construction: the Smx needs the kernel and the controller
+    // needs the Smx (for shuffle-stat callbacks), so SMXs are built with a
+    // placeholder and wired immediately after.
+    struct Unit
+    {
+        SmxSetup setup;
+        std::unique_ptr<Smx> smx;
+    };
+    std::vector<Unit> units;
+    units.reserve(static_cast<std::size_t>(config.numSmx));
+
+    for (int i = 0; i < config.numSmx; ++i) {
+        Unit unit;
+        unit.setup = factory(i);
+        if (!unit.setup.kernel)
+            throw std::invalid_argument("SMX factory returned no kernel");
+        unit.smx = std::make_unique<Smx>(config, *unit.setup.kernel,
+                                         unit.setup.controller.get(),
+                                         unit.setup.numWarps, shared);
+        if (unit.setup.controller)
+            unit.setup.controller->attach(*unit.smx);
+        units.push_back(std::move(unit));
+    }
+
+    // Cycle-interleaved execution of all SMXs so the shared L2 sees a
+    // realistic access interleaving.
+    bool all_done = false;
+    std::uint64_t cycle = 0;
+    while (!all_done && cycle < max_cycles) {
+        all_done = true;
+        for (auto &unit : units) {
+            if (!unit.smx->done()) {
+                unit.smx->step();
+                all_done = false;
+            }
+        }
+        ++cycle;
+    }
+    if (!all_done)
+        throw std::runtime_error("GPU simulation exceeded max_cycles");
+
+    SimStats total;
+    for (auto &unit : units)
+        total.merge(unit.smx->collectStats());
+    total.l2 = shared.l2Stats();
+    return total;
+}
+
+std::pair<std::size_t, std::size_t>
+rayStripe(std::size_t total_rays, int num_smx, int smx_index, int warp_size)
+{
+    const std::size_t groups =
+        (total_rays + static_cast<std::size_t>(warp_size) - 1) /
+        static_cast<std::size_t>(warp_size);
+    const std::size_t per_smx =
+        groups / static_cast<std::size_t>(num_smx);
+    const std::size_t remainder =
+        groups % static_cast<std::size_t>(num_smx);
+
+    const auto idx = static_cast<std::size_t>(smx_index);
+    const std::size_t my_groups = per_smx + (idx < remainder ? 1 : 0);
+    const std::size_t first_group =
+        idx * per_smx + std::min(idx, remainder);
+
+    const std::size_t first = first_group * static_cast<std::size_t>(warp_size);
+    if (first >= total_rays)
+        return {total_rays, 0};
+    const std::size_t count =
+        std::min(my_groups * static_cast<std::size_t>(warp_size),
+                 total_rays - first);
+    return {first, count};
+}
+
+} // namespace drs::simt

@@ -1,0 +1,61 @@
+#pragma once
+
+/**
+ * @file
+ * GPU top level: a set of SMXs sharing an L2, each running one kernel
+ * instance over its stripe of the input ray batch. Mirrors the paper's
+ * evaluation flow: a batch of rays (one bounce of a capture) is traced to
+ * completion and statistics are aggregated.
+ */
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "simt/config.h"
+#include "simt/controller.h"
+#include "simt/kernel.h"
+#include "simt/memory.h"
+#include "simt/sim_stats.h"
+#include "simt/smx.h"
+
+namespace drs::simt {
+
+/** Everything one SMX needs: its kernel and optional controller. */
+struct SmxSetup
+{
+    std::unique_ptr<Kernel> kernel;
+    std::unique_ptr<WarpController> controller; ///< may be null (baseline)
+    int numWarps = 48;
+};
+
+/**
+ * Factory invoked once per SMX; @p smx_index selects the ray stripe. The
+ * returned controller (if any) is attach()ed to its Smx after
+ * construction so it can report shuffle statistics.
+ */
+using SmxFactory = std::function<SmxSetup(int smx_index)>;
+
+/**
+ * Run one ray batch to completion on a simulated GPU.
+ *
+ * @param config GPU parameters (Table 1 defaults)
+ * @param factory per-SMX kernel/controller factory
+ * @param max_cycles safety bound; stats.cycles < max_cycles on success
+ * @return aggregated statistics (cycles = slowest SMX)
+ */
+SimStats runGpu(const GpuConfig &config, const SmxFactory &factory,
+                std::uint64_t max_cycles = 2'000'000'000ULL);
+
+/**
+ * Split @p total_rays into per-SMX stripes of whole 32-ray groups, so
+ * consecutive rays stay in the same warp fetch (preserving primary-ray
+ * coherence like the real persistent-threads global ray pool).
+ *
+ * @return (first_ray, count) for @p smx_index of @p num_smx
+ */
+std::pair<std::size_t, std::size_t> rayStripe(std::size_t total_rays,
+                                              int num_smx, int smx_index,
+                                              int warp_size = 32);
+
+} // namespace drs::simt

@@ -1,0 +1,146 @@
+#include "simt/kernel_ir.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace drs::simt {
+
+Program::Program(std::vector<Block> blocks, int exit_block)
+    : blocks_(std::move(blocks)), exitBlock_(exit_block)
+{
+    validate();
+    computePostDominators();
+}
+
+void
+Program::validate() const
+{
+    const int n = blockCount();
+    if (n == 0)
+        throw std::invalid_argument("program has no blocks");
+    if (exitBlock_ < 0 || exitBlock_ >= n)
+        throw std::invalid_argument("exit block id out of range");
+    if (!blocks_[exitBlock_].successors.empty())
+        throw std::invalid_argument("exit block must have no successors");
+
+    for (int i = 0; i < n; ++i) {
+        const Block &b = blocks_[i];
+        if (i != exitBlock_ && b.successors.empty())
+            throw std::invalid_argument("non-exit block '" + b.name +
+                                        "' has no successors");
+        if (b.instructionCount <= 0)
+            throw std::invalid_argument("block '" + b.name +
+                                        "' has non-positive size");
+        for (int s : b.successors)
+            if (s < 0 || s >= n)
+                throw std::invalid_argument("block '" + b.name +
+                                            "' has invalid successor");
+    }
+
+    // Every block must reach the exit, or post-dominators are undefined.
+    std::vector<char> reaches(n, 0);
+    reaches[exitBlock_] = 1;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (int i = 0; i < n; ++i) {
+            if (reaches[i])
+                continue;
+            for (int s : blocks_[i].successors) {
+                if (reaches[s]) {
+                    reaches[i] = 1;
+                    changed = true;
+                    break;
+                }
+            }
+        }
+    }
+    for (int i = 0; i < n; ++i)
+        if (!reaches[i])
+            throw std::invalid_argument("block '" + blocks_[i].name +
+                                        "' cannot reach the exit");
+}
+
+void
+Program::computePostDominators()
+{
+    // Iterative dataflow over the reverse CFG: pdom(exit) = {exit};
+    // pdom(b) = {b} ∪ ⋂ pdom(s) over successors s. Represented as bitsets.
+    const int n = blockCount();
+    const int words = (n + 63) / 64;
+    std::vector<std::uint64_t> pdom(static_cast<std::size_t>(n) * words,
+                                    ~0ULL);
+
+    auto bit = [&](int node, int of) -> bool {
+        return (pdom[static_cast<std::size_t>(node) * words + of / 64] >>
+                (of % 64)) & 1ULL;
+    };
+
+    // exit's set = {exit}
+    for (int w = 0; w < words; ++w)
+        pdom[static_cast<std::size_t>(exitBlock_) * words + w] = 0;
+    pdom[static_cast<std::size_t>(exitBlock_) * words + exitBlock_ / 64] |=
+        1ULL << (exitBlock_ % 64);
+
+    bool changed = true;
+    std::vector<std::uint64_t> tmp(words);
+    while (changed) {
+        changed = false;
+        for (int b = 0; b < n; ++b) {
+            if (b == exitBlock_)
+                continue;
+            std::fill(tmp.begin(), tmp.end(), ~0ULL);
+            for (int s : blocks_[b].successors)
+                for (int w = 0; w < words; ++w)
+                    tmp[w] &= pdom[static_cast<std::size_t>(s) * words + w];
+            tmp[b / 64] |= 1ULL << (b % 64);
+            for (int w = 0; w < words; ++w) {
+                auto &cur = pdom[static_cast<std::size_t>(b) * words + w];
+                if (cur != tmp[w]) {
+                    cur = tmp[w];
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    // Immediate post-dominator: the strict post-dominator of b that is
+    // post-dominated by every other strict post-dominator of b, i.e. the
+    // one whose own pdom set has maximum size among b's strict pdoms.
+    ipdom_.assign(n, exitBlock_);
+    ipdom_[exitBlock_] = exitBlock_;
+    for (int b = 0; b < n; ++b) {
+        if (b == exitBlock_)
+            continue;
+        int best = exitBlock_;
+        std::size_t best_size = 0;
+        for (int c = 0; c < n; ++c) {
+            if (c == b || !bit(b, c))
+                continue;
+            std::size_t size = 0;
+            for (int w = 0; w < words; ++w) {
+                std::uint64_t v =
+                    pdom[static_cast<std::size_t>(c) * words + w];
+                size += static_cast<std::size_t>(__builtin_popcountll(v));
+            }
+            // The immediate pdom is the strict pdom with the LARGEST pdom
+            // set (it is the closest to b along every path to exit).
+            if (size > best_size) {
+                best_size = size;
+                best = c;
+            }
+        }
+        ipdom_[b] = best;
+    }
+}
+
+int
+Program::totalInstructionCount() const
+{
+    int total = 0;
+    for (const auto &b : blocks_)
+        total += b.instructionCount;
+    return total;
+}
+
+} // namespace drs::simt

@@ -1,0 +1,88 @@
+#include "simt/memory.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace drs::simt {
+
+SharedMemorySide::SharedMemorySide(const MemoryConfig &config)
+    : config_(config),
+      l2_(config.l2.sizeBytes, config.l2.lineBytes, config.l2.ways)
+{
+}
+
+std::uint32_t
+SharedMemorySide::accessLine(std::uint64_t address)
+{
+    const bool hit = l2_.access(address);
+    return config_.l2.hitLatency + (hit ? 0u : config_.dramLatency);
+}
+
+SmxMemory::SmxMemory(const MemoryConfig &config, SharedMemorySide &shared)
+    : config_(config),
+      shared_(shared),
+      l1Data_(config.l1Data.sizeBytes, config.l1Data.lineBytes,
+              config.l1Data.ways),
+      l1Texture_(config.l1Texture.sizeBytes, config.l1Texture.lineBytes,
+                 config.l1Texture.ways)
+{
+}
+
+std::uint32_t
+SmxMemory::warpAccess(MemSpace space,
+                      const std::vector<std::uint64_t> &addresses,
+                      std::uint32_t bytes)
+{
+    if (space == MemSpace::None || addresses.empty())
+        return 0;
+
+    Cache &l1 = (space == MemSpace::Texture) ? l1Texture_ : l1Data_;
+    const std::uint32_t line = l1.lineBytes();
+
+    // Coalesce: collect the distinct lines this warp instruction touches.
+    // An access of `bytes` bytes may straddle a line boundary.
+    std::vector<std::uint64_t> lines;
+    lines.reserve(addresses.size());
+    for (std::uint64_t a : addresses) {
+        const std::uint64_t first = a / line;
+        const std::uint64_t last = (a + std::max(bytes, 1u) - 1) / line;
+        for (std::uint64_t l = first; l <= last; ++l)
+            lines.push_back(l);
+    }
+    std::sort(lines.begin(), lines.end());
+    lines.erase(std::unique(lines.begin(), lines.end()), lines.end());
+
+    const std::uint32_t l1_latency = (space == MemSpace::Texture)
+                                         ? config_.l1Texture.hitLatency
+                                         : config_.l1Data.hitLatency;
+
+    // The warp waits for the slowest line; additional lines serialize at
+    // the L1 port, adding a small per-line charge (memory divergence).
+    std::uint32_t worst = 0;
+    for (std::uint64_t l : lines) {
+        const std::uint64_t byte_addr = l * line;
+        std::uint32_t latency = l1_latency;
+        if (!l1.access(byte_addr))
+            latency += shared_.accessLine(byte_addr);
+        worst = std::max(worst, latency);
+    }
+    const auto extra = static_cast<std::uint32_t>(lines.size() - 1) *
+                       config_.perLineSerialization;
+    return worst + extra;
+}
+
+void
+SmxMemory::resetStats()
+{
+    l1Data_.resetStats();
+    l1Texture_.resetStats();
+}
+
+void
+SmxMemory::flush()
+{
+    l1Data_.flush();
+    l1Texture_.flush();
+}
+
+} // namespace drs::simt

@@ -1,0 +1,69 @@
+#pragma once
+
+/**
+ * @file
+ * Memory hierarchy: per-SMX L1 data and L1 texture caches in front of a
+ * GPU-wide shared L2 and a fixed-latency DRAM, as configured by the
+ * paper's Table 1. A warp memory instruction coalesces its lanes'
+ * addresses into distinct cache lines; the warp then waits for the worst
+ * line plus a small per-line serialization charge.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "simt/cache.h"
+#include "simt/config.h"
+#include "simt/kernel_ir.h"
+
+namespace drs::simt {
+
+/** The GPU-wide shared memory side (L2 + DRAM). */
+class SharedMemorySide
+{
+  public:
+    explicit SharedMemorySide(const MemoryConfig &config);
+
+    /** Access one line address; returns latency beyond the L1 miss. */
+    std::uint32_t accessLine(std::uint64_t address);
+
+    const CacheStats &l2Stats() const { return l2_.stats(); }
+    void resetStats() { l2_.resetStats(); }
+    void flush() { l2_.flush(); }
+
+  private:
+    MemoryConfig config_;
+    Cache l2_;
+};
+
+/** The per-SMX memory path (both L1s), backed by a SharedMemorySide. */
+class SmxMemory
+{
+  public:
+    SmxMemory(const MemoryConfig &config, SharedMemorySide &shared);
+
+    /**
+     * Perform a coalesced warp access.
+     *
+     * @param space Global (L1D) or Texture (L1T)
+     * @param addresses per-active-lane byte addresses
+     * @param bytes access width per lane
+     * @return total warp latency in cycles
+     */
+    std::uint32_t warpAccess(MemSpace space,
+                             const std::vector<std::uint64_t> &addresses,
+                             std::uint32_t bytes);
+
+    const CacheStats &l1DataStats() const { return l1Data_.stats(); }
+    const CacheStats &l1TextureStats() const { return l1Texture_.stats(); }
+    void resetStats();
+    void flush();
+
+  private:
+    MemoryConfig config_;
+    SharedMemorySide &shared_;
+    Cache l1Data_;
+    Cache l1Texture_;
+};
+
+} // namespace drs::simt

@@ -1,0 +1,277 @@
+#include "simt/smx.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace drs::simt {
+
+namespace {
+
+/** Approximate operand-collector traffic of one warp instruction. */
+constexpr std::uint64_t kRfAccessesPerInstruction = 3;
+
+} // namespace
+
+Smx::Smx(const GpuConfig &config, Kernel &kernel, WarpController *controller,
+         int num_warps, SharedMemorySide &shared)
+    : config_(config),
+      kernel_(kernel),
+      controller_(controller),
+      memory_(config.memory, shared),
+      lastIssued_(static_cast<std::size_t>(config.schedulersPerSmx), -1),
+      blockIssue_(static_cast<std::size_t>(kernel.program().blockCount()),
+                  {0, 0}),
+      nextBlocks_(static_cast<std::size_t>(config.simdLanes), -1),
+      memAddresses_()
+{
+    const Program &prog = kernel.program();
+    const int entry = 0;
+    warps_.reserve(static_cast<std::size_t>(num_warps));
+    for (int w = 0; w < num_warps; ++w) {
+        warps_.emplace_back(w, w, entry, prog.exitBlock(), config.simdLanes);
+        warps_.back().age = static_cast<std::uint64_t>(w);
+    }
+    memAddresses_.reserve(static_cast<std::size_t>(config.simdLanes));
+}
+
+bool
+Smx::done() const
+{
+    for (const auto &w : warps_)
+        if (!w.exited())
+            return false;
+    return true;
+}
+
+bool
+Smx::warpReady(const Warp &warp) const
+{
+    return !warp.exited() && warp.readyCycle <= cycle_;
+}
+
+bool
+Smx::resolveRdctrl(Warp &warp)
+{
+    assert(controller_ != nullptr);
+    const RdctrlResult result = controller_->onRdctrl(warp.id());
+    if (result.stall) {
+        if (!warp.stalledOnRdctrl) {
+            warp.stalledOnRdctrl = true;
+            ++rdctrlStalledIssues_;
+        }
+        return false;
+    }
+    warp.stalledOnRdctrl = false;
+    warp.rdctrlResolved = true;
+    warp.pendingExit = result.exit;
+    warp.pendingBody = result.exit ? -1 : kernel_.blockForState(result.ctrl);
+    warp.pendingMask = result.mask;
+    warp.pendingFetchMask = result.fetchMask;
+    warp.pendingFetchBody =
+        result.fetchMask ? kernel_.blockForState(TravState::Fetch) : -1;
+    if (result.row >= 0)
+        warp.bindRow(result.row);
+    warp.overheadInstructions = result.overheadInstructions;
+    if (result.overheadStallCycles > 0) {
+        warp.readyCycle = cycle_ + result.overheadStallCycles;
+        spawnConflictCycles_ += result.overheadStallCycles;
+    }
+    return true;
+}
+
+int
+Smx::issueFromWarp(Warp &warp, int max_issues)
+{
+    if (warp.exited() || warp.readyCycle > cycle_)
+        return 0;
+
+    const Program &prog = kernel_.program();
+
+    // Starting a fresh block: handle the rdctrl handshake first.
+    if (warp.remainingInstructions == 0 && warp.overheadInstructions == 0) {
+        const Block &block = prog.block(warp.pc());
+        if (block.specialOp == SpecialOp::Rdctrl && !warp.rdctrlResolved) {
+            if (controller_ == nullptr)
+                throw std::logic_error(
+                    "rdctrl kernel running without a controller");
+            if (!resolveRdctrl(warp))
+                return 0;
+            if (warp.readyCycle > cycle_)
+                return 0; // spawn-overhead stall charged by the controller
+        }
+        warp.remainingInstructions = block.instructionCount;
+    }
+
+    const Block &block = prog.block(warp.pc());
+    const int active = popcount(warp.activeMask());
+    int issued = 0;
+    while (issued < max_issues &&
+           (warp.overheadInstructions > 0 || warp.remainingInstructions > 0)) {
+        if (warp.overheadInstructions > 0) {
+            // DMK spawn data movement: full-warp instructions tagged SI.
+            histogram_.recordInstruction(config_.simdLanes, true);
+            --warp.overheadInstructions;
+        } else {
+            histogram_.recordInstruction(active, block.spawnRelated);
+            auto &issue = blockIssue_[static_cast<std::size_t>(warp.pc())];
+            issue.first += 1;
+            issue.second += static_cast<std::uint64_t>(active);
+            --warp.remainingInstructions;
+        }
+        normalRfAccesses_ += kRfAccessesPerInstruction;
+        ++issued;
+        warp.lastIssueCycle = cycle_;
+        if (warp.overheadInstructions == 0 &&
+            warp.remainingInstructions == 0) {
+            completeBlock(warp);
+            break; // block boundary: stop dual issue across blocks
+        }
+    }
+    return issued;
+}
+
+void
+Smx::completeBlock(Warp &warp)
+{
+    const Program &prog = kernel_.program();
+    const int pc = warp.pc();
+    const Block &block = prog.block(pc);
+
+    if (block.specialOp == SpecialOp::Rdctrl) {
+        ++rdctrlIssued_;
+        warp.rdctrlResolved = false;
+        if (warp.pendingExit) {
+            warp.forceExit();
+        } else {
+            assert(warp.pendingBody >= 0);
+            // Hole lanes run the fetch body after the main body (both
+            // entries reconverge back at rdctrl, where pc still points).
+            if (warp.pendingFetchMask != 0 && warp.pendingFetchBody >= 0 &&
+                warp.pendingFetchBody != warp.pendingBody) {
+                warp.pushUniformBody(warp.pendingFetchBody,
+                                     warp.pendingFetchMask, pc);
+            }
+            warp.pushUniformBody(warp.pendingBody, warp.pendingMask, pc);
+        }
+        return;
+    }
+
+    const std::uint32_t mask = warp.activeMask();
+    memAddresses_.clear();
+    std::uint32_t bytes = 0;
+    for (int lane = 0; lane < config_.simdLanes; ++lane) {
+        if (!(mask & (1u << lane)))
+            continue;
+        const ThreadStep step = kernel_.execute(pc, warp.row(), lane);
+        nextBlocks_[static_cast<std::size_t>(lane)] = step.nextBlock;
+        if (block.memSpace != MemSpace::None && step.memBytes > 0) {
+            memAddresses_.push_back(step.memAddress);
+            bytes = step.memBytes;
+        }
+    }
+
+    if (!memAddresses_.empty()) {
+        const std::uint32_t latency =
+            memory_.warpAccess(block.memSpace, memAddresses_, bytes);
+        warp.readyCycle = cycle_ + latency;
+    }
+
+    warp.applySuccessors(nextBlocks_, prog);
+}
+
+void
+Smx::step()
+{
+    int issued_total = 0;
+    const int per_scheduler = config_.issuesPerScheduler();
+    const int schedulers = config_.schedulersPerSmx;
+
+    for (int s = 0; s < schedulers; ++s) {
+        // Greedy-then-oldest: try the warp this scheduler issued from
+        // last; when it cannot issue, fall back to the oldest ready warp.
+        int issued = 0;
+        const int last = lastIssued_[static_cast<std::size_t>(s)];
+        if (last >= 0) {
+            Warp &warp = warps_[static_cast<std::size_t>(last)];
+            if (warpReady(warp))
+                issued = issueFromWarp(warp, per_scheduler);
+        }
+
+        if (issued == 0) {
+            // Oldest-first scan over this scheduler's warp partition;
+            // warps that fail to issue (e.g. stalled on rdctrl) are
+            // skipped and the next-oldest is tried.
+            bool have_floor = false;
+            std::uint64_t age_floor = 0;
+            while (issued == 0) {
+                int candidate = -1;
+                std::uint64_t cand_age = ~0ULL;
+                for (std::size_t w = static_cast<std::size_t>(s);
+                     w < warps_.size();
+                     w += static_cast<std::size_t>(schedulers)) {
+                    Warp &warp = warps_[w];
+                    if (!warpReady(warp))
+                        continue;
+                    if (have_floor && warp.age <= age_floor)
+                        continue;
+                    if (warp.age < cand_age) {
+                        cand_age = warp.age;
+                        candidate = static_cast<int>(w);
+                    }
+                }
+                if (candidate < 0)
+                    break;
+                issued = issueFromWarp(
+                    warps_[static_cast<std::size_t>(candidate)],
+                    per_scheduler);
+                if (issued > 0) {
+                    lastIssued_[static_cast<std::size_t>(s)] = candidate;
+                } else {
+                    have_floor = true;
+                    age_floor = cand_age;
+                }
+            }
+        }
+        issued_total += issued;
+    }
+
+    // Count stall time of rdctrl-stalled warps (Figure 9's metric).
+    for (const auto &w : warps_)
+        if (w.stalledOnRdctrl && !w.exited())
+            ++rdctrlStallCycles_;
+
+    if (controller_ != nullptr)
+        controller_->cycle(issued_total);
+
+    ++cycle_;
+}
+
+void
+Smx::run(std::uint64_t max_cycles)
+{
+    while (!done() && cycle_ < max_cycles)
+        step();
+}
+
+SimStats
+Smx::collectStats() const
+{
+    SimStats s;
+    s.cycles = cycle_;
+    s.histogram = histogram_;
+    s.raysTraced = kernel_.raysCompleted();
+    s.rdctrlIssued = rdctrlIssued_;
+    s.rdctrlStalledIssues = rdctrlStalledIssues_;
+    s.rdctrlStallCycles = rdctrlStallCycles_;
+    s.rfAccessesNormal = normalRfAccesses_;
+    s.rfAccessesShuffle = shuffleRfAccesses_;
+    s.raySwapsCompleted = raySwapsCompleted_;
+    s.raySwapCycles = raySwapCycles_;
+    s.spawnBankConflictCycles = spawnConflictCycles_;
+    s.blockIssue = blockIssue_;
+    s.l1Data = memory_.l1DataStats();
+    s.l1Texture = memory_.l1TextureStats();
+    return s;
+}
+
+} // namespace drs::simt

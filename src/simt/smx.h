@@ -1,0 +1,110 @@
+#pragma once
+
+/**
+ * @file
+ * One streaming multiprocessor (SMX): warps, greedy-then-oldest warp
+ * schedulers with dual issue, the per-SMX memory path, and the hook points
+ * for ray-management hardware (rdctrl interception). This is the heart of
+ * the GPGPU-Sim substitute.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "simt/config.h"
+#include "simt/controller.h"
+#include "simt/kernel.h"
+#include "simt/memory.h"
+#include "simt/sim_stats.h"
+#include "simt/warp.h"
+
+namespace drs::simt {
+
+/**
+ * A simulated SMX executing one kernel with a fixed set of resident warps
+ * (persistent-threads style, as in the paper's setup: Aila's kernel spawns
+ * 48 warps, the DRS Kernel 1 spawns 60).
+ */
+class Smx
+{
+  public:
+    /**
+     * @param config GPU configuration (Table 1)
+     * @param kernel kernel bound to this SMX (owns its ray pool/rows)
+     * @param controller ray-management hardware, or nullptr for baseline
+     * @param num_warps resident warps
+     * @param shared GPU-wide L2/DRAM side
+     */
+    Smx(const GpuConfig &config, Kernel &kernel, WarpController *controller,
+        int num_warps, SharedMemorySide &shared);
+
+    /** True when every warp has exited. */
+    bool done() const;
+
+    /** Advance one core cycle. */
+    void step();
+
+    /** Current cycle count. */
+    std::uint64_t cycle() const { return cycle_; }
+
+    /** Run to completion, bounding runaway simulations. */
+    void run(std::uint64_t max_cycles = ~0ULL);
+
+    /** Statistics gathered so far (cache stats included). */
+    SimStats collectStats() const;
+
+    /** Shuffle-side RF access/swap counters, added by the controller. */
+    void addShuffleRfAccesses(std::uint64_t n) { shuffleRfAccesses_ += n; }
+    void recordRaySwap(std::uint64_t duration_cycles)
+    {
+        ++raySwapsCompleted_;
+        raySwapCycles_ += duration_cycles;
+    }
+    void addSpawnConflictCycles(std::uint64_t n)
+    {
+        spawnConflictCycles_ += n;
+    }
+
+    const std::vector<Warp> &warps() const { return warps_; }
+
+  private:
+    /** Try to issue up to the dual-issue width from warp @p w. */
+    int issueFromWarp(Warp &warp, int max_issues);
+
+    /** A block's instructions finished issuing: run semantics. */
+    void completeBlock(Warp &warp);
+
+    /** Handle the rdctrl handshake; returns false when the warp stalls. */
+    bool resolveRdctrl(Warp &warp);
+
+    bool warpReady(const Warp &warp) const;
+
+    const GpuConfig &config_;
+    Kernel &kernel_;
+    WarpController *controller_;
+    SmxMemory memory_;
+    std::vector<Warp> warps_;
+    /** Last warp each scheduler issued from (greedy policy). */
+    std::vector<int> lastIssued_;
+    std::uint64_t cycle_ = 0;
+
+    stats::ActiveThreadHistogram histogram_;
+    std::uint64_t rdctrlIssued_ = 0;
+    std::uint64_t rdctrlStalledIssues_ = 0;
+    std::uint64_t rdctrlStallCycles_ = 0;
+    std::uint64_t normalRfAccesses_ = 0;
+    std::uint64_t shuffleRfAccesses_ = 0;
+    std::uint64_t raySwapsCompleted_ = 0;
+    std::uint64_t raySwapCycles_ = 0;
+    std::uint64_t spawnConflictCycles_ = 0;
+
+    /** Per-block {instructions, active-thread sum} (see SimStats). */
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> blockIssue_;
+
+    // Scratch reused across completeBlock calls.
+    std::vector<int> nextBlocks_;
+    std::vector<std::uint64_t> memAddresses_;
+};
+
+} // namespace drs::simt

@@ -1,0 +1,75 @@
+#include "stats/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace drs::stats {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    row.resize(header_.size());
+    rows_.push_back(std::move(row));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+               << row[c];
+        }
+        os << '\n';
+    };
+
+    emit_row(header_);
+    std::size_t total = 0;
+    for (auto w : widths)
+        total += w + 2;
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        emit_row(row);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                os << ',';
+            os << row[c];
+        }
+        os << '\n';
+    };
+    emit_row(header_);
+    for (const auto &row : rows_)
+        emit_row(row);
+}
+
+std::string
+formatDouble(double v, int digits)
+{
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(digits) << v;
+    return ss.str();
+}
+
+std::string
+formatPercent(double v, int digits)
+{
+    return formatDouble(v * 100.0, digits) + "%";
+}
+
+} // namespace drs::stats

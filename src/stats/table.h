@@ -1,0 +1,49 @@
+#pragma once
+
+/**
+ * @file
+ * Fixed-width text table and CSV emitters used by the benchmark harness to
+ * print paper-style tables and figure series.
+ */
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace drs::stats {
+
+/**
+ * A simple table: a header row plus data rows, rendered with aligned
+ * columns or as CSV. Cells are strings; helpers format numbers.
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    /** Append a row; it is padded/truncated to the header width. */
+    void addRow(std::vector<std::string> row);
+
+    std::size_t numRows() const { return rows_.size(); }
+    std::size_t numCols() const { return header_.size(); }
+    const std::vector<std::string> &row(std::size_t i) const { return rows_.at(i); }
+    const std::vector<std::string> &header() const { return header_; }
+
+    /** Render with aligned fixed-width columns. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (no quoting; cells must not contain commas). */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format @p v with @p digits digits after the decimal point. */
+std::string formatDouble(double v, int digits = 2);
+
+/** Format @p v as a percentage (e.g. 0.4106 -> "41.06%"). */
+std::string formatPercent(double v, int digits = 2);
+
+} // namespace drs::stats

@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Tests for the extension features: any-hit (shadow ray) traversal mode
+ * on both kernels, the generic divergent-workload kernel (the paper's
+ * Section 4.6 future work), and the mesh-builder primitives behind the
+ * procedural scenes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bvh/builder.h"
+#include "bvh/traverse.h"
+#include "core/drs_control.h"
+#include "geom/rng.h"
+#include "kernels/aila_kernel.h"
+#include "kernels/drs_kernel.h"
+#include "kernels/generic_kernel.h"
+#include "scene/mesh.h"
+#include "scene/scenes.h"
+#include "simt/smx.h"
+
+namespace drs {
+namespace {
+
+using geom::Ray;
+using geom::Vec3;
+
+// ------------------------------------------------------------- Any-hit
+
+struct AnyHitSetup
+{
+    scene::Scene scene = scene::makeTestScene();
+    bvh::Bvh bvh;
+    std::vector<Ray> rays;
+
+    AnyHitSetup()
+    {
+        bvh = bvh::build(scene.triangles());
+        geom::Pcg32 rng(61);
+        for (int i = 0; i < 400; ++i) {
+            Ray ray;
+            ray.origin = {rng.nextFloat(1, 9), rng.nextFloat(0.5f, 5.5f),
+                          rng.nextFloat(1, 9)};
+            ray.direction = geom::normalize(
+                Vec3{rng.nextFloat(-1, 1), rng.nextFloat(-1, 1),
+                     rng.nextFloat(-1, 1)});
+            if (geom::lengthSquared(ray.direction) > 0)
+                rays.push_back(ray);
+        }
+    }
+};
+
+TEST(AnyHit, WorkspaceTerminatesOnFirstHit)
+{
+    AnyHitSetup setup;
+    kernels::TravWorkspace ws(setup.bvh, setup.scene.triangles(),
+                              setup.rays, 0, 1, 32, /*any_hit=*/true);
+    EXPECT_TRUE(ws.anyHitMode());
+    for (std::size_t i = 0; i < setup.rays.size(); ++i) {
+        ASSERT_TRUE(ws.fetchStep(0, 0));
+        int guard = 0;
+        while (ws.state(0, 0) != simt::TravState::Fetch &&
+               guard++ < 100000) {
+            if (ws.state(0, 0) == simt::TravState::Inner)
+                ws.innerStep(0, 0);
+            else
+                ws.leafStep(0, 0);
+        }
+        ASSERT_LT(guard, 100000);
+        // Occlusion answer must agree with the reference any-hit query.
+        const bool expected =
+            bvh::intersectAny(setup.bvh, setup.scene.triangles(),
+                              setup.rays[i]);
+        EXPECT_EQ(ws.results()[i].valid(), expected) << "ray " << i;
+    }
+}
+
+TEST(AnyHit, AilaKernelOcclusionAgreesWithReference)
+{
+    AnyHitSetup setup;
+    kernels::AilaConfig config;
+    config.numWarps = 4;
+    config.anyHit = true;
+    kernels::AilaKernel kernel(setup.bvh, setup.scene.triangles(),
+                               setup.rays, 0, config);
+    simt::GpuConfig gpu;
+    simt::SharedMemorySide shared(gpu.memory);
+    simt::Smx smx(gpu, kernel, nullptr, config.numWarps, shared);
+    smx.run(100'000'000);
+    ASSERT_TRUE(smx.done());
+    for (std::size_t i = 0; i < setup.rays.size(); ++i) {
+        const bool expected =
+            bvh::intersectAny(setup.bvh, setup.scene.triangles(),
+                              setup.rays[i]);
+        EXPECT_EQ(kernel.travWorkspace().results()[i].valid(), expected)
+            << "ray " << i;
+    }
+}
+
+TEST(AnyHit, DrsKernelOcclusionAgreesWithReference)
+{
+    AnyHitSetup setup;
+    kernels::DrsKernelConfig config;
+    config.numWarps = 4;
+    config.anyHit = true;
+    kernels::DrsKernel kernel(setup.bvh, setup.scene.triangles(),
+                              setup.rays, 0, config);
+    core::DrsConfig drs;
+    core::DrsControl control(drs, kernel.workspace(), config.numWarps);
+    simt::GpuConfig gpu;
+    simt::SharedMemorySide shared(gpu.memory);
+    simt::Smx smx(gpu, kernel, &control, config.numWarps, shared);
+    control.attach(smx);
+    smx.run(100'000'000);
+    ASSERT_TRUE(smx.done());
+    for (std::size_t i = 0; i < setup.rays.size(); ++i) {
+        const bool expected =
+            bvh::intersectAny(setup.bvh, setup.scene.triangles(),
+                              setup.rays[i]);
+        EXPECT_EQ(kernel.travWorkspace().results()[i].valid(), expected)
+            << "ray " << i;
+    }
+}
+
+TEST(AnyHit, FasterThanClosestHit)
+{
+    // Shadow rays skip the remaining traversal after the first hit, so
+    // the same batch must finish in fewer cycles.
+    AnyHitSetup setup;
+    auto run = [&](bool any_hit) {
+        kernels::AilaConfig config;
+        config.numWarps = 4;
+        config.anyHit = any_hit;
+        kernels::AilaKernel kernel(setup.bvh, setup.scene.triangles(),
+                                   setup.rays, 0, config);
+        simt::GpuConfig gpu;
+        simt::SharedMemorySide shared(gpu.memory);
+        simt::Smx smx(gpu, kernel, nullptr, config.numWarps, shared);
+        smx.run(100'000'000);
+        return smx.cycle();
+    };
+    EXPECT_LT(run(true), run(false));
+}
+
+// ----------------------------------------------- Generic workload (4.6)
+
+TEST(GenericKernel, WhileWhileCompletesAllTasks)
+{
+    kernels::GenericWorkloadConfig workload;
+    workload.taskCount = 2048;
+    kernels::GenericKernel kernel(workload,
+                                  kernels::GenericFlavour::WhileWhile, 8);
+    simt::GpuConfig gpu;
+    simt::SharedMemorySide shared(gpu.memory);
+    simt::Smx smx(gpu, kernel, nullptr, 8, shared);
+    smx.run(500'000'000);
+    ASSERT_TRUE(smx.done());
+    EXPECT_EQ(kernel.raysCompleted(), workload.taskCount);
+}
+
+TEST(GenericKernel, DrsShuffledCompletesAllTasksWithSameWork)
+{
+    kernels::GenericWorkloadConfig workload;
+    workload.taskCount = 2048;
+
+    kernels::GenericKernel baseline(
+        workload, kernels::GenericFlavour::WhileWhile, 8);
+    {
+        simt::GpuConfig gpu;
+        simt::SharedMemorySide shared(gpu.memory);
+        simt::Smx smx(gpu, baseline, nullptr, 8, shared);
+        smx.run(500'000'000);
+        ASSERT_TRUE(smx.done());
+    }
+
+    core::DrsConfig drs;
+    kernels::GenericKernel shuffled(workload,
+                                    kernels::GenericFlavour::WhileIf,
+                                    8 + drs.backupRows + 2);
+    {
+        simt::GpuConfig gpu;
+        simt::SharedMemorySide shared(gpu.memory);
+        core::DrsControl control(drs, shuffled.workspace(), 8);
+        simt::Smx smx(gpu, shuffled, &control, 8, shared);
+        control.attach(smx);
+        smx.run(500'000'000);
+        ASSERT_TRUE(smx.done());
+    }
+
+    EXPECT_EQ(shuffled.raysCompleted(), workload.taskCount);
+    // The shuffle changes scheduling, never the work itself.
+    EXPECT_EQ(shuffled.genericWorkspace().totalIterations(),
+              baseline.genericWorkspace().totalIterations());
+}
+
+TEST(GenericKernel, DrsImprovesEfficiencyOnDivergentTrips)
+{
+    kernels::GenericWorkloadConfig workload;
+    workload.taskCount = 8192;
+    workload.phaseAMin = 2;
+    workload.phaseAMax = 80; // heavy trip-count divergence
+
+    auto efficiency = [&](kernels::GenericFlavour flavour) {
+        core::DrsConfig drs;
+        const int warps = 16;
+        const int rows = flavour == kernels::GenericFlavour::WhileIf
+                             ? warps + drs.backupRows + 2
+                             : warps;
+        kernels::GenericKernel kernel(workload, flavour, rows);
+        simt::GpuConfig gpu;
+        simt::SharedMemorySide shared(gpu.memory);
+        std::unique_ptr<core::DrsControl> control;
+        if (flavour == kernels::GenericFlavour::WhileIf)
+            control = std::make_unique<core::DrsControl>(
+                drs, kernel.workspace(), warps);
+        simt::Smx smx(gpu, kernel, control.get(), warps, shared);
+        if (control)
+            control->attach(smx);
+        smx.run(1'000'000'000);
+        EXPECT_TRUE(smx.done());
+        return smx.collectStats().histogram.simdEfficiency();
+    };
+
+    const double plain = efficiency(kernels::GenericFlavour::WhileWhile);
+    const double drs = efficiency(kernels::GenericFlavour::WhileIf);
+    EXPECT_GT(drs, plain + 0.10); // the paper's claim, generalized
+}
+
+// -------------------------------------------------------- Mesh builders
+
+TEST(MeshBuilder, BoxHasTwelveTriangles)
+{
+    scene::MeshBuilder mb;
+    mb.addBox({0, 0, 0}, {1, 1, 1}, 0);
+    EXPECT_EQ(mb.size(), 12u);
+    geom::Aabb bounds;
+    for (const auto &t : mb.triangles())
+        bounds.extend(t.bounds());
+    EXPECT_EQ(bounds.lo, Vec3(0, 0, 0));
+    EXPECT_EQ(bounds.hi, Vec3(1, 1, 1));
+}
+
+TEST(MeshBuilder, QuadSplitsIntoTwo)
+{
+    scene::MeshBuilder mb;
+    mb.addQuad({0, 0, 0}, {1, 0, 0}, {1, 1, 0}, {0, 1, 0}, 2);
+    ASSERT_EQ(mb.size(), 2u);
+    EXPECT_EQ(mb.triangles()[0].material, 2);
+    float area = 0;
+    for (const auto &t : mb.triangles())
+        area += t.area();
+    EXPECT_FLOAT_EQ(area, 1.0f);
+}
+
+TEST(MeshBuilder, CylinderTriangleCount)
+{
+    scene::MeshBuilder mb;
+    mb.addCylinder({0, 0, 0}, 1.0f, 2.0f, 8, 0, /*capped=*/true);
+    // 8 side quads (2 tris each) + 8 bottom + 8 top caps.
+    EXPECT_EQ(mb.size(), 8u * 2 + 8 + 8);
+    scene::MeshBuilder open_mb;
+    open_mb.addCylinder({0, 0, 0}, 1.0f, 2.0f, 8, 0, /*capped=*/false);
+    EXPECT_EQ(open_mb.size(), 16u);
+}
+
+TEST(MeshBuilder, SphereVerticesOnSphere)
+{
+    scene::MeshBuilder mb;
+    const Vec3 center{1, 2, 3};
+    mb.addSphere(center, 2.0f, 8, 12, 0);
+    EXPECT_GT(mb.size(), 50u);
+    for (const auto &t : mb.triangles()) {
+        for (const Vec3 &v : {t.v0, t.v1, t.v2})
+            EXPECT_NEAR(geom::length(v - center), 2.0f, 1e-4f);
+    }
+}
+
+TEST(MeshBuilder, SphereflakeGrowsWithDepth)
+{
+    scene::MeshBuilder d0, d1, d2;
+    d0.addSphereflake({0, 0, 0}, 1.0f, 0, 6, 8, 12, 0);
+    d1.addSphereflake({0, 0, 0}, 1.0f, 1, 6, 8, 12, 0);
+    d2.addSphereflake({0, 0, 0}, 1.0f, 2, 6, 8, 12, 0);
+    EXPECT_GT(d1.size(), d0.size() * 2);
+    EXPECT_GT(d2.size(), d1.size());
+}
+
+TEST(MeshBuilder, PlantIsBoundedAndNonEmpty)
+{
+    scene::MeshBuilder mb;
+    geom::Pcg32 rng(3);
+    mb.addPlant({5, 0, 5}, 2.0f, 10, 0, 1, rng);
+    EXPECT_GT(mb.size(), 20u);
+    geom::Aabb bounds;
+    for (const auto &t : mb.triangles())
+        bounds.extend(t.bounds());
+    // The plant stays near its base and below ~2.5x its height.
+    EXPECT_GT(bounds.lo.y, -0.01f);
+    EXPECT_LT(bounds.hi.y, 5.0f);
+    EXPECT_LT(geom::length(bounds.center() - Vec3(5, 1, 5)), 3.0f);
+}
+
+} // namespace
+} // namespace drs

@@ -1,0 +1,357 @@
+/**
+ * @file
+ * Unit tests for the geometry substrate: vectors, AABBs, triangle
+ * intersection, RNG and low-discrepancy sampling.
+ */
+
+#include <cmath>
+#include <numbers>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "geom/aabb.h"
+#include "geom/ray.h"
+#include "geom/rng.h"
+#include "geom/sampler.h"
+#include "geom/triangle.h"
+#include "geom/vec.h"
+
+namespace drs::geom {
+namespace {
+
+TEST(Vec3, BasicArithmetic)
+{
+    const Vec3 a{1, 2, 3};
+    const Vec3 b{4, 5, 6};
+    EXPECT_EQ(a + b, Vec3(5, 7, 9));
+    EXPECT_EQ(b - a, Vec3(3, 3, 3));
+    EXPECT_EQ(a * 2.0f, Vec3(2, 4, 6));
+    EXPECT_EQ(2.0f * a, Vec3(2, 4, 6));
+    EXPECT_EQ(-a, Vec3(-1, -2, -3));
+    EXPECT_EQ(a / 2.0f, Vec3(0.5f, 1.0f, 1.5f));
+}
+
+TEST(Vec3, DotAndCross)
+{
+    EXPECT_FLOAT_EQ(dot(Vec3(1, 2, 3), Vec3(4, 5, 6)), 32.0f);
+    EXPECT_EQ(cross(Vec3(1, 0, 0), Vec3(0, 1, 0)), Vec3(0, 0, 1));
+    EXPECT_EQ(cross(Vec3(0, 1, 0), Vec3(1, 0, 0)), Vec3(0, 0, -1));
+    // Cross product is perpendicular to both inputs.
+    const Vec3 u{1.5f, -2.0f, 0.3f};
+    const Vec3 v{0.2f, 4.0f, -1.0f};
+    const Vec3 c = cross(u, v);
+    EXPECT_NEAR(dot(c, u), 0.0f, 1e-5f);
+    EXPECT_NEAR(dot(c, v), 0.0f, 1e-5f);
+}
+
+TEST(Vec3, NormalizeProducesUnitLength)
+{
+    const Vec3 v = normalize(Vec3{3, 4, 12});
+    EXPECT_NEAR(length(v), 1.0f, 1e-6f);
+    EXPECT_EQ(normalize(Vec3{}), Vec3{});
+}
+
+TEST(Vec3, MinMaxComponents)
+{
+    const Vec3 a{1, 5, 3};
+    const Vec3 b{2, 4, 6};
+    EXPECT_EQ(min(a, b), Vec3(1, 4, 3));
+    EXPECT_EQ(max(a, b), Vec3(2, 5, 6));
+    EXPECT_FLOAT_EQ(maxComponent(a), 5.0f);
+    EXPECT_FLOAT_EQ(minComponent(a), 1.0f);
+    EXPECT_EQ(maxDimension(Vec3(-9, 2, 3)), 0);
+    EXPECT_EQ(maxDimension(Vec3(1, -2, 1.5f)), 1);
+    EXPECT_EQ(maxDimension(Vec3(1, 2, -3)), 2);
+}
+
+TEST(Vec3, ReflectObeysLawOfReflection)
+{
+    const Vec3 d = normalize(Vec3{1, -1, 0});
+    const Vec3 n{0, 1, 0};
+    const Vec3 r = reflect(d, n);
+    EXPECT_NEAR(r.x, d.x, 1e-6f);
+    EXPECT_NEAR(r.y, -d.y, 1e-6f);
+    EXPECT_NEAR(length(r), 1.0f, 1e-6f);
+}
+
+TEST(OrthonormalBasis, IsOrthonormal)
+{
+    for (const Vec3 &n : {Vec3{0, 0, 1}, Vec3{0, 0, -1},
+                          normalize(Vec3{1, 2, 3}),
+                          normalize(Vec3{-0.3f, 0.9f, -0.1f})}) {
+        OrthonormalBasis onb(n);
+        EXPECT_NEAR(length(onb.tangent), 1.0f, 1e-5f);
+        EXPECT_NEAR(length(onb.bitangent), 1.0f, 1e-5f);
+        EXPECT_NEAR(dot(onb.tangent, onb.bitangent), 0.0f, 1e-5f);
+        EXPECT_NEAR(dot(onb.tangent, onb.normal), 0.0f, 1e-5f);
+        EXPECT_NEAR(dot(onb.bitangent, onb.normal), 0.0f, 1e-5f);
+        EXPECT_EQ(onb.toWorld(Vec3{0, 0, 1}), n);
+    }
+}
+
+TEST(Aabb, EmptyByDefault)
+{
+    Aabb box;
+    EXPECT_TRUE(box.empty());
+    EXPECT_FLOAT_EQ(box.surfaceArea(), 0.0f);
+}
+
+TEST(Aabb, ExtendAndContain)
+{
+    Aabb box;
+    box.extend(Vec3{0, 0, 0});
+    box.extend(Vec3{1, 2, 3});
+    EXPECT_FALSE(box.empty());
+    EXPECT_TRUE(box.contains(Vec3{0.5f, 1.0f, 1.5f}));
+    EXPECT_FALSE(box.contains(Vec3{1.5f, 1.0f, 1.5f}));
+    EXPECT_EQ(box.center(), Vec3(0.5f, 1.0f, 1.5f));
+    EXPECT_FLOAT_EQ(box.surfaceArea(), 2.0f * (2 + 6 + 3));
+}
+
+TEST(Aabb, MergeAndOverlap)
+{
+    Aabb a;
+    a.extend(Vec3{0, 0, 0});
+    a.extend(Vec3{1, 1, 1});
+    Aabb b;
+    b.extend(Vec3{2, 0, 0});
+    b.extend(Vec3{3, 1, 1});
+    EXPECT_FALSE(a.overlaps(b));
+    const Aabb m = merge(a, b);
+    EXPECT_TRUE(m.contains(Vec3{1.5f, 0.5f, 0.5f}));
+    EXPECT_TRUE(m.overlaps(a));
+}
+
+TEST(Aabb, RaySlabHit)
+{
+    Aabb box;
+    box.extend(Vec3{1, -1, -1});
+    box.extend(Vec3{2, 1, 1});
+    const Vec3 origin{0, 0, 0};
+    const Vec3 inv{1.0f, std::numeric_limits<float>::infinity(),
+                   std::numeric_limits<float>::infinity()};
+    float t;
+    EXPECT_TRUE(box.intersect(origin, inv, 0.0f, 100.0f, t));
+    EXPECT_FLOAT_EQ(t, 1.0f);
+}
+
+TEST(Aabb, RaySlabMissAndInterval)
+{
+    Aabb box;
+    box.extend(Vec3{1, -1, -1});
+    box.extend(Vec3{2, 1, 1});
+    float t;
+    // Pointing away.
+    EXPECT_FALSE(box.intersect(Vec3{0, 0, 0}, Vec3{-1, 1e9f, 1e9f}, 0.0f,
+                               100.0f, t));
+    // Interval too short (tMax before the box).
+    EXPECT_FALSE(
+        box.intersect(Vec3{0, 0, 0}, Vec3{1, 1e9f, 1e9f}, 0.0f, 0.5f, t));
+    // Ray starting inside hits.
+    EXPECT_TRUE(box.intersect(Vec3{1.5f, 0, 0}, Vec3{1, 1e9f, 1e9f}, 0.0f,
+                              100.0f, t));
+}
+
+TEST(Triangle, HitInsideBarycentrics)
+{
+    const Triangle tri{{0, 0, 5}, {4, 0, 5}, {0, 4, 5}, 0};
+    Ray ray;
+    ray.origin = {1, 1, 0};
+    ray.direction = {0, 0, 1};
+    float t, u, v;
+    ASSERT_TRUE(tri.intersect(ray, t, u, v));
+    EXPECT_FLOAT_EQ(t, 5.0f);
+    EXPECT_NEAR(u, 0.25f, 1e-5f);
+    EXPECT_NEAR(v, 0.25f, 1e-5f);
+}
+
+TEST(Triangle, MissOutsideEdges)
+{
+    const Triangle tri{{0, 0, 5}, {4, 0, 5}, {0, 4, 5}, 0};
+    Ray ray;
+    ray.direction = {0, 0, 1};
+    float t, u, v;
+    ray.origin = {3, 3, 0}; // beyond the diagonal edge
+    EXPECT_FALSE(tri.intersect(ray, t, u, v));
+    ray.origin = {-1, 1, 0};
+    EXPECT_FALSE(tri.intersect(ray, t, u, v));
+    ray.origin = {1, -1, 0};
+    EXPECT_FALSE(tri.intersect(ray, t, u, v));
+}
+
+TEST(Triangle, RespectsRayInterval)
+{
+    const Triangle tri{{0, 0, 5}, {4, 0, 5}, {0, 4, 5}, 0};
+    Ray ray;
+    ray.origin = {1, 1, 0};
+    ray.direction = {0, 0, 1};
+    ray.tMax = 4.0f; // hit at 5 is beyond tMax
+    float t, u, v;
+    EXPECT_FALSE(tri.intersect(ray, t, u, v));
+    ray.tMax = kRayInfinity;
+    ray.tMin = 6.0f; // hit at 5 is before tMin
+    EXPECT_FALSE(tri.intersect(ray, t, u, v));
+}
+
+TEST(Triangle, TwoSided)
+{
+    const Triangle tri{{0, 0, 5}, {4, 0, 5}, {0, 4, 5}, 0};
+    Ray ray;
+    ray.origin = {1, 1, 10};
+    ray.direction = {0, 0, -1};
+    float t, u, v;
+    EXPECT_TRUE(tri.intersect(ray, t, u, v));
+    EXPECT_FLOAT_EQ(t, 5.0f);
+}
+
+TEST(Triangle, DegenerateRejected)
+{
+    const Triangle tri{{0, 0, 0}, {1, 1, 1}, {2, 2, 2}, 0}; // collinear
+    Ray ray;
+    ray.origin = {0, 0, -1};
+    ray.direction = {0, 0, 1};
+    float t, u, v;
+    EXPECT_FALSE(tri.intersect(ray, t, u, v));
+    EXPECT_FLOAT_EQ(tri.area(), 0.0f);
+}
+
+TEST(Triangle, GeometryHelpers)
+{
+    const Triangle tri{{0, 0, 0}, {2, 0, 0}, {0, 2, 0}, 3};
+    EXPECT_FLOAT_EQ(tri.area(), 2.0f);
+    EXPECT_EQ(tri.centroid(), Vec3(2.0f / 3, 2.0f / 3, 0));
+    const Aabb b = tri.bounds();
+    EXPECT_EQ(b.lo, Vec3(0, 0, 0));
+    EXPECT_EQ(b.hi, Vec3(2, 2, 0));
+}
+
+TEST(Pcg32, DeterministicAndSeedSensitive)
+{
+    Pcg32 a(42), b(42), c(43);
+    for (int i = 0; i < 100; ++i) {
+        const auto va = a.nextUInt();
+        EXPECT_EQ(va, b.nextUInt());
+        (void)c.nextUInt();
+    }
+    Pcg32 a2(42), c2(43);
+    EXPECT_NE(a2.nextUInt(), c2.nextUInt());
+}
+
+TEST(Pcg32, FloatRangeAndMean)
+{
+    Pcg32 rng(7);
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const float f = rng.nextFloat();
+        ASSERT_GE(f, 0.0f);
+        ASSERT_LT(f, 1.0f);
+        sum += f;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Pcg32, BoundedUniform)
+{
+    Pcg32 rng(9);
+    std::set<std::uint32_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.nextUInt(10);
+        ASSERT_LT(v, 10u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 10u); // all buckets hit
+    EXPECT_EQ(rng.nextUInt(1), 0u);
+    EXPECT_EQ(rng.nextUInt(0), 0u);
+}
+
+TEST(Sampler, RadicalInverseBase2MatchesVanDerCorput)
+{
+    for (std::uint32_t i = 1; i < 64; ++i)
+        EXPECT_NEAR(radicalInverse(2, i), vanDerCorput(i), 1e-6f) << i;
+}
+
+TEST(Sampler, RadicalInverseKnownValues)
+{
+    EXPECT_FLOAT_EQ(radicalInverse(2, 1), 0.5f);
+    EXPECT_FLOAT_EQ(radicalInverse(2, 2), 0.25f);
+    EXPECT_FLOAT_EQ(radicalInverse(2, 3), 0.75f);
+    EXPECT_FLOAT_EQ(radicalInverse(3, 1), 1.0f / 3.0f);
+    EXPECT_FLOAT_EQ(radicalInverse(3, 2), 2.0f / 3.0f);
+    EXPECT_FLOAT_EQ(radicalInverse(3, 4), 4.0f / 9.0f);
+}
+
+TEST(Sampler, HaltonLowDiscrepancyStratification)
+{
+    // The first 2^k Halton base-2 samples hit every 1/2^k stratum once.
+    HaltonSampler sampler(0);
+    std::set<int> strata;
+    for (int i = 0; i < 16; ++i) {
+        sampler.startSample(static_cast<std::uint64_t>(i));
+        const float v = sampler.next1D();
+        strata.insert(static_cast<int>(v * 16.0f));
+    }
+    EXPECT_EQ(strata.size(), 16u);
+}
+
+TEST(Sampler, DimensionsAdvance)
+{
+    HaltonSampler sampler(1);
+    sampler.startSample(5);
+    EXPECT_EQ(sampler.currentDimension(), 0u);
+    (void)sampler.next1D();
+    EXPECT_EQ(sampler.currentDimension(), 1u);
+    (void)sampler.next2D();
+    EXPECT_EQ(sampler.currentDimension(), 3u);
+}
+
+TEST(Sampler, CosineHemisphereAboveSurface)
+{
+    HaltonSampler sampler(3);
+    double mean_cos = 0;
+    const int n = 4096;
+    for (int i = 0; i < n; ++i) {
+        sampler.startSample(static_cast<std::uint64_t>(i));
+        const Vec3 d = cosineSampleHemisphere(sampler.next2D());
+        ASSERT_GE(d.z, 0.0f);
+        ASSERT_NEAR(length(d), 1.0f, 1e-4f);
+        mean_cos += d.z;
+    }
+    // E[cos(theta)] = 2/3 for cosine-weighted hemisphere sampling.
+    EXPECT_NEAR(mean_cos / n, 2.0 / 3.0, 0.02);
+}
+
+TEST(Sampler, ConcentricDiskStaysInDisk)
+{
+    HaltonSampler sampler(4);
+    for (int i = 0; i < 1024; ++i) {
+        sampler.startSample(static_cast<std::uint64_t>(i));
+        const Vec2 p = concentricSampleDisk(sampler.next2D());
+        ASSERT_LE(p.x * p.x + p.y * p.y, 1.0f + 1e-5f);
+    }
+    EXPECT_EQ(concentricSampleDisk({0.5f, 0.5f}), Vec2(0.0f, 0.0f));
+}
+
+TEST(Sampler, UniformTriangleBarycentricsValid)
+{
+    HaltonSampler sampler(5);
+    for (int i = 0; i < 512; ++i) {
+        sampler.startSample(static_cast<std::uint64_t>(i));
+        const Vec2 b = uniformSampleTriangle(sampler.next2D());
+        ASSERT_GE(b.x, 0.0f);
+        ASSERT_GE(b.y, 0.0f);
+        ASSERT_LE(b.x + b.y, 1.0f + 1e-5f);
+    }
+}
+
+TEST(Sampler, CosineHemispherePdf)
+{
+    EXPECT_FLOAT_EQ(cosineHemispherePdf(1.0f),
+                    1.0f / std::numbers::pi_v<float>);
+    EXPECT_FLOAT_EQ(cosineHemispherePdf(0.0f), 0.0f);
+    EXPECT_FLOAT_EQ(cosineHemispherePdf(-0.5f), 0.0f);
+}
+
+} // namespace
+} // namespace drs::geom

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Tests for the scene generators, camera, path tracer, ray-trace capture
+ * and serialization — the "PBRT black box" substitute.
+ */
+
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "bvh/builder.h"
+#include "render/path_tracer.h"
+#include "render/ray_trace.h"
+#include "scene/camera.h"
+#include "scene/scenes.h"
+
+namespace drs {
+namespace {
+
+using geom::Ray;
+using geom::Vec3;
+
+// ---------------------------------------------------------------- Scene
+
+TEST(Scene, NamesRoundTrip)
+{
+    for (scene::SceneId id : scene::allSceneIds())
+        EXPECT_EQ(scene::sceneFromName(scene::sceneName(id)), id);
+    EXPECT_THROW(scene::sceneFromName("nope"), std::invalid_argument);
+}
+
+TEST(Scene, AllBenchmarkScenesHaveLightsAndGeometry)
+{
+    for (scene::SceneId id : scene::allSceneIds()) {
+        const scene::Scene s = scene::makeScene(id, 0.2f);
+        EXPECT_GT(s.triangleCount(), 100u) << scene::sceneName(id);
+        EXPECT_FALSE(s.emissiveTriangles().empty()) << scene::sceneName(id);
+        EXPECT_FALSE(s.bounds().empty());
+    }
+}
+
+TEST(Scene, ScaleControlsTessellation)
+{
+    const auto small = scene::makeScene(scene::SceneId::Fairy, 0.1f);
+    const auto large = scene::makeScene(scene::SceneId::Fairy, 0.5f);
+    EXPECT_GT(large.triangleCount(), small.triangleCount() * 2);
+}
+
+TEST(Scene, PlantsIsDensest)
+{
+    // The paper's plants scene has by far the most triangles.
+    const float scale = 0.2f;
+    const auto plants = scene::makeScene(scene::SceneId::Plants, scale);
+    for (scene::SceneId id :
+         {scene::SceneId::Conference, scene::SceneId::Fairy}) {
+        EXPECT_GT(plants.triangleCount(),
+                  scene::makeScene(id, scale).triangleCount());
+    }
+}
+
+TEST(Scene, MaterialLookupValidated)
+{
+    const scene::Scene s = scene::makeTestScene();
+    EXPECT_NO_THROW(s.materialOf(0));
+    // Bad material indices are rejected at construction.
+    std::vector<geom::Triangle> tris = {
+        {{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, 5}};
+    EXPECT_THROW(scene::Scene("bad", tris, {scene::Material{}},
+                              scene::Camera{}),
+                 std::out_of_range);
+}
+
+TEST(Camera, RaysSpanTheFrustum)
+{
+    scene::Camera cam({0, 0, 0}, {0, 0, -1}, {0, 1, 0}, 90.0f, 1.0f);
+    const Ray center = cam.generateRay(0.5f, 0.5f);
+    EXPECT_NEAR(center.direction.z, -1.0f, 1e-5f);
+    const Ray corner = cam.generateRay(0.0f, 0.0f);
+    EXPECT_LT(corner.direction.x, 0.0f);
+    EXPECT_LT(corner.direction.y, 0.0f);
+    // 90 degree vertical fov: the top edge is at 45 degrees.
+    const Ray top = cam.generateRay(0.5f, 1.0f);
+    EXPECT_NEAR(top.direction.y / -top.direction.z, 1.0f, 1e-4f);
+}
+
+// ----------------------------------------------------------- PathTracer
+
+render::RenderConfig
+smallConfig()
+{
+    render::RenderConfig config;
+    config.width = 40;
+    config.height = 30;
+    config.samplesPerPixel = 1;
+    return config;
+}
+
+TEST(PathTracer, RenderProducesLight)
+{
+    const scene::Scene s = scene::makeTestScene();
+    render::PathTracer tracer(s, smallConfig());
+    const render::Image image = tracer.render();
+    EXPECT_GT(image.meanLuminance(), 0.001);
+}
+
+TEST(PathTracer, CaptureBouncesShrinkMonotonically)
+{
+    const scene::Scene s = scene::makeTestScene();
+    render::PathTracer tracer(s, smallConfig());
+    const render::RayTrace trace = tracer.capture();
+    ASSERT_GE(trace.bounces.size(), 2u);
+    EXPECT_EQ(trace.bounces[0].bounce, 1);
+    EXPECT_EQ(trace.bounces[0].rays.size(), 40u * 30u);
+    for (std::size_t i = 1; i < trace.bounces.size(); ++i)
+        EXPECT_LE(trace.bounces[i].size(), trace.bounces[i - 1].size());
+}
+
+TEST(PathTracer, CaptureRespectsRayCap)
+{
+    const scene::Scene s = scene::makeTestScene();
+    render::PathTracer tracer(s, smallConfig());
+    const render::RayTrace trace = tracer.capture(100);
+    for (const auto &b : trace.bounces)
+        EXPECT_LE(b.size(), 100u);
+}
+
+TEST(PathTracer, PrimaryRaysCoherentSecondaryNot)
+{
+    // The paper's core workload property: bounce-1 rays are coherent,
+    // bounce-2+ rays are randomized by BSDF sampling.
+    const scene::Scene s = scene::makeConferenceScene(0.15f);
+    render::RenderConfig config = smallConfig();
+    render::PathTracer tracer(s, config);
+    const render::RayTrace trace = tracer.capture();
+    ASSERT_GE(trace.bounces.size(), 2u);
+    const auto primary = tracer.analyzeCoherence(trace.bounce(1).rays);
+    const auto secondary = tracer.analyzeCoherence(trace.bounce(2).rays);
+    EXPECT_GT(primary.directionCoherence, 0.7);
+    EXPECT_LT(secondary.directionCoherence,
+              primary.directionCoherence * 0.7);
+}
+
+TEST(PathTracer, DeterministicAcrossRuns)
+{
+    const scene::Scene s = scene::makeTestScene();
+    render::PathTracer a(s, smallConfig());
+    render::PathTracer b(s, smallConfig());
+    const auto ta = a.capture(50);
+    const auto tb = b.capture(50);
+    ASSERT_EQ(ta.bounces.size(), tb.bounces.size());
+    for (std::size_t i = 0; i < ta.bounces.size(); ++i) {
+        ASSERT_EQ(ta.bounces[i].size(), tb.bounces[i].size());
+        for (std::size_t j = 0; j < ta.bounces[i].size(); ++j) {
+            EXPECT_EQ(ta.bounces[i].rays[j].origin,
+                      tb.bounces[i].rays[j].origin);
+            EXPECT_EQ(ta.bounces[i].rays[j].direction,
+                      tb.bounces[i].rays[j].direction);
+        }
+    }
+}
+
+TEST(PathTracer, MaxDepthBoundsBounces)
+{
+    const scene::Scene s = scene::makeTestScene();
+    render::RenderConfig config = smallConfig();
+    config.maxDepth = 3;
+    render::PathTracer tracer(s, config);
+    EXPECT_LE(tracer.capture().bounces.size(), 3u);
+}
+
+// ------------------------------------------------------------ RayTrace
+
+TEST(RayTrace, SerializationRoundTrip)
+{
+    render::RayTrace trace;
+    trace.sceneName = "roundtrip";
+    render::BounceRays b1;
+    b1.bounce = 1;
+    b1.rays.push_back(Ray{{1, 2, 3}, 0.5f, {0, 1, 0}, 99.0f});
+    b1.rays.push_back(Ray{{-1, 0, 4}, 0.0f, {0, 0, -1}, 5.0f});
+    trace.bounces.push_back(b1);
+
+    std::stringstream stream;
+    render::save(trace, stream);
+    const render::RayTrace loaded = render::load(stream);
+    EXPECT_EQ(loaded.sceneName, "roundtrip");
+    ASSERT_EQ(loaded.bounces.size(), 1u);
+    ASSERT_EQ(loaded.bounce(1).size(), 2u);
+    EXPECT_EQ(loaded.bounce(1).rays[0].origin, Vec3(1, 2, 3));
+    EXPECT_EQ(loaded.bounce(1).rays[1].tMax, 5.0f);
+    EXPECT_EQ(loaded.totalRays(), 2u);
+}
+
+TEST(RayTrace, LoadRejectsGarbage)
+{
+    std::stringstream stream("not a trace at all");
+    EXPECT_THROW(render::load(stream), std::runtime_error);
+}
+
+TEST(RayTrace, LoadRejectsTruncated)
+{
+    render::RayTrace trace;
+    trace.sceneName = "t";
+    render::BounceRays b;
+    b.bounce = 1;
+    b.rays.resize(10);
+    trace.bounces.push_back(b);
+    std::stringstream stream;
+    render::save(trace, stream);
+    std::string bytes = stream.str();
+    bytes.resize(bytes.size() / 2);
+    std::stringstream cut(bytes);
+    EXPECT_THROW(render::load(cut), std::runtime_error);
+}
+
+TEST(RayTrace, MissingBounceThrows)
+{
+    render::RayTrace trace;
+    EXPECT_THROW(trace.bounce(3), std::out_of_range);
+}
+
+// --------------------------------------------------------------- Image
+
+TEST(Image, AccumulatesAndAverages)
+{
+    render::Image image(4, 4);
+    image.addSample(1, 2, {1.0f, 0.0f, 0.0f});
+    image.addSample(1, 2, {0.0f, 1.0f, 0.0f});
+    const Vec3 p = image.pixel(1, 2);
+    EXPECT_FLOAT_EQ(p.x, 0.5f);
+    EXPECT_FLOAT_EQ(p.y, 0.5f);
+    EXPECT_FLOAT_EQ(p.z, 0.0f);
+    EXPECT_EQ(image.pixel(0, 0), Vec3());
+}
+
+TEST(Image, WritesPpm)
+{
+    render::Image image(8, 6);
+    for (int y = 0; y < 6; ++y)
+        for (int x = 0; x < 8; ++x)
+            image.addSample(x, y, {0.5f, 0.25f, 0.125f});
+    const std::string path = "/tmp/drs_test_image.ppm";
+    ASSERT_TRUE(image.writePpm(path));
+    std::ifstream is(path, std::ios::binary);
+    std::string header;
+    is >> header;
+    EXPECT_EQ(header, "P6");
+}
+
+} // namespace
+} // namespace drs

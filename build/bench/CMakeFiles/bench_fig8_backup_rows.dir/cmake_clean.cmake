@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_backup_rows.dir/bench_fig8_backup_rows.cc.o"
+  "CMakeFiles/bench_fig8_backup_rows.dir/bench_fig8_backup_rows.cc.o.d"
+  "bench_fig8_backup_rows"
+  "bench_fig8_backup_rows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_backup_rows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hw_overhead.dir/bench_hw_overhead.cc.o"
+  "CMakeFiles/bench_hw_overhead.dir/bench_hw_overhead.cc.o.d"
+  "bench_hw_overhead"
+  "bench_hw_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hw_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

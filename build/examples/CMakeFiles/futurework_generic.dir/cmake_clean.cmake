@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/futurework_generic.dir/futurework_generic.cpp.o"
+  "CMakeFiles/futurework_generic.dir/futurework_generic.cpp.o.d"
+  "futurework_generic"
+  "futurework_generic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/futurework_generic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

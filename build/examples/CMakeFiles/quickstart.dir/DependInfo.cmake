@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/drs_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/drs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/drs_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/drs_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/render/CMakeFiles/drs_render.dir/DependInfo.cmake"
+  "/root/repo/build/src/scene/CMakeFiles/drs_scene.dir/DependInfo.cmake"
+  "/root/repo/build/src/bvh/CMakeFiles/drs_bvh.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/drs_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/simt/CMakeFiles/drs_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/drs_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

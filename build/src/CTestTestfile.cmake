@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("geom")
+subdirs("stats")
+subdirs("scene")
+subdirs("bvh")
+subdirs("render")
+subdirs("simt")
+subdirs("kernels")
+subdirs("core")
+subdirs("baselines")
+subdirs("harness")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/dmk_control.cc" "src/baselines/CMakeFiles/drs_baselines.dir/dmk_control.cc.o" "gcc" "src/baselines/CMakeFiles/drs_baselines.dir/dmk_control.cc.o.d"
+  "/root/repo/src/baselines/tbc_smx.cc" "src/baselines/CMakeFiles/drs_baselines.dir/tbc_smx.cc.o" "gcc" "src/baselines/CMakeFiles/drs_baselines.dir/tbc_smx.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simt/CMakeFiles/drs_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/drs_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/drs_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/bvh/CMakeFiles/drs_bvh.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/drs_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

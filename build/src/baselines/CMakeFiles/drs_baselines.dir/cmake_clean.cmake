@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drs_baselines.dir/dmk_control.cc.o"
+  "CMakeFiles/drs_baselines.dir/dmk_control.cc.o.d"
+  "CMakeFiles/drs_baselines.dir/tbc_smx.cc.o"
+  "CMakeFiles/drs_baselines.dir/tbc_smx.cc.o.d"
+  "libdrs_baselines.a"
+  "libdrs_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drs_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

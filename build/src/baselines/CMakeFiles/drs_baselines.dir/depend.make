@@ -1,0 +1,2 @@
+# Empty dependencies file for drs_baselines.
+# This may be replaced when dependencies are built.

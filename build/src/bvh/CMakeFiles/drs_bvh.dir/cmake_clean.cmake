@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drs_bvh.dir/builder.cc.o"
+  "CMakeFiles/drs_bvh.dir/builder.cc.o.d"
+  "CMakeFiles/drs_bvh.dir/bvh.cc.o"
+  "CMakeFiles/drs_bvh.dir/bvh.cc.o.d"
+  "CMakeFiles/drs_bvh.dir/traverse.cc.o"
+  "CMakeFiles/drs_bvh.dir/traverse.cc.o.d"
+  "libdrs_bvh.a"
+  "libdrs_bvh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drs_bvh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/drs_control.cc" "src/core/CMakeFiles/drs_core.dir/drs_control.cc.o" "gcc" "src/core/CMakeFiles/drs_core.dir/drs_control.cc.o.d"
+  "/root/repo/src/core/hw_cost.cc" "src/core/CMakeFiles/drs_core.dir/hw_cost.cc.o" "gcc" "src/core/CMakeFiles/drs_core.dir/hw_cost.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simt/CMakeFiles/drs_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/drs_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drs_core.dir/drs_control.cc.o"
+  "CMakeFiles/drs_core.dir/drs_control.cc.o.d"
+  "CMakeFiles/drs_core.dir/hw_cost.cc.o"
+  "CMakeFiles/drs_core.dir/hw_cost.cc.o.d"
+  "libdrs_core.a"
+  "libdrs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

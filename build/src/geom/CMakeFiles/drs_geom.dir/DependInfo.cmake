@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/aabb.cc" "src/geom/CMakeFiles/drs_geom.dir/aabb.cc.o" "gcc" "src/geom/CMakeFiles/drs_geom.dir/aabb.cc.o.d"
+  "/root/repo/src/geom/sampler.cc" "src/geom/CMakeFiles/drs_geom.dir/sampler.cc.o" "gcc" "src/geom/CMakeFiles/drs_geom.dir/sampler.cc.o.d"
+  "/root/repo/src/geom/triangle.cc" "src/geom/CMakeFiles/drs_geom.dir/triangle.cc.o" "gcc" "src/geom/CMakeFiles/drs_geom.dir/triangle.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

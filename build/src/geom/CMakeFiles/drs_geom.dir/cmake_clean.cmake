@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drs_geom.dir/aabb.cc.o"
+  "CMakeFiles/drs_geom.dir/aabb.cc.o.d"
+  "CMakeFiles/drs_geom.dir/sampler.cc.o"
+  "CMakeFiles/drs_geom.dir/sampler.cc.o.d"
+  "CMakeFiles/drs_geom.dir/triangle.cc.o"
+  "CMakeFiles/drs_geom.dir/triangle.cc.o.d"
+  "libdrs_geom.a"
+  "libdrs_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drs_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

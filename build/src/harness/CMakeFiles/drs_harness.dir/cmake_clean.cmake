@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drs_harness.dir/harness.cc.o"
+  "CMakeFiles/drs_harness.dir/harness.cc.o.d"
+  "libdrs_harness.a"
+  "libdrs_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drs_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/aila_kernel.cc" "src/kernels/CMakeFiles/drs_kernels.dir/aila_kernel.cc.o" "gcc" "src/kernels/CMakeFiles/drs_kernels.dir/aila_kernel.cc.o.d"
+  "/root/repo/src/kernels/drs_kernel.cc" "src/kernels/CMakeFiles/drs_kernels.dir/drs_kernel.cc.o" "gcc" "src/kernels/CMakeFiles/drs_kernels.dir/drs_kernel.cc.o.d"
+  "/root/repo/src/kernels/generic_kernel.cc" "src/kernels/CMakeFiles/drs_kernels.dir/generic_kernel.cc.o" "gcc" "src/kernels/CMakeFiles/drs_kernels.dir/generic_kernel.cc.o.d"
+  "/root/repo/src/kernels/trav_workspace.cc" "src/kernels/CMakeFiles/drs_kernels.dir/trav_workspace.cc.o" "gcc" "src/kernels/CMakeFiles/drs_kernels.dir/trav_workspace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simt/CMakeFiles/drs_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/bvh/CMakeFiles/drs_bvh.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/drs_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/drs_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drs_kernels.dir/aila_kernel.cc.o"
+  "CMakeFiles/drs_kernels.dir/aila_kernel.cc.o.d"
+  "CMakeFiles/drs_kernels.dir/drs_kernel.cc.o"
+  "CMakeFiles/drs_kernels.dir/drs_kernel.cc.o.d"
+  "CMakeFiles/drs_kernels.dir/generic_kernel.cc.o"
+  "CMakeFiles/drs_kernels.dir/generic_kernel.cc.o.d"
+  "CMakeFiles/drs_kernels.dir/trav_workspace.cc.o"
+  "CMakeFiles/drs_kernels.dir/trav_workspace.cc.o.d"
+  "libdrs_kernels.a"
+  "libdrs_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drs_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdrs_kernels.a"
+)

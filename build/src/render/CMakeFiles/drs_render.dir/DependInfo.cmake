@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/render/image.cc" "src/render/CMakeFiles/drs_render.dir/image.cc.o" "gcc" "src/render/CMakeFiles/drs_render.dir/image.cc.o.d"
+  "/root/repo/src/render/path_tracer.cc" "src/render/CMakeFiles/drs_render.dir/path_tracer.cc.o" "gcc" "src/render/CMakeFiles/drs_render.dir/path_tracer.cc.o.d"
+  "/root/repo/src/render/ray_trace.cc" "src/render/CMakeFiles/drs_render.dir/ray_trace.cc.o" "gcc" "src/render/CMakeFiles/drs_render.dir/ray_trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/drs_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/scene/CMakeFiles/drs_scene.dir/DependInfo.cmake"
+  "/root/repo/build/src/bvh/CMakeFiles/drs_bvh.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

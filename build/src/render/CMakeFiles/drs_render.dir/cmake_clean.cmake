@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drs_render.dir/image.cc.o"
+  "CMakeFiles/drs_render.dir/image.cc.o.d"
+  "CMakeFiles/drs_render.dir/path_tracer.cc.o"
+  "CMakeFiles/drs_render.dir/path_tracer.cc.o.d"
+  "CMakeFiles/drs_render.dir/ray_trace.cc.o"
+  "CMakeFiles/drs_render.dir/ray_trace.cc.o.d"
+  "libdrs_render.a"
+  "libdrs_render.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drs_render.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scene/camera.cc" "src/scene/CMakeFiles/drs_scene.dir/camera.cc.o" "gcc" "src/scene/CMakeFiles/drs_scene.dir/camera.cc.o.d"
+  "/root/repo/src/scene/mesh.cc" "src/scene/CMakeFiles/drs_scene.dir/mesh.cc.o" "gcc" "src/scene/CMakeFiles/drs_scene.dir/mesh.cc.o.d"
+  "/root/repo/src/scene/scene.cc" "src/scene/CMakeFiles/drs_scene.dir/scene.cc.o" "gcc" "src/scene/CMakeFiles/drs_scene.dir/scene.cc.o.d"
+  "/root/repo/src/scene/scenes.cc" "src/scene/CMakeFiles/drs_scene.dir/scenes.cc.o" "gcc" "src/scene/CMakeFiles/drs_scene.dir/scenes.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/drs_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drs_scene.dir/camera.cc.o"
+  "CMakeFiles/drs_scene.dir/camera.cc.o.d"
+  "CMakeFiles/drs_scene.dir/mesh.cc.o"
+  "CMakeFiles/drs_scene.dir/mesh.cc.o.d"
+  "CMakeFiles/drs_scene.dir/scene.cc.o"
+  "CMakeFiles/drs_scene.dir/scene.cc.o.d"
+  "CMakeFiles/drs_scene.dir/scenes.cc.o"
+  "CMakeFiles/drs_scene.dir/scenes.cc.o.d"
+  "libdrs_scene.a"
+  "libdrs_scene.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drs_scene.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

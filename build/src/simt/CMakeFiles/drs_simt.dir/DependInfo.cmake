@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simt/cache.cc" "src/simt/CMakeFiles/drs_simt.dir/cache.cc.o" "gcc" "src/simt/CMakeFiles/drs_simt.dir/cache.cc.o.d"
+  "/root/repo/src/simt/gpu.cc" "src/simt/CMakeFiles/drs_simt.dir/gpu.cc.o" "gcc" "src/simt/CMakeFiles/drs_simt.dir/gpu.cc.o.d"
+  "/root/repo/src/simt/kernel_ir.cc" "src/simt/CMakeFiles/drs_simt.dir/kernel_ir.cc.o" "gcc" "src/simt/CMakeFiles/drs_simt.dir/kernel_ir.cc.o.d"
+  "/root/repo/src/simt/memory.cc" "src/simt/CMakeFiles/drs_simt.dir/memory.cc.o" "gcc" "src/simt/CMakeFiles/drs_simt.dir/memory.cc.o.d"
+  "/root/repo/src/simt/smx.cc" "src/simt/CMakeFiles/drs_simt.dir/smx.cc.o" "gcc" "src/simt/CMakeFiles/drs_simt.dir/smx.cc.o.d"
+  "/root/repo/src/simt/warp.cc" "src/simt/CMakeFiles/drs_simt.dir/warp.cc.o" "gcc" "src/simt/CMakeFiles/drs_simt.dir/warp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/drs_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

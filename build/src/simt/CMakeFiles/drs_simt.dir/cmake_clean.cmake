@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drs_simt.dir/cache.cc.o"
+  "CMakeFiles/drs_simt.dir/cache.cc.o.d"
+  "CMakeFiles/drs_simt.dir/gpu.cc.o"
+  "CMakeFiles/drs_simt.dir/gpu.cc.o.d"
+  "CMakeFiles/drs_simt.dir/kernel_ir.cc.o"
+  "CMakeFiles/drs_simt.dir/kernel_ir.cc.o.d"
+  "CMakeFiles/drs_simt.dir/memory.cc.o"
+  "CMakeFiles/drs_simt.dir/memory.cc.o.d"
+  "CMakeFiles/drs_simt.dir/smx.cc.o"
+  "CMakeFiles/drs_simt.dir/smx.cc.o.d"
+  "CMakeFiles/drs_simt.dir/warp.cc.o"
+  "CMakeFiles/drs_simt.dir/warp.cc.o.d"
+  "libdrs_simt.a"
+  "libdrs_simt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drs_simt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drs_stats.dir/histogram.cc.o"
+  "CMakeFiles/drs_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/drs_stats.dir/table.cc.o"
+  "CMakeFiles/drs_stats.dir/table.cc.o.d"
+  "libdrs_stats.a"
+  "libdrs_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drs_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bvh.dir/test_bvh.cc.o"
+  "CMakeFiles/test_bvh.dir/test_bvh.cc.o.d"
+  "test_bvh"
+  "test_bvh.pdb"
+  "test_bvh[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bvh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_drs_control.dir/test_drs_control.cc.o"
+  "CMakeFiles/test_drs_control.dir/test_drs_control.cc.o.d"
+  "test_drs_control"
+  "test_drs_control.pdb"
+  "test_drs_control[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_drs_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

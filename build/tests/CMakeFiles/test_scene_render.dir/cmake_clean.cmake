@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scene_render.dir/test_scene_render.cc.o"
+  "CMakeFiles/test_scene_render.dir/test_scene_render.cc.o.d"
+  "test_scene_render"
+  "test_scene_render.pdb"
+  "test_scene_render[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scene_render.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

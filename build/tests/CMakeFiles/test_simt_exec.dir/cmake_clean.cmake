@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simt_exec.dir/test_simt_exec.cc.o"
+  "CMakeFiles/test_simt_exec.dir/test_simt_exec.cc.o.d"
+  "test_simt_exec"
+  "test_simt_exec.pdb"
+  "test_simt_exec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simt_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

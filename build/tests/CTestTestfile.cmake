@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_bvh[1]_include.cmake")
+include("/root/repo/build/tests/test_drs_control[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_geom[1]_include.cmake")
+include("/root/repo/build/tests/test_harness[1]_include.cmake")
+include("/root/repo/build/tests/test_kernels[1]_include.cmake")
+include("/root/repo/build/tests/test_scene_render[1]_include.cmake")
+include("/root/repo/build/tests/test_simt_exec[1]_include.cmake")
+include("/root/repo/build/tests/test_simt_ir[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")

@@ -8,19 +8,19 @@
  */
 
 #include <iostream>
+#include <vector>
 
 #include "bench_common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace drs;
+    const auto options = bench::parseOptions(argc, argv);
     const auto scale = harness::ExperimentScale::fromEnvironment();
-    bench::printBanner("Ablation: DRS dispatch-policy knobs", scale);
-
-    auto &prepared =
-        bench::preparedScene(scene::SceneId::Conference, scale);
-    const auto &rays = prepared.trace.bounce(2).rays;
+    bench::printBanner("Ablation: DRS dispatch-policy knobs", scale,
+                       options);
+    bench::WallTimer timer;
 
     struct Variant
     {
@@ -39,40 +39,57 @@ main()
         {"idealized shuffle", 7, 4, 26, true},
     };
 
-    stats::Table table({"variant", "SIMD eff", "issue util", "stall rate",
-                        "Mrays/s"});
+    harness::SweepRunner runner(scale, options.jobs);
+    std::vector<std::size_t> variant_indices;
     for (const Variant &v : variants) {
-        harness::RunConfig config = bench::makeRunConfig(scale);
+        harness::RunConfig config = bench::makeRunConfig(scale, options);
         config.drs.dispatchMinorityTolerance = v.tolerance;
         config.drs.fetchRefillThreshold = v.refill;
         config.drs.fullDispatchTarget = v.target;
         config.drs.idealized = v.ideal;
-        const auto stats = harness::runBatch(
-            harness::Arch::Drs, *prepared.tracer, rays, config);
+        harness::SweepJob job;
+        job.scene = scene::SceneId::Conference;
+        job.arch = harness::Arch::Drs;
+        job.config = config;
+        job.bounce = 2;
+        variant_indices.push_back(runner.add(job));
+    }
+    // Aila reference for context rides along in the same sweep.
+    harness::SweepJob aila_job;
+    aila_job.scene = scene::SceneId::Conference;
+    aila_job.arch = harness::Arch::Aila;
+    aila_job.config = bench::makeRunConfig(scale, options);
+    aila_job.bounce = 2;
+    const std::size_t aila_index = runner.add(aila_job);
+
+    const auto results = runner.run();
+    const harness::RunConfig defaults = bench::makeRunConfig(scale, options);
+
+    stats::Table table({"variant", "SIMD eff", "issue util", "stall rate",
+                        "Mrays/s"});
+    for (std::size_t v = 0; v < std::size(variants); ++v) {
+        const auto &stats = results[variant_indices[v]].stats;
         const double util =
             static_cast<double>(stats.histogram.instructions()) /
             (static_cast<double>(stats.cycles) *
-             config.gpu.dispatchUnitsPerSmx * config.gpu.numSmx);
-        table.addRow({v.name,
+             defaults.gpu.dispatchUnitsPerSmx * defaults.gpu.numSmx);
+        table.addRow({variants[v].name,
                       stats::formatPercent(stats.histogram.simdEfficiency()),
                       stats::formatPercent(util),
                       stats::formatPercent(stats.rdctrlStallRate()),
                       stats::formatDouble(
-                          stats.mraysPerSecond(config.gpu.clockGhz), 1)});
-        std::cout << "." << std::flush;
+                          stats.mraysPerSecond(defaults.gpu.clockGhz), 1)});
     }
-    std::cout << "\n\n";
+    std::cout << "\n";
     table.print(std::cout);
 
-    // Aila reference for context.
-    harness::RunConfig config = bench::makeRunConfig(scale);
-    const auto aila = harness::runBatch(harness::Arch::Aila,
-                                        *prepared.tracer, rays, config);
+    const auto &aila = results[aila_index].stats;
     std::cout << "\nAila reference: "
               << stats::formatDouble(
-                     aila.mraysPerSecond(config.gpu.clockGhz), 1)
+                     aila.mraysPerSecond(defaults.gpu.clockGhz), 1)
               << " Mrays/s at "
               << stats::formatPercent(aila.histogram.simdEfficiency())
-              << " SIMD efficiency\n";
+              << " SIMD efficiency\n\n";
+    bench::printElapsed(timer);
     return 0;
 }

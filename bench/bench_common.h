@@ -3,25 +3,108 @@
 /**
  * @file
  * Shared plumbing for the paper-reproduction bench binaries: experiment
- * scale from the environment, scene preparation with in-process caching,
- * and result-row formatting. Every bench prints the rows/series of one
- * paper table or figure (see DESIGN.md section 4).
+ * scale from the environment, command-line options for the parallel
+ * sweep runner, and wall-clock timing. Every bench prints the rows or
+ * series of one paper table or figure (see DESIGN.md section 4),
+ * describing its experiment as a SweepRunner grid so independent
+ * simulations execute concurrently and scenes are prepared once.
  */
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
-#include <map>
-#include <memory>
 #include <string>
 
+#include "exec/thread_pool.h"
 #include "harness/harness.h"
+#include "harness/sweep.h"
 #include "stats/table.h"
 
 namespace drs::bench {
 
+/** Command-line options shared by every bench binary. */
+struct Options
+{
+    /** Concurrent simulations (--jobs N / DRS_JOBS). */
+    int jobs = 1;
+    /** Worker threads inside each simulation (--smx-threads N). */
+    int smxThreads = 1;
+};
+
+/**
+ * Parse the shared bench flags: --jobs N (default: DRS_JOBS or the
+ * hardware concurrency) and --smx-threads N (default: DRS_SMX_THREADS
+ * or 1). Unknown arguments warn on stderr and are ignored, keeping the
+ * binaries scriptable.
+ */
+inline Options
+parseOptions(int argc, char **argv)
+{
+    auto positive_int = [](const char *flag, const char *text, int fallback) {
+        char *end = nullptr;
+        const long v = std::strtol(text, &end, 10);
+        if (end == text || *end != '\0' || v <= 0 || v > 1'000'000) {
+            std::fprintf(stderr,
+                         "warning: ignoring %s=\"%s\" "
+                         "(want a positive integer)\n",
+                         flag, text);
+            return fallback;
+        }
+        return static_cast<int>(v);
+    };
+
+    Options options;
+    options.jobs = exec::defaultConcurrency();
+    if (const char *s = std::getenv("DRS_SMX_THREADS"))
+        options.smxThreads =
+            positive_int("DRS_SMX_THREADS", s, options.smxThreads);
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value_of = [&](const char *flag) -> const char * {
+            const std::size_t len = std::strlen(flag);
+            if (arg.compare(0, len, flag) == 0 && arg.size() > len &&
+                arg[len] == '=')
+                return argv[i] + len + 1;
+            if (arg == flag && i + 1 < argc)
+                return argv[++i];
+            return nullptr;
+        };
+        if (const char *v = value_of("--jobs"))
+            options.jobs = positive_int("--jobs", v, options.jobs);
+        else if (const char *v = value_of("--smx-threads"))
+            options.smxThreads =
+                positive_int("--smx-threads", v, options.smxThreads);
+        else
+            std::fprintf(stderr, "warning: ignoring unknown argument %s\n",
+                         arg.c_str());
+    }
+    return options;
+}
+
+/** Wall-clock stopwatch for whole-bench timing. */
+class WallTimer
+{
+  public:
+    WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+    double seconds() const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
 /** Scale banner so every output records its configuration. */
 inline void
-printBanner(const std::string &title, const harness::ExperimentScale &scale)
+printBanner(const std::string &title, const harness::ExperimentScale &scale,
+            const Options &options)
 {
     std::cout << "==== " << title << " ====\n";
     std::cout << "scenes at scale " << scale.sceneScale << ", "
@@ -29,38 +112,31 @@ printBanner(const std::string &title, const harness::ExperimentScale &scale)
               << scale.numSmx << " SMX, film " << scale.width << "x"
               << scale.height << "x" << scale.samplesPerPixel << "spp\n"
               << "override via DRS_RAYS / DRS_SCALE / DRS_SMX / DRS_WIDTH / "
-                 "DRS_HEIGHT / DRS_SPP\n\n";
+                 "DRS_HEIGHT / DRS_SPP\n"
+              << "running " << options.jobs << " concurrent simulation"
+              << (options.jobs == 1 ? "" : "s") << " (--jobs N / DRS_JOBS)";
+    if (options.smxThreads > 1)
+        std::cout << ", " << options.smxThreads << " SMX threads each";
+    std::cout << "\n\n";
     std::cout.flush();
 }
 
-/** Prepared scenes, cached per process so multi-scene benches pay once. */
-inline harness::PreparedScene &
-preparedScene(scene::SceneId id, const harness::ExperimentScale &scale)
-{
-    static std::map<int, std::unique_ptr<harness::PreparedScene>> cache;
-    auto &slot = cache[static_cast<int>(id)];
-    if (!slot) {
-        std::cout << "[prep] building scene '" << scene::sceneName(id)
-                  << "' and capturing ray trace...\n";
-        std::cout.flush();
-        slot = std::make_unique<harness::PreparedScene>(
-            harness::prepareScene(id, scale));
-        std::cout << "[prep] " << slot->scene().triangleCount()
-                  << " triangles, " << slot->trace.totalRays()
-                  << " rays captured over " << slot->trace.bounces.size()
-                  << " bounces\n";
-        std::cout.flush();
-    }
-    return *slot;
-}
-
-/** Default run configuration derived from the experiment scale. */
+/** Default run configuration derived from scale + options. */
 inline harness::RunConfig
-makeRunConfig(const harness::ExperimentScale &scale)
+makeRunConfig(const harness::ExperimentScale &scale, const Options &options)
 {
     harness::RunConfig config;
     config.gpu.numSmx = scale.numSmx;
+    config.smxThreads = options.smxThreads;
     return config;
+}
+
+/** Print the closing wall-clock line of a bench. */
+inline void
+printElapsed(const WallTimer &timer)
+{
+    std::printf("total wall-clock: %.2f s\n", timer.seconds());
+    std::fflush(stdout);
 }
 
 /** Bounces simulated by the sweep benches (B1..B4, like Figure 8). */

@@ -8,32 +8,47 @@
  */
 
 #include <iostream>
+#include <vector>
 
 #include "bench_common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace drs;
+    const auto options = bench::parseOptions(argc, argv);
     const auto scale = harness::ExperimentScale::fromEnvironment();
-    bench::printBanner("Figure 10: SIMD efficiency breakdown", scale);
+    bench::printBanner("Figure 10: SIMD efficiency breakdown", scale,
+                       options);
+    bench::WallTimer timer;
 
     const harness::Arch archs[] = {harness::Arch::Aila, harness::Arch::Dmk,
                                    harness::Arch::Tbc, harness::Arch::Drs};
 
+    harness::SweepRunner runner(scale, options.jobs);
+    // indices[scene][arch][bounce]
+    std::vector<std::vector<std::vector<std::size_t>>> indices;
     for (scene::SceneId id : scene::allSceneIds()) {
-        auto &prepared = bench::preparedScene(id, scale);
+        auto &per_scene = indices.emplace_back();
+        for (harness::Arch arch : archs) {
+            const auto config = bench::makeRunConfig(scale, options);
+            per_scene.push_back(
+                runner.addCapture(id, arch, config, bench::kSweepBounces));
+        }
+    }
+    const auto results = runner.run();
+
+    std::size_t scene_index = 0;
+    for (scene::SceneId id : scene::allSceneIds()) {
         stats::Table table({"arch", "bounce", "SIMD eff", "W1:8", "W9:16",
                             "W17:24", "W25:32", "SI"});
-        for (harness::Arch arch : archs) {
-            harness::RunConfig config = bench::makeRunConfig(scale);
-            const auto result =
-                harness::runCapture(arch, *prepared.tracer, prepared.trace,
-                                    config, bench::kSweepBounces);
+        for (std::size_t a = 0; a < std::size(archs); ++a) {
+            const auto capture = harness::collectCapture(
+                results, indices[scene_index][a]);
             auto add_row = [&](const std::string &bounce,
                                const simt::SimStats &stats) {
                 table.addRow(
-                    {harness::archName(arch), bounce,
+                    {harness::archName(archs[a]), bounce,
                      stats::formatPercent(stats.histogram.simdEfficiency()),
                      stats::formatPercent(stats.histogram.bucketFraction(0)),
                      stats::formatPercent(stats.histogram.bucketFraction(1)),
@@ -43,17 +58,18 @@ main()
                          stats.histogram.spawnFraction())});
             };
             for (std::size_t b = 0;
-                 b < result.perBounce.size() && b < 3; ++b)
-                add_row("B" + std::to_string(b + 1), result.perBounce[b]);
-            add_row("overall", result.overall);
-            std::cout << "." << std::flush;
+                 b < capture.perBounce.size() && b < 3; ++b)
+                add_row("B" + std::to_string(b + 1), capture.perBounce[b]);
+            add_row("overall", capture.overall);
         }
-        std::cout << "\n\n--- " << scene::sceneName(id) << " ---\n";
+        std::cout << "\n--- " << scene::sceneName(id) << " ---\n";
         table.print(std::cout);
         std::cout.flush();
+        ++scene_index;
     }
     std::cout << "\nPaper shape: DRS lifts overall efficiency from\n"
                  "~33-46% (Aila) to ~75-88%; DMK approaches DRS when its\n"
-                 "SI category is excluded; TBC lands in between.\n";
+                 "SI category is excluded; TBC lands in between.\n\n";
+    bench::printElapsed(timer);
     return 0;
 }

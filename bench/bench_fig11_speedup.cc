@@ -6,58 +6,71 @@
  * like B3 per the paper).
  */
 
+#include <cmath>
 #include <iostream>
+#include <vector>
 
 #include "bench_common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace drs;
+    const auto options = bench::parseOptions(argc, argv);
     const auto scale = harness::ExperimentScale::fromEnvironment();
-    bench::printBanner("Figure 11: performance and speedups", scale);
+    bench::printBanner("Figure 11: performance and speedups", scale,
+                       options);
+    bench::WallTimer timer;
 
     const harness::Arch archs[] = {harness::Arch::Aila, harness::Arch::Dmk,
                                    harness::Arch::Tbc, harness::Arch::Drs};
 
+    harness::SweepRunner runner(scale, options.jobs);
+    // indices[scene][arch][bounce]
+    std::vector<std::vector<std::vector<std::size_t>>> indices;
+    for (scene::SceneId id : scene::allSceneIds()) {
+        auto &per_scene = indices.emplace_back();
+        for (harness::Arch arch : archs) {
+            const auto config = bench::makeRunConfig(scale, options);
+            per_scene.push_back(
+                runner.addCapture(id, arch, config, bench::kSweepBounces));
+        }
+    }
+    const auto results = runner.run();
+    const double clock_ghz = harness::RunConfig{}.gpu.clockGhz;
+
     double geomean_accumulator[4] = {0, 0, 0, 0};
     int scene_count = 0;
 
+    std::size_t scene_index = 0;
     for (scene::SceneId id : scene::allSceneIds()) {
-        auto &prepared = bench::preparedScene(id, scale);
         stats::Table table({"arch", "B1", "B2", "B3", "overall Mrays/s",
                             "speedup vs aila"});
         double aila_overall = 0.0;
-        int arch_index = 0;
-        for (harness::Arch arch : archs) {
-            harness::RunConfig config = bench::makeRunConfig(scale);
-            const auto result =
-                harness::runCapture(arch, *prepared.tracer, prepared.trace,
-                                    config, bench::kSweepBounces);
-            const double overall =
-                result.overallMrays(config.gpu.clockGhz);
-            if (arch == harness::Arch::Aila)
+        for (std::size_t a = 0; a < std::size(archs); ++a) {
+            const auto capture = harness::collectCapture(
+                results, indices[scene_index][a]);
+            const double overall = capture.overallMrays(clock_ghz);
+            if (archs[a] == harness::Arch::Aila)
                 aila_overall = overall;
             auto bounce_mrays = [&](std::size_t b) {
-                if (b >= result.perBounce.size())
+                if (b >= capture.perBounce.size())
                     return std::string("-");
                 return stats::formatDouble(
-                    result.perBounce[b].mraysPerSecond(config.gpu.clockGhz),
-                    1);
+                    capture.perBounce[b].mraysPerSecond(clock_ghz), 1);
             };
-            table.addRow({harness::archName(arch), bounce_mrays(0),
+            table.addRow({harness::archName(archs[a]), bounce_mrays(0),
                           bounce_mrays(1), bounce_mrays(2),
                           stats::formatDouble(overall, 1),
                           stats::formatDouble(overall / aila_overall, 2) +
                               "x"});
-            geomean_accumulator[arch_index++] +=
-                std::log(overall / aila_overall);
-            std::cout << "." << std::flush;
+            geomean_accumulator[a] += std::log(overall / aila_overall);
         }
         ++scene_count;
-        std::cout << "\n\n--- " << scene::sceneName(id) << " ---\n";
+        std::cout << "\n--- " << scene::sceneName(id) << " ---\n";
         table.print(std::cout);
         std::cout.flush();
+        ++scene_index;
     }
 
     std::cout << "\nAverage speedup vs Aila (geometric mean over scenes):\n";
@@ -69,6 +82,7 @@ main()
                   << "x\n";
     }
     std::cout << "\nPaper: DRS 1.67x-1.92x (1.79x avg); TBC 1.18x avg;\n"
-                 "DMK 1.06x avg (slowdown on primary rays).\n";
+                 "DMK 1.06x avg (slowdown on primary rays).\n\n";
+    bench::printElapsed(timer);
     return 0;
 }

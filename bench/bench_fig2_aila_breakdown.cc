@@ -11,37 +11,45 @@
 #include "bench_common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace drs;
+    const auto options = bench::parseOptions(argc, argv);
     const auto scale = harness::ExperimentScale::fromEnvironment();
     bench::printBanner("Figure 2: Aila kernel breakdown, conference room",
-                       scale);
+                       scale, options);
+    bench::WallTimer timer;
 
-    auto &prepared =
-        bench::preparedScene(scene::SceneId::Conference, scale);
-    const auto config = bench::makeRunConfig(scale);
+    harness::SweepRunner runner(scale, options.jobs);
+    const auto config = bench::makeRunConfig(scale, options);
+    // One job per captured bounce (up to the scale's max depth; bounces
+    // the capture does not reach come back with ran = false).
+    const auto indices = runner.addCapture(scene::SceneId::Conference,
+                                           harness::Arch::Aila, config);
+    const auto results = runner.run();
+    const auto &prepared = runner.prepared(scene::SceneId::Conference);
 
     stats::Table table({"bounce", "rays", "SIMD eff", "W1:8", "W9:16",
                         "W17:24", "W25:32"});
-    for (const auto &bounce : prepared.trace.bounces) {
-        if (bounce.empty())
+    for (std::size_t b = 0; b < indices.size(); ++b) {
+        const auto &result = results[indices[b]];
+        if (!result.ran)
             continue;
-        const auto stats = harness::runBatch(
-            harness::Arch::Aila, *prepared.tracer, bounce.rays, config);
-        table.addRow({"B" + std::to_string(bounce.bounce),
-                      std::to_string(bounce.size()),
+        const auto &stats = result.stats;
+        const int bounce = static_cast<int>(b) + 1;
+        table.addRow({"B" + std::to_string(bounce),
+                      std::to_string(prepared.trace.bounce(bounce).size()),
                       stats::formatPercent(stats.histogram.simdEfficiency()),
                       stats::formatPercent(stats.histogram.bucketFraction(0)),
                       stats::formatPercent(stats.histogram.bucketFraction(1)),
                       stats::formatPercent(stats.histogram.bucketFraction(2)),
                       stats::formatPercent(stats.histogram.bucketFraction(3))});
-        std::cout << "." << std::flush;
     }
-    std::cout << "\n\n";
+    std::cout << "\n";
     table.print(std::cout);
     std::cout << "\nPaper shape: B1 efficiency is high (79-92%); secondary\n"
                  "bounces collapse (28-36% for conference) with most\n"
-                 "instructions in the W1:8 bucket.\n";
+                 "instructions in the W1:8 bucket.\n\n";
+    bench::printElapsed(timer);
     return 0;
 }

@@ -13,11 +13,24 @@
 #include "geom/rng.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace drs;
+    const auto options = bench::parseOptions(argc, argv);
     const auto scale = harness::ExperimentScale::fromEnvironment();
-    bench::printBanner("Figure 7: benchmark scenes", scale);
+    bench::printBanner("Figure 7: benchmark scenes", scale, options);
+    bench::WallTimer timer;
+
+    // No simulations here, but scene building and ray capture still
+    // dominate: warm the cache by preparing all scenes concurrently.
+    harness::PreparedSceneCache cache;
+    {
+        exec::ThreadPool pool(options.jobs);
+        exec::TaskGroup group(pool);
+        for (scene::SceneId id : scene::allSceneIds())
+            group.run([&cache, &scale, id] { cache.get(id, scale); });
+        group.wait();
+    }
 
     stats::Table table({"scene", "triangles", "paper tris", "BVH nodes",
                         "depth", "tris/leaf", "B1 coherence",
@@ -26,7 +39,7 @@ main()
 
     int index = 0;
     for (scene::SceneId id : scene::allSceneIds()) {
-        auto &prepared = bench::preparedScene(id, scale);
+        const auto &prepared = cache.get(id, scale);
         const auto tree = prepared.tracer->bvh().computeStats();
         const auto b1 =
             prepared.tracer->analyzeCoherence(prepared.trace.bounce(1).rays);
@@ -51,6 +64,7 @@ main()
                  "easy termination for conference/fairy (lights/sky above),\n"
                  "hard termination for sponza (enclosed) and plants\n"
                  "(occluding foliage). Run `examples/render_scene <name>`\n"
-                 "for images.\n";
+                 "for images.\n\n";
+    bench::printElapsed(timer);
     return 0;
 }

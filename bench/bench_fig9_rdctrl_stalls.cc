@@ -8,20 +8,43 @@
  */
 
 #include <iostream>
+#include <vector>
 
 #include "bench_common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace drs;
+    const auto options = bench::parseOptions(argc, argv);
     const auto scale = harness::ExperimentScale::fromEnvironment();
-    bench::printBanner("Figure 9: rdctrl warp-issue stall rate", scale);
+    bench::printBanner("Figure 9: rdctrl warp-issue stall rate", scale,
+                       options);
+    bench::WallTimer timer;
 
     const int backup_rows[] = {1, 2, 4, 8};
-    for (scene::SceneId id :
-         {scene::SceneId::Conference, scene::SceneId::Fairy}) {
-        auto &prepared = bench::preparedScene(id, scale);
+    const scene::SceneId scenes[] = {scene::SceneId::Conference,
+                                     scene::SceneId::Fairy};
+
+    harness::SweepRunner runner(scale, options.jobs);
+    std::vector<std::vector<std::vector<std::size_t>>> indices;
+    for (scene::SceneId id : scenes) {
+        auto &per_scene = indices.emplace_back();
+        for (int rows : backup_rows) {
+            harness::RunConfig config = bench::makeRunConfig(scale, options);
+            config.drs.backupRows = rows;
+            config.drs.useExtraRegisterBank = true;
+            config.drs.swapBuffers = 9;
+            per_scene.push_back(runner.addCapture(id, harness::Arch::Drs,
+                                                  config,
+                                                  bench::kSweepBounces));
+        }
+    }
+    const auto results = runner.run();
+    const double clock_ghz = harness::RunConfig{}.gpu.clockGhz;
+
+    std::size_t scene_index = 0;
+    for (scene::SceneId id : scenes) {
         std::vector<std::string> header = {"backup rows"};
         for (int b = 1; b <= bench::kSweepBounces; ++b) {
             header.push_back("B" + std::to_string(b) + " stall");
@@ -29,35 +52,29 @@ main()
         }
         stats::Table table(header);
 
-        for (int rows : backup_rows) {
-            std::vector<std::string> row = {std::to_string(rows)};
-            for (int b = 1; b <= bench::kSweepBounces; ++b) {
-                if (static_cast<std::size_t>(b) >
-                    prepared.trace.bounces.size()) {
+        for (std::size_t r = 0; r < std::size(backup_rows); ++r) {
+            std::vector<std::string> row = {std::to_string(backup_rows[r])};
+            for (const std::size_t index : indices[scene_index][r]) {
+                const auto &result = results[index];
+                if (!result.ran) {
                     row.push_back("-");
                     row.push_back("-");
                     continue;
                 }
-                harness::RunConfig config = bench::makeRunConfig(scale);
-                config.drs.backupRows = rows;
-                config.drs.useExtraRegisterBank = true;
-                config.drs.swapBuffers = 9;
-                const auto stats = harness::runBatch(
-                    harness::Arch::Drs, *prepared.tracer,
-                    prepared.trace.bounce(b).rays, config);
                 row.push_back(
-                    stats::formatPercent(stats.rdctrlStallRate(), 1));
+                    stats::formatPercent(result.stats.rdctrlStallRate(), 1));
                 row.push_back(stats::formatDouble(
-                    stats.mraysPerSecond(config.gpu.clockGhz), 1));
-                std::cout << "." << std::flush;
+                    result.stats.mraysPerSecond(clock_ghz), 1));
             }
             table.addRow(std::move(row));
         }
-        std::cout << "\n\n--- " << scene::sceneName(id) << " ---\n";
+        std::cout << "\n--- " << scene::sceneName(id) << " ---\n";
         table.print(std::cout);
         std::cout.flush();
+        ++scene_index;
     }
     std::cout << "\nPaper shape: the stall rate falls steeply with more\n"
-                 "backup rows while Mrays/s stays nearly flat.\n";
+                 "backup rows while Mrays/s stays nearly flat.\n\n";
+    bench::printElapsed(timer);
     return 0;
 }

@@ -9,14 +9,18 @@
 
 #include <iostream>
 
+#include "bench_common.h"
 #include "core/drs_config.h"
 #include "core/hw_cost.h"
 #include "stats/table.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace drs;
+    // Static printout; parse the shared flags anyway so every bench
+    // accepts the same command line.
+    (void)bench::parseOptions(argc, argv);
     core::DrsConfig config; // default: 1 backup row, 6 swap buffers
     config.backupRows = 1;
     config.useExtraRegisterBank = false;

@@ -6,13 +6,17 @@
 
 #include <iostream>
 
+#include "bench_common.h"
 #include "simt/config.h"
 #include "stats/table.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace drs;
+    // Static printout; parse the shared flags anyway so every bench
+    // accepts the same command line.
+    (void)bench::parseOptions(argc, argv);
     const simt::GpuConfig config;
 
     std::cout << "==== Table 1: GPU microarchitectural parameters ====\n\n";

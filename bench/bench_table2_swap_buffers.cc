@@ -6,63 +6,80 @@
  */
 
 #include <iostream>
+#include <vector>
 
 #include "bench_common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace drs;
+    const auto options = bench::parseOptions(argc, argv);
     const auto scale = harness::ExperimentScale::fromEnvironment();
-    bench::printBanner("Table 2: swap-buffer configurations", scale);
+    bench::printBanner("Table 2: swap-buffer configurations", scale,
+                       options);
+    bench::WallTimer timer;
 
     const int buffer_configs[] = {6, 9, 12, 18};
+
+    harness::SweepRunner runner(scale, options.jobs);
+    // indices[scene][buffer-config][bounce]
+    std::vector<std::vector<std::vector<std::size_t>>> indices;
+    for (scene::SceneId id : scene::allSceneIds()) {
+        auto &per_scene = indices.emplace_back();
+        for (const int buffers : buffer_configs) {
+            harness::RunConfig config = bench::makeRunConfig(scale, options);
+            config.drs.swapBuffers = buffers;
+            per_scene.push_back(runner.addCapture(id, harness::Arch::Drs,
+                                                  config,
+                                                  bench::kSweepBounces));
+        }
+    }
+    const auto results = runner.run();
+    const double clock_ghz = harness::RunConfig{}.gpu.clockGhz;
+
     std::vector<double> mean_swap_cycles(4, 0.0);
     std::vector<int> mean_swap_samples(4, 0);
 
+    std::size_t scene_index = 0;
     for (scene::SceneId id : scene::allSceneIds()) {
-        auto &prepared = bench::preparedScene(id, scale);
         stats::Table table({"bounce", "#6", "#9", "#12", "#18"});
         for (int b = 1; b <= bench::kSweepBounces; ++b) {
-            if (static_cast<std::size_t>(b) > prepared.trace.bounces.size())
+            const auto bounce_slot = static_cast<std::size_t>(b - 1);
+            if (!results[indices[scene_index][0][bounce_slot]].ran)
                 break;
             std::vector<std::string> row = {"B" + std::to_string(b)};
-            for (int i = 0; i < 4; ++i) {
-                harness::RunConfig config = bench::makeRunConfig(scale);
-                config.drs.swapBuffers = buffer_configs[i];
-                const auto stats = harness::runBatch(
-                    harness::Arch::Drs, *prepared.tracer,
-                    prepared.trace.bounce(b).rays, config);
+            for (std::size_t i = 0; i < std::size(buffer_configs); ++i) {
+                const auto &result =
+                    results[indices[scene_index][i][bounce_slot]];
                 row.push_back(stats::formatDouble(
-                    stats.mraysPerSecond(config.gpu.clockGhz), 2));
-                if (stats.raySwapsCompleted > 0) {
-                    mean_swap_cycles[static_cast<std::size_t>(i)] +=
-                        stats.meanSwapCycles();
-                    mean_swap_samples[static_cast<std::size_t>(i)] += 1;
+                    result.stats.mraysPerSecond(clock_ghz), 2));
+                if (result.stats.raySwapsCompleted > 0) {
+                    mean_swap_cycles[i] += result.stats.meanSwapCycles();
+                    mean_swap_samples[i] += 1;
                 }
-                std::cout << "." << std::flush;
             }
             table.addRow(std::move(row));
         }
-        std::cout << "\n\n--- " << scene::sceneName(id)
+        std::cout << "\n--- " << scene::sceneName(id)
                   << " (Mrays/s) ---\n";
         table.print(std::cout);
         std::cout.flush();
+        ++scene_index;
     }
 
     std::cout << "\nMean ray-swap duration (paper: 31.6 / 25.0 / 24.3 / "
                  "22.0 cycles):\n";
-    for (int i = 0; i < 4; ++i) {
-        const int n = mean_swap_samples[static_cast<std::size_t>(i)];
+    for (std::size_t i = 0; i < std::size(buffer_configs); ++i) {
+        const int n = mean_swap_samples[i];
         std::cout << "  " << buffer_configs[i] << " buffers: "
                   << stats::formatDouble(
-                         n ? mean_swap_cycles[static_cast<std::size_t>(i)] / n
-                           : 0.0,
-                         1)
+                         n ? mean_swap_cycles[i] / n : 0.0, 1)
                   << " cycles\n";
     }
     std::cout << "\nPaper shape: performance differences between buffer\n"
                  "configurations are minimal; swap duration shrinks only\n"
-                 "mildly with more buffers (register-bank conflicts).\n";
+                 "mildly with more buffers (register-bank conflicts).\n\n";
+    bench::printElapsed(timer);
     return 0;
 }

@@ -1,7 +1,10 @@
 #!/bin/bash
 # Final bench sweep. DRS_SMX=4 keeps the drain tail <6% at this ray count
 # (results are per-SMX-invariant; see EXPERIMENTS.md).
+# DRS_JOBS controls how many simulations each bench runs concurrently
+# (default: all hardware threads); results are identical for any value.
 export DRS_RAYS=${DRS_RAYS:-150000} DRS_SMX=${DRS_SMX:-4}
+export DRS_JOBS=${DRS_JOBS:-$(nproc 2>/dev/null || echo 1)}
 for b in build/bench/bench_*; do
   [ -x "$b" ] && [ -f "$b" ] || continue
   case "$b" in *.cmake) continue;; esac
@@ -9,6 +12,6 @@ for b in build/bench/bench_*; do
   if [ "$(basename $b)" = "bench_micro" ]; then
     "$b" --benchmark_min_time=0.2
   else
-    "$b"
+    "$b" --jobs "$DRS_JOBS"
   fi
 done

@@ -5,6 +5,8 @@
 #include <map>
 #include <stdexcept>
 
+#include "simt/engine.h"
+
 namespace drs::baselines {
 
 using simt::Program;
@@ -111,11 +113,28 @@ TbcSmx::completeWarp(ThreadBlock &block, CompactedWarp &warp)
         }
     }
     if (!addresses.empty()) {
-        const std::uint32_t latency =
-            memory_.warpAccess(blk.memSpace, addresses, bytes);
-        warp.readyCycle = cycle_ + latency;
+        if (deferredMemory_) {
+            DeferredAccess deferred;
+            deferred.warp = &warp;
+            deferred.issueCycle = cycle_;
+            deferred.pending =
+                memory_.resolveL1(blk.memSpace, addresses, bytes);
+            deferredAccesses_.push_back(std::move(deferred));
+        } else {
+            const std::uint32_t latency =
+                memory_.warpAccess(blk.memSpace, addresses, bytes);
+            warp.readyCycle = cycle_ + latency;
+        }
     }
     warp.semanticsDone = true;
+}
+
+void
+TbcSmx::commitMemory()
+{
+    for (const DeferredAccess &d : deferredAccesses_)
+        d.warp->readyCycle = d.issueCycle + memory_.commitAccess(d.pending);
+    deferredAccesses_.clear();
 }
 
 void
@@ -293,7 +312,7 @@ simt::SimStats
 runTbcGpu(const simt::GpuConfig &config, const TbcConfig &tbc,
           const std::function<std::unique_ptr<kernels::AilaKernel>(int)>
               &make_kernel,
-          std::uint64_t max_cycles)
+          const TbcRunOptions &options)
 {
     simt::SharedMemorySide shared(config.memory);
 
@@ -309,29 +328,32 @@ runTbcGpu(const simt::GpuConfig &config, const TbcConfig &tbc,
         unit.kernel = make_kernel(i);
         unit.smx = std::make_unique<TbcSmx>(config, tbc, *unit.kernel,
                                             shared);
+        unit.smx->setDeferredMemory(true);
         units.push_back(std::move(unit));
     }
 
-    bool all_done = false;
-    std::uint64_t cycle = 0;
-    while (!all_done && cycle < max_cycles) {
-        all_done = true;
-        for (auto &unit : units) {
-            if (!unit.smx->done()) {
-                unit.smx->step();
-                all_done = false;
-            }
-        }
-        ++cycle;
-    }
-    if (!all_done)
-        throw std::runtime_error("TBC GPU simulation exceeded max_cycles");
+    std::vector<TbcSmx *> smxs;
+    smxs.reserve(units.size());
+    for (auto &unit : units)
+        smxs.push_back(unit.smx.get());
+    simt::runEngine(smxs, options.maxCycles, options.smxThreads);
 
     simt::SimStats total;
     for (auto &unit : units)
         total.merge(unit.smx->collectStats());
     total.l2 = shared.l2Stats();
     return total;
+}
+
+simt::SimStats
+runTbcGpu(const simt::GpuConfig &config, const TbcConfig &tbc,
+          const std::function<std::unique_ptr<kernels::AilaKernel>(int)>
+              &make_kernel,
+          std::uint64_t max_cycles)
+{
+    TbcRunOptions options;
+    options.maxCycles = max_cycles;
+    return runTbcGpu(config, tbc, make_kernel, options);
 }
 
 } // namespace drs::baselines

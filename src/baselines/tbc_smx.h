@@ -59,6 +59,14 @@ class TbcSmx
     void run(std::uint64_t max_cycles = 2'000'000'000ULL);
     std::uint64_t cycle() const { return cycle_; }
 
+    /**
+     * Deferred-memory mode (see simt::Smx::setDeferredMemory): step()
+     * buffers shared-side requests; commitMemory() — called at the
+     * per-cycle barrier in SMX-index order — resolves them.
+     */
+    void setDeferredMemory(bool deferred) { deferredMemory_ = deferred; }
+    void commitMemory();
+
     simt::SimStats collectStats() const;
 
   private:
@@ -126,6 +134,30 @@ class TbcSmx
     stats::ActiveThreadHistogram histogram_;
     std::uint64_t normalRfAccesses_ = 0;
     std::uint64_t syncStallCycles_ = 0;
+
+    /**
+     * One L1-resolved access awaiting its shared-side commit. The pointer
+     * stays valid between completeWarp and commitMemory: block stacks are
+     * only restructured by finishEntry, which runs at the start of the
+     * next step — after the commit.
+     */
+    struct DeferredAccess
+    {
+        CompactedWarp *warp = nullptr;
+        std::uint64_t issueCycle = 0;
+        simt::PendingWarpAccess pending;
+    };
+
+    bool deferredMemory_ = false;
+    std::vector<DeferredAccess> deferredAccesses_;
+};
+
+/** Execution options (mirrors simt::GpuRunOptions). */
+struct TbcRunOptions
+{
+    std::uint64_t maxCycles = 2'000'000'000ULL;
+    /** Worker threads stepping SMXs concurrently; <= 1 = sequential. */
+    int smxThreads = 1;
 };
 
 /**
@@ -135,6 +167,13 @@ class TbcSmx
  * @param tbc TBC parameters
  * @param make_kernel per-SMX Aila kernel factory
  */
+simt::SimStats runTbcGpu(
+    const simt::GpuConfig &config, const TbcConfig &tbc,
+    const std::function<std::unique_ptr<kernels::AilaKernel>(int)>
+        &make_kernel,
+    const TbcRunOptions &options);
+
+/** Convenience overload: sequential engine with a cycle bound. */
 simt::SimStats runTbcGpu(
     const simt::GpuConfig &config, const TbcConfig &tbc,
     const std::function<std::unique_ptr<kernels::AilaKernel>(int)>

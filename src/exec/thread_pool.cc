@@ -1,0 +1,161 @@
+#include "exec/thread_pool.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace drs::exec {
+
+int
+defaultConcurrency()
+{
+    if (const char *s = std::getenv("DRS_JOBS")) {
+        char *end = nullptr;
+        const long v = std::strtol(s, &end, 10);
+        if (end != s && *end == '\0' && v > 0)
+            return static_cast<int>(v);
+        std::fprintf(stderr,
+                     "[exec] warning: ignoring malformed DRS_JOBS='%s'\n", s);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool::ThreadPool(int threads)
+{
+    const std::size_t n = threads > 1 ? static_cast<std::size_t>(threads) : 1;
+    workers_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        workers_.push_back(std::make_unique<Worker>());
+    threads_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        threads_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(sleepMutex_);
+        stop_.store(true);
+    }
+    sleepCv_.notify_all();
+    for (auto &t : threads_)
+        t.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    const std::size_t target =
+        nextQueue_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
+    {
+        std::lock_guard<std::mutex> lock(workers_[target]->mutex);
+        workers_[target]->queue.push_back(std::move(task));
+    }
+    // Serialize with the workers' empty-check-then-wait (the lock is what
+    // makes the notify visible; without it a push between a worker's check
+    // and its wait would be a lost wakeup).
+    {
+        std::lock_guard<std::mutex> lock(sleepMutex_);
+    }
+    sleepCv_.notify_one();
+}
+
+bool
+ThreadPool::tryPop(std::size_t index, std::function<void()> &task)
+{
+    // Own queue first (front: most recently pushed locality)...
+    {
+        Worker &own = *workers_[index];
+        std::lock_guard<std::mutex> lock(own.mutex);
+        if (!own.queue.empty()) {
+            task = std::move(own.queue.front());
+            own.queue.pop_front();
+            return true;
+        }
+    }
+    // ...then steal from the back of the other queues.
+    for (std::size_t k = 1; k < workers_.size(); ++k) {
+        Worker &victim = *workers_[(index + k) % workers_.size()];
+        std::lock_guard<std::mutex> lock(victim.mutex);
+        if (!victim.queue.empty()) {
+            task = std::move(victim.queue.back());
+            victim.queue.pop_back();
+            tasksStolen_.fetch_add(1, std::memory_order_relaxed);
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+ThreadPool::workerLoop(std::size_t index)
+{
+    for (;;) {
+        std::function<void()> task;
+        if (tryPop(index, task)) {
+            // Count before running: the task body is what signals a
+            // TaskGroup join, so an increment after task() could still be
+            // pending when a waiter wakes and reads the counter.
+            tasksExecuted_.fetch_add(1, std::memory_order_relaxed);
+            task();
+            continue;
+        }
+        std::unique_lock<std::mutex> lock(sleepMutex_);
+        if (stop_.load())
+            return;
+        // Re-check under the lock: a submit between tryPop and here would
+        // otherwise be missed until the next notify.
+        bool any = false;
+        for (const auto &w : workers_) {
+            std::lock_guard<std::mutex> qlock(w->mutex);
+            any = any || !w->queue.empty();
+        }
+        if (any)
+            continue;
+        sleepCv_.wait(lock);
+    }
+}
+
+void
+TaskGroup::run(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++pending_;
+    }
+    pool_.submit([this, task = std::move(task)] {
+        try {
+            task();
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (!error_)
+                error_ = std::current_exception();
+        }
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (--pending_ == 0)
+            cv_.notify_all();
+    });
+}
+
+void
+TaskGroup::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return pending_ == 0; });
+    if (error_) {
+        std::exception_ptr e = error_;
+        error_ = nullptr;
+        lock.unlock();
+        std::rethrow_exception(e);
+    }
+}
+
+void
+TaskGroup::waitNoThrow()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+} // namespace drs::exec

@@ -1,5 +1,7 @@
 #include "harness/harness.h"
 
+#include <cctype>
+#include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
 
@@ -19,8 +21,17 @@ archName(Arch arch)
 
 namespace {
 
+simt::GpuRunOptions
+gpuRunOptions(const RunConfig &config)
+{
+    simt::GpuRunOptions options;
+    options.maxCycles = config.maxCycles;
+    options.smxThreads = config.smxThreads;
+    return options;
+}
+
 simt::SimStats
-runAila(const render::PathTracer &tracer, const std::vector<geom::Ray> &rays,
+runAila(const render::PathTracer &tracer, std::span<const geom::Ray> rays,
         const RunConfig &config)
 {
     return simt::runGpu(
@@ -28,20 +39,18 @@ runAila(const render::PathTracer &tracer, const std::vector<geom::Ray> &rays,
         [&](int smx) {
             auto [first, count] = simt::rayStripe(
                 rays.size(), config.gpu.numSmx, smx, config.gpu.simdLanes);
-            std::vector<geom::Ray> stripe(rays.begin() + first,
-                                          rays.begin() + first + count);
             simt::SmxSetup setup;
             setup.kernel = std::make_unique<kernels::AilaKernel>(
-                tracer.bvh(), tracer.sceneTriangles(), std::move(stripe),
-                first, config.aila);
+                tracer.bvh(), tracer.sceneTriangles(),
+                rays.subspan(first, count), first, config.aila);
             setup.numWarps = config.aila.numWarps;
             return setup;
         },
-        config.maxCycles);
+        gpuRunOptions(config));
 }
 
 simt::SimStats
-runDrs(const render::PathTracer &tracer, const std::vector<geom::Ray> &rays,
+runDrs(const render::PathTracer &tracer, std::span<const geom::Ray> rays,
        const RunConfig &config)
 {
     return simt::runGpu(
@@ -49,14 +58,12 @@ runDrs(const render::PathTracer &tracer, const std::vector<geom::Ray> &rays,
         [&](int smx) {
             auto [first, count] = simt::rayStripe(
                 rays.size(), config.gpu.numSmx, smx, config.gpu.simdLanes);
-            std::vector<geom::Ray> stripe(rays.begin() + first,
-                                          rays.begin() + first + count);
             kernels::DrsKernelConfig kernel_config;
             kernel_config.numWarps = config.drs.spawnableWarps();
             kernel_config.backupRows = config.drs.backupRows;
             auto kernel = std::make_unique<kernels::DrsKernel>(
-                tracer.bvh(), tracer.sceneTriangles(), std::move(stripe),
-                first, kernel_config);
+                tracer.bvh(), tracer.sceneTriangles(),
+                rays.subspan(first, count), first, kernel_config);
             simt::SmxSetup setup;
             setup.numWarps = kernel_config.numWarps;
             setup.controller = std::make_unique<core::DrsControl>(
@@ -64,11 +71,11 @@ runDrs(const render::PathTracer &tracer, const std::vector<geom::Ray> &rays,
             setup.kernel = std::move(kernel);
             return setup;
         },
-        config.maxCycles);
+        gpuRunOptions(config));
 }
 
 simt::SimStats
-runDmk(const render::PathTracer &tracer, const std::vector<geom::Ray> &rays,
+runDmk(const render::PathTracer &tracer, std::span<const geom::Ray> rays,
        const RunConfig &config)
 {
     return simt::runGpu(
@@ -76,14 +83,12 @@ runDmk(const render::PathTracer &tracer, const std::vector<geom::Ray> &rays,
         [&](int smx) {
             auto [first, count] = simt::rayStripe(
                 rays.size(), config.gpu.numSmx, smx, config.gpu.simdLanes);
-            std::vector<geom::Ray> stripe(rays.begin() + first,
-                                          rays.begin() + first + count);
             kernels::DrsKernelConfig kernel_config;
             kernel_config.numWarps = config.dmk.numWarps;
             kernel_config.backupRows = 0; // DMK regroups via spawn memory
             auto kernel = std::make_unique<kernels::DrsKernel>(
-                tracer.bvh(), tracer.sceneTriangles(), std::move(stripe),
-                first, kernel_config);
+                tracer.bvh(), tracer.sceneTriangles(),
+                rays.subspan(first, count), first, kernel_config);
             simt::SmxSetup setup;
             setup.numWarps = kernel_config.numWarps;
             setup.controller = std::make_unique<baselines::DmkControl>(
@@ -91,34 +96,35 @@ runDmk(const render::PathTracer &tracer, const std::vector<geom::Ray> &rays,
             setup.kernel = std::move(kernel);
             return setup;
         },
-        config.maxCycles);
+        gpuRunOptions(config));
 }
 
 simt::SimStats
-runTbc(const render::PathTracer &tracer, const std::vector<geom::Ray> &rays,
+runTbc(const render::PathTracer &tracer, std::span<const geom::Ray> rays,
        const RunConfig &config)
 {
     kernels::AilaConfig aila = config.aila;
     aila.numWarps = config.tbc.numWarps;
+    baselines::TbcRunOptions options;
+    options.maxCycles = config.maxCycles;
+    options.smxThreads = config.smxThreads;
     return baselines::runTbcGpu(
         config.gpu, config.tbc,
         [&](int smx) {
             auto [first, count] = simt::rayStripe(
                 rays.size(), config.gpu.numSmx, smx, config.gpu.simdLanes);
-            std::vector<geom::Ray> stripe(rays.begin() + first,
-                                          rays.begin() + first + count);
             return std::make_unique<kernels::AilaKernel>(
-                tracer.bvh(), tracer.sceneTriangles(), std::move(stripe),
-                first, aila);
+                tracer.bvh(), tracer.sceneTriangles(),
+                rays.subspan(first, count), first, aila);
         },
-        config.maxCycles);
+        options);
 }
 
 } // namespace
 
 simt::SimStats
 runBatch(Arch arch, const render::PathTracer &tracer,
-         const std::vector<geom::Ray> &rays, const RunConfig &config)
+         std::span<const geom::Ray> rays, const RunConfig &config)
 {
     switch (arch) {
       case Arch::Aila: return runAila(tracer, rays, config);
@@ -155,9 +161,9 @@ runCapture(Arch arch, const render::PathTracer &tracer,
     for (const auto &bounce : trace.bounces) {
         if (max_bounces > 0 && bounce.bounce > max_bounces)
             break;
-        std::vector<geom::Ray> rays = bounce.rays;
+        std::span<const geom::Ray> rays(bounce.rays);
         if (max_rays_per_bounce && rays.size() > max_rays_per_bounce)
-            rays.resize(max_rays_per_bounce);
+            rays = rays.first(max_rays_per_bounce);
         if (rays.empty())
             continue;
         simt::SimStats stats = runBatch(arch, tracer, rays, config);
@@ -178,11 +184,32 @@ ExperimentScale::fromEnvironment()
 {
     ExperimentScale scale;
     auto read_env = [](const char *name, auto &value) {
-        if (const char *s = std::getenv(name)) {
-            const double v = std::atof(s);
-            if (v > 0)
-                value = static_cast<std::remove_reference_t<decltype(value)>>(v);
+        const char *s = std::getenv(name);
+        if (!s)
+            return;
+        // Parse strictly: a malformed or non-positive value would
+        // otherwise silently fall back to the default and corrupt a
+        // sweep without anyone noticing.
+        char *end = nullptr;
+        const double v = std::strtod(s, &end);
+        while (end && *end != '\0' &&
+               std::isspace(static_cast<unsigned char>(*end)))
+            ++end;
+        if (end == s || *end != '\0') {
+            std::fprintf(stderr,
+                         "warning: ignoring malformed %s=\"%s\" "
+                         "(not a number)\n",
+                         name, s);
+            return;
         }
+        if (!(v > 0)) { // also catches NaN
+            std::fprintf(stderr,
+                         "warning: ignoring %s=\"%s\" "
+                         "(must be positive)\n",
+                         name, s);
+            return;
+        }
+        value = static_cast<std::remove_reference_t<decltype(value)>>(v);
     };
     read_env("DRS_RAYS", scale.raysPerBounce);
     read_env("DRS_SCALE", scale.sceneScale);

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -45,10 +46,21 @@ struct RunConfig
     baselines::TbcConfig tbc{};
     kernels::AilaConfig aila{};
     std::uint64_t maxCycles = 2'000'000'000ULL;
+    /**
+     * Worker threads stepping SMXs concurrently inside one simulation
+     * (simt::GpuRunOptions::smxThreads). <= 1 = sequential engine. Any
+     * value produces bit-identical SimStats (see DESIGN.md, "Parallel
+     * execution model").
+     */
+    int smxThreads = 1;
 };
 
 /**
  * Trace one ray batch on @p arch.
+ *
+ * The batch is only viewed, never copied: each SMX's kernel receives a
+ * subspan of @p rays (its stripe), so the caller must keep the batch
+ * alive for the duration of the call.
  *
  * @param arch architecture to simulate
  * @param tracer path tracer owning scene + BVH
@@ -57,7 +69,7 @@ struct RunConfig
  * @return aggregated GPU statistics
  */
 simt::SimStats runBatch(Arch arch, const render::PathTracer &tracer,
-                        const std::vector<geom::Ray> &rays,
+                        std::span<const geom::Ray> rays,
                         const RunConfig &config = {});
 
 /** Per-bounce plus overall results of tracing a full capture. */
@@ -99,6 +111,9 @@ struct ExperimentScale
 
     /** Read overrides from the environment. */
     static ExperimentScale fromEnvironment();
+
+    /** Scales are cache keys (PreparedSceneCache). */
+    bool operator==(const ExperimentScale &) const = default;
 };
 
 /**

@@ -1,0 +1,184 @@
+#include "harness/sweep.h"
+
+#include <chrono>
+#include <cstdio>
+#include <span>
+
+#include "exec/thread_pool.h"
+
+namespace drs::harness {
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+}
+
+} // namespace
+
+const PreparedScene &
+PreparedSceneCache::get(scene::SceneId id, const ExperimentScale &scale)
+{
+    std::shared_future<std::shared_ptr<const PreparedScene>> future;
+    std::shared_ptr<std::promise<std::shared_ptr<const PreparedScene>>>
+        promise;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const Entry &entry : entries_) {
+            if (entry.id == id && entry.scale == scale) {
+                ++hits_;
+                future = entry.future;
+                break;
+            }
+        }
+        if (!future.valid()) {
+            ++misses_;
+            promise = std::make_shared<
+                std::promise<std::shared_ptr<const PreparedScene>>>();
+            future = promise->get_future().share();
+            entries_.push_back({id, scale, future});
+        }
+    }
+    if (promise) {
+        // Build outside the lock so other scenes can be looked up (and
+        // built) concurrently; later requesters block on the future.
+        try {
+            promise->set_value(std::make_shared<const PreparedScene>(
+                prepareScene(id, scale)));
+        } catch (...) {
+            promise->set_exception(std::current_exception());
+        }
+    }
+    return *future.get();
+}
+
+std::size_t
+PreparedSceneCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+}
+
+std::size_t
+PreparedSceneCache::misses() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+}
+
+SweepRunner::SweepRunner(const ExperimentScale &scale, int jobs)
+    : scale_(scale),
+      jobs_count_(jobs < 1 ? 1 : jobs)
+{
+}
+
+std::size_t
+SweepRunner::add(const SweepJob &job)
+{
+    pending_.push_back(job);
+    return pending_.size() - 1;
+}
+
+std::vector<std::size_t>
+SweepRunner::addCapture(scene::SceneId scene, Arch arch,
+                        const RunConfig &config, int max_bounces,
+                        std::size_t max_rays)
+{
+    const int bounces = max_bounces > 0 ? max_bounces : scale_.maxDepth;
+    std::vector<std::size_t> indices;
+    indices.reserve(static_cast<std::size_t>(bounces));
+    for (int bounce = 1; bounce <= bounces; ++bounce) {
+        SweepJob job;
+        job.scene = scene;
+        job.arch = arch;
+        job.config = config;
+        job.bounce = bounce;
+        job.maxRays = max_rays;
+        indices.push_back(add(job));
+    }
+    return indices;
+}
+
+SweepResult
+SweepRunner::runOne(const SweepJob &job)
+{
+    const PreparedScene &prepared = cache_.get(job.scene, scale_);
+
+    SweepResult result;
+    const render::BounceRays *found = nullptr;
+    for (const auto &bounce : prepared.trace.bounces) {
+        if (bounce.bounce == job.bounce) {
+            found = &bounce;
+            break;
+        }
+    }
+    if (!found || found->rays.empty())
+        return result;
+
+    std::span<const geom::Ray> rays(found->rays);
+    if (job.maxRays && rays.size() > job.maxRays)
+        rays = rays.first(job.maxRays);
+
+    const auto start = std::chrono::steady_clock::now();
+    result.stats = runBatch(job.arch, *prepared.tracer, rays, job.config);
+    result.seconds = secondsSince(start);
+    result.ran = true;
+    return result;
+}
+
+std::vector<SweepResult>
+SweepRunner::run()
+{
+    std::vector<SweepJob> jobs;
+    jobs.swap(pending_);
+    std::vector<SweepResult> results(jobs.size());
+
+    const auto start = std::chrono::steady_clock::now();
+    if (jobs_count_ <= 1 || jobs.size() <= 1) {
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+            results[i] = runOne(jobs[i]);
+    } else {
+        exec::ThreadPool pool(jobs_count_);
+        exec::TaskGroup group(pool);
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+            group.run([this, &jobs, &results, i] {
+                results[i] = runOne(jobs[i]);
+            });
+        group.wait();
+    }
+
+    std::printf("[sweep] %zu sims on %d worker%s in %.2f s "
+                "(scene cache: %zu hit%s, %zu miss%s)\n",
+                jobs.size(), jobs_count_, jobs_count_ == 1 ? "" : "s",
+                secondsSince(start), cache_.hits(),
+                cache_.hits() == 1 ? "" : "s", cache_.misses(),
+                cache_.misses() == 1 ? "" : "es");
+    std::fflush(stdout);
+    return results;
+}
+
+CaptureResult
+collectCapture(const std::vector<SweepResult> &results,
+               const std::vector<std::size_t> &indices)
+{
+    CaptureResult capture;
+    std::uint64_t cycles = 0;
+    for (const std::size_t index : indices) {
+        const SweepResult &result = results.at(index);
+        if (!result.ran)
+            continue;
+        capture.overall.merge(result.stats);
+        cycles += result.stats.cycles;
+        capture.perBounce.push_back(result.stats);
+    }
+    // As in runCapture: bounces run back-to-back, so overall cycles
+    // accumulate instead of taking the max.
+    capture.overall.cycles = cycles;
+    return capture;
+}
+
+} // namespace drs::harness

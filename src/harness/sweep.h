@@ -1,0 +1,153 @@
+#pragma once
+
+/**
+ * @file
+ * Concurrent sweep runner: the bench binaries describe their experiment
+ * as a declarative grid of {scene, architecture, config, bounce} jobs and
+ * this runner executes them on a work-stealing thread pool, preparing
+ * each scene (geometry, BVH, ray capture) exactly once per
+ * (SceneId, ExperimentScale) and sharing it read-only across all jobs.
+ *
+ * Simulations are independent, so sweep-level parallelism never changes
+ * any SimStats — results are written by job index and each simulation is
+ * bit-identical to a sequential run (see DESIGN.md, "Parallel execution
+ * model").
+ */
+
+#include <cstddef>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "harness/harness.h"
+
+namespace drs::harness {
+
+/**
+ * Build-once, share-everywhere scene store. Thread-safe: concurrent
+ * first requests for the same key build the scene exactly once (the
+ * first requester builds, the rest block on a shared future).
+ */
+class PreparedSceneCache
+{
+  public:
+    /**
+     * Scene + tracer + capture for @p id at @p scale, building it on the
+     * first request. The reference stays valid for the cache's lifetime.
+     */
+    const PreparedScene &get(scene::SceneId id, const ExperimentScale &scale);
+
+    /** Requests served from an existing (or in-flight) entry. */
+    std::size_t hits() const;
+    /** Requests that had to build the scene. */
+    std::size_t misses() const;
+
+  private:
+    struct Entry
+    {
+        scene::SceneId id;
+        ExperimentScale scale;
+        std::shared_future<std::shared_ptr<const PreparedScene>> future;
+    };
+
+    mutable std::mutex mutex_;
+    std::vector<Entry> entries_;
+    std::size_t hits_ = 0;
+    std::size_t misses_ = 0;
+};
+
+/** One cell of a sweep grid: a single simulated ray batch. */
+struct SweepJob
+{
+    scene::SceneId scene = scene::SceneId::Conference;
+    Arch arch = Arch::Aila;
+    RunConfig config{};
+    /** 1-based bounce of the scene's capture to trace. */
+    int bounce = 1;
+    /** Cap on rays taken from the bounce; 0 = the whole bounce. */
+    std::size_t maxRays = 0;
+};
+
+/** Outcome of one SweepJob, in add order. */
+struct SweepResult
+{
+    simt::SimStats stats;
+    /** False when the capture has no rays for the requested bounce. */
+    bool ran = false;
+    /** Wall-clock seconds of this simulation (excludes scene prep). */
+    double seconds = 0.0;
+};
+
+/**
+ * Declarative experiment sweep over a shared scene cache.
+ *
+ * Usage: add() every cell of the grid, then run() once; results come
+ * back indexed exactly like the add() calls. With jobs > 1 the cells
+ * execute concurrently on a work-stealing pool; with jobs <= 1 they run
+ * inline, in order.
+ */
+class SweepRunner
+{
+  public:
+    /**
+     * @param scale experiment scale shared by every job (scene cache key)
+     * @param jobs worker threads for the sweep; <= 1 = sequential
+     */
+    explicit SweepRunner(const ExperimentScale &scale, int jobs = 1);
+
+    /** Queue one job. @return its index into run()'s result vector. */
+    std::size_t add(const SweepJob &job);
+
+    /**
+     * Queue one job per bounce of @p scene's capture: bounces 1 to
+     * @p max_bounces (0 = the scale's maxDepth). Bounces the capture
+     * does not contain come back with ran = false.
+     *
+     * @return result indices, one per bounce, in bounce order
+     */
+    std::vector<std::size_t> addCapture(scene::SceneId scene, Arch arch,
+                                        const RunConfig &config,
+                                        int max_bounces = 0,
+                                        std::size_t max_rays = 0);
+
+    /**
+     * Execute every queued job and return their results in add order.
+     * Prints a one-line summary (job count, workers, wall-clock, scene
+     * cache hits/misses) to stdout. Clears the queue; the scene cache
+     * persists across run() calls.
+     */
+    std::vector<SweepResult> run();
+
+    /** The shared scene store (also usable directly, e.g. for stats). */
+    const PreparedScene &prepared(scene::SceneId id)
+    {
+        return cache_.get(id, scale_);
+    }
+
+    const ExperimentScale &scale() const { return scale_; }
+    int jobCount() const { return jobs_count_; }
+    std::size_t pendingJobs() const { return pending_.size(); }
+
+    /** Scene cache observability (each scene must build exactly once). */
+    std::size_t cacheHits() const { return cache_.hits(); }
+    std::size_t cacheMisses() const { return cache_.misses(); }
+
+  private:
+    SweepResult runOne(const SweepJob &job);
+
+    ExperimentScale scale_;
+    int jobs_count_;
+    PreparedSceneCache cache_;
+    std::vector<SweepJob> pending_;
+};
+
+/**
+ * Assemble per-bounce sweep results (as returned for an addCapture call)
+ * into the CaptureResult shape runCapture produces: absent bounces are
+ * skipped, overall merges the rest, cycles accumulate across bounces.
+ */
+CaptureResult collectCapture(const std::vector<SweepResult> &results,
+                             const std::vector<std::size_t> &indices);
+
+} // namespace drs::harness

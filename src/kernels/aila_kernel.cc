@@ -63,11 +63,11 @@ makeAilaProgram(const CostModel &cost)
 
 AilaKernel::AilaKernel(const bvh::Bvh &bvh,
                        const std::vector<geom::Triangle> &triangles,
-                       std::vector<geom::Ray> rays,
+                       std::span<const geom::Ray> rays,
                        std::size_t first_ray, const AilaConfig &config)
     : config_(config),
       program_(makeAilaProgram(config.cost)),
-      workspace_(bvh, triangles, std::move(rays), first_ray, config.numWarps,
+      workspace_(bvh, triangles, rays, first_ray, config.numWarps,
                  32, config.anyHit),
       postponedLeaf_(static_cast<std::size_t>(config.numWarps) * 32, -1)
 {

@@ -65,13 +65,13 @@ class AilaKernel : public simt::Kernel
     /**
      * @param bvh scene hierarchy
      * @param triangles scene triangles
-     * @param rays this SMX's ray stripe
+     * @param rays view of this SMX's ray stripe (caller keeps it alive)
      * @param first_ray global index of rays[0]
      * @param config kernel options
      */
     AilaKernel(const bvh::Bvh &bvh,
                const std::vector<geom::Triangle> &triangles,
-               std::vector<geom::Ray> rays, std::size_t first_ray,
+               std::span<const geom::Ray> rays, std::size_t first_ray,
                const AilaConfig &config = {});
 
     const simt::Program &program() const override { return program_; }

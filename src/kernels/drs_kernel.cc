@@ -64,11 +64,11 @@ makeDrsProgram(const CostModel &cost)
 
 DrsKernel::DrsKernel(const bvh::Bvh &bvh,
                      const std::vector<geom::Triangle> &triangles,
-                     std::vector<geom::Ray> rays,
+                     std::span<const geom::Ray> rays,
                      std::size_t first_ray, const DrsKernelConfig &config)
     : config_(config),
       program_(makeDrsProgram(config.cost)),
-      workspace_(bvh, triangles, std::move(rays), first_ray, config.rowCount(),
+      workspace_(bvh, triangles, rays, first_ray, config.rowCount(),
                  32, config.anyHit)
 {
 }

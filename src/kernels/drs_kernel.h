@@ -62,7 +62,7 @@ class DrsKernel : public simt::Kernel
   public:
     DrsKernel(const bvh::Bvh &bvh,
               const std::vector<geom::Triangle> &triangles,
-              std::vector<geom::Ray> rays, std::size_t first_ray,
+              std::span<const geom::Ray> rays, std::size_t first_ray,
               const DrsKernelConfig &config = {});
 
     const simt::Program &program() const override { return program_; }

@@ -13,12 +13,12 @@ using simt::TravState;
 
 TravWorkspace::TravWorkspace(const bvh::Bvh &bvh,
                              const std::vector<geom::Triangle> &triangles,
-                             std::vector<geom::Ray> rays,
+                             std::span<const geom::Ray> rays,
                              std::size_t first_ray, int rows, int lanes,
                              bool any_hit)
     : bvh_(bvh),
       triangles_(triangles),
-      rays_(std::move(rays)),
+      rays_(rays),
       firstRay_(first_ray),
       rows_(rows),
       lanes_(lanes),

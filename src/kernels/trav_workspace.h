@@ -14,6 +14,7 @@
  */
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "bvh/bvh.h"
@@ -76,14 +77,16 @@ class TravWorkspace : public simt::RowWorkspace
     /**
      * @param bvh hierarchy to traverse
      * @param triangles the scene triangles the hierarchy indexes
-     * @param rays input batch (this SMX's stripe)
+     * @param rays view of this SMX's stripe of the input batch; the
+     *        caller keeps the underlying rays alive for the workspace's
+     *        lifetime (no copy is made)
      * @param first_ray index of rays[0] within the global batch
      * @param rows number of logical rows
      * @param lanes slots per row (warp size)
      */
     TravWorkspace(const bvh::Bvh &bvh,
                   const std::vector<geom::Triangle> &triangles,
-                  std::vector<geom::Ray> rays, std::size_t first_ray,
+                  std::span<const geom::Ray> rays, std::size_t first_ray,
                   int rows, int lanes, bool any_hit = false);
 
     /**
@@ -165,7 +168,7 @@ class TravWorkspace : public simt::RowWorkspace
 
     const bvh::Bvh &bvh_;
     const std::vector<geom::Triangle> &triangles_;
-    const std::vector<geom::Ray> rays_; ///< owned input stripe
+    const std::span<const geom::Ray> rays_; ///< borrowed input stripe
     std::size_t firstRay_;
     int rows_;
     int lanes_;

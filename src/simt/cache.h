@@ -29,6 +29,9 @@ struct CacheStats
         accesses += o.accesses;
         misses += o.misses;
     }
+
+    /** Exact counter equality (determinism regression tests). */
+    bool operator==(const CacheStats &) const = default;
 };
 
 /** A set-associative cache with true-LRU replacement. */

@@ -1,0 +1,127 @@
+#pragma once
+
+/**
+ * @file
+ * The cycle-stepping engine shared by the plain GPU (simt::runGpu) and
+ * the TBC baseline: sequential and parallel drivers over any SMX-like
+ * type exposing done()/step()/commitMemory().
+ *
+ * Both drivers buffer shared-side (L2/DRAM) requests during a cycle's
+ * step phase and commit them afterwards in SMX-index order, so the L2
+ * observes one canonical access interleaving no matter how many worker
+ * threads step the SMXs. This is what makes the parallel engine's
+ * SimStats bit-identical to the sequential engine's (see DESIGN.md,
+ * "Parallel execution model").
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace drs::simt {
+
+/**
+ * Step @p smxs cycle by cycle until all are done.
+ *
+ * @param smxs SMXs in commit order (index order defines L2 ordering)
+ * @param max_cycles safety bound; throws std::runtime_error when exceeded
+ * @param threads worker threads; <= 1 runs the sequential driver
+ */
+template <typename SmxLike>
+void
+runEngine(const std::vector<SmxLike *> &smxs, std::uint64_t max_cycles,
+          int threads)
+{
+    bool all_done = true;
+    for (SmxLike *smx : smxs)
+        all_done = all_done && smx->done();
+    if (all_done)
+        return;
+
+    if (threads <= 1 || smxs.size() <= 1) {
+        std::uint64_t cycle = 0;
+        while (!all_done && cycle < max_cycles) {
+            all_done = true;
+            for (SmxLike *smx : smxs) {
+                if (!smx->done()) {
+                    smx->step();
+                    all_done = false;
+                }
+            }
+            for (SmxLike *smx : smxs)
+                smx->commitMemory();
+            ++cycle;
+        }
+        if (!all_done)
+            throw std::runtime_error("GPU simulation exceeded max_cycles");
+        return;
+    }
+
+    const int workers = std::min<int>(threads, static_cast<int>(smxs.size()));
+
+    std::atomic<bool> stop{false};
+    std::atomic<bool> timed_out{false};
+    std::mutex error_mutex;
+    std::exception_ptr error;
+
+    // The completion step runs exactly once per cycle, by whichever
+    // worker arrives last, strictly between two step phases.
+    std::uint64_t cycle = 0;
+    auto on_cycle_complete = [&]() noexcept {
+        bool done_now = true;
+        for (SmxLike *smx : smxs) {
+            smx->commitMemory();
+            done_now = done_now && smx->done();
+        }
+        ++cycle;
+        if (done_now || error)
+            stop.store(true, std::memory_order_release);
+        else if (cycle >= max_cycles) {
+            timed_out.store(true, std::memory_order_relaxed);
+            stop.store(true, std::memory_order_release);
+        }
+    };
+    std::barrier sync(workers, on_cycle_complete);
+
+    auto worker = [&](int index) {
+        while (!stop.load(std::memory_order_acquire)) {
+            for (std::size_t i = static_cast<std::size_t>(index);
+                 i < smxs.size(); i += static_cast<std::size_t>(workers)) {
+                SmxLike *smx = smxs[i];
+                if (smx->done())
+                    continue;
+                try {
+                    smx->step();
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(error_mutex);
+                    if (!error)
+                        error = std::current_exception();
+                }
+            }
+            // Workers always reach the barrier, even on error, so nobody
+            // deadlocks; the completion step turns the error into a stop.
+            sync.arrive_and_wait();
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers - 1));
+    for (int t = 1; t < workers; ++t)
+        pool.emplace_back(worker, t);
+    worker(0);
+    for (auto &t : pool)
+        t.join();
+
+    if (error)
+        std::rethrow_exception(error);
+    if (timed_out.load())
+        throw std::runtime_error("GPU simulation exceeded max_cycles");
+}
+
+} // namespace drs::simt

@@ -1,12 +1,15 @@
 #include "simt/gpu.h"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "simt/engine.h"
 
 namespace drs::simt {
 
 SimStats
 runGpu(const GpuConfig &config, const SmxFactory &factory,
-       std::uint64_t max_cycles)
+       const GpuRunOptions &options)
 {
     SharedMemorySide shared(config.memory);
 
@@ -29,33 +32,32 @@ runGpu(const GpuConfig &config, const SmxFactory &factory,
         unit.smx = std::make_unique<Smx>(config, *unit.setup.kernel,
                                          unit.setup.controller.get(),
                                          unit.setup.numWarps, shared);
+        unit.smx->setDeferredMemory(true);
         if (unit.setup.controller)
             unit.setup.controller->attach(*unit.smx);
         units.push_back(std::move(unit));
     }
 
-    // Cycle-interleaved execution of all SMXs so the shared L2 sees a
-    // realistic access interleaving.
-    bool all_done = false;
-    std::uint64_t cycle = 0;
-    while (!all_done && cycle < max_cycles) {
-        all_done = true;
-        for (auto &unit : units) {
-            if (!unit.smx->done()) {
-                unit.smx->step();
-                all_done = false;
-            }
-        }
-        ++cycle;
-    }
-    if (!all_done)
-        throw std::runtime_error("GPU simulation exceeded max_cycles");
+    std::vector<Smx *> smxs;
+    smxs.reserve(units.size());
+    for (auto &unit : units)
+        smxs.push_back(unit.smx.get());
+    runEngine(smxs, options.maxCycles, options.smxThreads);
 
     SimStats total;
     for (auto &unit : units)
         total.merge(unit.smx->collectStats());
     total.l2 = shared.l2Stats();
     return total;
+}
+
+SimStats
+runGpu(const GpuConfig &config, const SmxFactory &factory,
+       std::uint64_t max_cycles)
+{
+    GpuRunOptions options;
+    options.maxCycles = max_cycles;
+    return runGpu(config, factory, options);
 }
 
 std::pair<std::size_t, std::size_t>

@@ -36,14 +36,34 @@ struct SmxSetup
  */
 using SmxFactory = std::function<SmxSetup(int smx_index)>;
 
+/** Execution options of one runGpu invocation. */
+struct GpuRunOptions
+{
+    /** Safety bound; stats.cycles < maxCycles on success. */
+    std::uint64_t maxCycles = 2'000'000'000ULL;
+    /**
+     * Worker threads stepping SMXs concurrently; <= 1 selects the
+     * sequential engine. The parallel engine is deterministic: every SMX
+     * steps one cycle on its worker with shared-side (L2/DRAM) requests
+     * buffered, then a per-cycle barrier commits them in SMX-index order —
+     * exactly the interleaving the sequential engine produces — so
+     * SimStats are bit-identical for any thread count.
+     */
+    int smxThreads = 1;
+};
+
 /**
  * Run one ray batch to completion on a simulated GPU.
  *
  * @param config GPU parameters (Table 1 defaults)
  * @param factory per-SMX kernel/controller factory
- * @param max_cycles safety bound; stats.cycles < max_cycles on success
+ * @param options engine options (cycle bound, SMX-level parallelism)
  * @return aggregated statistics (cycles = slowest SMX)
  */
+SimStats runGpu(const GpuConfig &config, const SmxFactory &factory,
+                const GpuRunOptions &options);
+
+/** Convenience overload: sequential engine with a cycle bound. */
 SimStats runGpu(const GpuConfig &config, const SmxFactory &factory,
                 std::uint64_t max_cycles = 2'000'000'000ULL);
 

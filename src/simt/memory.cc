@@ -33,8 +33,17 @@ SmxMemory::warpAccess(MemSpace space,
                       const std::vector<std::uint64_t> &addresses,
                       std::uint32_t bytes)
 {
+    return commitAccess(resolveL1(space, addresses, bytes));
+}
+
+PendingWarpAccess
+SmxMemory::resolveL1(MemSpace space,
+                     const std::vector<std::uint64_t> &addresses,
+                     std::uint32_t bytes)
+{
+    PendingWarpAccess pending;
     if (space == MemSpace::None || addresses.empty())
-        return 0;
+        return pending;
 
     Cache &l1 = (space == MemSpace::Texture) ? l1Texture_ : l1Data_;
     const std::uint32_t line = l1.lineBytes();
@@ -52,23 +61,37 @@ SmxMemory::warpAccess(MemSpace space,
     std::sort(lines.begin(), lines.end());
     lines.erase(std::unique(lines.begin(), lines.end()), lines.end());
 
-    const std::uint32_t l1_latency = (space == MemSpace::Texture)
-                                         ? config_.l1Texture.hitLatency
-                                         : config_.l1Data.hitLatency;
-
-    // The warp waits for the slowest line; additional lines serialize at
-    // the L1 port, adding a small per-line charge (memory divergence).
-    std::uint32_t worst = 0;
+    pending.l1Latency = (space == MemSpace::Texture)
+                            ? config_.l1Texture.hitLatency
+                            : config_.l1Data.hitLatency;
     for (std::uint64_t l : lines) {
         const std::uint64_t byte_addr = l * line;
-        std::uint32_t latency = l1_latency;
-        if (!l1.access(byte_addr))
-            latency += shared_.accessLine(byte_addr);
-        worst = std::max(worst, latency);
+        if (l1.access(byte_addr))
+            pending.baseLatency =
+                std::max(pending.baseLatency, pending.l1Latency);
+        else
+            pending.missLines.push_back(byte_addr);
     }
-    const auto extra = static_cast<std::uint32_t>(lines.size() - 1) *
-                       config_.perLineSerialization;
-    return worst + extra;
+    // Additional lines serialize at the L1 port, adding a small per-line
+    // charge (memory divergence).
+    pending.extraLatency = static_cast<std::uint32_t>(lines.size() - 1) *
+                           config_.perLineSerialization;
+    return pending;
+}
+
+std::uint32_t
+SmxMemory::commitAccess(const PendingWarpAccess &pending)
+{
+    if (pending.missLines.empty() && pending.baseLatency == 0 &&
+        pending.extraLatency == 0)
+        return 0;
+
+    // The warp waits for the slowest line.
+    std::uint32_t worst = pending.baseLatency;
+    for (std::uint64_t byte_addr : pending.missLines)
+        worst = std::max(worst,
+                         pending.l1Latency + shared_.accessLine(byte_addr));
+    return worst + pending.extraLatency;
 }
 
 void

@@ -36,6 +36,25 @@ class SharedMemorySide
     Cache l2_;
 };
 
+/**
+ * One warp access with its private (L1) half resolved and its shared (L2)
+ * half still pending. The parallel GPU engine buffers these per SMX while
+ * SMXs step concurrently and commits them to the SharedMemorySide at the
+ * cycle barrier in SMX-index order, which reproduces the sequential
+ * engine's L2 access interleaving exactly.
+ */
+struct PendingWarpAccess
+{
+    /** Worst latency among lines already satisfied by the L1. */
+    std::uint32_t baseLatency = 0;
+    /** Per-line serialization charge (fixed at resolve time). */
+    std::uint32_t extraLatency = 0;
+    /** L1 hit latency added in front of each pending L2 line. */
+    std::uint32_t l1Latency = 0;
+    /** Byte addresses of the lines that missed the L1. */
+    std::vector<std::uint64_t> missLines;
+};
+
 /** The per-SMX memory path (both L1s), backed by a SharedMemorySide. */
 class SmxMemory
 {
@@ -53,6 +72,22 @@ class SmxMemory
     std::uint32_t warpAccess(MemSpace space,
                              const std::vector<std::uint64_t> &addresses,
                              std::uint32_t bytes);
+
+    /**
+     * Phase 1 of a warp access: coalesce lanes into lines and look them up
+     * in the private L1 (which this call updates). Lines that miss are
+     * returned for a later commitAccess() against the shared side; the L2
+     * is NOT touched. warpAccess() == resolveL1() + commitAccess().
+     */
+    PendingWarpAccess resolveL1(MemSpace space,
+                                const std::vector<std::uint64_t> &addresses,
+                                std::uint32_t bytes);
+
+    /**
+     * Phase 2: play the pending L2 lines against the shared side (in the
+     * order resolveL1 produced them) and return the final warp latency.
+     */
+    std::uint32_t commitAccess(const PendingWarpAccess &pending);
 
     const CacheStats &l1DataStats() const { return l1Data_.stats(); }
     const CacheStats &l1TextureStats() const { return l1Texture_.stats(); }

@@ -109,6 +109,13 @@ struct SimStats
         l1Texture.merge(o.l1Texture);
         l2.merge(o.l2);
     }
+
+    /**
+     * Field-for-field equality. The parallel engines promise bit-identical
+     * statistics for any thread count; the determinism regression tests
+     * check exactly this.
+     */
+    bool operator==(const SimStats &) const = default;
 };
 
 } // namespace drs::simt

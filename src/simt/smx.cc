@@ -171,9 +171,18 @@ Smx::completeBlock(Warp &warp)
     }
 
     if (!memAddresses_.empty()) {
-        const std::uint32_t latency =
-            memory_.warpAccess(block.memSpace, memAddresses_, bytes);
-        warp.readyCycle = cycle_ + latency;
+        if (deferredMemory_) {
+            DeferredAccess deferred;
+            deferred.warp = warp.id();
+            deferred.issueCycle = cycle_;
+            deferred.pending =
+                memory_.resolveL1(block.memSpace, memAddresses_, bytes);
+            deferredAccesses_.push_back(std::move(deferred));
+        } else {
+            const std::uint32_t latency =
+                memory_.warpAccess(block.memSpace, memAddresses_, bytes);
+            warp.readyCycle = cycle_ + latency;
+        }
     }
 
     warp.applySuccessors(nextBlocks_, prog);
@@ -244,6 +253,19 @@ Smx::step()
         controller_->cycle(issued_total);
 
     ++cycle_;
+}
+
+void
+Smx::commitMemory()
+{
+    // FIFO order: the sequential engine's L2 sees this SMX's accesses in
+    // exactly the order the schedulers produced them within the cycle.
+    for (const DeferredAccess &d : deferredAccesses_) {
+        const std::uint32_t latency = memory_.commitAccess(d.pending);
+        warps_[static_cast<std::size_t>(d.warp)].readyCycle =
+            d.issueCycle + latency;
+    }
+    deferredAccesses_.clear();
 }
 
 void

@@ -45,6 +45,20 @@ class Smx
     /** Advance one core cycle. */
     void step();
 
+    /**
+     * Deferred-memory mode, used by the parallel GPU engine: step() then
+     * buffers shared-side (L2/DRAM) requests instead of playing them
+     * immediately, and commitMemory() must be called after every step() —
+     * serially, in SMX-index order across the GPU — to resolve them and
+     * release the waiting warps. Per-cycle results are bit-identical to
+     * immediate mode because a warp never observes its own memory latency
+     * within the cycle that issued the access.
+     */
+    void setDeferredMemory(bool deferred) { deferredMemory_ = deferred; }
+
+    /** Commit buffered shared-side requests (deferred mode only). */
+    void commitMemory();
+
     /** Current cycle count. */
     std::uint64_t cycle() const { return cycle_; }
 
@@ -105,6 +119,17 @@ class Smx
     // Scratch reused across completeBlock calls.
     std::vector<int> nextBlocks_;
     std::vector<std::uint64_t> memAddresses_;
+
+    /** One L1-resolved access awaiting its shared-side commit. */
+    struct DeferredAccess
+    {
+        int warp = -1;
+        std::uint64_t issueCycle = 0;
+        PendingWarpAccess pending;
+    };
+
+    bool deferredMemory_ = false;
+    std::vector<DeferredAccess> deferredAccesses_;
 };
 
 } // namespace drs::simt

@@ -79,6 +79,9 @@ class ActiveThreadHistogram
     /** Human-readable bucket label, e.g. "W1:8". */
     static std::string bucketLabel(int b);
 
+    /** Exact counter equality (determinism regression tests). */
+    bool operator==(const ActiveThreadHistogram &) const = default;
+
   private:
     std::uint64_t instructions_ = 0;
     std::uint64_t spawnInstructions_ = 0;

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests of the host-side execution library: work-stealing thread pool,
+ * fork/join task groups and DRS_JOBS-driven default concurrency.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/thread_pool.h"
+
+namespace drs::exec {
+namespace {
+
+TEST(DefaultConcurrency, ReadsDrsJobs)
+{
+    setenv("DRS_JOBS", "7", 1);
+    EXPECT_EQ(defaultConcurrency(), 7);
+    unsetenv("DRS_JOBS");
+}
+
+TEST(DefaultConcurrency, IgnoresMalformedDrsJobs)
+{
+    const int fallback = [] {
+        unsetenv("DRS_JOBS");
+        return defaultConcurrency();
+    }();
+    EXPECT_GE(fallback, 1);
+
+    for (const char *bad : {"banana", "-3", "0", "4x", ""}) {
+        setenv("DRS_JOBS", bad, 1);
+        EXPECT_EQ(defaultConcurrency(), fallback) << "DRS_JOBS=" << bad;
+    }
+    unsetenv("DRS_JOBS");
+}
+
+TEST(ThreadPool, RunsEveryTask)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.threadCount(), 4);
+
+    std::atomic<int> counter{0};
+    TaskGroup group(pool);
+    for (int i = 0; i < 1000; ++i)
+        group.run([&counter] { ++counter; });
+    group.wait();
+    EXPECT_EQ(counter.load(), 1000);
+    EXPECT_EQ(pool.tasksExecuted(), 1000u);
+}
+
+TEST(ThreadPool, SingleThreadStillRuns)
+{
+    ThreadPool pool(1);
+    std::atomic<int> counter{0};
+    TaskGroup group(pool);
+    for (int i = 0; i < 50; ++i)
+        group.run([&counter] { ++counter; });
+    group.wait();
+    EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, ClampsNonPositiveThreadCount)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.threadCount(), 1);
+}
+
+TEST(ThreadPool, WorkStealingBalancesUnevenTasks)
+{
+    // Round-robin submission puts the slow tasks on a few queues; the
+    // other workers must steal to finish them all promptly.
+    ThreadPool pool(4);
+    std::atomic<int> counter{0};
+    TaskGroup group(pool);
+    for (int i = 0; i < 64; ++i)
+        group.run([&counter, i] {
+            if (i % 4 == 0)
+                std::this_thread::sleep_for(std::chrono::milliseconds(2));
+            ++counter;
+        });
+    group.wait();
+    EXPECT_EQ(counter.load(), 64);
+    // Stealing is timing-dependent in principle, but with 3 of 4 queues
+    // drained quickly it is effectively certain here.
+    EXPECT_GT(pool.tasksStolen(), 0u);
+}
+
+TEST(ThreadPool, TasksRunOnMultipleThreads)
+{
+    ThreadPool pool(4);
+    std::mutex mutex;
+    std::set<std::thread::id> ids;
+    TaskGroup group(pool);
+    for (int i = 0; i < 200; ++i)
+        group.run([&] {
+            std::this_thread::sleep_for(std::chrono::microseconds(100));
+            std::lock_guard<std::mutex> lock(mutex);
+            ids.insert(std::this_thread::get_id());
+        });
+    group.wait();
+    EXPECT_GT(ids.size(), 1u);
+}
+
+TEST(TaskGroup, PropagatesFirstException)
+{
+    ThreadPool pool(2);
+    TaskGroup group(pool);
+    std::atomic<int> completed{0};
+    for (int i = 0; i < 20; ++i)
+        group.run([&completed, i] {
+            if (i == 7)
+                throw std::runtime_error("task 7 failed");
+            ++completed;
+        });
+    EXPECT_THROW(group.wait(), std::runtime_error);
+    // The remaining tasks still ran (the group fails at the join, it
+    // does not cancel).
+    EXPECT_EQ(completed.load(), 19);
+}
+
+TEST(TaskGroup, ReusableAfterWait)
+{
+    ThreadPool pool(2);
+    TaskGroup group(pool);
+    std::atomic<int> counter{0};
+    group.run([&counter] { ++counter; });
+    group.wait();
+    group.run([&counter] { ++counter; });
+    group.wait();
+    EXPECT_EQ(counter.load(), 2);
+}
+
+} // namespace
+} // namespace drs::exec

@@ -162,5 +162,29 @@ TEST(ExperimentScale, EnvironmentOverrides)
     unsetenv("DRS_SMX");
 }
 
+TEST(ExperimentScale, RejectsMalformedEnvironmentValues)
+{
+    const ExperimentScale defaults;
+    // Not-a-number, trailing garbage, and non-positive values must all
+    // be ignored (with a stderr warning) instead of silently becoming 0
+    // or a truncated prefix.
+    for (const char *bad : {"lots", "12oo", "-5", "0", "nan", ""}) {
+        setenv("DRS_RAYS", bad, 1);
+        setenv("DRS_SMX", bad, 1);
+        const auto scale = ExperimentScale::fromEnvironment();
+        EXPECT_EQ(scale.raysPerBounce, defaults.raysPerBounce)
+            << "DRS_RAYS=\"" << bad << '"';
+        EXPECT_EQ(scale.numSmx, defaults.numSmx)
+            << "DRS_SMX=\"" << bad << '"';
+    }
+    unsetenv("DRS_RAYS");
+    unsetenv("DRS_SMX");
+
+    // Trailing whitespace is harmless and accepted.
+    setenv("DRS_SMX", "5 ", 1);
+    EXPECT_EQ(ExperimentScale::fromEnvironment().numSmx, 5);
+    unsetenv("DRS_SMX");
+}
+
 } // namespace
 } // namespace drs::harness

@@ -350,5 +350,67 @@ TEST(Gpu, RayStripeFewRays)
         EXPECT_EQ(rayStripe(10, 4, i).second, 0u);
 }
 
+TEST(Gpu, RayStripeZeroRays)
+{
+    for (int smx = 0; smx < 4; ++smx) {
+        auto [first, count] = rayStripe(0, 4, smx);
+        EXPECT_EQ(count, 0u);
+        EXPECT_LE(first, 0u);
+    }
+}
+
+TEST(Gpu, RayStripeMoreSmxsThanWarpGroups)
+{
+    // 3 warp-groups (65 rays) over 8 SMXs: exactly 3 SMXs get one group
+    // each, the rest get nothing.
+    int populated = 0;
+    std::size_t total = 0;
+    for (int smx = 0; smx < 8; ++smx) {
+        auto [first, count] = rayStripe(65, 8, smx);
+        (void)first;
+        if (count > 0) {
+            ++populated;
+            total += count;
+        }
+    }
+    EXPECT_EQ(populated, 3);
+    EXPECT_EQ(total, 65u);
+}
+
+/**
+ * Property check: for any (total, smx count), the stripes are disjoint,
+ * contiguous, complete, and every stripe but the batch tail starts and
+ * ends on a warp boundary.
+ */
+TEST(Gpu, RayStripesPartitionTheBatch)
+{
+    const std::size_t totals[] = {0, 1, 31, 32, 33, 64, 100, 1023, 1024,
+                                  4097};
+    for (const std::size_t total : totals) {
+        for (const int num_smx : {1, 2, 3, 7, 15, 16}) {
+            std::size_t expected_first = 0;
+            for (int smx = 0; smx < num_smx; ++smx) {
+                auto [first, count] = rayStripe(total, num_smx, smx);
+                if (count == 0)
+                    continue;
+                // Contiguity + disjointness: each non-empty stripe picks
+                // up exactly where the previous one ended.
+                EXPECT_EQ(first, expected_first)
+                    << total << " rays, " << num_smx << " SMXs, smx "
+                    << smx;
+                // Warp alignment: stripes start on a 32-ray boundary and
+                // only the batch tail may end off-boundary.
+                EXPECT_EQ(first % 32, 0u);
+                if (first + count != total)
+                    EXPECT_EQ(count % 32, 0u);
+                expected_first = first + count;
+            }
+            EXPECT_EQ(expected_first, total)
+                << total << " rays over " << num_smx
+                << " SMXs did not cover the batch";
+        }
+    }
+}
+
 } // namespace
 } // namespace drs::simt

@@ -64,6 +64,9 @@ main(int argc, char **argv)
 
     const auto results = runner.run();
     const harness::RunConfig defaults = bench::makeRunConfig(scale, options);
+    bench::JsonReport report("ablation_policy", scale, options);
+    const std::string conference =
+        scene::sceneName(scene::SceneId::Conference);
 
     stats::Table table({"variant", "SIMD eff", "issue util", "stall rate",
                         "Mrays/s"});
@@ -79,17 +82,27 @@ main(int argc, char **argv)
                       stats::formatPercent(stats.rdctrlStallRate()),
                       stats::formatDouble(
                           stats.mraysPerSecond(defaults.gpu.clockGhz), 1)});
+        auto &json_row = report.addStats(conference, "drs", stats,
+                                         defaults.gpu.clockGhz);
+        json_row["config"] = variants[v].name;
+        json_row["bounce"] = "B2";
+        json_row["issue_utilization"] = util;
     }
     std::cout << "\n";
     table.print(std::cout);
 
     const auto &aila = results[aila_index].stats;
+    auto &aila_row = report.addStats(conference, "aila", aila,
+                                     defaults.gpu.clockGhz);
+    aila_row["config"] = "aila reference";
+    aila_row["bounce"] = "B2";
     std::cout << "\nAila reference: "
               << stats::formatDouble(
                      aila.mraysPerSecond(defaults.gpu.clockGhz), 1)
               << " Mrays/s at "
               << stats::formatPercent(aila.histogram.simdEfficiency())
               << " SIMD efficiency\n\n";
+    report.write(timer);
     bench::printElapsed(timer);
     return 0;
 }

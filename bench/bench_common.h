@@ -19,7 +19,9 @@
 
 #include "exec/thread_pool.h"
 #include "harness/harness.h"
+#include "harness/report.h"
 #include "harness/sweep.h"
+#include "obs/report.h"
 #include "stats/table.h"
 
 namespace drs::bench {
@@ -31,6 +33,8 @@ struct Options
     int jobs = 1;
     /** Worker threads inside each simulation (--smx-threads N). */
     int smxThreads = 1;
+    /** Structured report destination (--json PATH); empty = no report. */
+    std::string jsonPath;
 };
 
 /**
@@ -77,7 +81,17 @@ parseOptions(int argc, char **argv)
         else if (const char *v = value_of("--smx-threads"))
             options.smxThreads =
                 positive_int("--smx-threads", v, options.smxThreads);
-        else
+        else if (const char *v = value_of("--json")) {
+            // Same strict contract as the environment knobs: a malformed
+            // (empty) value warns and is ignored rather than silently
+            // producing no report.
+            if (*v == '\0')
+                std::fprintf(stderr,
+                             "warning: ignoring --json with an empty "
+                             "path\n");
+            else
+                options.jsonPath = v;
+        } else
             std::fprintf(stderr, "warning: ignoring unknown argument %s\n",
                          arg.c_str());
     }
@@ -128,8 +142,68 @@ makeRunConfig(const harness::ExperimentScale &scale, const Options &options)
     harness::RunConfig config;
     config.gpu.numSmx = scale.numSmx;
     config.smxThreads = options.smxThreads;
+    config.trace = obs::TraceConfig::fromEnvironment();
     return config;
 }
+
+/**
+ * Structured bench report (--json PATH): the document is always built —
+ * the cost is negligible next to the simulations — but only validated
+ * and written when a path was given. Rows are open-ended JSON objects;
+ * addStats prefills one with the well-known metric fields of a run.
+ */
+class JsonReport
+{
+  public:
+    JsonReport(const std::string &bench_name,
+               const harness::ExperimentScale &scale, const Options &options)
+        : report_(bench_name), path_(options.jsonPath)
+    {
+        report_.scale() = harness::scaleJson(scale);
+        report_.options()["jobs"] = options.jobs;
+        report_.options()["smx_threads"] = options.smxThreads;
+    }
+
+    /** One empty result row, to fill in place. */
+    obs::Json &addRow() { return report_.addResult(); }
+
+    /** One result row prefilled from a simulation's statistics. */
+    obs::Json &addStats(const std::string &scene, const std::string &arch,
+                        const simt::SimStats &stats, double clock_ghz)
+    {
+        obs::Json &row = report_.addResult();
+        row = harness::statsJson(stats, clock_ghz);
+        row["scene"] = scene;
+        row["arch"] = arch;
+        return row;
+    }
+
+    /** Bench-specific aggregate object. */
+    obs::Json &summary() { return report_.summary(); }
+
+    /** Validate and write the report; call once, at the end. */
+    void write(const WallTimer &timer)
+    {
+        if (path_.empty())
+            return;
+        report_.setWallSeconds(timer.seconds());
+        const std::string problem =
+            obs::validateBenchReport(report_.document());
+        if (!problem.empty())
+            std::fprintf(stderr, "warning: bench report fails its schema: %s\n",
+                         problem.c_str());
+        std::string error;
+        if (!report_.writeFile(path_, &error))
+            std::fprintf(stderr, "warning: bench report not written: %s\n",
+                         error.c_str());
+        else
+            std::printf("json report: %s\n", path_.c_str());
+    }
+
+  private:
+    obs::BenchReport report_;
+    std::string path_;
+};
 
 /** Print the closing wall-clock line of a bench. */
 inline void

@@ -37,6 +37,8 @@ main(int argc, char **argv)
         }
     }
     const auto results = runner.run();
+    const double clock_ghz = harness::RunConfig{}.gpu.clockGhz;
+    bench::JsonReport report("fig10_simd_breakdown", scale, options);
 
     std::size_t scene_index = 0;
     for (scene::SceneId id : scene::allSceneIds()) {
@@ -56,6 +58,10 @@ main(int argc, char **argv)
                      stats::formatPercent(stats.histogram.bucketFraction(3)),
                      stats::formatPercent(
                          stats.histogram.spawnFraction())});
+                auto &json_row = report.addStats(
+                    scene::sceneName(id), harness::archName(archs[a]),
+                    stats, clock_ghz);
+                json_row["bounce"] = bounce;
             };
             for (std::size_t b = 0;
                  b < capture.perBounce.size() && b < 3; ++b)
@@ -70,6 +76,7 @@ main(int argc, char **argv)
     std::cout << "\nPaper shape: DRS lifts overall efficiency from\n"
                  "~33-46% (Aila) to ~75-88%; DMK approaches DRS when its\n"
                  "SI category is excluded; TBC lands in between.\n\n";
+    report.write(timer);
     bench::printElapsed(timer);
     return 0;
 }

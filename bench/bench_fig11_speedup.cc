@@ -38,6 +38,7 @@ main(int argc, char **argv)
     }
     const auto results = runner.run();
     const double clock_ghz = harness::RunConfig{}.gpu.clockGhz;
+    bench::JsonReport report("fig11_speedup", scale, options);
 
     double geomean_accumulator[4] = {0, 0, 0, 0};
     int scene_count = 0;
@@ -65,6 +66,12 @@ main(int argc, char **argv)
                           stats::formatDouble(overall / aila_overall, 2) +
                               "x"});
             geomean_accumulator[a] += std::log(overall / aila_overall);
+
+            auto &row = report.addStats(scene::sceneName(id),
+                                        harness::archName(archs[a]),
+                                        capture.overall, clock_ghz);
+            row["mrays_per_s"] = overall;
+            row["speedup_vs_aila"] = overall / aila_overall;
         }
         ++scene_count;
         std::cout << "\n--- " << scene::sceneName(id) << " ---\n";
@@ -76,13 +83,16 @@ main(int argc, char **argv)
     std::cout << "\nAverage speedup vs Aila (geometric mean over scenes):\n";
     const char *names[] = {"aila", "dmk", "tbc", "drs"};
     for (int i = 0; i < 4; ++i) {
+        const double geomean =
+            std::exp(geomean_accumulator[i] / scene_count);
         std::cout << "  " << names[i] << ": "
-                  << stats::formatDouble(
-                         std::exp(geomean_accumulator[i] / scene_count), 2)
-                  << "x\n";
+                  << stats::formatDouble(geomean, 2) << "x\n";
+        report.summary()[std::string(names[i]) + "_geomean_speedup"] =
+            geomean;
     }
     std::cout << "\nPaper: DRS 1.67x-1.92x (1.79x avg); TBC 1.18x avg;\n"
                  "DMK 1.06x avg (slowdown on primary rays).\n\n";
+    report.write(timer);
     bench::printElapsed(timer);
     return 0;
 }

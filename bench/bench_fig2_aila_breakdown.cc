@@ -31,6 +31,8 @@ main(int argc, char **argv)
 
     stats::Table table({"bounce", "rays", "SIMD eff", "W1:8", "W9:16",
                         "W17:24", "W25:32"});
+    bench::JsonReport report("fig2_aila_breakdown", scale, options);
+    const double clock_ghz = harness::RunConfig{}.gpu.clockGhz;
     for (std::size_t b = 0; b < indices.size(); ++b) {
         const auto &result = results[indices[b]];
         if (!result.ran)
@@ -44,12 +46,18 @@ main(int argc, char **argv)
                       stats::formatPercent(stats.histogram.bucketFraction(1)),
                       stats::formatPercent(stats.histogram.bucketFraction(2)),
                       stats::formatPercent(stats.histogram.bucketFraction(3))});
+
+        auto &row = report.addStats(scene::sceneName(scene::SceneId::Conference),
+                                    "aila", stats, clock_ghz);
+        row["bounce"] = "B" + std::to_string(bounce);
+        row["wall_seconds"] = result.seconds;
     }
     std::cout << "\n";
     table.print(std::cout);
     std::cout << "\nPaper shape: B1 efficiency is high (79-92%); secondary\n"
                  "bounces collapse (28-36% for conference) with most\n"
                  "instructions in the W1:8 bucket.\n\n";
+    report.write(timer);
     bench::printElapsed(timer);
     return 0;
 }

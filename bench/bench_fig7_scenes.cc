@@ -36,6 +36,7 @@ main(int argc, char **argv)
                         "depth", "tris/leaf", "B1 coherence",
                         "B2 coherence", "B2 termination"});
     const char *paper_tris[] = {"283K", "174K", "262K", "1.1M"};
+    bench::JsonReport report("fig7_scenes", scale, options);
 
     int index = 0;
     for (scene::SceneId id : scene::allSceneIds()) {
@@ -56,6 +57,16 @@ main(int argc, char **argv)
                       stats::formatDouble(b1.directionCoherence, 3),
                       stats::formatDouble(b2.directionCoherence, 3),
                       stats::formatPercent(b2.terminationRate, 1)});
+
+        auto &row = report.addRow();
+        row["scene"] = scene::sceneName(id);
+        row["triangles"] = prepared.scene().triangleCount();
+        row["bvh_nodes"] = tree.nodeCount;
+        row["bvh_depth"] = tree.maxDepth;
+        row["mean_leaf_triangles"] = tree.meanLeafTriangles;
+        row["b1_coherence"] = b1.directionCoherence;
+        row["b2_coherence"] = b2.directionCoherence;
+        row["b2_termination_rate"] = b2.terminationRate;
     }
     std::cout << "\n";
     table.print(std::cout);
@@ -65,6 +76,7 @@ main(int argc, char **argv)
                  "hard termination for sponza (enclosed) and plants\n"
                  "(occluding foliage). Run `examples/render_scene <name>`\n"
                  "for images.\n\n";
+    report.write(timer);
     bench::printElapsed(timer);
     return 0;
 }

@@ -59,6 +59,7 @@ main(int argc, char **argv)
     }
     const auto results = runner.run();
     const double clock_ghz = harness::RunConfig{}.gpu.clockGhz;
+    bench::JsonReport report("fig8_backup_rows", scale, options);
 
     std::size_t scene_index = 0;
     for (scene::SceneId id : scene::allSceneIds()) {
@@ -69,14 +70,25 @@ main(int argc, char **argv)
 
         for (std::size_t c = 0; c < std::size(configs); ++c) {
             std::vector<std::string> row = {configs[c].name};
+            int bounce = 0;
             for (const std::size_t index : indices[scene_index][c]) {
                 const auto &result = results[index];
+                ++bounce;
                 row.push_back(result.ran
                                   ? stats::formatDouble(
                                         result.stats.mraysPerSecond(
                                             clock_ghz),
                                         1)
                                   : std::string("-"));
+                if (!result.ran)
+                    continue;
+                auto &json_row = report.addStats(
+                    scene::sceneName(id),
+                    configs[c].aila ? "aila" : "drs", result.stats,
+                    clock_ghz);
+                json_row["config"] = configs[c].name;
+                json_row["bounce"] = "B" + std::to_string(bounce);
+                json_row["wall_seconds"] = result.seconds;
             }
             table.addRow(std::move(row));
         }
@@ -89,6 +101,7 @@ main(int argc, char **argv)
                  "Aila on secondary bounces; performance is insensitive to\n"
                  "the backup-row count, and one backup row without an\n"
                  "extra register bank suffices.\n\n";
+    report.write(timer);
     bench::printElapsed(timer);
     return 0;
 }

@@ -42,6 +42,7 @@ main(int argc, char **argv)
     }
     const auto results = runner.run();
     const double clock_ghz = harness::RunConfig{}.gpu.clockGhz;
+    bench::JsonReport report("fig9_rdctrl_stalls", scale, options);
 
     std::size_t scene_index = 0;
     for (scene::SceneId id : scenes) {
@@ -54,8 +55,10 @@ main(int argc, char **argv)
 
         for (std::size_t r = 0; r < std::size(backup_rows); ++r) {
             std::vector<std::string> row = {std::to_string(backup_rows[r])};
+            int bounce = 0;
             for (const std::size_t index : indices[scene_index][r]) {
                 const auto &result = results[index];
+                ++bounce;
                 if (!result.ran) {
                     row.push_back("-");
                     row.push_back("-");
@@ -65,6 +68,14 @@ main(int argc, char **argv)
                     stats::formatPercent(result.stats.rdctrlStallRate(), 1));
                 row.push_back(stats::formatDouble(
                     result.stats.mraysPerSecond(clock_ghz), 1));
+
+                auto &json_row = report.addStats(scene::sceneName(id),
+                                                 "drs", result.stats,
+                                                 clock_ghz);
+                json_row["config"] =
+                    std::to_string(backup_rows[r]) + "-row";
+                json_row["bounce"] = "B" + std::to_string(bounce);
+                json_row["wall_seconds"] = result.seconds;
             }
             table.addRow(std::move(row));
         }
@@ -75,6 +86,7 @@ main(int argc, char **argv)
     }
     std::cout << "\nPaper shape: the stall rate falls steeply with more\n"
                  "backup rows while Mrays/s stays nearly flat.\n\n";
+    report.write(timer);
     bench::printElapsed(timer);
     return 0;
 }

@@ -19,8 +19,10 @@ main(int argc, char **argv)
 {
     using namespace drs;
     // Static printout; parse the shared flags anyway so every bench
-    // accepts the same command line.
-    (void)bench::parseOptions(argc, argv);
+    // accepts the same command line (incl. --json).
+    const auto options = bench::parseOptions(argc, argv);
+    const auto scale = harness::ExperimentScale::fromEnvironment();
+    bench::WallTimer timer;
     core::DrsConfig config; // default: 1 backup row, 6 swap buffers
     config.backupRows = 1;
     config.useExtraRegisterBank = false;
@@ -68,5 +70,19 @@ main(int argc, char **argv)
                  "(61 x 32 x 20 bits = 488 bytes) only balances with 2\n"
                  "bits per entry; this model uses 2 bits (three traversal\n"
                  "states) and reproduces the 488-byte figure.\n";
+
+    bench::JsonReport report("hw_overhead", scale, options);
+    auto &summary = report.summary();
+    summary["swap_buffer_bytes"] = storage.swapBufferBytes;
+    summary["ray_state_table_bytes"] = storage.rayStateTableBytes;
+    summary["renaming_table_bytes"] = storage.renamingTableBytes;
+    summary["control_state_bytes"] = storage.controlStateBytes;
+    summary["total_bytes_per_smx"] = storage.totalBytes;
+    summary["rf_fraction"] = storage.totalBytes / (256.0 * 1024.0);
+    summary["area_mm2_per_core"] = area.mm2PerCore;
+    summary["area_fraction_of_gpu"] = area.fractionOfGpu;
+    summary["dmk_spawn_memory_bytes"] = baselines.dmkSpawnMemoryBytes;
+    summary["tbc_warp_buffer_bytes"] = baselines.tbcWarpBufferBytes;
+    report.write(timer);
     return 0;
 }

@@ -15,8 +15,10 @@ main(int argc, char **argv)
 {
     using namespace drs;
     // Static printout; parse the shared flags anyway so every bench
-    // accepts the same command line.
-    (void)bench::parseOptions(argc, argv);
+    // accepts the same command line (incl. --json).
+    const auto options = bench::parseOptions(argc, argv);
+    const auto scale = harness::ExperimentScale::fromEnvironment();
+    bench::WallTimer timer;
     const simt::GpuConfig config;
 
     std::cout << "==== Table 1: GPU microarchitectural parameters ====\n\n";
@@ -43,5 +45,18 @@ main(int argc, char **argv)
                   std::to_string(config.memory.l2.sizeBytes / 1024) +
                       " KB"});
     table.print(std::cout);
+
+    bench::JsonReport report("table1_config", scale, options);
+    auto &summary = report.summary();
+    summary["clock_ghz"] = config.clockGhz;
+    summary["simd_lanes"] = config.simdLanes;
+    summary["num_smx"] = config.numSmx;
+    summary["schedulers_per_smx"] = config.schedulersPerSmx;
+    summary["dispatch_units_per_smx"] = config.dispatchUnitsPerSmx;
+    summary["registers_per_smx"] = config.registersPerSmx;
+    summary["l1_data_bytes"] = config.memory.l1Data.sizeBytes;
+    summary["l1_texture_bytes"] = config.memory.l1Texture.sizeBytes;
+    summary["l2_bytes"] = config.memory.l2.sizeBytes;
+    report.write(timer);
     return 0;
 }

@@ -37,6 +37,7 @@ main(int argc, char **argv)
     }
     const auto results = runner.run();
     const double clock_ghz = harness::RunConfig{}.gpu.clockGhz;
+    bench::JsonReport report("table2_swap_buffers", scale, options);
 
     std::vector<double> mean_swap_cycles(4, 0.0);
     std::vector<int> mean_swap_samples(4, 0);
@@ -58,6 +59,13 @@ main(int argc, char **argv)
                     mean_swap_cycles[i] += result.stats.meanSwapCycles();
                     mean_swap_samples[i] += 1;
                 }
+                auto &json_row = report.addStats(scene::sceneName(id),
+                                                 "drs", result.stats,
+                                                 clock_ghz);
+                json_row["config"] =
+                    std::to_string(buffer_configs[i]) + "-buffers";
+                json_row["bounce"] = "B" + std::to_string(b);
+                json_row["wall_seconds"] = result.seconds;
             }
             table.addRow(std::move(row));
         }
@@ -80,6 +88,7 @@ main(int argc, char **argv)
     std::cout << "\nPaper shape: performance differences between buffer\n"
                  "configurations are minimal; swap duration shrinks only\n"
                  "mildly with more buffers (register-bank conflicts).\n\n";
+    report.write(timer);
     bench::printElapsed(timer);
     return 0;
 }

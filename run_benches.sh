@@ -3,15 +3,47 @@
 # (results are per-SMX-invariant; see EXPERIMENTS.md).
 # DRS_JOBS controls how many simulations each bench runs concurrently
 # (default: all hardware threads); results are identical for any value.
+#
+# Usage: run_benches.sh [--json [DIR]]
+#   --json        additionally write machine-readable BENCH_<name>.json
+#                 reports (default DIR: bench_reports). bench_micro uses
+#                 Google benchmark's own --benchmark_out JSON instead of
+#                 the shared schema. Validate with
+#                 tests/check_bench_schema.py DIR/BENCH_*.json
 export DRS_RAYS=${DRS_RAYS:-150000} DRS_SMX=${DRS_SMX:-4}
 export DRS_JOBS=${DRS_JOBS:-$(nproc 2>/dev/null || echo 1)}
+
+json_dir=""
+if [ "$1" = "--json" ]; then
+  json_dir=${2:-bench_reports}
+  mkdir -p "$json_dir"
+fi
+
 for b in build/bench/bench_*; do
   [ -x "$b" ] && [ -f "$b" ] || continue
   case "$b" in *.cmake) continue;; esac
-  echo; echo "######## $(basename $b) ########"; echo
-  if [ "$(basename $b)" = "bench_micro" ]; then
-    "$b" --benchmark_min_time=0.2
+  name=$(basename "$b")
+  echo; echo "######## $name ########"; echo
+  if [ "$name" = "bench_micro" ]; then
+    if [ -n "$json_dir" ]; then
+      "$b" --benchmark_min_time=0.2 \
+           --benchmark_out="$json_dir/BENCH_micro.json" \
+           --benchmark_out_format=json
+    else
+      "$b" --benchmark_min_time=0.2
+    fi
   else
-    "$b" --jobs "$DRS_JOBS"
+    if [ -n "$json_dir" ]; then
+      "$b" --jobs "$DRS_JOBS" --json "$json_dir/BENCH_${name#bench_}.json"
+    else
+      "$b" --jobs "$DRS_JOBS"
+    fi
   fi
 done
+
+if [ -n "$json_dir" ]; then
+  echo; echo "JSON reports written to $json_dir/"
+  if command -v python3 >/dev/null 2>&1; then
+    python3 tests/check_bench_schema.py "$json_dir"/BENCH_*.json || exit 1
+  fi
+fi

@@ -12,8 +12,24 @@ using simt::TravState;
 
 DmkControl::DmkControl(const DmkConfig &config,
                        kernels::TravWorkspace &workspace)
-    : config_(config), workspace_(workspace)
+    : config_(config),
+      workspace_(workspace),
+      spawns_(counters_.get("dmk.spawns")),
+      raysDumped_(counters_.get("dmk.rays_dumped")),
+      raysLoaded_(counters_.get("dmk.rays_loaded")),
+      conflictCycles_(counters_.get("dmk.conflict_cycles"))
 {
+}
+
+DmkStats
+DmkControl::stats() const
+{
+    DmkStats s;
+    s.spawns = spawns_.value();
+    s.raysDumped = raysDumped_.value();
+    s.raysLoaded = raysLoaded_.value();
+    s.conflictCycles = conflictCycles_.value();
+    return s;
 }
 
 int
@@ -145,7 +161,7 @@ DmkControl::onRdctrl(int warp)
         pooled.spawnSlot = allocSpawnSlot();
         pools_[static_cast<std::size_t>(s)].push_back(std::move(pooled));
         ++dumped;
-        ++stats_.raysDumped;
+        raysDumped_.add();
     }
     if (dumped > 0)
         overhead += config_.cost.spawnDump;
@@ -171,7 +187,7 @@ DmkControl::onRdctrl(int warp)
         result = make_dispatch(TravState::Fetch);
         result.overheadInstructions = overhead;
         if (overhead > 0)
-            ++stats_.spawns;
+            spawns_.add();
         return result;
     }
 
@@ -183,13 +199,13 @@ DmkControl::onRdctrl(int warp)
         workspace_.slot(row, lane) = std::move(pooled.payload);
         load_slots.push_back(pooled.spawnSlot);
         freeSpawnSlot(pooled.spawnSlot);
-        ++stats_.raysLoaded;
+        raysLoaded_.add();
     }
     overhead += config_.cost.spawnLoad;
     conflicts += conflictCost(load_slots);
 
-    ++stats_.spawns;
-    stats_.conflictCycles += conflicts;
+    spawns_.add();
+    conflictCycles_.add(conflicts);
     if (smx_ != nullptr)
         smx_->addSpawnConflictCycles(conflicts);
 

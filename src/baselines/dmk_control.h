@@ -17,6 +17,7 @@
 
 #include "kernels/cost_model.h"
 #include "kernels/trav_workspace.h"
+#include "obs/counters.h"
 #include "simt/controller.h"
 
 namespace drs::simt {
@@ -42,7 +43,10 @@ struct DmkConfig
     kernels::CostModel cost = kernels::defaultCostModel();
 };
 
-/** Counters for tests/benches. */
+/**
+ * Counters for tests/benches. A value snapshot of the control's obs
+ * counters ("dmk.*" names), which are the source of truth.
+ */
 struct DmkStats
 {
     std::uint64_t spawns = 0;           ///< dump+reload events
@@ -68,8 +72,12 @@ class DmkControl : public simt::WarpController
     void attach(simt::Smx &smx) override { smx_ = &smx; }
     simt::RdctrlResult onRdctrl(int warp) override;
     void cycle(int issued_instructions) override { (void)issued_instructions; }
+    obs::CounterSnapshot countersSnapshot() const override
+    {
+        return counters_.snapshot();
+    }
 
-    const DmkStats &stats() const { return stats_; }
+    DmkStats stats() const;
 
     /** Rays currently parked in spawn memory (per state; tests). */
     std::size_t pooledRays(simt::TravState state) const;
@@ -94,7 +102,13 @@ class DmkControl : public simt::WarpController
     std::array<std::vector<PooledRay>, simt::kNumTravStates> pools_;
     std::vector<int> freeSlots_;
     int nextSpawnSlot_ = 0;
-    DmkStats stats_;
+
+    /** Observability counters ("dmk.*"); see obs::Counters. */
+    obs::Counters counters_;
+    obs::Counter &spawns_;
+    obs::Counter &raysDumped_;
+    obs::Counter &raysLoaded_;
+    obs::Counter &conflictCycles_;
 };
 
 } // namespace drs::baselines

@@ -24,7 +24,10 @@ TbcSmx::TbcSmx(const simt::GpuConfig &config, const TbcConfig &tbc,
       tbc_(tbc),
       kernel_(kernel),
       memory_(config.memory, shared),
-      lastIssuedBlock_(static_cast<std::size_t>(config.schedulersPerSmx), -1)
+      lastIssuedBlock_(static_cast<std::size_t>(config.schedulersPerSmx),
+                       -1),
+      normalRfAccesses_(counters_.get("smx.rf.normal_accesses")),
+      syncStallCycles_(counters_.get("tbc.sync_stall_cycles"))
 {
     if (tbc.numWarps % tbc.warpsPerBlock != 0)
         throw std::invalid_argument(
@@ -198,7 +201,7 @@ TbcSmx::finishEntry(ThreadBlock &block)
         }
         block.barrierUntil = cycle_ + static_cast<std::uint64_t>(
                                           tbc_.syncLatency);
-        syncStallCycles_ += static_cast<std::uint64_t>(tbc_.syncLatency);
+        syncStallCycles_.add(static_cast<std::uint64_t>(tbc_.syncLatency));
     }
 
     while (block.stack.size() > 1 &&
@@ -231,7 +234,7 @@ TbcSmx::issueFromBlock(ThreadBlock &block, int max_issues)
         int issued = 0;
         while (issued < max_issues && warp.remainingInstructions > 0) {
             histogram_.recordInstruction(active, blk.spawnRelated);
-            normalRfAccesses_ += kRfAccessesPerInstruction;
+            normalRfAccesses_.add(kRfAccessesPerInstruction);
             --warp.remainingInstructions;
             ++issued;
         }
@@ -302,9 +305,14 @@ TbcSmx::collectStats() const
     s.cycles = cycle_;
     s.histogram = histogram_;
     s.raysTraced = kernel_.raysCompleted();
-    s.rfAccessesNormal = normalRfAccesses_;
+    s.rfAccessesNormal = normalRfAccesses_.value();
     s.l1Data = memory_.l1DataStats();
     s.l1Texture = memory_.l1TextureStats();
+    s.counters = counters_.snapshot();
+    s.counters.add("l1d.access", s.l1Data.accesses);
+    s.counters.add("l1d.miss", s.l1Data.misses);
+    s.counters.add("l1t.access", s.l1Texture.accesses);
+    s.counters.add("l1t.miss", s.l1Texture.misses);
     return s;
 }
 
@@ -339,9 +347,17 @@ runTbcGpu(const simt::GpuConfig &config, const TbcConfig &tbc,
     simt::runEngine(smxs, options.maxCycles, options.smxThreads);
 
     simt::SimStats total;
-    for (auto &unit : units)
-        total.merge(unit.smx->collectStats());
+    for (std::size_t i = 0; i < units.size(); ++i) {
+        simt::SimStats stats = units[i].smx->collectStats();
+        if (options.perSmxStats)
+            options.perSmxStats(static_cast<int>(i), stats);
+        if (options.onSmxRetire)
+            options.onSmxRetire(static_cast<int>(i), *units[i].kernel);
+        total.merge(stats);
+    }
     total.l2 = shared.l2Stats();
+    total.counters.add("l2.access", total.l2.accesses);
+    total.counters.add("l2.miss", total.l2.misses);
     return total;
 }
 

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "kernels/aila_kernel.h"
+#include "obs/counters.h"
 #include "simt/config.h"
 #include "simt/memory.h"
 #include "simt/sim_stats.h"
@@ -53,6 +54,9 @@ class TbcSmx
      */
     TbcSmx(const simt::GpuConfig &config, const TbcConfig &tbc,
            kernels::AilaKernel &kernel, simt::SharedMemorySide &shared);
+
+    /** Observability counter registry ("tbc.*" / "smx.rf.*" names). */
+    obs::Counters &counters() { return counters_; }
 
     bool done() const;
     void step();
@@ -132,8 +136,11 @@ class TbcSmx
     std::uint64_t cycle_ = 0;
 
     stats::ActiveThreadHistogram histogram_;
-    std::uint64_t normalRfAccesses_ = 0;
-    std::uint64_t syncStallCycles_ = 0;
+
+    /** Observability counters; see obs::Counters. */
+    obs::Counters counters_;
+    obs::Counter &normalRfAccesses_;
+    obs::Counter &syncStallCycles_;
 
     /**
      * One L1-resolved access awaiting its shared-side commit. The pointer
@@ -158,6 +165,12 @@ struct TbcRunOptions
     std::uint64_t maxCycles = 2'000'000'000ULL;
     /** Worker threads stepping SMXs concurrently; <= 1 = sequential. */
     int smxThreads = 1;
+    /** Per-SMX stats hook; see simt::GpuRunOptions::perSmxStats. */
+    std::function<void(int smx_index, const simt::SimStats &stats)>
+        perSmxStats;
+    /** Per-SMX kernel retirement hook (hit harvesting). */
+    std::function<void(int smx_index, kernels::AilaKernel &kernel)>
+        onSmxRetire;
 };
 
 /**

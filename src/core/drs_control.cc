@@ -17,7 +17,13 @@ DrsControl::DrsControl(const DrsConfig &config,
       workspace_(workspace),
       numWarps_(num_warps),
       rows_(workspace.rowCount()),
-      lanes_(workspace.laneCount())
+      lanes_(workspace.laneCount()),
+      remaps_(counters_.get("drs.remaps")),
+      stallsStarted_(counters_.get("drs.stalls_started")),
+      movesCompleted_(counters_.get("drs.moves")),
+      exchangesCompleted_(counters_.get("drs.exchanges")),
+      swapsCompleted_(counters_.get("drs.swaps")),
+      idleCycles_(counters_.get("drs.idle_cycles"))
 {
     if (rows_ < num_warps + config.backupRows + 2)
         throw std::invalid_argument(
@@ -237,7 +243,7 @@ DrsControl::onRdctrl(int warp)
                     cachedCensus(fuller).live() > c.live()) {
                     const RowCensus fc = cachedCensus(fuller);
                     unbindWarpRow(warp);
-                    ++stats_.remaps;
+                    remaps_.add();
                     return dispatch(warp, fuller, fc);
                 }
             }
@@ -249,7 +255,7 @@ DrsControl::onRdctrl(int warp)
     if (found >= 0) {
         if (own >= 0)
             unbindWarpRow(warp);
-        ++stats_.remaps;
+        remaps_.add();
         const RowCensus c = cachedCensus(found);
         return dispatch(warp, found, c);
     }
@@ -257,7 +263,7 @@ DrsControl::onRdctrl(int warp)
     // Stall: release the warp's row so the swap engine may reorganize it.
     if (own >= 0) {
         unbindWarpRow(warp);
-        ++stats_.stallsStarted;
+        stallsStarted_.add();
     }
     RdctrlResult result;
     result.stall = true;
@@ -487,11 +493,12 @@ DrsControl::completeOperation(Operation &op)
 {
     if (op.isExchange) {
         workspace_.swapRays(op.rowA, op.laneA, op.rowB, op.laneB);
-        ++stats_.exchangesCompleted;
+        exchangesCompleted_.add();
     } else {
         workspace_.moveRay(op.rowA, op.laneA, op.rowB, op.laneB);
-        ++stats_.movesCompleted;
+        movesCompleted_.add();
     }
+    swapsCompleted_.add();
     invalidateCensus(op.rowA);
     invalidateCensus(op.rowB);
     if (smx_ != nullptr) {
@@ -600,7 +607,19 @@ DrsControl::cycle(int issued_instructions)
     }
 
     if (!any_active)
-        ++stats_.idleCycles;
+        idleCycles_.add();
+}
+
+DrsControlStats
+DrsControl::stats() const
+{
+    DrsControlStats s;
+    s.remaps = remaps_.value();
+    s.stallsStarted = stallsStarted_.value();
+    s.movesCompleted = movesCompleted_.value();
+    s.exchangesCompleted = exchangesCompleted_.value();
+    s.idleCycles = idleCycles_.value();
+    return s;
 }
 
 void

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "core/drs_config.h"
+#include "obs/counters.h"
 #include "simt/controller.h"
 
 namespace drs::simt {
@@ -43,7 +44,10 @@ enum class ShuffleTask
     InnerEject = 2,
 };
 
-/** Counters exposed for tests and benches. */
+/**
+ * Counters exposed for tests and benches. A value snapshot of the
+ * control's obs counters ("drs.*" names), which are the source of truth.
+ */
 struct DrsControlStats
 {
     std::uint64_t remaps = 0;          ///< warp-to-new-row mappings
@@ -73,11 +77,15 @@ class DrsControl : public simt::WarpController
     void attach(simt::Smx &smx) override { smx_ = &smx; }
     simt::RdctrlResult onRdctrl(int warp) override;
     void cycle(int issued_instructions) override;
+    obs::CounterSnapshot countersSnapshot() const override
+    {
+        return counters_.snapshot();
+    }
 
     /** Row currently renamed to @p warp, or -1 while stalled. */
     int warpRow(int warp) const { return warpRow_.at(warp); }
 
-    const DrsControlStats &stats() const { return stats_; }
+    DrsControlStats stats() const;
 
     /** Number of in-flight shuffle operations (tests). */
     int activeOperations() const;
@@ -177,7 +185,14 @@ class DrsControl : public simt::WarpController
     bool uniformCacheValid_ = false;
     int uniformCacheRow_ = -1;
 
-    DrsControlStats stats_;
+    /** Observability counters ("drs.*"); see obs::Counters. */
+    obs::Counters counters_;
+    obs::Counter &remaps_;
+    obs::Counter &stallsStarted_;
+    obs::Counter &movesCompleted_;
+    obs::Counter &exchangesCompleted_;
+    obs::Counter &swapsCompleted_;
+    obs::Counter &idleCycles_;
 };
 
 } // namespace drs::core

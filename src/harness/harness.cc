@@ -1,8 +1,10 @@
 #include "harness/harness.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <stdexcept>
 
 namespace drs::harness {
@@ -21,19 +23,45 @@ archName(Arch arch)
 
 namespace {
 
+/**
+ * Copy one SMX's per-stripe hit records into the global hits vector. The
+ * retire hooks run serially in SMX-index order, so plain resize+copy is
+ * safe.
+ */
+void
+harvestHits(const kernels::TravWorkspace &workspace,
+            std::vector<geom::Hit> &out)
+{
+    const auto &results = workspace.results();
+    const std::size_t first = workspace.firstRay();
+    if (out.size() < first + results.size())
+        out.resize(first + results.size());
+    std::copy(results.begin(), results.end(),
+              out.begin() + static_cast<std::ptrdiff_t>(first));
+}
+
 simt::GpuRunOptions
-gpuRunOptions(const RunConfig &config)
+gpuRunOptions(const RunConfig &config, obs::TraceCollector *collector)
 {
     simt::GpuRunOptions options;
     options.maxCycles = config.maxCycles;
     options.smxThreads = config.smxThreads;
+    options.trace = collector;
+    options.perSmxStats = config.perSmxStats;
     return options;
 }
 
 simt::SimStats
 runAila(const render::PathTracer &tracer, std::span<const geom::Ray> rays,
-        const RunConfig &config)
+        const RunConfig &config, obs::TraceCollector *collector)
 {
+    simt::GpuRunOptions options = gpuRunOptions(config, collector);
+    if (config.hitsOut != nullptr)
+        options.onSmxRetire = [&config](int, simt::Kernel &kernel) {
+            harvestHits(
+                static_cast<kernels::AilaKernel &>(kernel).travWorkspace(),
+                *config.hitsOut);
+        };
     return simt::runGpu(
         config.gpu,
         [&](int smx) {
@@ -46,13 +74,20 @@ runAila(const render::PathTracer &tracer, std::span<const geom::Ray> rays,
             setup.numWarps = config.aila.numWarps;
             return setup;
         },
-        gpuRunOptions(config));
+        options);
 }
 
 simt::SimStats
 runDrs(const render::PathTracer &tracer, std::span<const geom::Ray> rays,
-       const RunConfig &config)
+       const RunConfig &config, obs::TraceCollector *collector)
 {
+    simt::GpuRunOptions options = gpuRunOptions(config, collector);
+    if (config.hitsOut != nullptr)
+        options.onSmxRetire = [&config](int, simt::Kernel &kernel) {
+            harvestHits(
+                static_cast<kernels::DrsKernel &>(kernel).travWorkspace(),
+                *config.hitsOut);
+        };
     return simt::runGpu(
         config.gpu,
         [&](int smx) {
@@ -71,13 +106,20 @@ runDrs(const render::PathTracer &tracer, std::span<const geom::Ray> rays,
             setup.kernel = std::move(kernel);
             return setup;
         },
-        gpuRunOptions(config));
+        options);
 }
 
 simt::SimStats
 runDmk(const render::PathTracer &tracer, std::span<const geom::Ray> rays,
-       const RunConfig &config)
+       const RunConfig &config, obs::TraceCollector *collector)
 {
+    simt::GpuRunOptions options = gpuRunOptions(config, collector);
+    if (config.hitsOut != nullptr)
+        options.onSmxRetire = [&config](int, simt::Kernel &kernel) {
+            harvestHits(
+                static_cast<kernels::DrsKernel &>(kernel).travWorkspace(),
+                *config.hitsOut);
+        };
     return simt::runGpu(
         config.gpu,
         [&](int smx) {
@@ -96,7 +138,7 @@ runDmk(const render::PathTracer &tracer, std::span<const geom::Ray> rays,
             setup.kernel = std::move(kernel);
             return setup;
         },
-        gpuRunOptions(config));
+        options);
 }
 
 simt::SimStats
@@ -108,6 +150,11 @@ runTbc(const render::PathTracer &tracer, std::span<const geom::Ray> rays,
     baselines::TbcRunOptions options;
     options.maxCycles = config.maxCycles;
     options.smxThreads = config.smxThreads;
+    options.perSmxStats = config.perSmxStats;
+    if (config.hitsOut != nullptr)
+        options.onSmxRetire = [&config](int, kernels::AilaKernel &kernel) {
+            harvestHits(kernel.travWorkspace(), *config.hitsOut);
+        };
     return baselines::runTbcGpu(
         config.gpu, config.tbc,
         [&](int smx) {
@@ -126,13 +173,45 @@ simt::SimStats
 runBatch(Arch arch, const render::PathTracer &tracer,
          std::span<const geom::Ray> rays, const RunConfig &config)
 {
+    // Trace collection is scoped to the batch: the collector is built
+    // here, filled during the run, and written afterwards so tracing
+    // stays invisible to the simulation itself. TBC has no warp-level
+    // tracer (self-contained block executor).
+    std::unique_ptr<obs::TraceCollector> collector;
+    if (config.trace.enabled && arch != Arch::Tbc)
+        collector = std::make_unique<obs::TraceCollector>(
+            config.gpu.numSmx, config.trace.capacity);
+
+    simt::SimStats stats;
     switch (arch) {
-      case Arch::Aila: return runAila(tracer, rays, config);
-      case Arch::Drs: return runDrs(tracer, rays, config);
-      case Arch::Dmk: return runDmk(tracer, rays, config);
-      case Arch::Tbc: return runTbc(tracer, rays, config);
+      case Arch::Aila:
+        stats = runAila(tracer, rays, config, collector.get());
+        break;
+      case Arch::Drs:
+        stats = runDrs(tracer, rays, config, collector.get());
+        break;
+      case Arch::Dmk:
+        stats = runDmk(tracer, rays, config, collector.get());
+        break;
+      case Arch::Tbc:
+        stats = runTbc(tracer, rays, config);
+        break;
+      default:
+        throw std::invalid_argument("unknown architecture");
     }
-    throw std::invalid_argument("unknown architecture");
+
+    if (collector) {
+        // Whole-file writes from concurrent sweep jobs would interleave;
+        // the mutex keeps each file internally consistent (the last
+        // writer wins — trace with --jobs 1 for a specific run).
+        static std::mutex write_mutex;
+        const std::lock_guard<std::mutex> lock(write_mutex);
+        std::string error;
+        if (!collector->writeFile(config.trace.path, &error))
+            std::fprintf(stderr, "warning: trace not written: %s\n",
+                         error.c_str());
+    }
+    return stats;
 }
 
 double

@@ -20,6 +20,7 @@
 #include "core/drs_control.h"
 #include "kernels/aila_kernel.h"
 #include "kernels/drs_kernel.h"
+#include "obs/trace.h"
 #include "render/path_tracer.h"
 #include "scene/scenes.h"
 #include "simt/gpu.h"
@@ -53,6 +54,28 @@ struct RunConfig
      * execution model").
      */
     int smxThreads = 1;
+    /**
+     * Cycle-level event tracing (see obs::TraceConfig, usually from the
+     * DRS_TRACE environment variable). When enabled, runBatch writes a
+     * Chrome trace_event JSON file after the run; concurrent runs
+     * overwrite whole files, so trace with --jobs 1. The TBC baseline is
+     * a self-contained executor without warp-level tracing and ignores
+     * this. Tracing never alters SimStats.
+     */
+    obs::TraceConfig trace{};
+    /**
+     * When set, runBatch stores each traced ray's hit record at the
+     * ray's global batch index (resizing as needed). Used by the
+     * differential tests to compare per-ray results across
+     * architectures.
+     */
+    std::vector<geom::Hit> *hitsOut = nullptr;
+    /**
+     * Per-SMX stats hook, invoked in SMX-index order after the run with
+     * each SMX's own (pre-merge) statistics.
+     */
+    std::function<void(int smx_index, const simt::SimStats &stats)>
+        perSmxStats;
 };
 
 /**

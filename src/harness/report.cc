@@ -1,0 +1,59 @@
+#include "harness/report.h"
+
+#include "stats/histogram.h"
+
+namespace drs::harness {
+
+obs::Json
+statsJson(const simt::SimStats &stats, double clock_ghz)
+{
+    obs::Json row = obs::Json::object();
+    row["cycles"] = stats.cycles;
+    row["rays_traced"] = stats.raysTraced;
+    row["simd_efficiency"] = stats.histogram.simdEfficiency();
+    row["mrays_per_s"] = stats.mraysPerSecond(clock_ghz);
+
+    obs::Json &buckets = row["bucket_fractions"];
+    for (int b = 0; b < stats::ActiveThreadHistogram::kNumBuckets; ++b)
+        buckets[stats::ActiveThreadHistogram::bucketLabel(b)] =
+            stats.histogram.bucketFraction(b);
+    row["spawn_fraction"] = stats.histogram.spawnFraction();
+
+    row["rdctrl_issued"] = stats.rdctrlIssued;
+    row["rdctrl_stall_rate"] = stats.rdctrlStallRate();
+    row["rdctrl_stall_cycles"] = stats.rdctrlStallCycles;
+
+    row["rf_accesses_normal"] = stats.rfAccessesNormal;
+    row["rf_accesses_shuffle"] = stats.rfAccessesShuffle;
+    row["shuffle_rf_fraction"] = stats.shuffleRfFraction();
+
+    row["ray_swaps"] = stats.raySwapsCompleted;
+    row["mean_swap_cycles"] = stats.meanSwapCycles();
+    row["spawn_conflict_cycles"] = stats.spawnBankConflictCycles;
+
+    row["l1d_hit_rate"] = stats.l1Data.hitRate();
+    row["l1t_hit_rate"] = stats.l1Texture.hitRate();
+    row["l2_hit_rate"] = stats.l2.hitRate();
+
+    obs::Json &counters = row["counters"];
+    counters = obs::Json::object();
+    for (const auto &[name, value] : stats.counters.entries())
+        counters[name] = value;
+    return row;
+}
+
+obs::Json
+scaleJson(const ExperimentScale &scale)
+{
+    obs::Json s = obs::Json::object();
+    s["rays_per_bounce"] = scale.raysPerBounce;
+    s["scene_scale"] = static_cast<double>(scale.sceneScale);
+    s["num_smx"] = scale.numSmx;
+    s["width"] = scale.width;
+    s["height"] = scale.height;
+    s["samples_per_pixel"] = scale.samplesPerPixel;
+    s["max_depth"] = scale.maxDepth;
+    return s;
+}
+
+} // namespace drs::harness

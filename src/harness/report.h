@@ -1,0 +1,31 @@
+#pragma once
+
+/**
+ * @file
+ * Simulator-statistics-to-JSON conversion for the structured bench
+ * reports (obs::BenchReport). Lives in the harness so obs stays free of
+ * simulator dependencies: obs owns the document skeleton and schema,
+ * this header knows what a SimStats is.
+ */
+
+#include "harness/harness.h"
+#include "obs/json.h"
+#include "simt/sim_stats.h"
+
+namespace drs::harness {
+
+/**
+ * Convert one run's statistics into the well-known report metric fields
+ * (see obs::validateBenchReport): cycles, rays_traced, simd_efficiency,
+ * mrays_per_s, bucket/spawn fractions, rdctrl behaviour, register-file
+ * and swap statistics, cache hit rates, and the full hierarchical
+ * counter snapshot under "counters".
+ *
+ * @param clock_ghz core clock used for the Mrays/s conversion
+ */
+obs::Json statsJson(const simt::SimStats &stats, double clock_ghz);
+
+/** The ExperimentScale knobs as a report "scale" object. */
+obs::Json scaleJson(const ExperimentScale &scale);
+
+} // namespace drs::harness

@@ -156,6 +156,9 @@ class TravWorkspace : public simt::RowWorkspace
     /** Hit results, indexed by position within this SMX's stripe. */
     const std::vector<geom::Hit> &results() const { return results_; }
 
+    /** Global index of the stripe's first ray (results offset). */
+    std::size_t firstRay() const { return firstRay_; }
+
     /** Rays not yet fetched from the pool. */
     std::size_t poolRemaining() const { return rays_.size() - nextRay_; }
 

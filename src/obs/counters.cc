@@ -1,0 +1,77 @@
+#include "obs/counters.h"
+
+#include <algorithm>
+
+namespace drs::obs {
+
+namespace {
+
+/** Comparator for the sorted snapshot entries. */
+struct NameLess
+{
+    bool operator()(const std::pair<std::string, std::uint64_t> &entry,
+                    std::string_view name) const
+    {
+        return entry.first < name;
+    }
+};
+
+} // namespace
+
+void
+CounterSnapshot::add(std::string_view name, std::uint64_t value)
+{
+    auto it = std::lower_bound(entries_.begin(), entries_.end(), name,
+                               NameLess{});
+    if (it != entries_.end() && it->first == name) {
+        it->second += value;
+        return;
+    }
+    entries_.insert(it, {std::string(name), value});
+}
+
+std::uint64_t
+CounterSnapshot::value(std::string_view name) const
+{
+    auto it = std::lower_bound(entries_.begin(), entries_.end(), name,
+                               NameLess{});
+    return it != entries_.end() && it->first == name ? it->second : 0;
+}
+
+bool
+CounterSnapshot::contains(std::string_view name) const
+{
+    auto it = std::lower_bound(entries_.begin(), entries_.end(), name,
+                               NameLess{});
+    return it != entries_.end() && it->first == name;
+}
+
+void
+CounterSnapshot::merge(const CounterSnapshot &other)
+{
+    for (const auto &[name, value] : other.entries_)
+        add(name, value);
+}
+
+Counter &
+Counters::get(std::string_view name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &[n, counter] : entries_)
+        if (n == name)
+            return counter;
+    entries_.emplace_back(std::string(name), Counter{});
+    return entries_.back().second;
+}
+
+CounterSnapshot
+Counters::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    CounterSnapshot snap;
+    for (const auto &[name, counter] : entries_)
+        snap.add(name, counter.value());
+    return snap;
+}
+
+} // namespace drs::obs

@@ -1,0 +1,479 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace drs::obs {
+
+double
+Json::asDouble() const
+{
+    if (const auto *d = std::get_if<double>(&value_))
+        return *d;
+    if (const auto *i = std::get_if<std::int64_t>(&value_))
+        return static_cast<double>(*i);
+    return static_cast<double>(std::get<std::uint64_t>(value_));
+}
+
+std::uint64_t
+Json::asUint() const
+{
+    if (const auto *u = std::get_if<std::uint64_t>(&value_))
+        return *u;
+    if (const auto *i = std::get_if<std::int64_t>(&value_))
+        return static_cast<std::uint64_t>(*i);
+    return static_cast<std::uint64_t>(std::get<double>(value_));
+}
+
+bool
+Json::operator==(const Json &other) const
+{
+    if (isNumber() && other.isNumber()) {
+        const bool any_double = std::holds_alternative<double>(value_) ||
+                                std::holds_alternative<double>(other.value_);
+        if (any_double)
+            return asDouble() == other.asDouble();
+        // Both integral: compare exactly across signedness.
+        if (const auto *a = std::get_if<std::int64_t>(&value_)) {
+            if (const auto *b = std::get_if<std::int64_t>(&other.value_))
+                return *a == *b;
+            return *a >= 0 && static_cast<std::uint64_t>(*a) ==
+                                  std::get<std::uint64_t>(other.value_);
+        }
+        const std::uint64_t a = std::get<std::uint64_t>(value_);
+        if (const auto *b = std::get_if<std::int64_t>(&other.value_))
+            return *b >= 0 && a == static_cast<std::uint64_t>(*b);
+        return a == std::get<std::uint64_t>(other.value_);
+    }
+    return value_ == other.value_;
+}
+
+Json &
+Json::operator[](std::string_view key)
+{
+    if (isNull())
+        value_ = Object{};
+    auto &object = std::get<Object>(value_);
+    for (auto &[k, v] : object)
+        if (k == key)
+            return v;
+    object.emplace_back(std::string(key), Json());
+    return object.back().second;
+}
+
+const Json *
+Json::find(std::string_view key) const
+{
+    const auto *object = std::get_if<Object>(&value_);
+    if (!object)
+        return nullptr;
+    for (const auto &[k, v] : *object)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+Json &
+Json::push(Json element)
+{
+    if (isNull())
+        value_ = Array{};
+    auto &array = std::get<Array>(value_);
+    array.push_back(std::move(element));
+    return array.back();
+}
+
+std::size_t
+Json::size() const
+{
+    if (const auto *a = std::get_if<Array>(&value_))
+        return a->size();
+    if (const auto *o = std::get_if<Object>(&value_))
+        return o->size();
+    return 0;
+}
+
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(c) & 0xff);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+namespace {
+
+void
+writeDouble(std::ostream &out, double d)
+{
+    if (!std::isfinite(d)) {
+        out << "null"; // JSON has no Inf/NaN
+        return;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", d);
+    // Round-trippable but trimmed: prefer the shortest representation
+    // that parses back exactly.
+    for (int precision = 1; precision < 17; ++precision) {
+        char candidate[64];
+        std::snprintf(candidate, sizeof candidate, "%.*g", precision, d);
+        if (std::strtod(candidate, nullptr) == d) {
+            out << candidate;
+            return;
+        }
+    }
+    out << buf;
+}
+
+void
+newlineIndent(std::ostream &out, int indent, int depth)
+{
+    if (indent <= 0)
+        return;
+    out << '\n';
+    for (int i = 0; i < indent * depth; ++i)
+        out << ' ';
+}
+
+} // namespace
+
+void
+Json::dumpValue(std::ostream &out, int indent, int depth) const
+{
+    if (const auto *b = std::get_if<bool>(&value_)) {
+        out << (*b ? "true" : "false");
+    } else if (std::holds_alternative<std::nullptr_t>(value_)) {
+        out << "null";
+    } else if (const auto *d = std::get_if<double>(&value_)) {
+        writeDouble(out, *d);
+    } else if (const auto *i = std::get_if<std::int64_t>(&value_)) {
+        out << *i;
+    } else if (const auto *u = std::get_if<std::uint64_t>(&value_)) {
+        out << *u;
+    } else if (const auto *s = std::get_if<std::string>(&value_)) {
+        out << '"' << jsonEscape(*s) << '"';
+    } else if (const auto *a = std::get_if<Array>(&value_)) {
+        if (a->empty()) {
+            out << "[]";
+            return;
+        }
+        out << '[';
+        for (std::size_t i = 0; i < a->size(); ++i) {
+            if (i)
+                out << (indent > 0 ? "," : ", ");
+            newlineIndent(out, indent, depth + 1);
+            (*a)[i].dumpValue(out, indent, depth + 1);
+        }
+        newlineIndent(out, indent, depth);
+        out << ']';
+    } else {
+        const auto &object = std::get<Object>(value_);
+        if (object.empty()) {
+            out << "{}";
+            return;
+        }
+        out << '{';
+        for (std::size_t i = 0; i < object.size(); ++i) {
+            if (i)
+                out << (indent > 0 ? "," : ", ");
+            newlineIndent(out, indent, depth + 1);
+            out << '"' << jsonEscape(object[i].first) << "\": ";
+            object[i].second.dumpValue(out, indent, depth + 1);
+        }
+        newlineIndent(out, indent, depth);
+        out << '}';
+    }
+}
+
+void
+Json::dump(std::ostream &out, int indent) const
+{
+    dumpValue(out, indent, 0);
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::ostringstream out;
+    dump(out, indent);
+    return out.str();
+}
+
+// ---------------------------------------------------------------------
+// Parser: recursive descent, strict (no comments, no trailing commas).
+
+namespace {
+
+struct Parser
+{
+    std::string_view text;
+    std::size_t pos = 0;
+    std::string error;
+
+    bool fail(const std::string &reason)
+    {
+        if (error.empty())
+            error = reason + " at offset " + std::to_string(pos);
+        return false;
+    }
+
+    void skipSpace()
+    {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+    }
+
+    bool consume(char c)
+    {
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    bool literal(std::string_view word)
+    {
+        if (text.substr(pos, word.size()) != word)
+            return fail("invalid literal");
+        pos += word.size();
+        return true;
+    }
+
+    bool parseString(std::string &out)
+    {
+        if (!consume('"'))
+            return fail("expected '\"'");
+        out.clear();
+        while (pos < text.size()) {
+            const char c = text[pos++];
+            if (c == '"')
+                return true;
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("unescaped control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos >= text.size())
+                return fail("dangling escape");
+            const char esc = text[pos++];
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (pos + 4 > text.size())
+                    return fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text[pos++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("invalid \\u escape");
+                }
+                // UTF-8 encode (surrogate pairs unsupported: the
+                // observability layer emits ASCII).
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xc0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (code >> 12));
+                    out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                }
+                break;
+              }
+              default: return fail("invalid escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool parseNumber(Json &out)
+    {
+        const std::size_t start = pos;
+        if (consume('-')) {}
+        while (pos < text.size() &&
+               (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+                text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+                text[pos] == '+' || text[pos] == '-'))
+            ++pos;
+        const std::string token(text.substr(start, pos - start));
+        if (token.empty() || token == "-")
+            return fail("invalid number");
+        // Strict JSON: numbers start with '-' or a digit (strtoull would
+        // happily accept a leading '+').
+        if (token[0] == '+')
+            return fail("invalid number");
+        const bool integral =
+            token.find_first_of(".eE") == std::string::npos;
+        char *end = nullptr;
+        if (integral) {
+            errno = 0;
+            if (token[0] == '-') {
+                const long long v = std::strtoll(token.c_str(), &end, 10);
+                if (end != token.c_str() + token.size() || errno == ERANGE)
+                    return fail("invalid number");
+                out = Json(static_cast<std::int64_t>(v));
+                return true;
+            }
+            const unsigned long long v =
+                std::strtoull(token.c_str(), &end, 10);
+            if (end != token.c_str() + token.size() || errno == ERANGE)
+                return fail("invalid number");
+            out = Json(static_cast<std::uint64_t>(v));
+            return true;
+        }
+        const double v = std::strtod(token.c_str(), &end);
+        if (end != token.c_str() + token.size())
+            return fail("invalid number");
+        out = Json(v);
+        return true;
+    }
+
+    bool parseValue(Json &out, int depth)
+    {
+        if (depth > 128)
+            return fail("nesting too deep");
+        skipSpace();
+        if (pos >= text.size())
+            return fail("unexpected end of input");
+        const char c = text[pos];
+        if (c == '{') {
+            ++pos;
+            out = Json::object();
+            skipSpace();
+            if (consume('}'))
+                return true;
+            while (true) {
+                skipSpace();
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                skipSpace();
+                if (!consume(':'))
+                    return fail("expected ':'");
+                Json value;
+                if (!parseValue(value, depth + 1))
+                    return false;
+                out[key] = std::move(value);
+                skipSpace();
+                if (consume(','))
+                    continue;
+                if (consume('}'))
+                    return true;
+                return fail("expected ',' or '}'");
+            }
+        }
+        if (c == '[') {
+            ++pos;
+            out = Json::array();
+            skipSpace();
+            if (consume(']'))
+                return true;
+            while (true) {
+                Json value;
+                if (!parseValue(value, depth + 1))
+                    return false;
+                out.push(std::move(value));
+                skipSpace();
+                if (consume(','))
+                    continue;
+                if (consume(']'))
+                    return true;
+                return fail("expected ',' or ']'");
+            }
+        }
+        if (c == '"') {
+            std::string s;
+            if (!parseString(s))
+                return false;
+            out = Json(std::move(s));
+            return true;
+        }
+        if (c == 't') {
+            if (!literal("true"))
+                return false;
+            out = Json(true);
+            return true;
+        }
+        if (c == 'f') {
+            if (!literal("false"))
+                return false;
+            out = Json(false);
+            return true;
+        }
+        if (c == 'n') {
+            if (!literal("null"))
+                return false;
+            out = Json(nullptr);
+            return true;
+        }
+        return parseNumber(out);
+    }
+};
+
+} // namespace
+
+std::optional<Json>
+Json::parse(std::string_view text, std::string *error)
+{
+    Parser parser{text, 0, {}};
+    Json value;
+    if (!parser.parseValue(value, 0)) {
+        if (error)
+            *error = parser.error;
+        return std::nullopt;
+    }
+    parser.skipSpace();
+    if (parser.pos != text.size()) {
+        parser.fail("trailing garbage");
+        if (error)
+            *error = parser.error;
+        return std::nullopt;
+    }
+    return value;
+}
+
+} // namespace drs::obs

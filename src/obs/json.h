@@ -1,0 +1,122 @@
+#pragma once
+
+/**
+ * @file
+ * Minimal JSON value type with a writer and a strict parser — just enough
+ * for the observability layer: structured bench reports (BENCH_*.json),
+ * golden expectation files under tests/golden/, and Chrome trace_event
+ * output. Objects preserve insertion order so emitted reports are stable
+ * and diffable.
+ *
+ * No external dependency: the container bakes in no JSON library, and the
+ * schema we need (numbers, strings, bools, arrays, ordered objects) is
+ * small enough to own.
+ */
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace drs::obs {
+
+/** One JSON value: null, bool, number, string, array or object. */
+class Json
+{
+  public:
+    using Array = std::vector<Json>;
+    /** Insertion-ordered key/value pairs (stable, diffable output). */
+    using Object = std::vector<std::pair<std::string, Json>>;
+
+    Json() : value_(nullptr) {}
+    Json(std::nullptr_t) : value_(nullptr) {}
+    Json(bool b) : value_(b) {}
+    Json(double d) : value_(d) {}
+    Json(int i) : value_(static_cast<std::int64_t>(i)) {}
+    Json(long i) : value_(static_cast<std::int64_t>(i)) {}
+    Json(long long i) : value_(static_cast<std::int64_t>(i)) {}
+    Json(unsigned u) : value_(static_cast<std::uint64_t>(u)) {}
+    Json(unsigned long u) : value_(static_cast<std::uint64_t>(u)) {}
+    Json(unsigned long long u) : value_(static_cast<std::uint64_t>(u)) {}
+    Json(const char *s) : value_(std::string(s)) {}
+    Json(std::string_view s) : value_(std::string(s)) {}
+    Json(std::string s) : value_(std::move(s)) {}
+
+    static Json object() { return Json(Object{}); }
+    static Json array() { return Json(Array{}); }
+
+    bool isNull() const { return std::holds_alternative<std::nullptr_t>(value_); }
+    bool isBool() const { return std::holds_alternative<bool>(value_); }
+    bool isNumber() const
+    {
+        return std::holds_alternative<double>(value_) ||
+               std::holds_alternative<std::int64_t>(value_) ||
+               std::holds_alternative<std::uint64_t>(value_);
+    }
+    bool isString() const { return std::holds_alternative<std::string>(value_); }
+    bool isArray() const { return std::holds_alternative<Array>(value_); }
+    bool isObject() const { return std::holds_alternative<Object>(value_); }
+
+    bool asBool() const { return std::get<bool>(value_); }
+    /** Numeric value as double (whatever internal representation). */
+    double asDouble() const;
+    /** Numeric value as uint64 (truncates doubles). */
+    std::uint64_t asUint() const;
+    const std::string &asString() const { return std::get<std::string>(value_); }
+    const Array &asArray() const { return std::get<Array>(value_); }
+    const Object &asObject() const { return std::get<Object>(value_); }
+
+    /** Object access: insert-or-find @p key (value becomes an object). */
+    Json &operator[](std::string_view key);
+
+    /** Object lookup; nullptr when absent or not an object. */
+    const Json *find(std::string_view key) const;
+
+    /** Array append (value becomes an array when null). */
+    Json &push(Json element);
+
+    /** Children of an array/object; 0 otherwise. */
+    std::size_t size() const;
+
+    /**
+     * Serialize. @p indent > 0 pretty-prints with that many spaces per
+     * level; 0 emits the compact one-line form.
+     */
+    void dump(std::ostream &out, int indent = 0) const;
+    std::string dump(int indent = 0) const;
+
+    /**
+     * Strict parse of a complete JSON document (trailing garbage is an
+     * error). @return std::nullopt on malformed input, with a
+     * human-readable reason in @p error when provided.
+     */
+    static std::optional<Json> parse(std::string_view text,
+                                     std::string *error = nullptr);
+
+    /**
+     * Structural equality. Numbers compare by value, not by internal
+     * representation, so a document still equals itself after a
+     * dump/parse round trip (the writer emits "42" for int64 and uint64
+     * alike; the parser picks one representation).
+     */
+    bool operator==(const Json &other) const;
+
+  private:
+    Json(Array a) : value_(std::move(a)) {}
+    Json(Object o) : value_(std::move(o)) {}
+
+    void dumpValue(std::ostream &out, int indent, int depth) const;
+
+    std::variant<std::nullptr_t, bool, double, std::int64_t, std::uint64_t,
+                 std::string, Array, Object>
+        value_;
+};
+
+/** JSON string escaping (quotes not included). */
+std::string jsonEscape(std::string_view s);
+
+} // namespace drs::obs

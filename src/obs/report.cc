@@ -1,0 +1,146 @@
+#include "obs/report.h"
+
+#include <fstream>
+
+namespace drs::obs {
+
+BenchReport::BenchReport(std::string bench_name)
+{
+    document_["bench"] = Json(std::move(bench_name));
+    document_["schema_version"] = Json(kBenchSchemaVersion);
+    document_["scale"] = Json::object();
+    document_["options"] = Json::object();
+    document_["wall_seconds"] = Json(0.0);
+    document_["results"] = Json::array();
+    document_["summary"] = Json::object();
+}
+
+Json &
+BenchReport::addResult()
+{
+    return document_["results"].push(Json::object());
+}
+
+void
+BenchReport::setWallSeconds(double seconds)
+{
+    document_["wall_seconds"] = Json(seconds);
+}
+
+bool
+BenchReport::writeFile(const std::string &path, std::string *error) const
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+        if (error)
+            *error = "cannot open " + path + " for writing";
+        return false;
+    }
+    document_.dump(out, 2);
+    out << "\n";
+    out.flush();
+    if (!out) {
+        if (error)
+            *error = "write to " + path + " failed";
+        return false;
+    }
+    return true;
+}
+
+namespace {
+
+bool
+isUnitInterval(const Json &v)
+{
+    return v.isNumber() && v.asDouble() >= 0.0 && v.asDouble() <= 1.0;
+}
+
+bool
+isNonNegativeNumber(const Json &v)
+{
+    return v.isNumber() && v.asDouble() >= 0.0;
+}
+
+/** Validate the well-known metric fields of one result row. */
+std::string
+validateRow(const Json &row, std::size_t index)
+{
+    const auto at = [&](const char *what) {
+        return std::string("results[") + std::to_string(index) + "]." + what;
+    };
+    if (!row.isObject())
+        return std::string("results[") + std::to_string(index) +
+               "] is not an object";
+    static const char *kStrings[] = {"scene", "arch", "bounce", "config"};
+    for (const char *field : kStrings)
+        if (const Json *v = row.find(field); v && !v->isString())
+            return at(field) + " must be a string";
+    static const char *kUnit[] = {"simd_efficiency", "l1d_hit_rate",
+                                  "l1t_hit_rate", "l2_hit_rate",
+                                  "rdctrl_stall_rate", "spawn_fraction",
+                                  "shuffle_rf_fraction"};
+    for (const char *field : kUnit)
+        if (const Json *v = row.find(field); v && !isUnitInterval(*v))
+            return at(field) + " must be a number in [0, 1]";
+    static const char *kNonNegative[] = {"cycles", "rays_traced",
+                                         "mrays_per_s", "speedup_vs_aila",
+                                         "wall_seconds", "ray_swaps",
+                                         "mean_swap_cycles"};
+    for (const char *field : kNonNegative)
+        if (const Json *v = row.find(field); v && !isNonNegativeNumber(*v))
+            return at(field) + " must be a non-negative number";
+    if (const Json *counters = row.find("counters")) {
+        if (!counters->isObject())
+            return at("counters") + " must be an object";
+        for (const auto &[name, value] : counters->asObject())
+            if (!isNonNegativeNumber(value))
+                return at("counters.") + name +
+                       " must be a non-negative number";
+    }
+    return "";
+}
+
+} // namespace
+
+std::string
+validateBenchReport(const Json &document)
+{
+    if (!document.isObject())
+        return "document is not an object";
+
+    const Json *bench = document.find("bench");
+    if (!bench || !bench->isString() || bench->asString().empty())
+        return "missing or empty \"bench\" string";
+
+    const Json *version = document.find("schema_version");
+    if (!version || !version->isNumber())
+        return "missing \"schema_version\"";
+    if (version->asUint() != static_cast<std::uint64_t>(kBenchSchemaVersion))
+        return "unsupported schema_version " + version->dump();
+
+    for (const char *field : {"scale", "options"}) {
+        const Json *v = document.find(field);
+        if (!v || !v->isObject())
+            return std::string("missing \"") + field + "\" object";
+    }
+
+    const Json *wall = document.find("wall_seconds");
+    if (!wall || !isNonNegativeNumber(*wall))
+        return "missing or negative \"wall_seconds\"";
+
+    const Json *results = document.find("results");
+    if (!results || !results->isArray())
+        return "missing \"results\" array";
+    for (std::size_t i = 0; i < results->asArray().size(); ++i)
+        if (std::string reason = validateRow(results->asArray()[i], i);
+            !reason.empty())
+            return reason;
+
+    if (const Json *summary = document.find("summary");
+        summary && !summary->isObject())
+        return "\"summary\" must be an object";
+
+    return "";
+}
+
+} // namespace drs::obs

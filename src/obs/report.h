@@ -1,0 +1,79 @@
+#pragma once
+
+/**
+ * @file
+ * Structured bench reporting: every bench binary can emit a
+ * BENCH_<name>.json with machine-checkable per-scene/per-arch metrics
+ * next to its human-readable tables (--json <path>). This header owns
+ * the document skeleton and its schema validation; converting simulator
+ * statistics into rows lives in the harness (harness/report.h), keeping
+ * obs free of simulator dependencies.
+ *
+ * Schema (version 1):
+ *   {
+ *     "bench": <string>,          // e.g. "fig11_speedup"
+ *     "schema_version": 1,
+ *     "scale": { ... },           // ExperimentScale knobs
+ *     "options": { ... },         // jobs, smx_threads, ...
+ *     "wall_seconds": <number>,   // whole-bench wall clock
+ *     "results": [ { ... }, ... ],// one object per table row/cell group
+ *     "summary": { ... }          // optional bench-specific aggregates
+ *   }
+ * Result rows are open-ended, but when the well-known metric fields are
+ * present they must be well-formed (see validateBenchReport).
+ */
+
+#include <string>
+
+#include "obs/json.h"
+
+namespace drs::obs {
+
+/** Current report schema version. */
+inline constexpr int kBenchSchemaVersion = 1;
+
+/** Builder for one bench report document. */
+class BenchReport
+{
+  public:
+    explicit BenchReport(std::string bench_name);
+
+    /** The "scale" object (fill with experiment-scale knobs). */
+    Json &scale() { return document_["scale"]; }
+    /** The "options" object (jobs, smx_threads, ...). */
+    Json &options() { return document_["options"]; }
+    /** Optional bench-specific aggregate object. */
+    Json &summary() { return document_["summary"]; }
+
+    /** Append one result row; fill the returned object in place. */
+    Json &addResult();
+
+    void setWallSeconds(double seconds);
+
+    /** The whole document (validate/serialize). */
+    const Json &document() const { return document_; }
+
+    /**
+     * Write the document (pretty-printed) to @p path.
+     * @return false on I/O failure, reason in @p error when provided.
+     */
+    bool writeFile(const std::string &path, std::string *error = nullptr) const;
+
+  private:
+    Json document_;
+};
+
+/**
+ * Validate a bench report document against schema version 1.
+ *
+ * Checks the required top-level fields and, for every result row, the
+ * well-known metric fields when present: "simd_efficiency" and the cache
+ * hit rates must be numbers in [0, 1]; "cycles", "rays_traced",
+ * "wall_seconds", "mrays_per_s" and "speedup_vs_aila" must be
+ * non-negative numbers; "scene" and "arch" must be strings.
+ *
+ * @return empty string when valid, else a human-readable reason.
+ */
+std::string validateBenchReport(const Json &document);
+
+} // namespace drs::obs

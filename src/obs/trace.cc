@@ -1,0 +1,160 @@
+#include "obs/trace.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+
+#include "obs/json.h"
+
+namespace drs::obs {
+
+const char *
+traceEventKindName(TraceEventKind kind)
+{
+    switch (kind) {
+      case TraceEventKind::Block: return "block";
+      case TraceEventKind::RdctrlStall: return "rdctrl_stall";
+      case TraceEventKind::RaySwap: return "ray_swap";
+      case TraceEventKind::SpawnOverhead: return "spawn_overhead";
+    }
+    return "unknown";
+}
+
+void
+Tracer::enable(std::size_t capacity)
+{
+    capacity_ = capacity;
+    next_ = 0;
+    ring_.assign(capacity, TraceEvent{});
+}
+
+std::vector<TraceEvent>
+Tracer::events() const
+{
+    std::vector<TraceEvent> out;
+    if (capacity_ == 0 || next_ == 0)
+        return out;
+    const std::size_t count = next_ < capacity_ ? next_ : capacity_;
+    out.reserve(count);
+    // Oldest retained event first: when the ring wrapped, that is the
+    // slot the next record would overwrite.
+    const std::size_t start = next_ < capacity_ ? 0 : next_ % capacity_;
+    for (std::size_t i = 0; i < count; ++i)
+        out.push_back(ring_[(start + i) % capacity_]);
+    return out;
+}
+
+TraceConfig
+TraceConfig::fromEnvironment()
+{
+    TraceConfig config;
+    if (const char *path = std::getenv("DRS_TRACE")) {
+        // Strict: an empty value is almost certainly a scripting mistake
+        // (e.g. DRS_TRACE= left over); warn instead of tracing nowhere.
+        if (*path == '\0') {
+            std::fprintf(stderr,
+                         "warning: ignoring empty DRS_TRACE "
+                         "(want an output path)\n");
+        } else {
+            config.enabled = true;
+            config.path = path;
+        }
+    }
+    if (const char *s = std::getenv("DRS_TRACE_CAPACITY")) {
+        char *end = nullptr;
+        const long long v = std::strtoll(s, &end, 10);
+        while (end && *end != '\0' &&
+               std::isspace(static_cast<unsigned char>(*end)))
+            ++end;
+        if (end == s || *end != '\0' || v <= 0) {
+            std::fprintf(stderr,
+                         "warning: ignoring malformed DRS_TRACE_CAPACITY"
+                         "=\"%s\" (want a positive integer)\n",
+                         s);
+        } else {
+            config.capacity = static_cast<std::size_t>(v);
+        }
+    }
+    return config;
+}
+
+TraceCollector::TraceCollector(int num_smx, std::size_t capacity)
+    : tracers_(static_cast<std::size_t>(num_smx))
+{
+    for (Tracer &tracer : tracers_)
+        tracer.enable(capacity);
+}
+
+std::size_t
+TraceCollector::eventCount() const
+{
+    std::size_t n = 0;
+    for (const Tracer &tracer : tracers_) {
+        const std::uint64_t recorded = tracer.recorded();
+        n += static_cast<std::size_t>(recorded - tracer.dropped());
+    }
+    return n;
+}
+
+void
+TraceCollector::writeChromeTrace(std::ostream &out) const
+{
+    // Streamed by hand: a full Json tree of every event would dwarf the
+    // simulation's own memory use at large ring capacities.
+    out << "{\"traceEvents\":[";
+    bool first = true;
+    std::uint64_t dropped_total = 0;
+    for (std::size_t smx = 0; smx < tracers_.size(); ++smx) {
+        const Tracer &tracer = tracers_[smx];
+        dropped_total += tracer.dropped();
+
+        if (!first)
+            out << ",";
+        first = false;
+        out << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << smx
+            << ",\"args\":{\"name\":\"SMX " << smx << "\"}}";
+
+        const auto &names = tracer.blockNames();
+        for (const TraceEvent &event : tracer.events()) {
+            out << ",{\"ph\":\"X\",\"pid\":" << smx << ",\"tid\":"
+                << (event.warp < 0 ? 9999 : event.warp) << ",\"ts\":"
+                << event.begin << ",\"dur\":"
+                << (event.end > event.begin ? event.end - event.begin : 1)
+                << ",\"name\":\"";
+            if (event.kind == TraceEventKind::Block &&
+                static_cast<std::size_t>(event.aux) < names.size())
+                out << jsonEscape(names[static_cast<std::size_t>(event.aux)]);
+            else
+                out << traceEventKindName(event.kind);
+            out << "\",\"cat\":\""
+                << (event.kind == TraceEventKind::Block ? "warp" : "rayhw")
+                << "\",\"args\":{\"aux\":" << event.aux << "}}";
+        }
+    }
+    out << "],\"displayTimeUnit\":\"ns\",\"otherData\":{"
+        << "\"timestamp_unit\":\"core cycle\",\"dropped_events\":"
+        << dropped_total << "}}";
+}
+
+bool
+TraceCollector::writeFile(const std::string &path, std::string *error) const
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+        if (error)
+            *error = "cannot open " + path + " for writing";
+        return false;
+    }
+    writeChromeTrace(out);
+    out.flush();
+    if (!out) {
+        if (error)
+            *error = "write to " + path + " failed";
+        return false;
+    }
+    return true;
+}
+
+} // namespace drs::obs

@@ -14,6 +14,8 @@
 
 #include <cstdint>
 
+#include "obs/counters.h"
+
 namespace drs::simt {
 
 /** Ray traversal states, exactly the paper's three (Figure 1/4). */
@@ -123,6 +125,12 @@ class WarpController
      *        collectors.
      */
     virtual void cycle(int issued_instructions) = 0;
+
+    /**
+     * Snapshot of this controller's observability counters ("drs.*",
+     * "dmk.*"); merged into the owning SMX's SimStats::counters.
+     */
+    virtual obs::CounterSnapshot countersSnapshot() const { return {}; }
 };
 
 } // namespace drs::simt

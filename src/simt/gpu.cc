@@ -35,6 +35,16 @@ runGpu(const GpuConfig &config, const SmxFactory &factory,
         unit.smx->setDeferredMemory(true);
         if (unit.setup.controller)
             unit.setup.controller->attach(*unit.smx);
+        if (options.trace != nullptr) {
+            obs::Tracer &tracer = options.trace->smx(i);
+            const Program &program = unit.setup.kernel->program();
+            std::vector<std::string> names;
+            names.reserve(static_cast<std::size_t>(program.blockCount()));
+            for (int b = 0; b < program.blockCount(); ++b)
+                names.push_back(program.block(b).name);
+            tracer.setBlockNames(std::move(names));
+            unit.smx->setTracer(&tracer);
+        }
         units.push_back(std::move(unit));
     }
 
@@ -45,9 +55,18 @@ runGpu(const GpuConfig &config, const SmxFactory &factory,
     runEngine(smxs, options.maxCycles, options.smxThreads);
 
     SimStats total;
-    for (auto &unit : units)
-        total.merge(unit.smx->collectStats());
+    for (std::size_t i = 0; i < units.size(); ++i) {
+        SimStats stats = units[i].smx->collectStats();
+        if (options.perSmxStats)
+            options.perSmxStats(static_cast<int>(i), stats);
+        if (options.onSmxRetire)
+            options.onSmxRetire(static_cast<int>(i),
+                                *units[i].setup.kernel);
+        total.merge(stats);
+    }
     total.l2 = shared.l2Stats();
+    total.counters.add("l2.access", total.l2.accesses);
+    total.counters.add("l2.miss", total.l2.misses);
     return total;
 }
 

@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/trace.h"
 #include "simt/config.h"
 #include "simt/controller.h"
 #include "simt/kernel.h"
@@ -50,6 +51,26 @@ struct GpuRunOptions
      * SimStats are bit-identical for any thread count.
      */
     int smxThreads = 1;
+    /**
+     * Optional cycle-level event tracing: when set, SMX i records into
+     * collector tracer i (the collector must hold >= numSmx tracers).
+     * Pure observation — SimStats are identical with tracing on or off.
+     */
+    obs::TraceCollector *trace = nullptr;
+    /**
+     * Observability hook: called once per SMX (in index order, after the
+     * engine drained) with that SMX's own statistics, before they are
+     * merged into the aggregate. Used by the counter-consistency tests
+     * and by per-SMX reporting.
+     */
+    std::function<void(int smx_index, const SimStats &stats)> perSmxStats;
+    /**
+     * Called once per SMX (in index order, after the engine drained)
+     * with the kernel instance, before it is destroyed. Lets callers
+     * harvest per-ray results (e.g. hit records for the differential
+     * tests) that live in the kernel's workspace.
+     */
+    std::function<void(int smx_index, Kernel &kernel)> onSmxRetire;
 };
 
 /**

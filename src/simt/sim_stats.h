@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/counters.h"
 #include "simt/cache.h"
 #include "stats/histogram.h"
 
@@ -52,6 +53,16 @@ struct SimStats
     CacheStats l1Data;
     CacheStats l1Texture;
     CacheStats l2;
+
+    /**
+     * Snapshot of the hierarchical observability counters (obs::Counters)
+     * of the unit(s) this stats object covers: "smx.*" from the SMX core,
+     * "drs.*"/"dmk.*"/"tbc.*" from the attached ray-management hardware,
+     * "l1d.*"/"l1t.*"/"l2.*" bridged from the cache models. Purely
+     * additive — merging sums by name — and bit-deterministic like every
+     * other field (the counter-consistency tests pin both properties).
+     */
+    obs::CounterSnapshot counters;
 
     /** Fraction of rdctrl issues that experienced a stall. */
     double rdctrlStallRate() const
@@ -108,6 +119,7 @@ struct SimStats
         l1Data.merge(o.l1Data);
         l1Texture.merge(o.l1Texture);
         l2.merge(o.l2);
+        counters.merge(o.counters);
     }
 
     /**

@@ -19,6 +19,15 @@ Smx::Smx(const GpuConfig &config, Kernel &kernel, WarpController *controller,
       controller_(controller),
       memory_(config.memory, shared),
       lastIssued_(static_cast<std::size_t>(config.schedulersPerSmx), -1),
+      rdctrlIssued_(counters_.get("smx.rdctrl.issued")),
+      rdctrlStalledIssues_(counters_.get("smx.rdctrl.stalled_issues")),
+      rdctrlStallCycles_(counters_.get("smx.rdctrl.stall_cycles")),
+      normalRfAccesses_(counters_.get("smx.rf.normal_accesses")),
+      shuffleRfAccesses_(counters_.get("smx.rf.shuffle_accesses")),
+      raySwapsCompleted_(counters_.get("smx.swap.completed")),
+      raySwapCycles_(counters_.get("smx.swap.cycles")),
+      spawnConflictCycles_(counters_.get("smx.spawn.conflict_cycles")),
+      issueIdleCycles_(counters_.get("smx.issue.idle_cycles")),
       blockIssue_(static_cast<std::size_t>(kernel.program().blockCount()),
                   {0, 0}),
       nextBlocks_(static_cast<std::size_t>(config.simdLanes), -1),
@@ -57,10 +66,14 @@ Smx::resolveRdctrl(Warp &warp)
     if (result.stall) {
         if (!warp.stalledOnRdctrl) {
             warp.stalledOnRdctrl = true;
-            ++rdctrlStalledIssues_;
+            warp.stallStartCycle = cycle_;
+            rdctrlStalledIssues_.add();
         }
         return false;
     }
+    if (warp.stalledOnRdctrl && tracer_ && tracer_->enabled())
+        tracer_->record(obs::TraceEventKind::RdctrlStall, warp.id(),
+                        warp.stallStartCycle, cycle_);
     warp.stalledOnRdctrl = false;
     warp.rdctrlResolved = true;
     warp.pendingExit = result.exit;
@@ -74,7 +87,11 @@ Smx::resolveRdctrl(Warp &warp)
     warp.overheadInstructions = result.overheadInstructions;
     if (result.overheadStallCycles > 0) {
         warp.readyCycle = cycle_ + result.overheadStallCycles;
-        spawnConflictCycles_ += result.overheadStallCycles;
+        spawnConflictCycles_.add(result.overheadStallCycles);
+        if (tracer_ && tracer_->enabled())
+            tracer_->record(obs::TraceEventKind::SpawnOverhead, warp.id(),
+                            cycle_, cycle_ + result.overheadStallCycles,
+                            result.overheadInstructions);
     }
     return true;
 }
@@ -100,6 +117,7 @@ Smx::issueFromWarp(Warp &warp, int max_issues)
                 return 0; // spawn-overhead stall charged by the controller
         }
         warp.remainingInstructions = block.instructionCount;
+        warp.blockStartCycle = cycle_;
     }
 
     const Block &block = prog.block(warp.pc());
@@ -118,7 +136,7 @@ Smx::issueFromWarp(Warp &warp, int max_issues)
             issue.second += static_cast<std::uint64_t>(active);
             --warp.remainingInstructions;
         }
-        normalRfAccesses_ += kRfAccessesPerInstruction;
+        normalRfAccesses_.add(kRfAccessesPerInstruction);
         ++issued;
         warp.lastIssueCycle = cycle_;
         if (warp.overheadInstructions == 0 &&
@@ -137,8 +155,12 @@ Smx::completeBlock(Warp &warp)
     const int pc = warp.pc();
     const Block &block = prog.block(pc);
 
+    if (tracer_ && tracer_->enabled())
+        tracer_->record(obs::TraceEventKind::Block, warp.id(),
+                        warp.blockStartCycle, cycle_ + 1, pc);
+
     if (block.specialOp == SpecialOp::Rdctrl) {
-        ++rdctrlIssued_;
+        rdctrlIssued_.add();
         warp.rdctrlResolved = false;
         if (warp.pendingExit) {
             warp.forceExit();
@@ -247,7 +269,10 @@ Smx::step()
     // Count stall time of rdctrl-stalled warps (Figure 9's metric).
     for (const auto &w : warps_)
         if (w.stalledOnRdctrl && !w.exited())
-            ++rdctrlStallCycles_;
+            rdctrlStallCycles_.add();
+
+    if (issued_total == 0)
+        issueIdleCycles_.add();
 
     if (controller_ != nullptr)
         controller_->cycle(issued_total);
@@ -282,17 +307,28 @@ Smx::collectStats() const
     s.cycles = cycle_;
     s.histogram = histogram_;
     s.raysTraced = kernel_.raysCompleted();
-    s.rdctrlIssued = rdctrlIssued_;
-    s.rdctrlStalledIssues = rdctrlStalledIssues_;
-    s.rdctrlStallCycles = rdctrlStallCycles_;
-    s.rfAccessesNormal = normalRfAccesses_;
-    s.rfAccessesShuffle = shuffleRfAccesses_;
-    s.raySwapsCompleted = raySwapsCompleted_;
-    s.raySwapCycles = raySwapCycles_;
-    s.spawnBankConflictCycles = spawnConflictCycles_;
+    s.rdctrlIssued = rdctrlIssued_.value();
+    s.rdctrlStalledIssues = rdctrlStalledIssues_.value();
+    s.rdctrlStallCycles = rdctrlStallCycles_.value();
+    s.rfAccessesNormal = normalRfAccesses_.value();
+    s.rfAccessesShuffle = shuffleRfAccesses_.value();
+    s.raySwapsCompleted = raySwapsCompleted_.value();
+    s.raySwapCycles = raySwapCycles_.value();
+    s.spawnBankConflictCycles = spawnConflictCycles_.value();
     s.blockIssue = blockIssue_;
     s.l1Data = memory_.l1DataStats();
     s.l1Texture = memory_.l1TextureStats();
+
+    // The exported counter snapshot: the SMX registry, the attached
+    // controller's registry, and the cache models bridged under their
+    // hierarchical names.
+    s.counters = counters_.snapshot();
+    if (controller_ != nullptr)
+        s.counters.merge(controller_->countersSnapshot());
+    s.counters.add("l1d.access", s.l1Data.accesses);
+    s.counters.add("l1d.miss", s.l1Data.misses);
+    s.counters.add("l1t.access", s.l1Texture.accesses);
+    s.counters.add("l1t.miss", s.l1Texture.misses);
     return s;
 }
 

@@ -12,6 +12,8 @@
 #include <memory>
 #include <vector>
 
+#include "obs/counters.h"
+#include "obs/trace.h"
 #include "simt/config.h"
 #include "simt/controller.h"
 #include "simt/kernel.h"
@@ -69,16 +71,35 @@ class Smx
     SimStats collectStats() const;
 
     /** Shuffle-side RF access/swap counters, added by the controller. */
-    void addShuffleRfAccesses(std::uint64_t n) { shuffleRfAccesses_ += n; }
+    void addShuffleRfAccesses(std::uint64_t n) { shuffleRfAccesses_.add(n); }
     void recordRaySwap(std::uint64_t duration_cycles)
     {
-        ++raySwapsCompleted_;
-        raySwapCycles_ += duration_cycles;
+        raySwapsCompleted_.add();
+        raySwapCycles_.add(duration_cycles);
+        if (tracer_ && tracer_->enabled())
+            tracer_->record(obs::TraceEventKind::RaySwap, -1,
+                            cycle_ >= duration_cycles
+                                ? cycle_ - duration_cycles
+                                : 0,
+                            cycle_);
     }
     void addSpawnConflictCycles(std::uint64_t n)
     {
-        spawnConflictCycles_ += n;
+        spawnConflictCycles_.add(n);
     }
+
+    /**
+     * This SMX's observability counter registry ("smx.*" names). The
+     * controller and tests may register additional counters; see
+     * obs::Counters for the single-stepping-worker contract.
+     */
+    obs::Counters &counters() { return counters_; }
+
+    /**
+     * Attach a cycle-level event tracer (nullptr = off, the default).
+     * Tracing is pure observation: SimStats are identical either way.
+     */
+    void setTracer(obs::Tracer *tracer) { tracer_ = tracer; }
 
     const std::vector<Warp> &warps() const { return warps_; }
 
@@ -104,14 +125,24 @@ class Smx
     std::uint64_t cycle_ = 0;
 
     stats::ActiveThreadHistogram histogram_;
-    std::uint64_t rdctrlIssued_ = 0;
-    std::uint64_t rdctrlStalledIssues_ = 0;
-    std::uint64_t rdctrlStallCycles_ = 0;
-    std::uint64_t normalRfAccesses_ = 0;
-    std::uint64_t shuffleRfAccesses_ = 0;
-    std::uint64_t raySwapsCompleted_ = 0;
-    std::uint64_t raySwapCycles_ = 0;
-    std::uint64_t spawnConflictCycles_ = 0;
+
+    /**
+     * Observability counters (the ad-hoc scalar fields of earlier
+     * revisions live here now). Handles are registered once in the
+     * constructor; the hot path increments through stable references.
+     */
+    obs::Counters counters_;
+    obs::Counter &rdctrlIssued_;
+    obs::Counter &rdctrlStalledIssues_;
+    obs::Counter &rdctrlStallCycles_;
+    obs::Counter &normalRfAccesses_;
+    obs::Counter &shuffleRfAccesses_;
+    obs::Counter &raySwapsCompleted_;
+    obs::Counter &raySwapCycles_;
+    obs::Counter &spawnConflictCycles_;
+    obs::Counter &issueIdleCycles_;
+
+    obs::Tracer *tracer_ = nullptr;
 
     /** Per-block {instructions, active-thread sum} (see SimStats). */
     std::vector<std::pair<std::uint64_t, std::uint64_t>> blockIssue_;

@@ -100,6 +100,10 @@ class Warp
     std::uint64_t age = 0;
     /** Set while the warp is stalled on rdctrl. */
     bool stalledOnRdctrl = false;
+    /** Cycle the current rdctrl stall began (tracer bookkeeping). */
+    std::uint64_t stallStartCycle = 0;
+    /** Cycle the current block began issuing (tracer bookkeeping). */
+    std::uint64_t blockStartCycle = 0;
     /** The rdctrl result has been obtained for the pending dispatch. */
     bool rdctrlResolved = false;
     /** Pending uniform dispatch after rdctrl issues. */

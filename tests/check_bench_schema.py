@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Validate BENCH_<name>.json reports against schema version 1.
+
+Mirrors drs::obs::validateBenchReport (src/obs/report.cc) so reports can
+be checked without building the simulator, e.g. in CI after
+`./run_benches.sh --json`:
+
+    python3 tests/check_bench_schema.py bench_reports/BENCH_*.json
+
+Google-benchmark output (BENCH_micro.json) uses its own schema and is
+recognised by its "benchmarks" key; only its JSON well-formedness is
+checked.
+"""
+
+import json
+import sys
+
+SCHEMA_VERSION = 1
+
+STRING_FIELDS = ("scene", "arch", "bounce", "config")
+UNIT_FIELDS = (
+    "simd_efficiency",
+    "l1d_hit_rate",
+    "l1t_hit_rate",
+    "l2_hit_rate",
+    "rdctrl_stall_rate",
+    "spawn_fraction",
+    "shuffle_rf_fraction",
+)
+NON_NEGATIVE_FIELDS = (
+    "cycles",
+    "rays_traced",
+    "mrays_per_s",
+    "speedup_vs_aila",
+    "wall_seconds",
+    "ray_swaps",
+    "mean_swap_cycles",
+)
+
+
+def is_number(value):
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def validate_row(row, index):
+    where = f"results[{index}]"
+    if not isinstance(row, dict):
+        return f"{where} is not an object"
+    for field in STRING_FIELDS:
+        if field in row and not isinstance(row[field], str):
+            return f"{where}.{field} must be a string"
+    for field in UNIT_FIELDS:
+        if field in row:
+            value = row[field]
+            if not is_number(value) or not 0.0 <= value <= 1.0:
+                return f"{where}.{field} must be a number in [0, 1]"
+    for field in NON_NEGATIVE_FIELDS:
+        if field in row:
+            value = row[field]
+            if not is_number(value) or value < 0.0:
+                return f"{where}.{field} must be a non-negative number"
+    counters = row.get("counters")
+    if counters is not None:
+        if not isinstance(counters, dict):
+            return f"{where}.counters must be an object"
+        for name, value in counters.items():
+            if not is_number(value) or value < 0.0:
+                return f"{where}.counters.{name} must be non-negative"
+    return ""
+
+
+def validate_report(document):
+    if not isinstance(document, dict):
+        return "document is not an object"
+    if "benchmarks" in document:
+        return ""  # Google benchmark schema; well-formed JSON suffices.
+    bench = document.get("bench")
+    if not isinstance(bench, str) or not bench:
+        return 'missing or empty "bench" string'
+    version = document.get("schema_version")
+    if not is_number(version):
+        return 'missing "schema_version"'
+    if version != SCHEMA_VERSION:
+        return f"unsupported schema_version {version}"
+    for field in ("scale", "options", "summary"):
+        if not isinstance(document.get(field), dict):
+            return f'missing "{field}" object'
+    wall = document.get("wall_seconds")
+    if not is_number(wall) or wall < 0.0:
+        return 'missing or negative "wall_seconds"'
+    results = document.get("results")
+    if not isinstance(results, list):
+        return 'missing "results" array'
+    for index, row in enumerate(results):
+        reason = validate_row(row, index)
+        if reason:
+            return reason
+    return ""
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(f"usage: {argv[0]} BENCH_*.json", file=sys.stderr)
+        return 2
+    failures = 0
+    for path in argv[1:]:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"FAIL {path}: {error}")
+            failures += 1
+            continue
+        reason = validate_report(document)
+        if reason:
+            print(f"FAIL {path}: {reason}")
+            failures += 1
+        else:
+            rows = len(document.get("results", []))
+            print(f"ok   {path} ({rows} result rows)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Differential tests: all four simulated architectures (Aila, DRS, DMK,
+ * TBC) run different kernels and ray-management hardware, but they trace
+ * the same rays through the same BVH — so every ray must report the same
+ * intersection. For each paper scene the Aila software baseline is the
+ * reference; the other three must match it per ray on the hit triangle id
+ * and on the hit distance within 1e-5.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness/harness.h"
+
+namespace drs::harness {
+namespace {
+
+ExperimentScale
+testScale()
+{
+    ExperimentScale scale;
+    scale.sceneScale = 0.15f;
+    scale.width = 128;
+    scale.height = 96;
+    scale.samplesPerPixel = 1;
+    scale.raysPerBounce = 4096;
+    scale.numSmx = 2;
+    return scale;
+}
+
+constexpr float kHitDistanceTolerance = 1e-5f;
+
+std::vector<geom::Hit>
+traceHits(Arch arch, const PreparedScene &prepared,
+          std::span<const geom::Ray> rays)
+{
+    std::vector<geom::Hit> hits;
+    RunConfig config;
+    config.gpu.numSmx = testScale().numSmx;
+    config.hitsOut = &hits;
+    const auto stats = runBatch(arch, *prepared.tracer, rays, config);
+    EXPECT_EQ(stats.raysTraced, rays.size()) << archName(arch);
+    return hits;
+}
+
+class DifferentialTest : public ::testing::TestWithParam<scene::SceneId>
+{
+};
+
+TEST_P(DifferentialTest, AllArchitecturesAgreeOnEveryHit)
+{
+    const PreparedScene prepared = prepareScene(GetParam(), testScale());
+    // The incoherent second bounce is where the architectures diverge in
+    // execution order the most; agreement there is the strong statement.
+    const auto &rays = prepared.trace.bounce(2).rays;
+    ASSERT_FALSE(rays.empty());
+
+    const auto reference = traceHits(Arch::Aila, prepared, rays);
+    ASSERT_EQ(reference.size(), rays.size());
+
+    for (const Arch arch : {Arch::Drs, Arch::Dmk, Arch::Tbc}) {
+        const auto hits = traceHits(arch, prepared, rays);
+        ASSERT_EQ(hits.size(), reference.size()) << archName(arch);
+
+        std::size_t mismatches = 0;
+        for (std::size_t i = 0; i < hits.size(); ++i) {
+            const bool triangle_differs =
+                hits[i].triangle != reference[i].triangle;
+            const bool distance_differs =
+                reference[i].valid() &&
+                std::fabs(hits[i].t - reference[i].t) > kHitDistanceTolerance;
+            if (triangle_differs || distance_differs) {
+                if (++mismatches <= 5)
+                    ADD_FAILURE()
+                        << archName(arch) << " ray " << i << ": triangle "
+                        << hits[i].triangle << " vs " << reference[i].triangle
+                        << ", t " << hits[i].t << " vs " << reference[i].t;
+            }
+        }
+        EXPECT_EQ(mismatches, 0u)
+            << archName(arch) << " disagreed with aila on " << mismatches
+            << " of " << hits.size() << " rays";
+    }
+}
+
+TEST_P(DifferentialTest, ReferenceFindsRealIntersections)
+{
+    // Guard the guard: an all-miss reference would make the differential
+    // comparison vacuously green.
+    const PreparedScene prepared = prepareScene(GetParam(), testScale());
+    const auto &rays = prepared.trace.bounce(2).rays;
+    const auto reference = traceHits(Arch::Aila, prepared, rays);
+    std::size_t valid = 0;
+    for (const auto &hit : reference)
+        valid += hit.valid() ? 1 : 0;
+    EXPECT_GT(valid, reference.size() / 4)
+        << "suspiciously few real hits in the reference";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScenes, DifferentialTest,
+                         ::testing::ValuesIn(scene::allSceneIds()),
+                         [](const auto &info) {
+                             return scene::sceneName(info.param);
+                         });
+
+} // namespace
+} // namespace drs::harness

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Statistical regression tests: the paper's headline quantitative claims,
+ * pinned against golden expectations checked into tests/golden/. For
+ * every paper scene on the incoherent second bounce:
+ *
+ *   - DRS SIMD efficiency must beat the Aila software baseline (the
+ *     paper's core qualitative result, always enforced);
+ *   - DRS cycle-count speedup over Aila and both SIMD efficiencies must
+ *     stay inside a band around the golden values, so perf-affecting
+ *     regressions (or accidental model changes) fail loudly.
+ *
+ * The simulator is deterministic, so the bands are tight; they exist to
+ * absorb intentional model retunes, not noise. Regenerate goldens with:
+ *
+ *     ./build/tests/test_statistical --update-golden
+ *
+ * The measurement scale is fixed in-source (the DRS_* environment
+ * overrides are ignored) so goldens mean the same thing everywhere.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "harness/harness.h"
+#include "harness/sweep.h"
+#include "obs/json.h"
+
+#ifndef DRS_GOLDEN_DIR
+#error "DRS_GOLDEN_DIR must point at tests/golden (set by CMake)"
+#endif
+
+namespace drs::harness {
+namespace {
+
+/** Relative band around the golden speedup. */
+constexpr double kSpeedupTolerance = 0.10;
+/** Absolute band around the golden SIMD efficiencies. */
+constexpr double kEfficiencyTolerance = 0.03;
+
+std::string
+goldenPath()
+{
+    return std::string(DRS_GOLDEN_DIR) + "/expectations.json";
+}
+
+/** Fixed measurement scale — deliberately NOT fromEnvironment(). */
+ExperimentScale
+measurementScale()
+{
+    ExperimentScale scale;
+    scale.sceneScale = 0.15f;
+    scale.width = 128;
+    scale.height = 96;
+    scale.samplesPerPixel = 1;
+    // Small enough to keep the suite quick, large enough that the batch
+    // is not drain-dominated (DRS needs a standing population of rays to
+    // shuffle; tiny batches hide its advantage).
+    scale.raysPerBounce = 16384;
+    scale.numSmx = 2;
+    return scale;
+}
+
+struct SceneMeasurement
+{
+    double ailaSimdEfficiency = 0.0;
+    double drsSimdEfficiency = 0.0;
+    /** Aila cycles / DRS cycles on the same batch. */
+    double drsSpeedupVsAila = 0.0;
+};
+
+/** Run the fixed-scale measurement sweep (all scenes, bounce 2). */
+std::map<std::string, SceneMeasurement>
+measure()
+{
+    const ExperimentScale scale = measurementScale();
+    SweepRunner runner(scale, 4);
+    struct Slot
+    {
+        scene::SceneId id;
+        std::size_t aila;
+        std::size_t drs;
+    };
+    std::vector<Slot> slots;
+    for (scene::SceneId id : scene::allSceneIds()) {
+        SweepJob job;
+        job.scene = id;
+        job.config.gpu.numSmx = scale.numSmx;
+        job.bounce = 2;
+        job.arch = Arch::Aila;
+        const std::size_t aila = runner.add(job);
+        job.arch = Arch::Drs;
+        const std::size_t drs = runner.add(job);
+        slots.push_back({id, aila, drs});
+    }
+    const auto results = runner.run();
+
+    std::map<std::string, SceneMeasurement> measurements;
+    for (const Slot &slot : slots) {
+        const auto &aila = results[slot.aila].stats;
+        const auto &drs = results[slot.drs].stats;
+        SceneMeasurement m;
+        m.ailaSimdEfficiency = aila.histogram.simdEfficiency();
+        m.drsSimdEfficiency = drs.histogram.simdEfficiency();
+        m.drsSpeedupVsAila = drs.cycles
+                                 ? static_cast<double>(aila.cycles) /
+                                       static_cast<double>(drs.cycles)
+                                 : 0.0;
+        measurements[scene::sceneName(slot.id)] = m;
+    }
+    return measurements;
+}
+
+/** The sweep is expensive; run it once for the whole suite. */
+const std::map<std::string, SceneMeasurement> &
+measurements()
+{
+    static const std::map<std::string, SceneMeasurement> cached = measure();
+    return cached;
+}
+
+std::optional<obs::Json>
+loadGolden(std::string *error)
+{
+    std::ifstream in(goldenPath(), std::ios::binary);
+    if (!in) {
+        if (error)
+            *error = "cannot open " + goldenPath() +
+                     " (regenerate with --update-golden)";
+        return std::nullopt;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    return obs::Json::parse(text.str(), error);
+}
+
+class StatisticalTest : public ::testing::TestWithParam<scene::SceneId>
+{
+};
+
+TEST_P(StatisticalTest, DrsBeatsAilaSimdEfficiency)
+{
+    const auto &m = measurements().at(scene::sceneName(GetParam()));
+    EXPECT_GT(m.drsSimdEfficiency, m.ailaSimdEfficiency);
+    // The paper's Figure 10 shape: the gap is structural, not marginal.
+    EXPECT_GT(m.drsSimdEfficiency - m.ailaSimdEfficiency, 0.05);
+}
+
+TEST_P(StatisticalTest, SpeedupAndEfficiencyWithinGoldenBand)
+{
+    std::string error;
+    const auto golden = loadGolden(&error);
+    ASSERT_TRUE(golden.has_value()) << error;
+
+    const obs::Json *scenes = golden->find("scenes");
+    ASSERT_NE(scenes, nullptr) << "golden file has no \"scenes\" object";
+    const std::string name = scene::sceneName(GetParam());
+    const obs::Json *expected = scenes->find(name);
+    ASSERT_NE(expected, nullptr)
+        << "no golden entry for " << name
+        << " (regenerate with --update-golden)";
+
+    const auto &m = measurements().at(name);
+    const double speedup = expected->find("drs_speedup_vs_aila")->asDouble();
+    EXPECT_NEAR(m.drsSpeedupVsAila, speedup, speedup * kSpeedupTolerance)
+        << name << ": DRS speedup drifted from the golden value";
+    EXPECT_NEAR(m.ailaSimdEfficiency,
+                expected->find("aila_simd_efficiency")->asDouble(),
+                kEfficiencyTolerance)
+        << name;
+    EXPECT_NEAR(m.drsSimdEfficiency,
+                expected->find("drs_simd_efficiency")->asDouble(),
+                kEfficiencyTolerance)
+        << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScenes, StatisticalTest,
+                         ::testing::ValuesIn(scene::allSceneIds()),
+                         [](const auto &info) {
+                             return scene::sceneName(info.param);
+                         });
+
+int
+updateGolden()
+{
+    obs::Json doc = obs::Json::object();
+    const ExperimentScale scale = measurementScale();
+    doc["scale"]["rays_per_bounce"] = scale.raysPerBounce;
+    doc["scale"]["scene_scale"] = static_cast<double>(scale.sceneScale);
+    doc["scale"]["num_smx"] = scale.numSmx;
+    doc["scale"]["bounce"] = 2;
+    doc["bands"]["speedup_relative_tolerance"] = kSpeedupTolerance;
+    doc["bands"]["efficiency_absolute_tolerance"] = kEfficiencyTolerance;
+    doc["scenes"] = obs::Json::object();
+    for (const auto &[name, m] : measurements()) {
+        obs::Json &scene = doc["scenes"][name];
+        scene["aila_simd_efficiency"] = m.ailaSimdEfficiency;
+        scene["drs_simd_efficiency"] = m.drsSimdEfficiency;
+        scene["drs_speedup_vs_aila"] = m.drsSpeedupVsAila;
+    }
+
+    const std::string path = goldenPath();
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+        std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+        return 1;
+    }
+    doc.dump(out, 2);
+    out << "\n";
+    std::printf("wrote %s\n%s\n", path.c_str(), doc.dump(2).c_str());
+    return out ? 0 : 1;
+}
+
+} // namespace
+} // namespace drs::harness
+
+int
+main(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i)
+        if (std::string(argv[i]) == "--update-golden")
+            return drs::harness::updateGolden();
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

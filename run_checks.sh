@@ -1,0 +1,69 @@
+#!/bin/bash
+# Correctness gate for the invariant-checking subsystem (src/check).
+#
+# 1. Builds the tree under -DDRS_SANITIZE=address and =thread and runs
+#    the `check`-labelled suites under each sanitizer with DRS_CHECK=1:
+#    test_check plus fuzz_smoke, the seeded randomized lockstep
+#    cross-check (fixed master seed 0x5eed -> deterministic configs,
+#    every seed printed for --replay).
+# 2. Runs one bench twice in the regular build -- DRS_CHECK=0 vs
+#    DRS_CHECK=1 -- and verifies both JSON reports validate against the
+#    schema (tests/check_bench_schema.py) and are identical except for
+#    wall-clock fields: invariant checking must be a pure observer.
+#
+# Usage: run_checks.sh [--skip-sanitizers]
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS=${DRS_JOBS:-$(nproc 2>/dev/null || echo 2)}
+skip_san=0
+[ "${1:-}" = "--skip-sanitizers" ] && skip_san=1
+
+if [ "$skip_san" -eq 0 ]; then
+  for san in address thread; do
+    dir="build-${san:0:1}san" # build-asan / build-tsan
+    echo; echo "######## sanitizer: $san ($dir) ########"; echo
+    cmake -B "$dir" -S . -DDRS_SANITIZE="$san" >/dev/null
+    cmake --build "$dir" -j"$JOBS"
+    (cd "$dir" &&
+     DRS_CHECK=1 ctest -L 'check|fuzz-smoke' --output-on-failure -j"$JOBS")
+  done
+fi
+
+echo; echo "######## bench JSON: DRS_CHECK must be a pure observer ########"
+echo
+cmake -B build -S . >/dev/null
+cmake --build build -j"$JOBS" --target bench_fig2_aila_breakdown
+json_dir=$(mktemp -d)
+trap 'rm -rf "$json_dir"' EXIT
+export DRS_RAYS=${DRS_RAYS:-20000} DRS_SCALE=${DRS_SCALE:-0.1} \
+       DRS_SMX=${DRS_SMX:-2}
+DRS_CHECK=0 build/bench/bench_fig2_aila_breakdown --jobs 2 \
+    --json "$json_dir/BENCH_unchecked.json"
+DRS_CHECK=1 build/bench/bench_fig2_aila_breakdown --jobs 2 \
+    --json "$json_dir/BENCH_checked.json"
+python3 tests/check_bench_schema.py "$json_dir"/BENCH_*.json
+python3 - "$json_dir/BENCH_unchecked.json" "$json_dir/BENCH_checked.json" \
+    <<'EOF'
+import json
+import sys
+
+
+def strip(node):
+    """Drop wall-clock fields; everything else must be bit-identical."""
+    if isinstance(node, dict):
+        return {k: strip(v) for k, v in node.items() if k != "wall_seconds"}
+    if isinstance(node, list):
+        return [strip(v) for v in node]
+    return node
+
+
+unchecked, checked = (strip(json.load(open(p))) for p in sys.argv[1:3])
+if unchecked != checked:
+    sys.exit("FAIL: DRS_CHECK=1 changed the bench report "
+             "(beyond wall-clock fields)")
+print("ok   bench report unchanged by DRS_CHECK=1")
+EOF
+
+echo; echo "run_checks.sh: all checks passed"

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
+#include <unordered_set>
 
 #include "simt/smx.h"
 
@@ -53,6 +55,70 @@ std::size_t
 DmkControl::pooledRays(TravState state) const
 {
     return pools_[static_cast<std::size_t>(state)].size();
+}
+
+void
+DmkControl::verifyInvariants() const
+{
+    // Fetch slots are never dumped — the fetch pool must stay empty.
+    if (!pools_[static_cast<std::size_t>(TravState::Fetch)].empty())
+        throw std::logic_error("DmkControl: rays parked in the fetch pool");
+
+    std::unordered_set<int> spawn_slots;
+    std::unordered_set<std::int64_t> ray_ids;
+    std::size_t pooled = 0;
+    for (std::size_t s = 0; s < pools_.size(); ++s) {
+        for (const PooledRay &parked : pools_[s]) {
+            ++pooled;
+            if (parked.payload.state != static_cast<TravState>(s))
+                throw std::logic_error(
+                    "DmkControl: pooled ray state disagrees with its pool");
+            if (parked.payload.rayId < 0)
+                throw std::logic_error("DmkControl: pooled empty slot");
+            if (!ray_ids.insert(parked.payload.rayId).second)
+                throw std::logic_error(
+                    "DmkControl: duplicate ray id in spawn memory");
+            if (parked.spawnSlot < 0 || parked.spawnSlot >= nextSpawnSlot_)
+                throw std::logic_error(
+                    "DmkControl: spawn slot out of range");
+            if (!spawn_slots.insert(parked.spawnSlot).second)
+                throw std::logic_error(
+                    "DmkControl: spawn slot used by two rays");
+        }
+    }
+    for (const int slot : freeSlots_) {
+        if (slot < 0 || slot >= nextSpawnSlot_)
+            throw std::logic_error("DmkControl: freed slot out of range");
+        if (!spawn_slots.insert(slot).second)
+            throw std::logic_error(
+                "DmkControl: slot both free and holding a ray");
+    }
+    if (spawn_slots.size() != static_cast<std::size_t>(nextSpawnSlot_))
+        throw std::logic_error("DmkControl: allocated spawn slots leaked");
+
+    // Every ray of the stripe is in exactly one place: completed, live in
+    // a workspace row, still unfetched in the pool, or parked in spawn
+    // memory. Ray ids must not repeat across workspace and pools.
+    std::size_t live = 0;
+    for (int row = 0; row < workspace_.rowCount(); ++row) {
+        for (int lane = 0; lane < workspace_.laneCount(); ++lane) {
+            const kernels::RaySlot &slot = workspace_.slot(row, lane);
+            if (slot.state == TravState::Fetch)
+                continue;
+            ++live;
+            if (slot.rayId < 0)
+                throw std::logic_error(
+                    "DmkControl: live workspace slot without a ray id");
+            if (!ray_ids.insert(slot.rayId).second)
+                throw std::logic_error(
+                    "DmkControl: ray id held by two slots");
+        }
+    }
+    const std::size_t total = workspace_.results().size();
+    const std::size_t accounted = workspace_.raysCompleted() + live +
+                                  workspace_.poolRemaining() + pooled;
+    if (accounted != total)
+        throw std::logic_error("DmkControl: rays not conserved");
 }
 
 std::uint32_t

@@ -82,6 +82,16 @@ class DmkControl : public simt::WarpController
     /** Rays currently parked in spawn memory (per state; tests). */
     std::size_t pooledRays(simt::TravState state) const;
 
+    /**
+     * Spawn-memory invariants: pooled payloads match their pool's state
+     * and hold a real ray, spawn slots are unique across pools and the
+     * free list (and account for every allocated slot), ray ids are
+     * unique across workspace and pools, and the strict conservation law
+     * holds: completed + live-in-rows + unfetched + pooled rays equals
+     * the stripe size. Throws std::logic_error.
+     */
+    void verifyInvariants() const override;
+
   private:
     /** A ray parked in spawn memory. */
     struct PooledRay

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <map>
 #include <stdexcept>
+#include <unordered_set>
 
 #include "simt/engine.h"
 
@@ -247,10 +248,102 @@ TbcSmx::issueFromBlock(ThreadBlock &block, int max_issues)
 }
 
 void
+TbcSmx::verifyInvariants() const
+{
+    const Program &prog = kernel_.program();
+    const int lanes = config_.simdLanes;
+
+    for (std::size_t b = 0; b < blocks_.size(); ++b) {
+        const ThreadBlock &block = blocks_[b];
+        if (block.stack.empty())
+            throw std::logic_error("TBC: empty block stack");
+        if (block.stack.front().rpc != prog.exitBlock())
+            throw std::logic_error(
+                "TBC: bottom stack entry does not reconverge at exit");
+
+        const int first_row = static_cast<int>(b) * tbc_.warpsPerBlock;
+        const int last_row = first_row + tbc_.warpsPerBlock;
+
+        // Per-entry thread sets (home slot indices) for the subset and
+        // disjointness checks below.
+        std::vector<std::unordered_set<int>> entry_threads;
+        entry_threads.reserve(block.stack.size());
+
+        for (const BlockEntry &entry : block.stack) {
+            if (entry.pc < 0 || entry.pc >= prog.blockCount() ||
+                entry.rpc < 0 || entry.rpc >= prog.blockCount())
+                throw std::logic_error("TBC: stack pc/rpc out of range");
+            std::unordered_set<int> threads;
+            for (const CompactedWarp &warp : entry.warps) {
+                if (static_cast<int>(warp.lanes.size()) != lanes)
+                    throw std::logic_error("TBC: malformed compacted warp");
+                for (int lane = 0; lane < lanes; ++lane) {
+                    const ThreadRef &t =
+                        warp.lanes[static_cast<std::size_t>(lane)];
+                    if (t.row < 0)
+                        continue;
+                    // Per-lane compaction: a thread can only occupy its
+                    // own home lane in any warp it is compacted into.
+                    if (t.lane != lane)
+                        throw std::logic_error(
+                            "TBC: thread compacted into a foreign lane");
+                    if (t.row < first_row || t.row >= last_row)
+                        throw std::logic_error(
+                            "TBC: thread from another block's rows");
+                    if (!threads.insert(threadSlotIndex(t)).second)
+                        throw std::logic_error(
+                            "TBC: thread appears twice in one entry");
+                }
+            }
+            entry_threads.push_back(std::move(threads));
+        }
+
+        // Child entries reconverge at their parent's pc (the parent is
+        // parked there while children run); siblings of one parent hold
+        // pairwise-disjoint subsets of the parent's threads. The entry
+        // below is the parent iff its pc is this entry's rpc (non-top
+        // entries never advance, and children are never created sitting
+        // on their rpc, so this is unambiguous); otherwise it must be a
+        // sibling and the parent is inherited.
+        std::vector<std::size_t> parent_of(block.stack.size(), 0);
+        for (std::size_t i = 1; i < block.stack.size(); ++i) {
+            const BlockEntry &entry = block.stack[i];
+            const BlockEntry &prev = block.stack[i - 1];
+            std::size_t parent;
+            if (prev.pc == entry.rpc) {
+                parent = i - 1;
+            } else if (prev.rpc == entry.rpc) {
+                parent = parent_of[i - 1];
+            } else {
+                throw std::logic_error(
+                    "TBC: stack entry reconverges at an unrelated block");
+            }
+            parent_of[i] = parent;
+            for (const int slot : entry_threads[i]) {
+                if (entry_threads[parent].count(slot) == 0)
+                    throw std::logic_error(
+                        "TBC: child entry holds a thread its parent lacks");
+                for (std::size_t j = parent + 1; j < i; ++j)
+                    if (parent_of[j] == parent &&
+                        entry_threads[j].count(slot) != 0)
+                        throw std::logic_error(
+                            "TBC: sibling entries share a thread");
+            }
+        }
+    }
+}
+
+void
 TbcSmx::step()
 {
     const int per_scheduler = config_.issuesPerScheduler();
     const int schedulers = config_.schedulersPerSmx;
+
+    if (check_ != nullptr && (cycle_ & 1023u) == 0) {
+        verifyInvariants();
+        check_->checkMemory(memory_);
+        check_->checkKernel(kernel_);
+    }
 
     // Barrier maintenance: an entry whose warps have all completed (and
     // waited out their memory latency) partitions and compacts, whether
@@ -313,6 +406,8 @@ TbcSmx::collectStats() const
     s.counters.add("l1d.miss", s.l1Data.misses);
     s.counters.add("l1t.access", s.l1Texture.accesses);
     s.counters.add("l1t.miss", s.l1Texture.misses);
+    if (check_ != nullptr)
+        check_->checkStats(s);
     return s;
 }
 
@@ -337,6 +432,7 @@ runTbcGpu(const simt::GpuConfig &config, const TbcConfig &tbc,
         unit.smx = std::make_unique<TbcSmx>(config, tbc, *unit.kernel,
                                             shared);
         unit.smx->setDeferredMemory(true);
+        unit.smx->setCheck(options.check);
         units.push_back(std::move(unit));
     }
 

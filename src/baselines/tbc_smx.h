@@ -19,6 +19,7 @@
 
 #include "kernels/aila_kernel.h"
 #include "obs/counters.h"
+#include "simt/check.h"
 #include "simt/config.h"
 #include "simt/memory.h"
 #include "simt/sim_stats.h"
@@ -70,6 +71,24 @@ class TbcSmx
      */
     void setDeferredMemory(bool deferred) { deferredMemory_ = deferred; }
     void commitMemory();
+
+    /**
+     * Attach an invariant checker (see simt::Smx::setCheck): block-stack
+     * structure is verified periodically and stats at collection. Null
+     * disables checking. Not owned; must outlive the SMX.
+     */
+    void setCheck(const simt::CheckContext *check) { check_ = check; }
+
+    /**
+     * Block-stack invariants: every stack is non-empty with its bottom
+     * entry reconverging at the exit block; pcs/rpcs are valid blocks;
+     * compaction is lane-preserving (a thread only ever occupies its home
+     * lane); threads stay within their block's rows and appear at most
+     * once per entry; child entries reconverge at their parent's pc and
+     * hold pairwise-disjoint subsets of the parent's threads. Throws
+     * std::logic_error.
+     */
+    void verifyInvariants() const;
 
     simt::SimStats collectStats() const;
 
@@ -157,6 +176,7 @@ class TbcSmx
 
     bool deferredMemory_ = false;
     std::vector<DeferredAccess> deferredAccesses_;
+    const simt::CheckContext *check_ = nullptr;
 };
 
 /** Execution options (mirrors simt::GpuRunOptions). */
@@ -171,6 +191,8 @@ struct TbcRunOptions
     /** Per-SMX kernel retirement hook (hit harvesting). */
     std::function<void(int smx_index, kernels::AilaKernel &kernel)>
         onSmxRetire;
+    /** Invariant checker (see simt::GpuRunOptions::check); null = off. */
+    const simt::CheckContext *check = nullptr;
 };
 
 /**

@@ -1,0 +1,168 @@
+#include "check/reference.h"
+
+#include <string>
+
+#include "check/check.h"
+#include "kernels/drs_kernel.h"
+
+namespace drs::check {
+
+using kernels::AilaBlocks;
+using kernels::DrsBlocks;
+
+ReferenceResult
+runReference(const bvh::Bvh &bvh,
+             const std::vector<geom::Triangle> &triangles,
+             std::span<const geom::Ray> rays,
+             const kernels::AilaConfig &config)
+{
+    kernels::AilaConfig ref_config = config;
+    ref_config.numWarps = 1;
+    kernels::AilaKernel kernel(bvh, triangles, rays, /*first_ray=*/0,
+                               ref_config);
+    const simt::Program &program = kernel.program();
+
+    ReferenceResult result;
+    result.blockVisits.assign(AilaBlocks::kCount, 0);
+
+    // Generous bound: a ray visits each BVH node and triangle at most
+    // once per traversal phase, far below a million blocks.
+    const std::uint64_t bound =
+        1'000'000ULL * (static_cast<std::uint64_t>(rays.size()) + 1);
+    std::uint64_t steps = 0;
+
+    int pc = AilaBlocks::kFetch;
+    while (pc != AilaBlocks::kExit) {
+        ++result.blockVisits[static_cast<std::size_t>(pc)];
+        const simt::ThreadStep step = kernel.execute(pc, 0, 0);
+        bool legal = false;
+        for (const int succ : program.block(pc).successors)
+            legal = legal || succ == step.nextBlock;
+        if (!legal)
+            throw InvariantViolation(
+                "reference: block " + program.block(pc).name +
+                " stepped to a non-successor block");
+        pc = step.nextBlock;
+        if (++steps > bound)
+            throw InvariantViolation(
+                "reference interpreter did not terminate");
+    }
+
+    result.hits = kernel.travWorkspace().results();
+    return result;
+}
+
+namespace {
+
+/**
+ * Thread visits of block @p b: the active-thread sum of every issued
+ * instruction, divided by the block's instruction count (each visit
+ * issues the whole block at one active-thread population).
+ */
+std::uint64_t
+threadVisits(const simt::SimStats &stats, const simt::Program &program,
+             int b)
+{
+    const auto index = static_cast<std::size_t>(b);
+    if (index >= stats.blockIssue.size())
+        return 0;
+    const std::uint64_t active_sum = stats.blockIssue[index].second;
+    const int icount = program.block(b).instructionCount;
+    if (icount <= 0)
+        throw InvariantViolation("reference: block " +
+                                 program.block(b).name +
+                                 " has no instructions");
+    if (active_sum % static_cast<std::uint64_t>(icount) != 0)
+        throw InvariantViolation(
+            "reference: active-thread sum of block " +
+            program.block(b).name +
+            " is not a multiple of its instruction count");
+    return active_sum / static_cast<std::uint64_t>(icount);
+}
+
+void
+compareVisits(const std::string &sim_name, std::uint64_t sim_visits,
+              const std::string &ref_name, std::uint64_t ref_visits)
+{
+    if (sim_visits != ref_visits)
+        throw InvariantViolation(
+            "reference: block " + sim_name + " saw " +
+            std::to_string(sim_visits) + " thread visits, reference " +
+            ref_name + " saw " + std::to_string(ref_visits));
+}
+
+} // namespace
+
+void
+verifyBatch(const bvh::Bvh &bvh,
+            const std::vector<geom::Triangle> &triangles,
+            std::span<const geom::Ray> rays, const simt::SimStats &stats,
+            const std::vector<geom::Hit> &hits,
+            const BatchCheckInputs &inputs)
+{
+    if (hits.size() != rays.size())
+        throw InvariantViolation("reference: run produced " +
+                                 std::to_string(hits.size()) +
+                                 " hits for " +
+                                 std::to_string(rays.size()) + " rays");
+    if (stats.raysTraced != rays.size())
+        throw InvariantViolation(
+            "reference: raysTraced is " +
+            std::to_string(stats.raysTraced) + ", batch holds " +
+            std::to_string(rays.size()) + " rays");
+
+    const ReferenceResult ref =
+        runReference(bvh, triangles, rays, inputs.reference);
+
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+        const geom::Hit &got = hits[i];
+        const geom::Hit &want = ref.hits[i];
+        if (got.triangle != want.triangle || got.t != want.t ||
+            got.u != want.u || got.v != want.v)
+            throw InvariantViolation(
+                "reference: ray " + std::to_string(i) +
+                " hit mismatch (sim triangle " +
+                std::to_string(got.triangle) + ", reference triangle " +
+                std::to_string(want.triangle) + ")");
+    }
+
+    if (!inputs.hasBlockIssue)
+        return;
+
+    if (inputs.flavor == KernelFlavor::WhileWhile) {
+        const simt::Program sim = kernels::makeAilaProgram(inputs.simCost);
+        // FETCH is visited once per ray plus once per thread (the failed
+        // fetch before exiting) and EXIT never issues: both depend on the
+        // thread count and are excluded. Every other block's visits are
+        // per-ray work.
+        for (const int b :
+             {AilaBlocks::kInnerHead, AilaBlocks::kInnerTest,
+              AilaBlocks::kLeafHead, AilaBlocks::kLeafTest,
+              AilaBlocks::kDoneCheck, AilaBlocks::kStore}) {
+            compareVisits(sim.block(b).name, threadVisits(stats, sim, b),
+                          sim.block(b).name,
+                          ref.blockVisits[static_cast<std::size_t>(b)]);
+        }
+    } else {
+        const simt::Program sim = kernels::makeDrsProgram(inputs.simCost);
+        // The while-if bodies interleave rays differently, but one
+        // INNER_TEST visit is one inner-node step and one LEAF_TEST
+        // visit is one triangle test in both flavours.
+        const simt::Program ref_prog =
+            kernels::makeAilaProgram(inputs.simCost);
+        compareVisits(
+            sim.block(DrsBlocks::kInnerTest).name,
+            threadVisits(stats, sim, DrsBlocks::kInnerTest),
+            ref_prog.block(AilaBlocks::kInnerTest).name,
+            ref.blockVisits[static_cast<std::size_t>(
+                AilaBlocks::kInnerTest)]);
+        compareVisits(
+            sim.block(DrsBlocks::kLeafTest).name,
+            threadVisits(stats, sim, DrsBlocks::kLeafTest),
+            ref_prog.block(AilaBlocks::kLeafTest).name,
+            ref.blockVisits[static_cast<std::size_t>(
+                AilaBlocks::kLeafTest)]);
+    }
+}
+
+} // namespace drs::check

@@ -1,0 +1,92 @@
+#pragma once
+
+/**
+ * @file
+ * Lockstep functional reference for the simulated traversal kernels.
+ *
+ * A ray's traversal work is a function of the ray alone: the per-thread
+ * semantics (TravWorkspace) never read another lane's state, so a single
+ * reference thread walking the while-while CFG with no timing model must
+ * produce exactly the hits — and exactly the per-ray visit counts of the
+ * traversal blocks — that any architecture, schedule or thread count
+ * produces. verifyBatch() cross-checks a finished run against that
+ * reference: per-ray hits bit-identically (the reference shares the
+ * simulator's float paths), total rays traced, and per-block thread
+ * visits derived from SimStats::blockIssue.
+ */
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bvh/bvh.h"
+#include "geom/ray.h"
+#include "geom/triangle.h"
+#include "kernels/aila_kernel.h"
+#include "simt/sim_stats.h"
+
+namespace drs::check {
+
+/** What the reference interpreter produced for one ray batch. */
+struct ReferenceResult
+{
+    /** Per-ray hits, indexed like the input batch. */
+    std::vector<geom::Hit> hits;
+    /** Thread visits per while-while block (AilaBlocks indices). */
+    std::vector<std::uint64_t> blockVisits;
+};
+
+/**
+ * Execute the whole batch through one reference thread: walk the Aila
+ * CFG from FETCH, draining the pool, with successor-membership
+ * validation and a termination bound. @p config selects the traversal
+ * semantics (speculation, any-hit); its warp count is ignored.
+ */
+ReferenceResult runReference(const bvh::Bvh &bvh,
+                             const std::vector<geom::Triangle> &triangles,
+                             std::span<const geom::Ray> rays,
+                             const kernels::AilaConfig &config);
+
+/** CFG flavour of the simulated run being cross-checked. */
+enum class KernelFlavor
+{
+    WhileWhile, ///< Aila program (Aila baseline, TBC)
+    WhileIf,    ///< DRS program (DRS, DMK)
+};
+
+/** How to interpret the simulated run in verifyBatch(). */
+struct BatchCheckInputs
+{
+    KernelFlavor flavor = KernelFlavor::WhileWhile;
+    /** False for runs without per-block issue stats (TBC): hits only. */
+    bool hasBlockIssue = true;
+    /**
+     * Reference traversal semantics. Must match the simulated kernel:
+     * speculation changes which inner nodes a ray visits, any-hit where
+     * it stops. The DRS/DMK kernels never speculate.
+     */
+    kernels::AilaConfig reference{};
+    /** Cost model of the simulated program (its instruction counts). */
+    kernels::CostModel simCost = kernels::defaultCostModel();
+};
+
+/**
+ * Cross-check one finished run against the reference interpreter:
+ * per-ray hit equality (exact), stats.raysTraced == rays.size(), and —
+ * when block-issue stats exist — per-block thread visits (active-thread
+ * sums divided by instruction counts; divisibility is itself checked).
+ * The while-while FETCH/EXIT blocks are thread-count-dependent and
+ * excluded; the while-if comparison covers the two traversal-test
+ * blocks, whose visit counts are flavour-independent.
+ *
+ * @param hits per-ray hits the run produced, indexed like @p rays
+ * @throws InvariantViolation on any mismatch
+ */
+void verifyBatch(const bvh::Bvh &bvh,
+                 const std::vector<geom::Triangle> &triangles,
+                 std::span<const geom::Ray> rays,
+                 const simt::SimStats &stats,
+                 const std::vector<geom::Hit> &hits,
+                 const BatchCheckInputs &inputs);
+
+} // namespace drs::check

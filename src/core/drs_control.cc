@@ -610,6 +610,69 @@ DrsControl::cycle(int issued_instructions)
         idleCycles_.add();
 }
 
+void
+DrsControl::verifyInvariants() const
+{
+    // Renaming tables: the bound (warp, row) pairs must form a bijection
+    // read identically from both directions — this is the paper's
+    // row-ownership exclusivity (one warp per row, one row per warp).
+    for (int w = 0; w < numWarps_; ++w) {
+        const int row = warpRow_[static_cast<std::size_t>(w)];
+        if (row < -1 || row >= rows_)
+            throw std::logic_error("DrsControl: warpRow out of range");
+        if (row >= 0 && rowOwner_[static_cast<std::size_t>(row)] != w)
+            throw std::logic_error(
+                "DrsControl: warpRow/rowOwner tables disagree");
+    }
+    for (int row = 0; row < rows_; ++row) {
+        const int w = rowOwner_[static_cast<std::size_t>(row)];
+        if (w < -1 || w >= numWarps_)
+            throw std::logic_error("DrsControl: rowOwner out of range");
+        if (w >= 0 && warpRow_[static_cast<std::size_t>(w)] != row)
+            throw std::logic_error(
+                "DrsControl: rowOwner/warpRow tables disagree");
+    }
+
+    for (const int row : designated_)
+        if (row < -1 || row >= rows_)
+            throw std::logic_error("DrsControl: designated row out of range");
+
+    // In-flight operations only move rays between unbound rows (binding
+    // paths skip locked rows, and chooseOperation picks unbound ones);
+    // a bound endpoint would mean the swap engine races the warp
+    // executing on that row.
+    for (const auto &op : ops_) {
+        if (!op.active)
+            continue;
+        if (op.rowA < 0 || op.rowA >= rows_ || op.rowB < 0 ||
+            op.rowB >= rows_ || op.rowA == op.rowB)
+            throw std::logic_error("DrsControl: operation rows invalid");
+        if (op.laneA < 0 || op.laneA >= lanes_ || op.laneB < 0 ||
+            op.laneB >= lanes_)
+            throw std::logic_error("DrsControl: operation lanes invalid");
+        if (rowOwner_[static_cast<std::size_t>(op.rowA)] >= 0 ||
+            rowOwner_[static_cast<std::size_t>(op.rowB)] >= 0)
+            throw std::logic_error(
+                "DrsControl: in-flight operation touches a bound row");
+        if (op.transfersRemaining <= 0 || op.setupRemaining < 0)
+            throw std::logic_error(
+                "DrsControl: operation has no remaining work");
+    }
+
+    // The census cache is only ever read for unbound rows; a stale entry
+    // there would silently misdirect dispatch and shuffle decisions.
+    for (int row = 0; row < rows_; ++row) {
+        if (rowOwner_[static_cast<std::size_t>(row)] >= 0)
+            continue;
+        if (!censusValid_[static_cast<std::size_t>(row)])
+            continue;
+        if (censusCache_[static_cast<std::size_t>(row)].count !=
+            census(row).count)
+            throw std::logic_error(
+                "DrsControl: stale census cache for an unbound row");
+    }
+}
+
 DrsControlStats
 DrsControl::stats() const
 {

@@ -82,6 +82,15 @@ class DrsControl : public simt::WarpController
         return counters_.snapshot();
     }
 
+    /**
+     * Renaming-table and swap-engine invariants: warpRow_/rowOwner_ are
+     * mutually consistent bijections on the bound pairs (row-ownership
+     * exclusivity), in-flight operations only touch unbound rows with
+     * in-range lanes and positive remaining work, and cached censuses of
+     * unbound rows match the workspace. Throws std::logic_error.
+     */
+    void verifyInvariants() const override;
+
     /** Row currently renamed to @p warp, or -1 while stalled. */
     int warpRow(int warp) const { return warpRow_.at(warp); }
 

@@ -7,6 +7,9 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "check/check.h"
+#include "check/reference.h"
+
 namespace drs::harness {
 
 std::string
@@ -53,14 +56,20 @@ gpuRunOptions(const RunConfig &config, obs::TraceCollector *collector)
 
 simt::SimStats
 runAila(const render::PathTracer &tracer, std::span<const geom::Ray> rays,
-        const RunConfig &config, obs::TraceCollector *collector)
+        const RunConfig &config, obs::TraceCollector *collector,
+        const check::Checker *checker)
 {
     simt::GpuRunOptions options = gpuRunOptions(config, collector);
-    if (config.hitsOut != nullptr)
-        options.onSmxRetire = [&config](int, simt::Kernel &kernel) {
-            harvestHits(
-                static_cast<kernels::AilaKernel &>(kernel).travWorkspace(),
-                *config.hitsOut);
+    options.check = checker;
+    if (config.hitsOut != nullptr || checker != nullptr)
+        options.onSmxRetire = [&config, checker](int,
+                                                 simt::Kernel &kernel) {
+            auto &workspace =
+                static_cast<kernels::AilaKernel &>(kernel).travWorkspace();
+            if (checker != nullptr)
+                check::verifyWorkspace(workspace, /*strict=*/true);
+            if (config.hitsOut != nullptr)
+                harvestHits(workspace, *config.hitsOut);
         };
     return simt::runGpu(
         config.gpu,
@@ -79,14 +88,20 @@ runAila(const render::PathTracer &tracer, std::span<const geom::Ray> rays,
 
 simt::SimStats
 runDrs(const render::PathTracer &tracer, std::span<const geom::Ray> rays,
-       const RunConfig &config, obs::TraceCollector *collector)
+       const RunConfig &config, obs::TraceCollector *collector,
+       const check::Checker *checker)
 {
     simt::GpuRunOptions options = gpuRunOptions(config, collector);
-    if (config.hitsOut != nullptr)
-        options.onSmxRetire = [&config](int, simt::Kernel &kernel) {
-            harvestHits(
-                static_cast<kernels::DrsKernel &>(kernel).travWorkspace(),
-                *config.hitsOut);
+    options.check = checker;
+    if (config.hitsOut != nullptr || checker != nullptr)
+        options.onSmxRetire = [&config, checker](int,
+                                                 simt::Kernel &kernel) {
+            auto &workspace =
+                static_cast<kernels::DrsKernel &>(kernel).travWorkspace();
+            if (checker != nullptr)
+                check::verifyWorkspace(workspace, /*strict=*/true);
+            if (config.hitsOut != nullptr)
+                harvestHits(workspace, *config.hitsOut);
         };
     return simt::runGpu(
         config.gpu,
@@ -111,14 +126,20 @@ runDrs(const render::PathTracer &tracer, std::span<const geom::Ray> rays,
 
 simt::SimStats
 runDmk(const render::PathTracer &tracer, std::span<const geom::Ray> rays,
-       const RunConfig &config, obs::TraceCollector *collector)
+       const RunConfig &config, obs::TraceCollector *collector,
+       const check::Checker *checker)
 {
     simt::GpuRunOptions options = gpuRunOptions(config, collector);
-    if (config.hitsOut != nullptr)
-        options.onSmxRetire = [&config](int, simt::Kernel &kernel) {
-            harvestHits(
-                static_cast<kernels::DrsKernel &>(kernel).travWorkspace(),
-                *config.hitsOut);
+    options.check = checker;
+    if (config.hitsOut != nullptr || checker != nullptr)
+        options.onSmxRetire = [&config, checker](int,
+                                                 simt::Kernel &kernel) {
+            auto &workspace =
+                static_cast<kernels::DrsKernel &>(kernel).travWorkspace();
+            if (checker != nullptr)
+                check::verifyWorkspace(workspace, /*strict=*/true);
+            if (config.hitsOut != nullptr)
+                harvestHits(workspace, *config.hitsOut);
         };
     return simt::runGpu(
         config.gpu,
@@ -143,7 +164,7 @@ runDmk(const render::PathTracer &tracer, std::span<const geom::Ray> rays,
 
 simt::SimStats
 runTbc(const render::PathTracer &tracer, std::span<const geom::Ray> rays,
-       const RunConfig &config)
+       const RunConfig &config, const check::Checker *checker)
 {
     kernels::AilaConfig aila = config.aila;
     aila.numWarps = config.tbc.numWarps;
@@ -151,9 +172,15 @@ runTbc(const render::PathTracer &tracer, std::span<const geom::Ray> rays,
     options.maxCycles = config.maxCycles;
     options.smxThreads = config.smxThreads;
     options.perSmxStats = config.perSmxStats;
-    if (config.hitsOut != nullptr)
-        options.onSmxRetire = [&config](int, kernels::AilaKernel &kernel) {
-            harvestHits(kernel.travWorkspace(), *config.hitsOut);
+    options.check = checker;
+    if (config.hitsOut != nullptr || checker != nullptr)
+        options.onSmxRetire = [&config,
+                               checker](int, kernels::AilaKernel &kernel) {
+            if (checker != nullptr)
+                check::verifyWorkspace(kernel.travWorkspace(),
+                                       /*strict=*/true);
+            if (config.hitsOut != nullptr)
+                harvestHits(kernel.travWorkspace(), *config.hitsOut);
         };
     return baselines::runTbcGpu(
         config.gpu, config.tbc,
@@ -167,11 +194,10 @@ runTbc(const render::PathTracer &tracer, std::span<const geom::Ray> rays,
         options);
 }
 
-} // namespace
-
 simt::SimStats
-runBatch(Arch arch, const render::PathTracer &tracer,
-         std::span<const geom::Ray> rays, const RunConfig &config)
+runBatchImpl(Arch arch, const render::PathTracer &tracer,
+             std::span<const geom::Ray> rays, const RunConfig &config,
+             const check::Checker *checker)
 {
     // Trace collection is scoped to the batch: the collector is built
     // here, filled during the run, and written afterwards so tracing
@@ -185,16 +211,16 @@ runBatch(Arch arch, const render::PathTracer &tracer,
     simt::SimStats stats;
     switch (arch) {
       case Arch::Aila:
-        stats = runAila(tracer, rays, config, collector.get());
+        stats = runAila(tracer, rays, config, collector.get(), checker);
         break;
       case Arch::Drs:
-        stats = runDrs(tracer, rays, config, collector.get());
+        stats = runDrs(tracer, rays, config, collector.get(), checker);
         break;
       case Arch::Dmk:
-        stats = runDmk(tracer, rays, config, collector.get());
+        stats = runDmk(tracer, rays, config, collector.get(), checker);
         break;
       case Arch::Tbc:
-        stats = runTbc(tracer, rays, config);
+        stats = runTbc(tracer, rays, config, checker);
         break;
       default:
         throw std::invalid_argument("unknown architecture");
@@ -210,6 +236,69 @@ runBatch(Arch arch, const render::PathTracer &tracer,
         if (!collector->writeFile(config.trace.path, &error))
             std::fprintf(stderr, "warning: trace not written: %s\n",
                          error.c_str());
+    }
+    return stats;
+}
+
+/** Reference-interpreter inputs matching how run*() builds each arch. */
+check::BatchCheckInputs
+batchCheckInputs(Arch arch, const RunConfig &config)
+{
+    check::BatchCheckInputs inputs;
+    switch (arch) {
+      case Arch::Aila:
+        inputs.flavor = check::KernelFlavor::WhileWhile;
+        inputs.reference = config.aila;
+        inputs.simCost = config.aila.cost;
+        break;
+      case Arch::Tbc:
+        // TBC runs the while-while kernel with config.aila's semantics
+        // but reports no per-block issue stats: hits only.
+        inputs.flavor = check::KernelFlavor::WhileWhile;
+        inputs.hasBlockIssue = false;
+        inputs.reference = config.aila;
+        inputs.simCost = config.aila.cost;
+        break;
+      case Arch::Drs:
+      case Arch::Dmk:
+        // Both build their DrsKernel with a default-config traversal
+        // (no speculation, closest-hit, default cost model).
+        inputs.flavor = check::KernelFlavor::WhileIf;
+        inputs.reference = kernels::AilaConfig{};
+        inputs.simCost = kernels::DrsKernelConfig{}.cost;
+        break;
+    }
+    return inputs;
+}
+
+} // namespace
+
+simt::SimStats
+runBatch(Arch arch, const render::PathTracer &tracer,
+         std::span<const geom::Ray> rays, const RunConfig &config)
+{
+    if (!check::checkEnabled(config.check))
+        return runBatchImpl(arch, tracer, rays, config, nullptr);
+
+    // Checked run: thread the checker through the simulators, collect
+    // per-ray hits locally, and cross-check the finished run against the
+    // lockstep reference interpreter. Results are untouched — the hits
+    // the caller asked for are copied out exactly as an unchecked run
+    // would have produced them.
+    const check::Checker checker;
+    std::vector<geom::Hit> hits;
+    RunConfig checked = config;
+    checked.hitsOut = &hits;
+    const simt::SimStats stats =
+        runBatchImpl(arch, tracer, rays, checked, &checker);
+
+    check::verifyBatch(tracer.bvh(), tracer.sceneTriangles(), rays, stats,
+                       hits, batchCheckInputs(arch, config));
+
+    if (config.hitsOut != nullptr) {
+        if (config.hitsOut->size() < hits.size())
+            config.hitsOut->resize(hits.size());
+        std::copy(hits.begin(), hits.end(), config.hitsOut->begin());
     }
     return stats;
 }

@@ -76,6 +76,15 @@ struct RunConfig
      */
     std::function<void(int smx_index, const simt::SimStats &stats)>
         perSmxStats;
+    /**
+     * Invariant checking (src/check): cycle-level assertions inside the
+     * simulators plus a lockstep functional reference cross-checking
+     * every hit and the traversal visit counts after the run. 0 = off,
+     * 1 = on, -1 (default) = follow the DRS_CHECK environment variable.
+     * Checking never alters SimStats; violations throw
+     * check::InvariantViolation (a std::logic_error) out of runBatch.
+     */
+    int check = -1;
 };
 
 /**

@@ -53,8 +53,46 @@ Cache::access(std::uint64_t address)
 void
 Cache::flush()
 {
+    // Reset whole lines, not just the valid bits: stale tag/lastUse
+    // metadata on invalid lines is dead state the invariant checker
+    // rejects, and a live LRU clock would make post-flush recency values
+    // depend on pre-flush history.
     for (auto &line : lines_)
-        line.valid = false;
+        line = Line{};
+    useCounter_ = 0;
+}
+
+void
+Cache::verifyInvariants() const
+{
+    if (stats_.misses > stats_.accesses)
+        throw std::logic_error("Cache: more misses than accesses");
+    for (std::uint32_t set = 0; set < numSets_; ++set) {
+        const Line *base = &lines_[static_cast<std::size_t>(set) * ways_];
+        for (std::uint32_t w = 0; w < ways_; ++w) {
+            const Line &line = base[w];
+            if (!line.valid) {
+                if (line.tag != 0 || line.lastUse != 0)
+                    throw std::logic_error(
+                        "Cache: invalid line carries stale metadata");
+                continue;
+            }
+            if (line.lastUse == 0 || line.lastUse > useCounter_)
+                throw std::logic_error(
+                    "Cache: line recency outside the LRU clock range");
+            for (std::uint32_t v = 0; v < w; ++v) {
+                const Line &other = base[v];
+                if (!other.valid)
+                    continue;
+                if (other.tag == line.tag)
+                    throw std::logic_error(
+                        "Cache: duplicate tag within one set");
+                if (other.lastUse == line.lastUse)
+                    throw std::logic_error(
+                        "Cache: duplicate recency within one set");
+            }
+        }
+    }
 }
 
 } // namespace drs::simt

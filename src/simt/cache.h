@@ -61,8 +61,21 @@ class Cache
     const CacheStats &stats() const { return stats_; }
     void resetStats() { stats_ = CacheStats{}; }
 
-    /** Invalidate all lines (does not reset stats). */
+    /**
+     * Invalidate all lines and reset the LRU clock (does not reset
+     * stats). Post-flush replacement behaves exactly like a cold cache:
+     * no tag or recency metadata of the pre-flush history survives.
+     */
     void flush();
+
+    /**
+     * Verify structural invariants: every valid line's lastUse is within
+     * [1, current use counter] and unique within its set, tags are unique
+     * within a set, invalidated lines carry no stale metadata, and misses
+     * never exceed accesses.
+     * @throws std::logic_error on the first violation found
+     */
+    void verifyInvariants() const;
 
   private:
     struct Line

@@ -1,0 +1,43 @@
+#pragma once
+
+/**
+ * @file
+ * Invariant-checking hook interface of the SIMT core.
+ *
+ * The core knows only this tiny abstract surface; the concrete checker
+ * (src/check) implements it and throws on violations. A null context is
+ * the default everywhere — checking is strictly opt-in (DRS_CHECK=1 or an
+ * explicit RunConfig) and never alters simulation results: every hook
+ * receives const views (checkKernel takes a mutable Kernel only because
+ * Kernel::workspace() is non-const) and runs after the state it inspects
+ * was produced.
+ */
+
+namespace drs::simt {
+
+class Warp;
+class Program;
+class SmxMemory;
+class Kernel;
+struct SimStats;
+
+/** Hook points the SMX (and the TBC executor) call under DRS_CHECK. */
+class CheckContext
+{
+  public:
+    virtual ~CheckContext() = default;
+
+    /** Stack well-formedness after a warp's stack changed. */
+    virtual void checkWarp(const Warp &warp, const Program &program) const = 0;
+
+    /** Cache model invariants (bounds, LRU monotonicity). */
+    virtual void checkMemory(const SmxMemory &memory) const = 0;
+
+    /** Ray-conservation invariants of the kernel's workspace. */
+    virtual void checkKernel(Kernel &kernel) const = 0;
+
+    /** Counter/SimStats lockstep of one collected stats object. */
+    virtual void checkStats(const SimStats &stats) const = 0;
+};
+
+} // namespace drs::simt

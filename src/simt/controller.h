@@ -131,6 +131,14 @@ class WarpController
      * "dmk.*"); merged into the owning SMX's SimStats::counters.
      */
     virtual obs::CounterSnapshot countersSnapshot() const { return {}; }
+
+    /**
+     * Verify the controller's internal invariants (renaming-table
+     * consistency, ray conservation through its pools/operations).
+     * Called periodically by the SMX under DRS_CHECK; implementations
+     * throw std::logic_error on violation. Default: nothing to check.
+     */
+    virtual void verifyInvariants() const {}
 };
 
 } // namespace drs::simt

@@ -11,6 +11,9 @@ SimStats
 runGpu(const GpuConfig &config, const SmxFactory &factory,
        const GpuRunOptions &options)
 {
+    if (config.numSmx < 1)
+        throw std::invalid_argument("runGpu: numSmx must be >= 1");
+
     SharedMemorySide shared(config.memory);
 
     // Two-phase construction: the Smx needs the kernel and the controller
@@ -33,6 +36,7 @@ runGpu(const GpuConfig &config, const SmxFactory &factory,
                                          unit.setup.controller.get(),
                                          unit.setup.numWarps, shared);
         unit.smx->setDeferredMemory(true);
+        unit.smx->setCheck(options.check);
         if (unit.setup.controller)
             unit.setup.controller->attach(*unit.smx);
         if (options.trace != nullptr) {
@@ -82,6 +86,12 @@ runGpu(const GpuConfig &config, const SmxFactory &factory,
 std::pair<std::size_t, std::size_t>
 rayStripe(std::size_t total_rays, int num_smx, int smx_index, int warp_size)
 {
+    if (num_smx < 1 || warp_size < 1)
+        throw std::invalid_argument(
+            "rayStripe: num_smx and warp_size must be >= 1");
+    if (smx_index < 0 || smx_index >= num_smx)
+        throw std::invalid_argument("rayStripe: smx_index out of range");
+
     const std::size_t groups =
         (total_rays + static_cast<std::size_t>(warp_size) - 1) /
         static_cast<std::size_t>(warp_size);

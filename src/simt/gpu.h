@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "obs/trace.h"
+#include "simt/check.h"
 #include "simt/config.h"
 #include "simt/controller.h"
 #include "simt/kernel.h"
@@ -71,6 +72,12 @@ struct GpuRunOptions
      * tests) that live in the kernel's workspace.
      */
     std::function<void(int smx_index, Kernel &kernel)> onSmxRetire;
+    /**
+     * Invariant checker attached to every SMX (nullptr = off). Checking
+     * never alters SimStats; violations throw std::logic_error out of
+     * runGpu. See src/check and DESIGN.md, "Correctness".
+     */
+    const CheckContext *check = nullptr;
 };
 
 /**

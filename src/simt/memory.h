@@ -31,6 +31,9 @@ class SharedMemorySide
     void resetStats() { l2_.resetStats(); }
     void flush() { l2_.flush(); }
 
+    /** L2 structural invariants; throws std::logic_error on violation. */
+    void verifyInvariants() const { l2_.verifyInvariants(); }
+
   private:
     MemoryConfig config_;
     Cache l2_;
@@ -93,6 +96,13 @@ class SmxMemory
     const CacheStats &l1TextureStats() const { return l1Texture_.stats(); }
     void resetStats();
     void flush();
+
+    /** Both L1s' structural invariants; throws std::logic_error. */
+    void verifyInvariants() const
+    {
+        l1Data_.verifyInvariants();
+        l1Texture_.verifyInvariants();
+    }
 
   private:
     MemoryConfig config_;

@@ -33,6 +33,19 @@ Smx::Smx(const GpuConfig &config, Kernel &kernel, WarpController *controller,
       nextBlocks_(static_cast<std::size_t>(config.simdLanes), -1),
       memAddresses_()
 {
+    // Loud bounds validation up front: the issue loop masks lanes with
+    // 1u << lane and indexes warps_ with static_cast<int>, so an
+    // out-of-range width or warp count would wrap silently instead of
+    // failing. Plain throws (not assert) — the default build is
+    // RelWithDebInfo with NDEBUG.
+    if (config.simdLanes < 1 || config.simdLanes > 32)
+        throw std::invalid_argument(
+            "Smx: simdLanes must be in [1, 32] (lane masks are 32-bit)");
+    if (num_warps < 1)
+        throw std::invalid_argument("Smx: need at least one resident warp");
+    if (config.schedulersPerSmx < 1)
+        throw std::invalid_argument("Smx: need at least one scheduler");
+
     const Program &prog = kernel.program();
     const int entry = 0;
     warps_.reserve(static_cast<std::size_t>(num_warps));
@@ -175,6 +188,8 @@ Smx::completeBlock(Warp &warp)
             }
             warp.pushUniformBody(warp.pendingBody, warp.pendingMask, pc);
         }
+        if (check_)
+            check_->checkWarp(warp, prog);
         return;
     }
 
@@ -208,11 +223,24 @@ Smx::completeBlock(Warp &warp)
     }
 
     warp.applySuccessors(nextBlocks_, prog);
+    if (check_)
+        check_->checkWarp(warp, prog);
 }
 
 void
 Smx::step()
 {
+    // Periodic deep checks: cheap per-event checks (checkWarp) run at
+    // every stack change, the heavier memory/workspace/controller scans
+    // amortize over a window of cycles. The final state is re-checked by
+    // the run-level verification in the harness.
+    if (check_ && (cycle_ & 1023u) == 0) {
+        check_->checkMemory(memory_);
+        check_->checkKernel(kernel_);
+        if (controller_ != nullptr)
+            controller_->verifyInvariants();
+    }
+
     int issued_total = 0;
     const int per_scheduler = config_.issuesPerScheduler();
     const int schedulers = config_.schedulersPerSmx;
@@ -329,6 +357,8 @@ Smx::collectStats() const
     s.counters.add("l1d.miss", s.l1Data.misses);
     s.counters.add("l1t.access", s.l1Texture.accesses);
     s.counters.add("l1t.miss", s.l1Texture.misses);
+    if (check_)
+        check_->checkStats(s);
     return s;
 }
 

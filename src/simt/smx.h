@@ -14,6 +14,7 @@
 
 #include "obs/counters.h"
 #include "obs/trace.h"
+#include "simt/check.h"
 #include "simt/config.h"
 #include "simt/controller.h"
 #include "simt/kernel.h"
@@ -101,6 +102,13 @@ class Smx
      */
     void setTracer(obs::Tracer *tracer) { tracer_ = tracer; }
 
+    /**
+     * Attach an invariant checker (nullptr = off, the default). Checking
+     * is pure observation — SimStats are bit-identical either way — but
+     * every violation throws out of step()/collectStats().
+     */
+    void setCheck(const CheckContext *check) { check_ = check; }
+
     const std::vector<Warp> &warps() const { return warps_; }
 
   private:
@@ -143,6 +151,7 @@ class Smx
     obs::Counter &issueIdleCycles_;
 
     obs::Tracer *tracer_ = nullptr;
+    const CheckContext *check_ = nullptr;
 
     /** Per-block {instructions, active-thread sum} (see SimStats). */
     std::vector<std::pair<std::uint64_t, std::uint64_t>> blockIssue_;

@@ -3,12 +3,16 @@
 #include <algorithm>
 #include <cassert>
 #include <map>
+#include <stdexcept>
 
 namespace drs::simt {
 
 Warp::Warp(int id, int row, int entry_block, int exit_block, int lanes)
     : id_(id), row_(row), exitBlock_(exit_block), lanes_(lanes)
 {
+    if (lanes < 1 || lanes > 32)
+        throw std::invalid_argument(
+            "Warp: lanes must be in [1, 32] (lane masks are 32-bit)");
     stack_.push_back(StackEntry{entry_block, exit_block, fullMask(lanes)});
     if (entry_block == exit_block)
         exited_ = true;
@@ -39,7 +43,17 @@ Warp::applySuccessors(const std::vector<int> &next_blocks,
             if (stack_.size() > 1) {
                 stack_.pop_back();
             } else {
-                top.pc = next; // bottom entry: rpc is the exit block
+                // The bottom entry's rpc must be the exit block — pushed
+                // that way in the constructor and never rewritten. If it
+                // ever weren't, overwriting pc here would skip the exit
+                // re-check below and the warp would keep running at its
+                // "reconvergence" block. Fail loudly instead of
+                // continuing on a corrupted stack.
+                if (top.rpc != exitBlock_)
+                    throw std::logic_error(
+                        "Warp: bottom stack entry reconverges at a "
+                        "non-exit block");
+                top.pc = next;
             }
         } else {
             top.pc = next;

@@ -47,7 +47,10 @@ class Warp
      * @param row initial ray row the warp operates on
      * @param entry_block kernel entry block
      * @param exit_block kernel exit block
-     * @param lanes warp width
+     * @param lanes warp width, in [1, 32]
+     * @throws std::invalid_argument on an out-of-range warp width (the
+     *         mask arithmetic shifts 1u << lane, so lanes > 32 would
+     *         silently wrap instead of failing)
      */
     Warp(int id, int row, int entry_block, int exit_block, int lanes);
 
@@ -86,6 +89,15 @@ class Warp
 
     /** Stack depth (diagnostics/tests). */
     std::size_t stackDepth() const { return stack_.size(); }
+
+    /** Read-only stack view (invariant checker, tests). */
+    const std::vector<StackEntry> &stack() const { return stack_; }
+
+    /** Exit block of the kernel this warp runs (invariant checker). */
+    int exitBlock() const { return exitBlock_; }
+
+    /** Warp width (invariant checker). */
+    int lanes() const { return lanes_; }
 
     // --- scheduler-visible issue state (owned by the SMX) ---
     /** Instructions still to issue in the current block. */

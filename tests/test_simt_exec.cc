@@ -68,6 +68,59 @@ TEST(Cache, ThrashingWorkingSet)
     EXPECT_LT(cache.stats().hitRate(), 0.1);
 }
 
+TEST(Cache, VictimPrefersInvalidWay)
+{
+    // With a free way in the set, a miss must fill it instead of evicting
+    // the resident line, regardless of that line's recency.
+    Cache cache(256, 64, 2); // 2 sets; lines 0, 2, 4 map to set 0
+    EXPECT_FALSE(cache.access(0 * 64));
+    EXPECT_TRUE(cache.access(0 * 64)); // line 0 resident and MRU
+    EXPECT_FALSE(cache.access(2 * 64)); // must take the invalid way
+    EXPECT_TRUE(cache.access(0 * 64));
+    EXPECT_TRUE(cache.access(2 * 64));
+    cache.verifyInvariants();
+}
+
+TEST(Cache, FlushResetsLruStateCompletely)
+{
+    // Regression: flush() used to only clear the valid bits, leaving
+    // stale tags/lastUse behind and the LRU clock running. The metadata
+    // invariants must hold right after a flush, and a post-flush refill
+    // must evict in cold-cache LRU order determined solely by post-flush
+    // accesses.
+    Cache cache(256, 64, 2); // 2 sets; lines 0, 2, 4 map to set 0
+    // Warm set 0 with a deliberate recency pattern, then flush it away.
+    cache.access(2 * 64);
+    cache.access(0 * 64);
+    cache.access(2 * 64); // pre-flush MRU: 2, LRU: 0
+    cache.flush();
+    cache.verifyInvariants(); // stale tag/lastUse would trip here
+
+    // Cold refill with the opposite recency order: MRU 0, LRU 2.
+    EXPECT_FALSE(cache.access(0 * 64));
+    EXPECT_FALSE(cache.access(2 * 64));
+    EXPECT_TRUE(cache.access(0 * 64));
+    // The next insert must evict line 2 (post-flush LRU), not line 0
+    // (which pre-flush history would have picked).
+    EXPECT_FALSE(cache.access(4 * 64));
+    EXPECT_TRUE(cache.access(0 * 64));
+    EXPECT_FALSE(cache.access(2 * 64)); // evicted
+    cache.verifyInvariants();
+}
+
+TEST(Cache, InvariantsHoldThroughMixedTraffic)
+{
+    Cache cache(1024, 64, 4);
+    std::uint64_t address = 1;
+    for (int i = 0; i < 500; ++i) {
+        address = address * 6364136223846793005ULL + 1442695040888963407ULL;
+        cache.access(address % 8192);
+        if (i % 97 == 0)
+            cache.flush();
+        cache.verifyInvariants();
+    }
+}
+
 // --------------------------------------------------------------- Memory
 
 TEST(Memory, CoalescedSingleLine)

@@ -9,6 +9,7 @@
 #include "kernels/aila_kernel.h"
 #include "kernels/drs_kernel.h"
 #include "simt/kernel_ir.h"
+#include "simt/warp.h"
 
 namespace drs::simt {
 namespace {
@@ -161,6 +162,154 @@ TEST(Program, KernelLoopBodySizeMatchesPaperScale)
         p.block(kernels::DrsBlocks::kRdctrl).instructionCount;
     const int total = p.totalInstructionCount();
     EXPECT_LT(static_cast<double>(rdctrl) / total, 0.07);
+}
+
+// ------------------------------------------------- Warp on nested loops
+//
+// Regression coverage for the bottom-entry reconvergence audit: the
+// bottom stack entry's rpc is always the exit block, so a uniform jump
+// that hits it must run through the exit re-check (not silently rewrite
+// pc), and nested-loop divergence must wind and unwind the stack without
+// ever leaving the bottom entry reconverging anywhere else.
+
+/** 0 -> 1; 1 -> {2, 5}; 2 -> {3, 4}; 3 -> 2; 4 -> 1; 5 = exit. */
+Program
+makeNestedLoopProgram()
+{
+    std::vector<Block> blocks;
+    blocks.push_back(makeBlock("pre", {1}));
+    blocks.push_back(makeBlock("outer", {2, 5}));
+    blocks.push_back(makeBlock("inner", {3, 4}));
+    blocks.push_back(makeBlock("body", {2}));
+    blocks.push_back(makeBlock("latch", {1}));
+    blocks.push_back(makeBlock("exit", {}));
+    return Program(std::move(blocks), 5);
+}
+
+TEST(Warp, RejectsBadLaneCount)
+{
+    EXPECT_THROW(Warp(0, 0, 0, 1, 0), std::invalid_argument);
+    EXPECT_THROW(Warp(0, 0, 0, 1, 33), std::invalid_argument);
+}
+
+TEST(Warp, SingleEntryRpcHitExitsWarp)
+{
+    // The bottom entry's rpc is the exit block; a uniform jump onto it
+    // must exit the warp through the re-check, not leave a live warp
+    // parked at its "reconvergence point".
+    std::vector<Block> blocks;
+    blocks.push_back(makeBlock("a", {1}));
+    blocks.push_back(makeBlock("exit", {}));
+    Program program(std::move(blocks), 1);
+
+    Warp warp(0, 0, 0, 1, 32);
+    const std::vector<int> next(32, 1);
+    warp.applySuccessors(next, program);
+    EXPECT_TRUE(warp.exited());
+    EXPECT_EQ(warp.stackDepth(), 1u);
+}
+
+TEST(Warp, SingleEntryNonRpcJumpContinues)
+{
+    // A uniform jump that does NOT hit the bottom entry's rpc simply
+    // advances pc: depth stays 1, the warp keeps running.
+    const Program program = makeNestedLoopProgram();
+    Warp warp(0, 0, 0, 5, 32);
+    std::vector<int> next(32, 1);
+    warp.applySuccessors(next, program);
+    EXPECT_FALSE(warp.exited());
+    EXPECT_EQ(warp.pc(), 1);
+    EXPECT_EQ(warp.stackDepth(), 1u);
+    std::fill(next.begin(), next.end(), 2);
+    warp.applySuccessors(next, program);
+    EXPECT_FALSE(warp.exited());
+    EXPECT_EQ(warp.pc(), 2);
+    EXPECT_EQ(warp.stackDepth(), 1u);
+}
+
+TEST(Warp, NestedLoopDivergenceSchedule)
+{
+    const Program program = makeNestedLoopProgram();
+    EXPECT_EQ(program.immediatePostDominator(1), 5);
+    EXPECT_EQ(program.immediatePostDominator(2), 4);
+
+    Warp warp(0, 0, 0, 5, 32);
+    std::vector<int> next(32, 1);
+    warp.applySuccessors(next, program); // 0 -> 1, uniform
+    EXPECT_EQ(warp.pc(), 1);
+    EXPECT_EQ(warp.stackDepth(), 1u);
+
+    // Outer divergence at 1: rpc = ipdom(1) = exit. Lanes 16..31 head
+    // straight for the exit and wait at the bottom entry; lanes 0..15
+    // enter the loop nest as a pushed side.
+    for (int i = 0; i < 32; ++i)
+        next[static_cast<std::size_t>(i)] = (i < 16) ? 2 : 5;
+    warp.applySuccessors(next, program);
+    EXPECT_EQ(warp.stackDepth(), 2u);
+    EXPECT_EQ(warp.pc(), 2);
+    EXPECT_EQ(popcount(warp.activeMask()), 16);
+
+    // Inner divergence at 2: rpc = ipdom(2) = 4. Lanes 8..15 target the
+    // rpc itself and wait at the new reconvergence entry; lanes 0..7
+    // take the loop body.
+    for (int i = 0; i < 16; ++i)
+        next[static_cast<std::size_t>(i)] = (i < 8) ? 3 : 4;
+    warp.applySuccessors(next, program);
+    EXPECT_EQ(warp.stackDepth(), 3u);
+    EXPECT_EQ(warp.pc(), 3);
+    EXPECT_EQ(popcount(warp.activeMask()), 8);
+
+    // The body loops back to the inner head: the side entry just moves.
+    std::fill(next.begin(), next.end(), 2);
+    warp.applySuccessors(next, program);
+    EXPECT_EQ(warp.stackDepth(), 3u);
+    EXPECT_EQ(warp.pc(), 2);
+    EXPECT_EQ(popcount(warp.activeMask()), 8);
+
+    // All 8 lanes now leave the inner loop: pc hits rpc 4, the side
+    // pops, and the reconvergence entry resumes with all 16 lanes.
+    std::fill(next.begin(), next.end(), 4);
+    warp.applySuccessors(next, program);
+    EXPECT_EQ(warp.stackDepth(), 2u);
+    EXPECT_EQ(warp.pc(), 4);
+    EXPECT_EQ(popcount(warp.activeMask()), 16);
+
+    // The latch returns to the outer head: still one side deep.
+    std::fill(next.begin(), next.end(), 1);
+    warp.applySuccessors(next, program);
+    EXPECT_EQ(warp.stackDepth(), 2u);
+    EXPECT_EQ(warp.pc(), 1);
+
+    // Second outer iteration exits uniformly: the side's pc hits its rpc
+    // (the exit), pops, and the bottom entry — already waiting at the
+    // exit — reports the warp done with every lane reconverged.
+    std::fill(next.begin(), next.end(), 5);
+    warp.applySuccessors(next, program);
+    EXPECT_TRUE(warp.exited());
+    EXPECT_EQ(warp.stackDepth(), 1u);
+    EXPECT_EQ(popcount(warp.activeMask()), 32);
+}
+
+TEST(Warp, ForceExitDuringNestedDivergence)
+{
+    // forceExit mid-divergence (the DRS retire path) must collapse the
+    // whole stack to a clean exited state, depth 3 or not.
+    const Program program = makeNestedLoopProgram();
+    Warp warp(0, 0, 0, 5, 32);
+    std::vector<int> next(32, 1);
+    warp.applySuccessors(next, program);
+    for (int i = 0; i < 32; ++i)
+        next[static_cast<std::size_t>(i)] = (i < 16) ? 2 : 5;
+    warp.applySuccessors(next, program);
+    for (int i = 0; i < 16; ++i)
+        next[static_cast<std::size_t>(i)] = (i < 8) ? 3 : 4;
+    warp.applySuccessors(next, program);
+    ASSERT_EQ(warp.stackDepth(), 3u);
+
+    warp.forceExit();
+    EXPECT_TRUE(warp.exited());
+    EXPECT_EQ(warp.stackDepth(), 1u);
+    EXPECT_EQ(warp.pc(), 5);
 }
 
 } // namespace

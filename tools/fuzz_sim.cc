@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Randomized cross-check fuzzer for the SIMT simulator.
+ *
+ * Generates random scenes × scales × architectures × configurations ×
+ * thread counts, runs every one with full invariant checking (DRS_CHECK
+ * machinery forced on) and asserts that SimStats are bit-identical across
+ * smxThreads and that checking itself never alters a result. Every
+ * configuration derives from one printed 64-bit seed: rerun a failure
+ * with --replay <seed>.
+ *
+ * Usage:
+ *   fuzz_sim [--configs N] [--seed MASTER] [--jobs N] [--replay SEED]
+ *
+ * Exit code 0 = every configuration passed, 1 = at least one violation.
+ */
+
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "check/check.h"
+#include "geom/rng.h"
+#include "harness/harness.h"
+#include "harness/sweep.h"
+
+namespace {
+
+using drs::harness::Arch;
+
+std::mutex g_print_mutex;
+
+/** One fully-derived fuzz configuration (a pure function of its seed). */
+struct FuzzCase
+{
+    std::uint64_t seed = 0;
+    drs::scene::SceneId scene = drs::scene::SceneId::Conference;
+    float sceneScale = 0.05f;
+    std::size_t bounceIndex = 0;
+    std::size_t maxRays = 128;
+    Arch arch = Arch::Aila;
+    int smxThreadsParallel = 2;
+    drs::harness::RunConfig run;
+};
+
+FuzzCase
+deriveCase(std::uint64_t seed)
+{
+    drs::geom::Pcg32 rng(seed);
+    FuzzCase c;
+    c.seed = seed;
+
+    const auto scenes = drs::scene::allSceneIds();
+    c.scene = scenes[rng.nextUInt(static_cast<std::uint32_t>(
+        scenes.size()))];
+    c.sceneScale = rng.nextUInt(2) == 0 ? 0.05f : 0.1f;
+    c.bounceIndex = rng.nextUInt(2);
+    c.maxRays = 128 + rng.nextUInt(385); // 128..512
+    c.arch = static_cast<Arch>(rng.nextUInt(4));
+    c.smxThreadsParallel = 2 + static_cast<int>(rng.nextUInt(3)); // 2..4
+
+    c.run.gpu.numSmx = 1 + static_cast<int>(rng.nextUInt(2));
+    c.run.check = 1;
+
+    static constexpr int kWarpChoices[] = {4, 8, 16};
+    switch (c.arch) {
+      case Arch::Aila:
+        c.run.aila.numWarps = kWarpChoices[rng.nextUInt(3)];
+        c.run.aila.speculativeTraversal = rng.nextUInt(2) == 0;
+        c.run.aila.anyHit = rng.nextUInt(4) == 0;
+        break;
+      case Arch::Drs:
+        c.run.drs.backupRows = static_cast<int>(rng.nextUInt(3));
+        c.run.drs.swapBuffers = 6 + 3 * static_cast<int>(rng.nextUInt(2));
+        c.run.drs.dispatchMinorityTolerance =
+            static_cast<int>(rng.nextUInt(8));
+        c.run.drs.idealized = rng.nextUInt(4) == 0;
+        // Shrink the register file so runs stay small (~13 warps).
+        c.run.drs.registersPerSmx = 16384;
+        break;
+      case Arch::Dmk:
+        c.run.dmk.numWarps = kWarpChoices[rng.nextUInt(3)];
+        c.run.dmk.spawnBanks = rng.nextUInt(2) == 0 ? 8 : 32;
+        break;
+      case Arch::Tbc:
+        c.run.tbc.warpsPerBlock = 2 + static_cast<int>(rng.nextUInt(2));
+        c.run.tbc.numWarps =
+            c.run.tbc.warpsPerBlock * (2 + static_cast<int>(rng.nextUInt(3)));
+        c.run.aila.speculativeTraversal = rng.nextUInt(2) == 0;
+        c.run.aila.anyHit = rng.nextUInt(4) == 0;
+        break;
+    }
+    return c;
+}
+
+std::string
+describeCase(const FuzzCase &c)
+{
+    char buffer[256];
+    std::snprintf(buffer, sizeof(buffer),
+                  "seed=0x%016" PRIx64
+                  " scene=%s scale=%.2f bounce=%zu rays=%zu arch=%s "
+                  "smx=%d threads=%d",
+                  c.seed, drs::scene::sceneName(c.scene).c_str(),
+                  static_cast<double>(c.sceneScale), c.bounceIndex,
+                  c.maxRays, drs::harness::archName(c.arch).c_str(),
+                  c.run.gpu.numSmx, c.smxThreadsParallel);
+    return buffer;
+}
+
+/** Run one fuzz case; returns true on success, prints failures. */
+bool
+runCase(const FuzzCase &c, drs::harness::PreparedSceneCache &cache)
+{
+    try {
+        drs::harness::ExperimentScale scale;
+        scale.raysPerBounce = 4096;
+        scale.sceneScale = c.sceneScale;
+        scale.width = 128;
+        scale.height = 96;
+        scale.samplesPerPixel = 1;
+        scale.maxDepth = 4;
+        const drs::harness::PreparedScene &prepared =
+            cache.get(c.scene, scale);
+
+        const auto &bounces = prepared.trace.bounces;
+        std::size_t index = c.bounceIndex;
+        if (index >= bounces.size())
+            index = bounces.size() - 1;
+        std::span<const drs::geom::Ray> rays(bounces[index].rays);
+        if (rays.empty())
+            rays = std::span<const drs::geom::Ray>(bounces[0].rays);
+        if (rays.size() > c.maxRays)
+            rays = rays.first(c.maxRays);
+
+        drs::harness::RunConfig config = c.run;
+        config.smxThreads = 1;
+        const drs::simt::SimStats sequential =
+            runBatch(c.arch, *prepared.tracer, rays, config);
+
+        config.smxThreads = c.smxThreadsParallel;
+        const drs::simt::SimStats parallel =
+            runBatch(c.arch, *prepared.tracer, rays, config);
+        if (!(sequential == parallel)) {
+            const std::lock_guard<std::mutex> lock(g_print_mutex);
+            std::fprintf(stderr,
+                         "FAIL %s: SimStats differ between smxThreads=1 "
+                         "and smxThreads=%d\n",
+                         describeCase(c).c_str(), c.smxThreadsParallel);
+            return false;
+        }
+
+        config.smxThreads = 1;
+        config.check = 0;
+        const drs::simt::SimStats unchecked =
+            runBatch(c.arch, *prepared.tracer, rays, config);
+        if (!(sequential == unchecked)) {
+            const std::lock_guard<std::mutex> lock(g_print_mutex);
+            std::fprintf(stderr,
+                         "FAIL %s: DRS_CHECK=1 altered SimStats\n",
+                         describeCase(c).c_str());
+            return false;
+        }
+        return true;
+    } catch (const std::exception &e) {
+        const std::lock_guard<std::mutex> lock(g_print_mutex);
+        std::fprintf(stderr, "FAIL %s: %s\n", describeCase(c).c_str(),
+                     e.what());
+        return false;
+    }
+}
+
+std::uint64_t
+parseU64(const char *text)
+{
+    char *end = nullptr;
+    const std::uint64_t value = std::strtoull(text, &end, 0);
+    if (end == text || *end != '\0') {
+        std::fprintf(stderr, "fuzz_sim: not a number: %s\n", text);
+        std::exit(2);
+    }
+    return value;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int configs = 50;
+    int jobs = 1;
+    std::uint64_t master_seed = 0x5eedULL;
+    bool replay = false;
+    std::uint64_t replay_seed = 0;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const bool has_value = i + 1 < argc;
+        if (arg == "--configs" && has_value) {
+            configs = static_cast<int>(parseU64(argv[++i]));
+        } else if (arg == "--seed" && has_value) {
+            master_seed = parseU64(argv[++i]);
+        } else if (arg == "--jobs" && has_value) {
+            jobs = static_cast<int>(parseU64(argv[++i]));
+        } else if (arg == "--replay" && has_value) {
+            replay = true;
+            replay_seed = parseU64(argv[++i]);
+        } else {
+            std::fprintf(stderr,
+                         "usage: fuzz_sim [--configs N] [--seed MASTER] "
+                         "[--jobs N] [--replay SEED]\n");
+            return 2;
+        }
+    }
+
+    // Derive and print every sub-seed up front, before anything runs: a
+    // crash mid-fuzz must not cost the seeds needed to replay it.
+    std::vector<std::uint64_t> seeds;
+    if (replay) {
+        seeds.push_back(replay_seed);
+    } else {
+        drs::geom::Pcg32 master(master_seed);
+        for (int i = 0; i < configs; ++i)
+            seeds.push_back((static_cast<std::uint64_t>(master.nextUInt())
+                             << 32) |
+                            master.nextUInt());
+    }
+    std::printf("fuzz_sim: %zu configs (master seed 0x%016" PRIx64
+                ", jobs %d)\n",
+                seeds.size(), master_seed, jobs);
+    for (std::size_t i = 0; i < seeds.size(); ++i)
+        std::printf("  config %zu: %s\n", i,
+                    describeCase(deriveCase(seeds[i])).c_str());
+    std::fflush(stdout);
+
+    drs::harness::PreparedSceneCache cache;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> failures{0};
+
+    auto worker = [&] {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= seeds.size())
+                return;
+            if (!runCase(deriveCase(seeds[i]), cache))
+                failures.fetch_add(1);
+        }
+    };
+
+    if (jobs <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> threads;
+        for (int t = 0; t < jobs; ++t)
+            threads.emplace_back(worker);
+        for (auto &thread : threads)
+            thread.join();
+    }
+
+    if (failures.load() != 0) {
+        std::fprintf(stderr, "fuzz_sim: %zu of %zu configs FAILED\n",
+                     failures.load(), seeds.size());
+        return 1;
+    }
+    std::printf("fuzz_sim: all %zu configs passed\n", seeds.size());
+    return 0;
+}

@@ -39,7 +39,8 @@ main(int argc, char **argv)
         {"idealized shuffle", 7, 4, 26, true},
     };
 
-    harness::SweepRunner runner(scale, options.jobs);
+    harness::SweepRunner runner(scale, options.jobs,
+                                bench::makeSweepOptions(options));
     std::vector<std::size_t> variant_indices;
     for (const Variant &v : variants) {
         harness::RunConfig config = bench::makeRunConfig(scale, options);
@@ -65,6 +66,7 @@ main(int argc, char **argv)
     const auto results = runner.run();
     const harness::RunConfig defaults = bench::makeRunConfig(scale, options);
     bench::JsonReport report("ablation_policy", scale, options);
+    report.noteSweep(results);
     const std::string conference =
         scene::sceneName(scene::SceneId::Conference);
 

@@ -35,13 +35,17 @@ struct Options
     int smxThreads = 1;
     /** Structured report destination (--json PATH); empty = no report. */
     std::string jsonPath;
+    /** Completed-job journal for crash recovery (--journal PATH). */
+    std::string journalPath;
+    /** Replay the journal instead of re-running finished jobs. */
+    bool resume = false;
 };
 
 /**
  * Parse the shared bench flags: --jobs N (default: DRS_JOBS or the
- * hardware concurrency) and --smx-threads N (default: DRS_SMX_THREADS
- * or 1). Unknown arguments warn on stderr and are ignored, keeping the
- * binaries scriptable.
+ * hardware concurrency), --smx-threads N (default: DRS_SMX_THREADS
+ * or 1), --json PATH, --journal PATH and --resume. Unknown arguments
+ * warn on stderr and are ignored, keeping the binaries scriptable.
  */
 inline Options
 parseOptions(int argc, char **argv)
@@ -91,7 +95,16 @@ parseOptions(int argc, char **argv)
                              "path\n");
             else
                 options.jsonPath = v;
-        } else
+        } else if (const char *v = value_of("--journal")) {
+            if (*v == '\0')
+                std::fprintf(stderr,
+                             "warning: ignoring --journal with an empty "
+                             "path\n");
+            else
+                options.journalPath = v;
+        } else if (arg == "--resume")
+            options.resume = true;
+        else
             std::fprintf(stderr, "warning: ignoring unknown argument %s\n",
                          arg.c_str());
     }
@@ -147,6 +160,27 @@ makeRunConfig(const harness::ExperimentScale &scale, const Options &options)
 }
 
 /**
+ * Robust-execution policy for the bench's sweep: environment knobs
+ * (DRS_FAULT_SEED, DRS_WATCHDOG, DRS_JOB_TIMEOUT, DRS_CRASH_AFTER) plus
+ * the --journal/--resume flags. With none of them set this is the
+ * all-defaults policy and the sweep behaves exactly as before.
+ */
+inline harness::SweepOptions
+makeSweepOptions(const Options &options)
+{
+    harness::SweepOptions sweep = harness::SweepOptions::fromEnvironment();
+    sweep.journalPath = options.journalPath;
+    sweep.resume = options.resume;
+    if (sweep.resume && sweep.journalPath.empty()) {
+        std::fprintf(stderr,
+                     "warning: --resume without --journal PATH does "
+                     "nothing\n");
+        sweep.resume = false;
+    }
+    return sweep;
+}
+
+/**
  * Structured bench report (--json PATH): the document is always built —
  * the cost is negligible next to the simulations — but only validated
  * and written when a path was given. Rows are open-ended JSON objects;
@@ -180,6 +214,51 @@ class JsonReport
 
     /** Bench-specific aggregate object. */
     obs::Json &summary() { return report_.summary(); }
+
+    /**
+     * Record a sweep's robustness outcome: flips the top-level
+     * "degraded" flag when any job was quarantined and files a
+     * summary.sweep section with per-job attempts / fault seeds (only
+     * for jobs that needed retries or ran with faults enabled) plus the
+     * quarantined jobs with their last error. Quarantined jobs are
+     * reported, never dropped. Call once per SweepRunner::run().
+     */
+    void noteSweep(const std::vector<harness::SweepResult> &results)
+    {
+        std::size_t replayed = 0;
+        bool degraded = false;
+        obs::Json quarantined = obs::Json::array();
+        obs::Json jobs = obs::Json::array();
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            const harness::SweepResult &result = results[i];
+            replayed += result.fromJournal ? 1u : 0u;
+            if (result.attempts > 1 || result.faultSeed != 0 ||
+                result.failed) {
+                obs::Json &job = jobs.push(obs::Json::object());
+                job["job"] = static_cast<std::uint64_t>(i);
+                job["attempts"] = static_cast<std::int64_t>(result.attempts);
+                job["fault_seed"] = result.faultSeed;
+            }
+            if (!result.failed)
+                continue;
+            degraded = true;
+            obs::Json &entry = quarantined.push(obs::Json::object());
+            entry["job"] = static_cast<std::uint64_t>(i);
+            entry["attempts"] = static_cast<std::int64_t>(result.attempts);
+            entry["fault_seed"] = result.faultSeed;
+            entry["error"] = result.error;
+        }
+        report_.setDegraded(degraded);
+        if (jobs.size() == 0 && replayed == 0 && !degraded)
+            return;
+        obs::Json &sweep = report_.summary()["sweep"];
+        sweep = obs::Json::object();
+        sweep["total_jobs"] = static_cast<std::uint64_t>(results.size());
+        sweep["replayed_from_journal"] =
+            static_cast<std::uint64_t>(replayed);
+        sweep["jobs"] = std::move(jobs);
+        sweep["quarantined"] = std::move(quarantined);
+    }
 
     /** Validate and write the report; call once, at the end. */
     void write(const WallTimer &timer)

@@ -25,7 +25,8 @@ main(int argc, char **argv)
     const harness::Arch archs[] = {harness::Arch::Aila, harness::Arch::Dmk,
                                    harness::Arch::Tbc, harness::Arch::Drs};
 
-    harness::SweepRunner runner(scale, options.jobs);
+    harness::SweepRunner runner(scale, options.jobs,
+                                bench::makeSweepOptions(options));
     // indices[scene][arch][bounce]
     std::vector<std::vector<std::vector<std::size_t>>> indices;
     for (scene::SceneId id : scene::allSceneIds()) {
@@ -39,6 +40,7 @@ main(int argc, char **argv)
     const auto results = runner.run();
     const double clock_ghz = harness::RunConfig{}.gpu.clockGhz;
     bench::JsonReport report("fig10_simd_breakdown", scale, options);
+    report.noteSweep(results);
 
     std::size_t scene_index = 0;
     for (scene::SceneId id : scene::allSceneIds()) {

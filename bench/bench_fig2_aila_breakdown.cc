@@ -20,7 +20,8 @@ main(int argc, char **argv)
                        scale, options);
     bench::WallTimer timer;
 
-    harness::SweepRunner runner(scale, options.jobs);
+    harness::SweepRunner runner(scale, options.jobs,
+                                bench::makeSweepOptions(options));
     const auto config = bench::makeRunConfig(scale, options);
     // One job per captured bounce (up to the scale's max depth; bounces
     // the capture does not reach come back with ran = false).
@@ -32,6 +33,7 @@ main(int argc, char **argv)
     stats::Table table({"bounce", "rays", "SIMD eff", "W1:8", "W9:16",
                         "W17:24", "W25:32"});
     bench::JsonReport report("fig2_aila_breakdown", scale, options);
+    report.noteSweep(results);
     const double clock_ghz = harness::RunConfig{}.gpu.clockGhz;
     for (std::size_t b = 0; b < indices.size(); ++b) {
         const auto &result = results[indices[b]];

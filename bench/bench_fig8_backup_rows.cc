@@ -40,7 +40,8 @@ main(int argc, char **argv)
         {"8-row", false, false, true, 8},
     };
 
-    harness::SweepRunner runner(scale, options.jobs);
+    harness::SweepRunner runner(scale, options.jobs,
+                                bench::makeSweepOptions(options));
 
     // The whole figure is one declarative grid: scene x config x bounce.
     std::vector<std::vector<std::vector<std::size_t>>> indices;
@@ -60,6 +61,7 @@ main(int argc, char **argv)
     const auto results = runner.run();
     const double clock_ghz = harness::RunConfig{}.gpu.clockGhz;
     bench::JsonReport report("fig8_backup_rows", scale, options);
+    report.noteSweep(results);
 
     std::size_t scene_index = 0;
     for (scene::SceneId id : scene::allSceneIds()) {

@@ -26,7 +26,8 @@ main(int argc, char **argv)
     const scene::SceneId scenes[] = {scene::SceneId::Conference,
                                      scene::SceneId::Fairy};
 
-    harness::SweepRunner runner(scale, options.jobs);
+    harness::SweepRunner runner(scale, options.jobs,
+                                bench::makeSweepOptions(options));
     std::vector<std::vector<std::vector<std::size_t>>> indices;
     for (scene::SceneId id : scenes) {
         auto &per_scene = indices.emplace_back();
@@ -43,6 +44,7 @@ main(int argc, char **argv)
     const auto results = runner.run();
     const double clock_ghz = harness::RunConfig{}.gpu.clockGhz;
     bench::JsonReport report("fig9_rdctrl_stalls", scale, options);
+    report.noteSweep(results);
 
     std::size_t scene_index = 0;
     for (scene::SceneId id : scenes) {

@@ -22,7 +22,8 @@ main(int argc, char **argv)
 
     const int buffer_configs[] = {6, 9, 12, 18};
 
-    harness::SweepRunner runner(scale, options.jobs);
+    harness::SweepRunner runner(scale, options.jobs,
+                                bench::makeSweepOptions(options));
     // indices[scene][buffer-config][bounce]
     std::vector<std::vector<std::vector<std::size_t>>> indices;
     for (scene::SceneId id : scene::allSceneIds()) {
@@ -38,6 +39,7 @@ main(int argc, char **argv)
     const auto results = runner.run();
     const double clock_ghz = harness::RunConfig{}.gpu.clockGhz;
     bench::JsonReport report("table2_swap_buffers", scale, options);
+    report.noteSweep(results);
 
     std::vector<double> mean_swap_cycles(4, 0.0);
     std::vector<int> mean_swap_samples(4, 0);

@@ -10,11 +10,17 @@
 #                 Google benchmark's own --benchmark_out JSON instead of
 #                 the shared schema. Validate with
 #                 tests/check_bench_schema.py DIR/BENCH_*.json
+#
+# Fails fast: the first bench that exits non-zero (or a failing schema
+# validation) aborts the whole sweep with that exit code.
+set -euo pipefail
+cd "$(dirname "$0")"
+
 export DRS_RAYS=${DRS_RAYS:-150000} DRS_SMX=${DRS_SMX:-4}
 export DRS_JOBS=${DRS_JOBS:-$(nproc 2>/dev/null || echo 1)}
 
 json_dir=""
-if [ "$1" = "--json" ]; then
+if [ "${1:-}" = "--json" ]; then
   json_dir=${2:-bench_reports}
   mkdir -p "$json_dir"
 fi
@@ -44,6 +50,6 @@ done
 if [ -n "$json_dir" ]; then
   echo; echo "JSON reports written to $json_dir/"
   if command -v python3 >/dev/null 2>&1; then
-    python3 tests/check_bench_schema.py "$json_dir"/BENCH_*.json || exit 1
+    python3 tests/check_bench_schema.py "$json_dir"/BENCH_*.json
   fi
 fi

@@ -6,7 +6,11 @@
 #    test_check plus fuzz_smoke, the seeded randomized lockstep
 #    cross-check (fixed master seed 0x5eed -> deterministic configs,
 #    every seed printed for --replay).
-# 2. Runs one bench twice in the regular build -- DRS_CHECK=0 vs
+# 2. Kill-mid-sweep resume smoke, in every sanitizer build: a bench run
+#    is crash-injected after two journal appends (DRS_CRASH_AFTER -> exit
+#    70), resumed with --resume, and the merged report must be identical
+#    to an uninterrupted run (wall-clock and resume bookkeeping aside).
+# 3. Runs one bench twice in the regular build -- DRS_CHECK=0 vs
 #    DRS_CHECK=1 -- and verifies both JSON reports validate against the
 #    schema (tests/check_bench_schema.py) and are identical except for
 #    wall-clock fields: invariant checking must be a pure observer.
@@ -20,6 +24,52 @@ JOBS=${DRS_JOBS:-$(nproc 2>/dev/null || echo 2)}
 skip_san=0
 [ "${1:-}" = "--skip-sanitizers" ] && skip_san=1
 
+# Kill a sweep mid-run (crash injection after 2 journal appends), resume
+# it from the journal, and require the merged report to match a clean
+# uninterrupted run. $1 = build dir whose bench binary to use.
+resume_smoke() {
+  local bench="$1/bench/bench_fig2_aila_breakdown"
+  local tmp
+  tmp=$(mktemp -d)
+  echo "-- kill-mid-sweep resume smoke ($bench)"
+  local rc=0
+  DRS_RAYS=2048 DRS_SCALE=0.05 DRS_SMX=2 DRS_CRASH_AFTER=2 \
+      "$bench" --jobs 2 --journal "$tmp/journal.jsonl" \
+      >"$tmp/crashed.log" 2>&1 || rc=$?
+  if [ "$rc" -ne 70 ]; then
+    echo "FAIL: expected crash-injected exit code 70, got $rc"
+    cat "$tmp/crashed.log"
+    rm -rf "$tmp"
+    return 1
+  fi
+  DRS_RAYS=2048 DRS_SCALE=0.05 DRS_SMX=2 \
+      "$bench" --jobs 2 --journal "$tmp/journal.jsonl" --resume \
+      --json "$tmp/BENCH_resumed.json" >/dev/null
+  DRS_RAYS=2048 DRS_SCALE=0.05 DRS_SMX=2 \
+      "$bench" --jobs 2 --json "$tmp/BENCH_clean.json" >/dev/null
+  python3 tests/check_bench_schema.py "$tmp"/BENCH_*.json
+  python3 - "$tmp/BENCH_clean.json" "$tmp/BENCH_resumed.json" <<'PYEOF'
+import json
+import sys
+
+
+def strip(node, drop=("wall_seconds", "sweep")):
+    """Drop wall-clock + resume bookkeeping; the rest must match."""
+    if isinstance(node, dict):
+        return {k: strip(v) for k, v in node.items() if k not in drop}
+    if isinstance(node, list):
+        return [strip(v) for v in node]
+    return node
+
+
+clean, resumed = (strip(json.load(open(p))) for p in sys.argv[1:3])
+if clean != resumed:
+    sys.exit("FAIL: resumed sweep differs from an uninterrupted run")
+print("ok   resumed report identical to an uninterrupted run")
+PYEOF
+  rm -rf "$tmp"
+}
+
 if [ "$skip_san" -eq 0 ]; then
   for san in address thread; do
     dir="build-${san:0:1}san" # build-asan / build-tsan
@@ -27,7 +77,9 @@ if [ "$skip_san" -eq 0 ]; then
     cmake -B "$dir" -S . -DDRS_SANITIZE="$san" >/dev/null
     cmake --build "$dir" -j"$JOBS"
     (cd "$dir" &&
-     DRS_CHECK=1 ctest -L 'check|fuzz-smoke' --output-on-failure -j"$JOBS")
+     DRS_CHECK=1 ctest -L 'check|fuzz-smoke|fault|resume' \
+         --output-on-failure -j"$JOBS")
+    resume_smoke "$dir"
   done
 fi
 
@@ -35,6 +87,7 @@ echo; echo "######## bench JSON: DRS_CHECK must be a pure observer ########"
 echo
 cmake -B build -S . >/dev/null
 cmake --build build -j"$JOBS" --target bench_fig2_aila_breakdown
+resume_smoke build
 json_dir=$(mktemp -d)
 trap 'rm -rf "$json_dir"' EXIT
 export DRS_RAYS=${DRS_RAYS:-20000} DRS_SCALE=${DRS_SCALE:-0.1} \

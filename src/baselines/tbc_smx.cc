@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <map>
+#include <ostream>
 #include <stdexcept>
 #include <unordered_set>
 
@@ -406,9 +407,61 @@ TbcSmx::collectStats() const
     s.counters.add("l1d.miss", s.l1Data.misses);
     s.counters.add("l1t.access", s.l1Texture.accesses);
     s.counters.add("l1t.miss", s.l1Texture.misses);
+    if (fault_ != nullptr && fault_->enabled()) {
+        const fault::FaultCounters &f = fault_->counters();
+        s.counters.add("fault.swap_bit_flips", f.swapBitFlips);
+        s.counters.add("fault.cache_tag_flips", f.cacheTagFlips);
+        s.counters.add("fault.dram_delayed", f.dramDelayed);
+        s.counters.add("fault.dram_dropped", f.dramDropped);
+        s.counters.add("fault.alloc_failures", f.allocFailures);
+    }
     if (check_ != nullptr)
         check_->checkStats(s);
     return s;
+}
+
+void
+TbcSmx::setFault(fault::FaultInjector *fault)
+{
+    fault_ = fault;
+    memory_.setFault(fault);
+}
+
+std::uint64_t
+TbcSmx::progressCount() const
+{
+    std::uint64_t exited = 0;
+    for (const auto &block : blocks_)
+        if (block.exited)
+            ++exited;
+    return kernel_.raysCompleted() + exited;
+}
+
+void
+TbcSmx::describeState(std::ostream &out) const
+{
+    out << "  cycle=" << cycle_ << " raysCompleted="
+        << kernel_.raysCompleted() << '\n';
+    for (std::size_t b = 0; b < blocks_.size(); ++b) {
+        const ThreadBlock &block = blocks_[b];
+        out << "  block " << b;
+        if (block.exited) {
+            out << " exited\n";
+            continue;
+        }
+        out << " stackDepth=" << block.stack.size();
+        if (!block.stack.empty()) {
+            const BlockEntry &top = block.stack.back();
+            out << " top{pc=" << top.pc << " rpc=" << top.rpc
+                << " warps=" << top.warps.size() << '}';
+        }
+        if (block.barrierUntil > cycle_)
+            out << " barrierUntil=" << block.barrierUntil;
+        out << '\n';
+    }
+    if (!deferredAccesses_.empty())
+        out << "  pending deferred accesses: " << deferredAccesses_.size()
+            << '\n';
 }
 
 simt::SimStats
@@ -418,6 +471,20 @@ runTbcGpu(const simt::GpuConfig &config, const TbcConfig &tbc,
           const TbcRunOptions &options)
 {
     simt::SharedMemorySide shared(config.memory);
+
+    // Same per-unit injector scheme as simt::runGpu — see GpuRunOptions.
+    std::vector<std::unique_ptr<fault::FaultInjector>> injectors;
+    std::unique_ptr<fault::FaultInjector> sharedInjector;
+    if (options.fault.enabled()) {
+        injectors.reserve(static_cast<std::size_t>(config.numSmx));
+        for (int i = 0; i < config.numSmx; ++i)
+            injectors.push_back(std::make_unique<fault::FaultInjector>(
+                options.fault, static_cast<std::uint64_t>(i)));
+        sharedInjector = std::make_unique<fault::FaultInjector>(
+            options.fault,
+            static_cast<std::uint64_t>(config.numSmx) + 0x10000u);
+        shared.setFault(sharedInjector.get());
+    }
 
     struct Unit
     {
@@ -433,6 +500,8 @@ runTbcGpu(const simt::GpuConfig &config, const TbcConfig &tbc,
                                             shared);
         unit.smx->setDeferredMemory(true);
         unit.smx->setCheck(options.check);
+        if (options.fault.enabled())
+            unit.smx->setFault(injectors[static_cast<std::size_t>(i)].get());
         units.push_back(std::move(unit));
     }
 
@@ -440,7 +509,10 @@ runTbcGpu(const simt::GpuConfig &config, const TbcConfig &tbc,
     smxs.reserve(units.size());
     for (auto &unit : units)
         smxs.push_back(unit.smx.get());
-    simt::runEngine(smxs, options.maxCycles, options.smxThreads);
+    fault::Watchdog watchdog(options.watchdogCycles);
+    simt::runEngine(smxs, options.maxCycles, options.smxThreads,
+                    watchdog.enabled() ? &watchdog : nullptr,
+                    options.cancel);
 
     simt::SimStats total;
     for (std::size_t i = 0; i < units.size(); ++i) {
@@ -454,6 +526,12 @@ runTbcGpu(const simt::GpuConfig &config, const TbcConfig &tbc,
     total.l2 = shared.l2Stats();
     total.counters.add("l2.access", total.l2.accesses);
     total.counters.add("l2.miss", total.l2.misses);
+    if (sharedInjector) {
+        const fault::FaultCounters &f = sharedInjector->counters();
+        total.counters.add("fault.cache_tag_flips", f.cacheTagFlips);
+        total.counters.add("fault.dram_delayed", f.dramDelayed);
+        total.counters.add("fault.dram_dropped", f.dramDropped);
+    }
     return total;
 }
 

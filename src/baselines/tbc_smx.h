@@ -17,6 +17,8 @@
 #include <memory>
 #include <vector>
 
+#include "exec/cancel.h"
+#include "fault/fault.h"
 #include "kernels/aila_kernel.h"
 #include "obs/counters.h"
 #include "simt/check.h"
@@ -89,6 +91,20 @@ class TbcSmx
      * std::logic_error.
      */
     void verifyInvariants() const;
+
+    /**
+     * Arm this SMX's private fault sites (L1 tag corruption); shared-side
+     * faults are armed on the SharedMemorySide. The TBC has no swap
+     * hardware, so it has no payload-corruption site — the same
+     * FaultConfig injects strictly fewer fault kinds here, by design.
+     */
+    void setFault(fault::FaultInjector *fault);
+
+    /** Forward-progress measure: completed rays + exited blocks. */
+    std::uint64_t progressCount() const;
+
+    /** Architectural-state dump for the watchdog diagnostic. */
+    void describeState(std::ostream &out) const;
 
     simt::SimStats collectStats() const;
 
@@ -177,6 +193,7 @@ class TbcSmx
     bool deferredMemory_ = false;
     std::vector<DeferredAccess> deferredAccesses_;
     const simt::CheckContext *check_ = nullptr;
+    fault::FaultInjector *fault_ = nullptr;
 };
 
 /** Execution options (mirrors simt::GpuRunOptions). */
@@ -193,6 +210,12 @@ struct TbcRunOptions
         onSmxRetire;
     /** Invariant checker (see simt::GpuRunOptions::check); null = off. */
     const simt::CheckContext *check = nullptr;
+    /** Fault injection (see simt::GpuRunOptions::fault); seed 0 = off. */
+    fault::FaultConfig fault{};
+    /** Watchdog budget in cycles (see simt::GpuRunOptions); 0 = off. */
+    std::uint64_t watchdogCycles = 0;
+    /** Cooperative stop/deadline token (may be null). */
+    const exec::CancelToken *cancel = nullptr;
 };
 
 /**

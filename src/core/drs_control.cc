@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <ostream>
 #include <stdexcept>
 
+#include "fault/fault.h"
 #include "simt/smx.h"
 
 namespace drs::core {
@@ -499,6 +501,12 @@ DrsControl::completeOperation(Operation &op)
         movesCompleted_.add();
     }
     swapsCompleted_.add();
+    // Fault site: the ray just written through the swap buffers may land
+    // with a flipped payload bit (soft error while registers were in
+    // flight). Injected after the move so the corruption is in the
+    // destination slot, exactly where real buffer damage would surface.
+    if (fault_ != nullptr && fault_->rollSwapBitFlip())
+        workspace_.corruptRay(op.rowB, op.laneB, fault_->pick(256));
     invalidateCensus(op.rowA);
     invalidateCensus(op.rowB);
     if (smx_ != nullptr) {
@@ -510,6 +518,33 @@ DrsControl::completeOperation(Operation &op)
     op = Operation{};
     dirty_ = true;
     uniformCacheValid_ = false;
+}
+
+void
+DrsControl::describeState(std::ostream &out) const
+{
+    out << "  drs: now=" << now_ << " row ownership {";
+    bool first = true;
+    for (int w = 0; w < numWarps_; ++w) {
+        if (warpRow_[static_cast<std::size_t>(w)] < 0)
+            continue;
+        if (!first)
+            out << ' ';
+        out << 'w' << w << "->r" << warpRow_[static_cast<std::size_t>(w)];
+        first = false;
+    }
+    out << "} designated fetch=" << designated_[0]
+        << " leaf=" << designated_[1] << " inner=" << designated_[2]
+        << '\n';
+    for (const auto &op : ops_) {
+        if (!op.active)
+            continue;
+        out << "  drs op: " << (op.isExchange ? "exchange" : "move")
+            << " (" << op.rowA << ',' << op.laneA << ")<->(" << op.rowB
+            << ',' << op.laneB << ") transfersRemaining="
+            << op.transfersRemaining << " setupRemaining="
+            << op.setupRemaining << " started=" << op.startCycle << '\n';
+    }
 }
 
 int

@@ -91,6 +91,17 @@ class DrsControl : public simt::WarpController
      */
     void verifyInvariants() const override;
 
+    /**
+     * Arm swap-boundary fault injection: as each shuffle operation
+     * completes, the injector may flip one bit of the destination slot's
+     * ray payload — modeling a soft error in the swap buffers while ray
+     * registers are in flight between rows. nullptr detaches.
+     */
+    void setFault(fault::FaultInjector *fault) override { fault_ = fault; }
+
+    /** Row ownership + in-flight operations, for the watchdog dump. */
+    void describeState(std::ostream &out) const override;
+
     /** Row currently renamed to @p warp, or -1 while stalled. */
     int warpRow(int warp) const { return warpRow_.at(warp); }
 
@@ -165,6 +176,7 @@ class DrsControl : public simt::WarpController
     DrsConfig config_;
     simt::RowWorkspace &workspace_;
     simt::Smx *smx_ = nullptr;
+    fault::FaultInjector *fault_ = nullptr;
     int numWarps_;
     int rows_;
     int lanes_;

@@ -1,5 +1,7 @@
 #include "exec/thread_pool.h"
 
+#include "exec/cancel.h"
+
 #include <cstdio>
 #include <cstdlib>
 #include <utility>
@@ -120,17 +122,48 @@ ThreadPool::workerLoop(std::size_t index)
 void
 TaskGroup::run(std::function<void()> task)
 {
+    submit(std::move(task), Deadline{});
+}
+
+void
+TaskGroup::runWithDeadline(std::function<void()> task,
+                           std::chrono::steady_clock::time_point deadline)
+{
+    submit(std::move(task), Deadline{true, deadline});
+}
+
+void
+TaskGroup::submit(std::function<void()> task, Deadline deadline)
+{
     {
         std::lock_guard<std::mutex> lock(mutex_);
         ++pending_;
     }
-    pool_.submit([this, task = std::move(task)] {
+    pool_.submit([this, task = std::move(task), deadline] {
+        // Decide skip-vs-run at dequeue time: a cancelled group (first
+        // error or explicit cancel()) or an expired deadline drops the
+        // task before it starts; running tasks are never interrupted.
+        bool skip = cancelled();
+        bool expired = false;
+        if (!skip && deadline.active &&
+            std::chrono::steady_clock::now() >= deadline.at) {
+            skip = true;
+            expired = true;
+        }
+        if (skip) {
+            std::unique_lock<std::mutex> lock(mutex_);
+            ++skipped_;
+            if (expired && !error_)
+                error_ = std::make_exception_ptr(DeadlineExceeded(
+                    "task skipped: group deadline exceeded"));
+            if (--pending_ == 0)
+                cv_.notify_all();
+            return;
+        }
         try {
             task();
         } catch (...) {
-            std::lock_guard<std::mutex> lock(mutex_);
-            if (!error_)
-                error_ = std::current_exception();
+            recordError(std::current_exception());
         }
         std::lock_guard<std::mutex> lock(mutex_);
         if (--pending_ == 0)
@@ -139,10 +172,33 @@ TaskGroup::run(std::function<void()> task)
 }
 
 void
+TaskGroup::recordError(std::exception_ptr error)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!error_)
+            error_ = std::move(error);
+    }
+    // First error cancels the group: unstarted siblings of a failed
+    // batch are skipped instead of wasting workers.
+    cancel();
+}
+
+std::size_t
+TaskGroup::skipped() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return skipped_;
+}
+
+void
 TaskGroup::wait()
 {
     std::unique_lock<std::mutex> lock(mutex_);
     cv_.wait(lock, [this] { return pending_ == 0; });
+    // Joining resets the group for reuse: the error is consumed here and
+    // a cancellation no longer applies to tasks submitted afterwards.
+    cancelled_.store(false, std::memory_order_release);
     if (error_) {
         std::exception_ptr e = error_;
         error_ = nullptr;

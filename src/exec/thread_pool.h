@@ -17,6 +17,7 @@
  */
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -82,8 +83,18 @@ class ThreadPool
 
 /**
  * Fork/join helper: submit a batch of tasks to a pool and wait for all of
- * them. Exceptions thrown by tasks are captured; the first one rethrows
- * from wait().
+ * them. Exceptions thrown by tasks are captured on the worker — they
+ * never cross a thread boundary raw (no std::terminate) — and the first
+ * one rethrows from wait().
+ *
+ * Failure containment: the first captured error cancels the group, so
+ * queued-but-unstarted siblings are skipped instead of burning workers
+ * on a batch that already failed. cancel() does the same on demand, and
+ * runWithDeadline() skips tasks still queued when their deadline passes
+ * (a skipped task counts in skipped() and is recorded as a
+ * DeadlineExceeded group error). Tasks already running are never
+ * interrupted — cancellation inside a task is cooperative
+ * (exec::CancelToken).
  */
 class TaskGroup
 {
@@ -98,17 +109,54 @@ class TaskGroup
 
     void run(std::function<void()> task);
 
-    /** Block until every task run() so far has finished; rethrow first error. */
+    /**
+     * Like run(), but the task is skipped (not executed) when it is
+     * dequeued after @p deadline; the skip is recorded as a
+     * DeadlineExceeded group error.
+     */
+    void runWithDeadline(std::function<void()> task,
+                         std::chrono::steady_clock::time_point deadline);
+
+    /**
+     * Skip every task of this group not yet started. Running tasks
+     * finish normally; wait() still joins them all.
+     */
+    void cancel() { cancelled_.store(true, std::memory_order_release); }
+
+    bool cancelled() const
+    {
+        return cancelled_.load(std::memory_order_acquire);
+    }
+
+    /** Tasks skipped by cancellation or an expired deadline. */
+    std::size_t skipped() const;
+
+    /**
+     * Block until every task run() so far has finished; rethrow first
+     * error. Joining re-arms the group: the error is consumed and a
+     * cancellation no longer applies to tasks submitted afterwards
+     * (skipped() stays cumulative).
+     */
     void wait();
 
   private:
+    struct Deadline
+    {
+        bool active = false;
+        std::chrono::steady_clock::time_point at{};
+    };
+
+    void submit(std::function<void()> task, Deadline deadline);
+    void recordError(std::exception_ptr error);
     void waitNoThrow();
 
     ThreadPool &pool_;
-    std::mutex mutex_;
+    mutable std::mutex mutex_;
     std::condition_variable cv_;
     std::size_t pending_ = 0;
+    std::size_t skipped_ = 0;
     std::exception_ptr error_;
+    std::atomic<bool> cancelled_{false};
 };
 
 } // namespace drs::exec

@@ -51,6 +51,9 @@ gpuRunOptions(const RunConfig &config, obs::TraceCollector *collector)
     options.smxThreads = config.smxThreads;
     options.trace = collector;
     options.perSmxStats = config.perSmxStats;
+    options.fault = config.fault;
+    options.watchdogCycles = config.watchdogCycles;
+    options.cancel = config.cancel;
     return options;
 }
 
@@ -173,6 +176,9 @@ runTbc(const render::PathTracer &tracer, std::span<const geom::Ray> rays,
     options.smxThreads = config.smxThreads;
     options.perSmxStats = config.perSmxStats;
     options.check = checker;
+    options.fault = config.fault;
+    options.watchdogCycles = config.watchdogCycles;
+    options.cancel = config.cancel;
     if (config.hitsOut != nullptr || checker != nullptr)
         options.onSmxRetire = [&config,
                                checker](int, kernels::AilaKernel &kernel) {

@@ -85,6 +85,24 @@ struct RunConfig
      * check::InvariantViolation (a std::logic_error) out of runBatch.
      */
     int check = -1;
+    /**
+     * Fault injection (src/fault). Disabled by default (seed == 0): no
+     * injector exists and runs are bit-identical to a faultless build.
+     * With a seed, deterministic faults (ray bit flips at swap
+     * boundaries, cache tag corruption, delayed/dropped DRAM responses)
+     * are injected — same seed, same faults, same SimStats, at any
+     * smxThreads. Usually populated from DRS_FAULT_SEED via
+     * fault::FaultConfig::fromEnvironment().
+     */
+    fault::FaultConfig fault{};
+    /**
+     * Forward-progress watchdog budget in cycles (0 = off): when no ray
+     * completes and no warp/block exits for this many cycles, the run
+     * aborts with fault::WatchdogTimeout carrying a diagnostic dump.
+     */
+    std::uint64_t watchdogCycles = 0;
+    /** Cooperative stop/deadline token polled by the engines (may be null). */
+    const exec::CancelToken *cancel = nullptr;
 };
 
 /**

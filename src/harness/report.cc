@@ -1,5 +1,9 @@
 #include "harness/report.h"
 
+#include <array>
+#include <stdexcept>
+#include <string>
+
 #include "stats/histogram.h"
 
 namespace drs::harness {
@@ -40,6 +44,164 @@ statsJson(const simt::SimStats &stats, double clock_ghz)
     for (const auto &[name, value] : stats.counters.entries())
         counters[name] = value;
     return row;
+}
+
+obs::Json
+statsJsonFull(const simt::SimStats &stats)
+{
+    using Hist = stats::ActiveThreadHistogram;
+    obs::Json row = obs::Json::object();
+    row["cycles"] = stats.cycles;
+    row["rays_traced"] = stats.raysTraced;
+
+    obs::Json &hist = row["histogram"];
+    hist = obs::Json::object();
+    hist["instructions"] = stats.histogram.instructions();
+    hist["spawn_instructions"] = stats.histogram.spawnInstructions();
+    hist["active_threads"] = stats.histogram.activeThreads();
+    obs::Json &buckets = hist["buckets"];
+    buckets = obs::Json::array();
+    for (int b = 0; b < Hist::kNumBuckets; ++b)
+        buckets.push(stats.histogram.bucketCount(b));
+    obs::Json &exact = hist["exact"];
+    exact = obs::Json::array();
+    for (int a = 0; a <= Hist::kWarpSize; ++a)
+        exact.push(stats.histogram.exactCount(a));
+
+    row["rdctrl_issued"] = stats.rdctrlIssued;
+    row["rdctrl_stalled_issues"] = stats.rdctrlStalledIssues;
+    row["rdctrl_stall_cycles"] = stats.rdctrlStallCycles;
+    row["rf_accesses_normal"] = stats.rfAccessesNormal;
+    row["rf_accesses_shuffle"] = stats.rfAccessesShuffle;
+    row["ray_swaps_completed"] = stats.raySwapsCompleted;
+    row["ray_swap_cycles"] = stats.raySwapCycles;
+    row["spawn_bank_conflict_cycles"] = stats.spawnBankConflictCycles;
+
+    obs::Json &blocks = row["block_issue"];
+    blocks = obs::Json::array();
+    for (const auto &[instructions, active] : stats.blockIssue) {
+        obs::Json pair = obs::Json::array();
+        pair.push(instructions);
+        pair.push(active);
+        blocks.push(std::move(pair));
+    }
+
+    auto cache = [](const simt::CacheStats &c) {
+        obs::Json j = obs::Json::object();
+        j["accesses"] = c.accesses;
+        j["misses"] = c.misses;
+        return j;
+    };
+    row["l1d"] = cache(stats.l1Data);
+    row["l1t"] = cache(stats.l1Texture);
+    row["l2"] = cache(stats.l2);
+
+    obs::Json &counters = row["counters"];
+    counters = obs::Json::object();
+    for (const auto &[name, value] : stats.counters.entries())
+        counters[name] = value;
+    return row;
+}
+
+namespace {
+
+const obs::Json &
+requireField(const obs::Json &json, const char *key)
+{
+    const obs::Json *field = json.find(key);
+    if (field == nullptr)
+        throw std::runtime_error(std::string("statsFromJson: missing \"") +
+                                 key + "\"");
+    return *field;
+}
+
+std::uint64_t
+requireUint(const obs::Json &json, const char *key)
+{
+    const obs::Json &field = requireField(json, key);
+    if (!field.isNumber())
+        throw std::runtime_error(std::string("statsFromJson: \"") + key +
+                                 "\" is not a number");
+    return field.asUint();
+}
+
+simt::CacheStats
+cacheFromJson(const obs::Json &json, const char *key)
+{
+    const obs::Json &field = requireField(json, key);
+    simt::CacheStats c;
+    c.accesses = requireUint(field, "accesses");
+    c.misses = requireUint(field, "misses");
+    return c;
+}
+
+} // namespace
+
+simt::SimStats
+statsFromJson(const obs::Json &json)
+{
+    using Hist = stats::ActiveThreadHistogram;
+    if (!json.isObject())
+        throw std::runtime_error("statsFromJson: not an object");
+
+    simt::SimStats stats;
+    stats.cycles = requireUint(json, "cycles");
+    stats.raysTraced = requireUint(json, "rays_traced");
+
+    const obs::Json &hist = requireField(json, "histogram");
+    const obs::Json &buckets = requireField(hist, "buckets");
+    const obs::Json &exact = requireField(hist, "exact");
+    if (!buckets.isArray() ||
+        buckets.size() != static_cast<std::size_t>(Hist::kNumBuckets) ||
+        !exact.isArray() ||
+        exact.size() != static_cast<std::size_t>(Hist::kWarpSize + 1))
+        throw std::runtime_error("statsFromJson: malformed histogram");
+    std::array<std::uint64_t, Hist::kNumBuckets> bucket_counts{};
+    for (int b = 0; b < Hist::kNumBuckets; ++b)
+        bucket_counts[static_cast<std::size_t>(b)] =
+            buckets.asArray()[static_cast<std::size_t>(b)].asUint();
+    std::array<std::uint64_t, Hist::kWarpSize + 1> exact_counts{};
+    for (int a = 0; a <= Hist::kWarpSize; ++a)
+        exact_counts[static_cast<std::size_t>(a)] =
+            exact.asArray()[static_cast<std::size_t>(a)].asUint();
+    stats.histogram.restore(requireUint(hist, "instructions"),
+                            requireUint(hist, "spawn_instructions"),
+                            requireUint(hist, "active_threads"),
+                            bucket_counts, exact_counts);
+
+    stats.rdctrlIssued = requireUint(json, "rdctrl_issued");
+    stats.rdctrlStalledIssues = requireUint(json, "rdctrl_stalled_issues");
+    stats.rdctrlStallCycles = requireUint(json, "rdctrl_stall_cycles");
+    stats.rfAccessesNormal = requireUint(json, "rf_accesses_normal");
+    stats.rfAccessesShuffle = requireUint(json, "rf_accesses_shuffle");
+    stats.raySwapsCompleted = requireUint(json, "ray_swaps_completed");
+    stats.raySwapCycles = requireUint(json, "ray_swap_cycles");
+    stats.spawnBankConflictCycles =
+        requireUint(json, "spawn_bank_conflict_cycles");
+
+    const obs::Json &blocks = requireField(json, "block_issue");
+    if (!blocks.isArray())
+        throw std::runtime_error("statsFromJson: malformed block_issue");
+    for (const obs::Json &pair : blocks.asArray()) {
+        if (!pair.isArray() || pair.size() != 2)
+            throw std::runtime_error("statsFromJson: malformed block_issue");
+        stats.blockIssue.emplace_back(pair.asArray()[0].asUint(),
+                                      pair.asArray()[1].asUint());
+    }
+
+    stats.l1Data = cacheFromJson(json, "l1d");
+    stats.l1Texture = cacheFromJson(json, "l1t");
+    stats.l2 = cacheFromJson(json, "l2");
+
+    const obs::Json &counters = requireField(json, "counters");
+    if (!counters.isObject())
+        throw std::runtime_error("statsFromJson: malformed counters");
+    for (const auto &[name, value] : counters.asObject()) {
+        if (!value.isNumber())
+            throw std::runtime_error("statsFromJson: malformed counters");
+        stats.counters.add(name, value.asUint());
+    }
+    return stats;
 }
 
 obs::Json

@@ -25,6 +25,20 @@ namespace drs::harness {
  */
 obs::Json statsJson(const simt::SimStats &stats, double clock_ghz);
 
+/**
+ * Lossless SimStats serialization for the sweep's completed-job journal:
+ * every raw integer field (histogram tallies, block-issue pairs, cache
+ * counters, the full counter snapshot) — no derived floating-point
+ * metrics, so statsFromJson(statsJsonFull(s)) == s exactly.
+ */
+obs::Json statsJsonFull(const simt::SimStats &stats);
+
+/**
+ * Inverse of statsJsonFull.
+ * @throws std::runtime_error when @p json is not a statsJsonFull document
+ */
+simt::SimStats statsFromJson(const obs::Json &json);
+
 /** The ExperimentScale knobs as a report "scale" object. */
 obs::Json scaleJson(const ExperimentScale &scale);
 

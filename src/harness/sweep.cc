@@ -2,9 +2,15 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <span>
+#include <thread>
 
+#include "exec/cancel.h"
 #include "exec/thread_pool.h"
+#include "harness/report.h"
+#include "obs/json.h"
 
 namespace drs::harness {
 
@@ -19,6 +25,37 @@ secondsSince(std::chrono::steady_clock::time_point start)
 }
 
 } // namespace
+
+SweepOptions
+SweepOptions::fromEnvironment()
+{
+    SweepOptions options;
+    options.fault = fault::FaultConfig::fromEnvironment();
+    options.watchdogCycles = fault::watchdogCyclesFromEnvironment();
+    if (const char *s = std::getenv("DRS_JOB_TIMEOUT")) {
+        char *end = nullptr;
+        const double v = std::strtod(s, &end);
+        if (end != s && *end == '\0' && v > 0)
+            options.jobTimeoutSeconds = v;
+        else
+            std::fprintf(
+                stderr,
+                "[sweep] warning: ignoring malformed DRS_JOB_TIMEOUT='%s'\n",
+                s);
+    }
+    if (const char *s = std::getenv("DRS_CRASH_AFTER")) {
+        char *end = nullptr;
+        const long v = std::strtol(s, &end, 10);
+        if (end != s && *end == '\0' && v > 0)
+            options.crashAfter = static_cast<int>(v);
+        else
+            std::fprintf(
+                stderr,
+                "[sweep] warning: ignoring malformed DRS_CRASH_AFTER='%s'\n",
+                s);
+    }
+    return options;
+}
 
 const PreparedScene &
 PreparedSceneCache::get(scene::SceneId id, const ExperimentScale &scale)
@@ -70,10 +107,21 @@ PreparedSceneCache::misses() const
     return misses_;
 }
 
-SweepRunner::SweepRunner(const ExperimentScale &scale, int jobs)
+SweepRunner::SweepRunner(const ExperimentScale &scale, int jobs,
+                         const SweepOptions &options)
     : scale_(scale),
-      jobs_count_(jobs < 1 ? 1 : jobs)
+      jobs_count_(jobs < 1 ? 1 : jobs),
+      options_(options)
 {
+    if (options_.maxAttempts < 1)
+        options_.maxAttempts = 1;
+}
+
+std::string
+SweepRunner::jobKey(const SweepJob &job)
+{
+    return scene::sceneName(job.scene) + "/" + archName(job.arch) + "/b" +
+           std::to_string(job.bounce) + "/r" + std::to_string(job.maxRays);
 }
 
 std::size_t
@@ -130,6 +178,209 @@ SweepRunner::runOne(const SweepJob &job)
     return result;
 }
 
+SweepResult
+SweepRunner::runWithRetry(const SweepJob &job, std::size_t index)
+{
+    SweepResult result;
+    for (int attempt = 1; attempt <= options_.maxAttempts; ++attempt) {
+        SweepJob tried = job;
+        std::uint64_t attempt_seed = 0;
+        if (options_.fault.enabled()) {
+            tried.config.fault = options_.fault;
+            // Pure function of (sweep seed, job index, attempt): the
+            // fault stream does not depend on --jobs or scheduling.
+            attempt_seed = fault::mixSeed(options_.fault.seed,
+                                          static_cast<std::uint64_t>(index),
+                                          static_cast<std::uint64_t>(attempt));
+            tried.config.fault.seed = attempt_seed;
+            // Injected faults can livelock a simulator; never let a hung
+            // job stall the whole sweep.
+            if (tried.config.watchdogCycles == 0)
+                tried.config.watchdogCycles = fault::kDefaultWatchdogCycles;
+        }
+        if (options_.watchdogCycles != 0)
+            tried.config.watchdogCycles = options_.watchdogCycles;
+
+        exec::CancelToken token;
+        if (options_.jobTimeoutSeconds > 0) {
+            token.setTimeout(options_.jobTimeoutSeconds);
+            tried.config.cancel = &token;
+        }
+
+        try {
+            result = runOne(tried);
+            result.attempts = attempt;
+            result.faultSeed = attempt_seed;
+            return result;
+        } catch (const std::exception &e) {
+            result = SweepResult{};
+            result.failed = true;
+            result.error = e.what();
+            result.attempts = attempt;
+            result.faultSeed = attempt_seed;
+            std::fprintf(stderr,
+                         "[sweep] job %zu (%s) attempt %d/%d failed: %s\n",
+                         index, jobKey(job).c_str(), attempt,
+                         options_.maxAttempts, e.what());
+            if (attempt < options_.maxAttempts &&
+                options_.backoffSeconds > 0) {
+                const double scale =
+                    static_cast<double>(std::uint64_t{1} << (attempt - 1));
+                std::this_thread::sleep_for(std::chrono::duration<double>(
+                    options_.backoffSeconds * scale));
+            }
+        }
+    }
+    // Retry budget exhausted: quarantine. The result stays in the
+    // vector (failed = true) so reports list it instead of dropping it.
+    return result;
+}
+
+void
+SweepRunner::journalAppend(std::size_t index, const SweepJob &job,
+                           const SweepResult &result)
+{
+    if (options_.journalPath.empty())
+        return;
+
+    obs::Json entry = obs::Json::object();
+    entry["job"] = static_cast<std::uint64_t>(index);
+    entry["key"] = jobKey(job);
+    entry["ran"] = result.ran;
+    entry["failed"] = result.failed;
+    entry["attempts"] = static_cast<std::int64_t>(result.attempts);
+    entry["fault_seed"] = result.faultSeed;
+    entry["seconds"] = result.seconds;
+    if (result.ran)
+        entry["stats"] = statsJsonFull(result.stats);
+    if (!result.error.empty())
+        entry["error"] = result.error;
+
+    std::lock_guard<std::mutex> lock(journalMutex_);
+    {
+        std::ofstream out(options_.journalPath,
+                          std::ios::app | std::ios::binary);
+        if (!out) {
+            std::fprintf(stderr,
+                         "[sweep] warning: cannot append to journal '%s'\n",
+                         options_.journalPath.c_str());
+            return;
+        }
+        out << entry.dump() << '\n';
+        out.flush();
+    }
+    ++journalAppends_;
+    if (options_.crashAfter > 0 && journalAppends_ >= options_.crashAfter) {
+        // Crash injection for the resume tests: die without unwinding,
+        // exactly like a kill -9 after the append hit the disk.
+        std::fprintf(stderr, "[sweep] DRS_CRASH_AFTER: exiting after %d "
+                             "journal append%s\n",
+                     journalAppends_, journalAppends_ == 1 ? "" : "s");
+        std::fflush(stderr);
+        std::_Exit(70);
+    }
+}
+
+std::vector<char>
+SweepRunner::journalReplay(const std::vector<SweepJob> &jobs,
+                           std::vector<SweepResult> &results)
+{
+    std::vector<char> done(jobs.size(), 0);
+    std::ifstream in(options_.journalPath, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr,
+                     "[sweep] resume: no journal at '%s', running all jobs\n",
+                     options_.journalPath.c_str());
+        return done;
+    }
+
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty())
+            continue;
+        std::string error;
+        std::optional<obs::Json> parsed = obs::Json::parse(line, &error);
+        if (!parsed || !parsed->isObject()) {
+            // A crash mid-append leaves a truncated last line; tolerate
+            // it (and anything after it) by re-running those jobs.
+            std::fprintf(stderr,
+                         "[sweep] resume: journal line %zu malformed (%s); "
+                         "ignoring the rest of the journal\n",
+                         line_no, error.empty() ? "not an object"
+                                                : error.c_str());
+            break;
+        }
+        const obs::Json &entry = *parsed;
+        const obs::Json *job_field = entry.find("job");
+        const obs::Json *key_field = entry.find("key");
+        if (job_field == nullptr || !job_field->isNumber() ||
+            key_field == nullptr || !key_field->isString()) {
+            std::fprintf(stderr,
+                         "[sweep] resume: journal line %zu lacks job/key; "
+                         "ignoring the rest of the journal\n",
+                         line_no);
+            break;
+        }
+        const std::uint64_t index = job_field->asUint();
+        if (index >= jobs.size() ||
+            key_field->asString() != jobKey(jobs[index])) {
+            std::fprintf(stderr,
+                         "[sweep] resume: journal line %zu does not match "
+                         "this sweep (job %llu, key '%s'); skipping entry\n",
+                         line_no,
+                         static_cast<unsigned long long>(index),
+                         key_field->asString().c_str());
+            continue;
+        }
+
+        SweepResult result;
+        const obs::Json *ran = entry.find("ran");
+        const obs::Json *failed = entry.find("failed");
+        result.ran = ran != nullptr && ran->isBool() && ran->asBool();
+        result.failed =
+            failed != nullptr && failed->isBool() && failed->asBool();
+        if (const obs::Json *attempts = entry.find("attempts");
+            attempts != nullptr && attempts->isNumber())
+            result.attempts = static_cast<int>(attempts->asUint());
+        if (const obs::Json *seed = entry.find("fault_seed");
+            seed != nullptr && seed->isNumber())
+            result.faultSeed = seed->asUint();
+        if (const obs::Json *seconds = entry.find("seconds");
+            seconds != nullptr && seconds->isNumber())
+            result.seconds = seconds->asDouble();
+        if (const obs::Json *err = entry.find("error");
+            err != nullptr && err->isString())
+            result.error = err->asString();
+        if (result.ran) {
+            const obs::Json *stats = entry.find("stats");
+            if (stats == nullptr) {
+                std::fprintf(stderr,
+                             "[sweep] resume: journal line %zu has ran=true "
+                             "but no stats; re-running job %llu\n",
+                             line_no,
+                             static_cast<unsigned long long>(index));
+                continue;
+            }
+            try {
+                result.stats = statsFromJson(*stats);
+            } catch (const std::exception &e) {
+                std::fprintf(stderr,
+                             "[sweep] resume: journal line %zu stats "
+                             "malformed (%s); re-running job %llu\n",
+                             line_no, e.what(),
+                             static_cast<unsigned long long>(index));
+                continue;
+            }
+        }
+        result.fromJournal = true;
+        results[index] = std::move(result);
+        done[index] = 1;
+    }
+    return done;
+}
+
 std::vector<SweepResult>
 SweepRunner::run()
 {
@@ -137,26 +388,58 @@ SweepRunner::run()
     jobs.swap(pending_);
     std::vector<SweepResult> results(jobs.size());
 
+    std::vector<char> done(jobs.size(), 0);
+    if (!options_.journalPath.empty()) {
+        if (options_.resume) {
+            done = journalReplay(jobs, results);
+        } else {
+            // Fresh run: truncate any stale journal so a later --resume
+            // cannot merge entries from a different invocation.
+            std::ofstream out(options_.journalPath,
+                              std::ios::trunc | std::ios::binary);
+        }
+    }
+
+    std::vector<std::size_t> todo;
+    todo.reserve(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        if (!done[i])
+            todo.push_back(i);
+
     const auto start = std::chrono::steady_clock::now();
-    if (jobs_count_ <= 1 || jobs.size() <= 1) {
-        for (std::size_t i = 0; i < jobs.size(); ++i)
-            results[i] = runOne(jobs[i]);
+    auto execute = [this, &jobs, &results](std::size_t i) {
+        results[i] = runWithRetry(jobs[i], i);
+        journalAppend(i, jobs[i], results[i]);
+    };
+    if (jobs_count_ <= 1 || todo.size() <= 1) {
+        for (const std::size_t i : todo)
+            execute(i);
     } else {
         exec::ThreadPool pool(jobs_count_);
         exec::TaskGroup group(pool);
-        for (std::size_t i = 0; i < jobs.size(); ++i)
-            group.run([this, &jobs, &results, i] {
-                results[i] = runOne(jobs[i]);
-            });
+        for (const std::size_t i : todo)
+            group.run([&execute, i] { execute(i); });
         group.wait();
     }
 
+    std::size_t replayed = 0;
+    std::size_t quarantined = 0;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        replayed += results[i].fromJournal ? 1u : 0u;
+        quarantined += results[i].failed ? 1u : 0u;
+    }
+
     std::printf("[sweep] %zu sims on %d worker%s in %.2f s "
-                "(scene cache: %zu hit%s, %zu miss%s)\n",
-                jobs.size(), jobs_count_, jobs_count_ == 1 ? "" : "s",
+                "(scene cache: %zu hit%s, %zu miss%s)",
+                todo.size(), jobs_count_, jobs_count_ == 1 ? "" : "s",
                 secondsSince(start), cache_.hits(),
                 cache_.hits() == 1 ? "" : "s", cache_.misses(),
                 cache_.misses() == 1 ? "" : "es");
+    if (replayed > 0)
+        std::printf(", %zu replayed from journal", replayed);
+    if (quarantined > 0)
+        std::printf(", %zu QUARANTINED", quarantined);
+    std::printf("\n");
     std::fflush(stdout);
     return results;
 }

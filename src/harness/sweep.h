@@ -18,6 +18,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "harness/harness.h"
@@ -77,6 +78,78 @@ struct SweepResult
     bool ran = false;
     /** Wall-clock seconds of this simulation (excludes scene prep). */
     double seconds = 0.0;
+    /**
+     * True when the job exhausted its retry budget and was quarantined.
+     * Quarantined jobs are never dropped: they stay in the result vector
+     * (ran = false) and bench reports list them in a "quarantined"
+     * summary with their last error.
+     */
+    bool failed = false;
+    /** Last failure message (empty when the job succeeded first try). */
+    std::string error;
+    /** Simulation attempts made (0 when replayed from a journal). */
+    int attempts = 0;
+    /** Derived per-attempt fault seed of the final attempt (0 = none). */
+    std::uint64_t faultSeed = 0;
+    /** True when this result was replayed from a --resume journal. */
+    bool fromJournal = false;
+};
+
+/**
+ * Robust-execution policy of a sweep: fault injection, per-job deadlines,
+ * bounded retry with quarantine, and the append-only completed-job
+ * journal that makes an interrupted sweep resumable. All defaults keep
+ * the sweep byte-for-byte compatible with the pre-fault-layer behaviour.
+ */
+struct SweepOptions
+{
+    /**
+     * Master fault configuration (seed 0 = off). Each job attempt runs
+     * with a private seed derived as mixSeed(master seed, job index,
+     * attempt), so the fault sequence is a pure function of the sweep
+     * seed and position — independent of --jobs, scheduling, or which
+     * attempt of another job is in flight.
+     */
+    fault::FaultConfig fault{};
+    /**
+     * Watchdog budget per job in cycles. 0 = automatic: off for clean
+     * runs (bit-identity with older binaries), fault::kDefaultWatchdogCycles
+     * as soon as fault injection is enabled (faults can livelock a
+     * simulator, and a hung job would stall the whole sweep).
+     */
+    std::uint64_t watchdogCycles = 0;
+    /** Per-job wall-clock deadline in seconds; <= 0 = none. */
+    double jobTimeoutSeconds = 0.0;
+    /** Attempts per job before quarantine (>= 1). */
+    int maxAttempts = 3;
+    /** Base of the exponential retry backoff (seconds). */
+    double backoffSeconds = 0.05;
+    /**
+     * Append-only JSONL journal of completed jobs (lossless SimStats via
+     * statsJsonFull). Empty = no journal. A fresh run truncates the
+     * file; --resume replays it instead.
+     */
+    std::string journalPath;
+    /**
+     * Replay matching journal entries instead of re-running their jobs;
+     * only the jobs the journal does not cover (including a corrupt
+     * tail, which is tolerated) are executed. The merged results are
+     * identical to an uninterrupted run.
+     */
+    bool resume = false;
+    /**
+     * Crash-injection for the resume tests (DRS_CRASH_AFTER): terminate
+     * the process with _Exit(70) after this many journal appends. 0 =
+     * off. Requires a journalPath.
+     */
+    int crashAfter = 0;
+
+    /**
+     * Populate from the environment: DRS_FAULT_SEED (see
+     * fault::FaultConfig::fromEnvironment), DRS_WATCHDOG (cycles),
+     * DRS_JOB_TIMEOUT (seconds), DRS_CRASH_AFTER (journal appends).
+     */
+    static SweepOptions fromEnvironment();
 };
 
 /**
@@ -93,8 +166,10 @@ class SweepRunner
     /**
      * @param scale experiment scale shared by every job (scene cache key)
      * @param jobs worker threads for the sweep; <= 1 = sequential
+     * @param options robustness policy (faults, retry, journal, resume)
      */
-    explicit SweepRunner(const ExperimentScale &scale, int jobs = 1);
+    explicit SweepRunner(const ExperimentScale &scale, int jobs = 1,
+                         const SweepOptions &options = {});
 
     /** Queue one job. @return its index into run()'s result vector. */
     std::size_t add(const SweepJob &job);
@@ -133,13 +208,32 @@ class SweepRunner
     std::size_t cacheHits() const { return cache_.hits(); }
     std::size_t cacheMisses() const { return cache_.misses(); }
 
+    const SweepOptions &options() const { return options_; }
+
+    /**
+     * Journal/identity key of @p job ("scene/arch/b<bounce>/r<maxRays>"):
+     * a --resume run only replays an entry when its key still matches
+     * the job at the same index, so a journal from a different sweep is
+     * rejected instead of silently merged.
+     */
+    static std::string jobKey(const SweepJob &job);
+
   private:
     SweepResult runOne(const SweepJob &job);
+    SweepResult runWithRetry(const SweepJob &job, std::size_t index);
+    void journalAppend(std::size_t index, const SweepJob &job,
+                       const SweepResult &result);
+    /** Replay the journal into @p results; true entries are done. */
+    std::vector<char> journalReplay(const std::vector<SweepJob> &jobs,
+                                    std::vector<SweepResult> &results);
 
     ExperimentScale scale_;
     int jobs_count_;
+    SweepOptions options_;
     PreparedSceneCache cache_;
     std::vector<SweepJob> pending_;
+    std::mutex journalMutex_;
+    int journalAppends_ = 0;
 };
 
 /**

@@ -1,6 +1,7 @@
 #include "kernels/trav_workspace.h"
 
 #include <cassert>
+#include <cstring>
 #include <stdexcept>
 #include <utility>
 
@@ -62,6 +63,22 @@ void
 TravWorkspace::swapRays(int row_a, int lane_a, int row_b, int lane_b)
 {
     std::swap(slot(row_a, lane_a), slot(row_b, lane_b));
+}
+
+void
+TravWorkspace::corruptRay(int row, int lane, std::uint32_t bit)
+{
+    RaySlot &s = slot(row, lane);
+    if (s.rayId < 0)
+        return; // empty slot: the flip hits unused register space
+    unsigned char bytes[sizeof(geom::Ray)];
+    std::memcpy(bytes, &s.ray, sizeof(bytes));
+    const std::uint32_t index = (bit / 8u) % sizeof(bytes);
+    bytes[index] ^= static_cast<unsigned char>(1u << (bit % 8u));
+    std::memcpy(&s.ray, bytes, sizeof(bytes));
+    // invDir is intentionally left stale: real hardware would not
+    // recompute a derived register either, and traversal tolerates the
+    // inconsistency (it only steers which nodes the ray visits).
 }
 
 std::size_t

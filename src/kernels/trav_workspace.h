@@ -105,6 +105,14 @@ class TravWorkspace : public simt::RowWorkspace
     void swapRays(int row_a, int lane_a, int row_b, int lane_b) override;
     bool poolEmpty() const override { return nextRay_ >= rays_.size(); }
     std::size_t liveRays() const override;
+    /**
+     * Fault-injection hook: flip one bit of the slot's geom::Ray payload
+     * (origin/direction/tmin/tmax). Only those bytes are touched — the
+     * traversal bookkeeping (node index, stack, rayId) stays intact, so
+     * workspace invariants hold and the corruption shows up purely as a
+     * ray that traverses (and possibly hits) the wrong geometry.
+     */
+    void corruptRay(int row, int lane, std::uint32_t bit) override;
 
     /** Direct slot access (kernels and tests). */
     RaySlot &slot(int row, int lane);

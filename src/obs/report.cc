@@ -8,6 +8,7 @@ BenchReport::BenchReport(std::string bench_name)
 {
     document_["bench"] = Json(std::move(bench_name));
     document_["schema_version"] = Json(kBenchSchemaVersion);
+    document_["degraded"] = Json(false);
     document_["scale"] = Json::object();
     document_["options"] = Json::object();
     document_["wall_seconds"] = Json(0.0);
@@ -25,6 +26,12 @@ void
 BenchReport::setWallSeconds(double seconds)
 {
     document_["wall_seconds"] = Json(seconds);
+}
+
+void
+BenchReport::setDegraded(bool degraded)
+{
+    document_["degraded"] = Json(degraded);
 }
 
 bool
@@ -71,10 +78,15 @@ validateRow(const Json &row, std::size_t index)
     if (!row.isObject())
         return std::string("results[") + std::to_string(index) +
                "] is not an object";
-    static const char *kStrings[] = {"scene", "arch", "bounce", "config"};
+    static const char *kStrings[] = {"scene", "arch", "bounce", "config",
+                                     "error"};
     for (const char *field : kStrings)
         if (const Json *v = row.find(field); v && !v->isString())
             return at(field) + " must be a string";
+    static const char *kBools[] = {"failed", "from_journal"};
+    for (const char *field : kBools)
+        if (const Json *v = row.find(field); v && !v->isBool())
+            return at(field) + " must be a boolean";
     static const char *kUnit[] = {"simd_efficiency", "l1d_hit_rate",
                                   "l1t_hit_rate", "l2_hit_rate",
                                   "rdctrl_stall_rate", "spawn_fraction",
@@ -85,7 +97,8 @@ validateRow(const Json &row, std::size_t index)
     static const char *kNonNegative[] = {"cycles", "rays_traced",
                                          "mrays_per_s", "speedup_vs_aila",
                                          "wall_seconds", "ray_swaps",
-                                         "mean_swap_cycles"};
+                                         "mean_swap_cycles", "attempts",
+                                         "fault_seed"};
     for (const char *field : kNonNegative)
         if (const Json *v = row.find(field); v && !isNonNegativeNumber(*v))
             return at(field) + " must be a non-negative number";
@@ -117,6 +130,10 @@ validateBenchReport(const Json &document)
         return "missing \"schema_version\"";
     if (version->asUint() != static_cast<std::uint64_t>(kBenchSchemaVersion))
         return "unsupported schema_version " + version->dump();
+
+    const Json *degraded = document.find("degraded");
+    if (!degraded || !degraded->isBool())
+        return "missing \"degraded\" boolean";
 
     for (const char *field : {"scale", "options"}) {
         const Json *v = document.find(field);

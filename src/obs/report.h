@@ -9,10 +9,12 @@
  * statistics into rows lives in the harness (harness/report.h), keeping
  * obs free of simulator dependencies.
  *
- * Schema (version 1):
+ * Schema (version 2):
  *   {
  *     "bench": <string>,          // e.g. "fig11_speedup"
- *     "schema_version": 1,
+ *     "schema_version": 2,
+ *     "degraded": <bool>,         // true when any sweep job was
+ *                                 // quarantined (results incomplete)
  *     "scale": { ... },           // ExperimentScale knobs
  *     "options": { ... },         // jobs, smx_threads, ...
  *     "wall_seconds": <number>,   // whole-bench wall clock
@@ -20,7 +22,11 @@
  *     "summary": { ... }          // optional bench-specific aggregates
  *   }
  * Result rows are open-ended, but when the well-known metric fields are
- * present they must be well-formed (see validateBenchReport).
+ * present they must be well-formed (see validateBenchReport). Version 2
+ * adds the top-level "degraded" flag plus the per-row robustness fields
+ * "attempts" (simulation attempts), "fault_seed" (derived per-job fault
+ * seed), "failed"/"from_journal" (quarantine/resume markers) and the
+ * "fault.*" counters inside "counters".
  */
 
 #include <string>
@@ -30,7 +36,7 @@
 namespace drs::obs {
 
 /** Current report schema version. */
-inline constexpr int kBenchSchemaVersion = 1;
+inline constexpr int kBenchSchemaVersion = 2;
 
 /** Builder for one bench report document. */
 class BenchReport
@@ -50,6 +56,13 @@ class BenchReport
 
     void setWallSeconds(double seconds);
 
+    /**
+     * Mark the report as degraded: at least one sweep job exhausted its
+     * retry budget and was quarantined, so the results are incomplete.
+     * Consumers must treat degraded reports as non-comparable.
+     */
+    void setDegraded(bool degraded);
+
     /** The whole document (validate/serialize). */
     const Json &document() const { return document_; }
 
@@ -64,13 +77,15 @@ class BenchReport
 };
 
 /**
- * Validate a bench report document against schema version 1.
+ * Validate a bench report document against schema version 2.
  *
- * Checks the required top-level fields and, for every result row, the
- * well-known metric fields when present: "simd_efficiency" and the cache
- * hit rates must be numbers in [0, 1]; "cycles", "rays_traced",
- * "wall_seconds", "mrays_per_s" and "speedup_vs_aila" must be
- * non-negative numbers; "scene" and "arch" must be strings.
+ * Checks the required top-level fields (including the "degraded" bool)
+ * and, for every result row, the well-known metric fields when present:
+ * "simd_efficiency" and the cache hit rates must be numbers in [0, 1];
+ * "cycles", "rays_traced", "wall_seconds", "mrays_per_s",
+ * "speedup_vs_aila", "attempts" and "fault_seed" must be non-negative
+ * numbers; "scene" and "arch" must be strings; "failed" and
+ * "from_journal" must be booleans.
  *
  * @return empty string when valid, else a human-readable reason.
  */

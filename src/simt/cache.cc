@@ -1,5 +1,7 @@
 #include "simt/cache.h"
 
+#include "fault/fault.h"
+
 #include <stdexcept>
 
 namespace drs::simt {
@@ -21,6 +23,9 @@ Cache::Cache(std::uint32_t size_bytes, std::uint32_t line_bytes,
 bool
 Cache::access(std::uint64_t address)
 {
+    if (fault_ && fault_->rollCacheTagFlip())
+        corruptRandomTag();
+
     ++stats_.accesses;
     ++useCounter_;
 
@@ -48,6 +53,30 @@ Cache::access(std::uint64_t address)
     victim->tag = tag;
     victim->lastUse = useCounter_;
     return false;
+}
+
+void
+Cache::corruptRandomTag()
+{
+    const std::uint32_t set = fault_->pick(numSets_);
+    const std::uint32_t way = fault_->pick(ways_);
+    Line *base = &lines_[static_cast<std::size_t>(set) * ways_];
+    Line &line = base[way];
+    if (!line.valid)
+        return; // the particle hit an empty frame — no observable effect
+    // Tags are line_addr / numSets_; 40 bits comfortably covers the
+    // simulator's address space, so the flip always lands in live bits.
+    const std::uint64_t flipped = line.tag ^ (1ULL << fault_->pick(40));
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (w != way && base[w].valid && base[w].tag == flipped) {
+            // A duplicate tag would corrupt LRU bookkeeping in ways real
+            // hardware ECC would catch; model it as a detected parity
+            // error that invalidates the line.
+            line = Line{};
+            return;
+        }
+    }
+    line.tag = flipped;
 }
 
 void

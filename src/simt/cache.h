@@ -11,6 +11,10 @@
 #include <cstdint>
 #include <vector>
 
+namespace drs::fault {
+class FaultInjector;
+}
+
 namespace drs::simt {
 
 /** Hit/miss statistics of one cache instance. */
@@ -77,7 +81,18 @@ class Cache
      */
     void verifyInvariants() const;
 
+    /**
+     * Attach a fault injector (nullptr detaches). When armed, each
+     * access() may first corrupt a random valid line's tag — modeling a
+     * soft error in the tag array. Corruption preserves the structural
+     * invariants verifyInvariants() checks: a flip that would duplicate
+     * a tag within its set invalidates the line instead.
+     */
+    void setFault(fault::FaultInjector *fault) { fault_ = fault; }
+
   private:
+    void corruptRandomTag();
+
     struct Line
     {
         std::uint64_t tag = 0;
@@ -91,6 +106,7 @@ class Cache
     std::uint64_t useCounter_ = 0;
     std::vector<Line> lines_; // numSets_ * ways_, set-major
     CacheStats stats_;
+    fault::FaultInjector *fault_ = nullptr;
 };
 
 } // namespace drs::simt

@@ -13,8 +13,13 @@
  */
 
 #include <cstdint>
+#include <iosfwd>
 
 #include "obs/counters.h"
+
+namespace drs::fault {
+class FaultInjector;
+}
 
 namespace drs::simt {
 
@@ -64,6 +69,19 @@ class RowWorkspace
 
     /** Number of live (Inner or Leaf) rays currently held in rows. */
     virtual std::size_t liveRays() const = 0;
+
+    /**
+     * Fault-injection hook: flip one bit of the ray payload held in slot
+     * (row, lane). @p bit indexes into the slot's ray bytes modulo their
+     * size, so any value is safe. Empty slots are a no-op. Default: the
+     * workspace does not model payload corruption.
+     */
+    virtual void corruptRay(int row, int lane, std::uint32_t bit)
+    {
+        (void)row;
+        (void)lane;
+        (void)bit;
+    }
 };
 
 /** Outcome of a warp's attempt to issue the rdctrl instruction. */
@@ -139,6 +157,20 @@ class WarpController
      * throw std::logic_error on violation. Default: nothing to check.
      */
     virtual void verifyInvariants() const {}
+
+    /**
+     * Attach a fault injector (nullptr detaches). Controllers that model
+     * transfer-boundary faults (DRS corrupts ray payloads as swaps
+     * complete) roll on it; the default controller has no fault sites.
+     */
+    virtual void setFault(fault::FaultInjector *fault) { (void)fault; }
+
+    /**
+     * Append a human-readable dump of the controller's state (row
+     * ownership, in-flight shuffle operations) to @p out. Used by the
+     * forward-progress watchdog's diagnostic report. Default: nothing.
+     */
+    virtual void describeState(std::ostream &out) const { (void)out; }
 };
 
 } // namespace drs::simt

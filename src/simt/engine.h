@@ -20,11 +20,60 @@
 #include <cstdint>
 #include <exception>
 #include <mutex>
+#include <sstream>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
+#include "exec/cancel.h"
+#include "fault/fault.h"
+
 namespace drs::simt {
+
+/**
+ * Diagnostic dump of every SMX's architectural state, for the watchdog's
+ * timeout report.
+ */
+template <typename SmxLike>
+std::string
+describeEngineState(const std::vector<SmxLike *> &smxs)
+{
+    std::ostringstream out;
+    for (std::size_t i = 0; i < smxs.size(); ++i) {
+        out << "SMX " << i << (smxs[i]->done() ? " (done)" : "") << ":\n";
+        smxs[i]->describeState(out);
+    }
+    return out.str();
+}
+
+/**
+ * Per-cycle engine policing: forward-progress watchdog and cooperative
+ * cancellation. Shared by the sequential driver (called inline) and the
+ * parallel driver (called from the barrier completion step). Throws
+ * fault::WatchdogTimeout / exec::Cancelled / exec::DeadlineExceeded.
+ * The deadline check reads the clock, so it is amortized over 1024-cycle
+ * windows; cancellation is a plain atomic load checked every cycle.
+ */
+template <typename SmxLike>
+void
+policeCycle(const std::vector<SmxLike *> &smxs, std::uint64_t cycle,
+            fault::Watchdog *watchdog, const exec::CancelToken *cancel)
+{
+    if (watchdog != nullptr && watchdog->enabled()) {
+        std::uint64_t progress = 0;
+        for (SmxLike *smx : smxs)
+            progress += smx->progressCount();
+        if (watchdog->observe(cycle, progress))
+            throw fault::WatchdogTimeout(cycle, watchdog->budgetCycles(),
+                                         describeEngineState(smxs));
+    }
+    if (cancel != nullptr) {
+        if (cancel->cancelled())
+            throw exec::Cancelled("simulation cancelled");
+        if ((cycle & 1023u) == 0 && cancel->deadlineExpired())
+            throw exec::DeadlineExceeded("simulation deadline exceeded");
+    }
+}
 
 /**
  * Step @p smxs cycle by cycle until all are done.
@@ -32,11 +81,16 @@ namespace drs::simt {
  * @param smxs SMXs in commit order (index order defines L2 ordering)
  * @param max_cycles safety bound; throws std::runtime_error when exceeded
  * @param threads worker threads; <= 1 runs the sequential driver
+ * @param watchdog optional forward-progress watchdog; when it fires the
+ *        engine throws fault::WatchdogTimeout carrying a diagnostic dump
+ *        of every SMX (IPDOM stacks, row ownership, pending memory ops)
+ * @param cancel optional cooperative stop/deadline token
  */
 template <typename SmxLike>
 void
 runEngine(const std::vector<SmxLike *> &smxs, std::uint64_t max_cycles,
-          int threads)
+          int threads, fault::Watchdog *watchdog = nullptr,
+          const exec::CancelToken *cancel = nullptr)
 {
     bool all_done = true;
     for (SmxLike *smx : smxs)
@@ -57,6 +111,7 @@ runEngine(const std::vector<SmxLike *> &smxs, std::uint64_t max_cycles,
             for (SmxLike *smx : smxs)
                 smx->commitMemory();
             ++cycle;
+            policeCycle(smxs, cycle, watchdog, cancel);
         }
         if (!all_done)
             throw std::runtime_error("GPU simulation exceeded max_cycles");
@@ -80,6 +135,18 @@ runEngine(const std::vector<SmxLike *> &smxs, std::uint64_t max_cycles,
             done_now = done_now && smx->done();
         }
         ++cycle;
+        if (!done_now && !error) {
+            // The completion step is noexcept (a throw through a barrier
+            // terminates), so policing failures become the stored engine
+            // error like a step() failure would.
+            try {
+                policeCycle(smxs, cycle, watchdog, cancel);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!error)
+                    error = std::current_exception();
+            }
+        }
         if (done_now || error)
             stop.store(true, std::memory_order_release);
         else if (cycle >= max_cycles) {

@@ -16,6 +16,23 @@ runGpu(const GpuConfig &config, const SmxFactory &factory,
 
     SharedMemorySide shared(config.memory);
 
+    // One private injector per SMX plus one for the shared side. The
+    // shared injector's RNG only advances from accessLine calls, which
+    // the engines issue at the commit barrier in SMX-index order, so its
+    // fault sequence is thread-count-invariant like everything else.
+    std::vector<std::unique_ptr<fault::FaultInjector>> injectors;
+    std::unique_ptr<fault::FaultInjector> sharedInjector;
+    if (options.fault.enabled()) {
+        injectors.reserve(static_cast<std::size_t>(config.numSmx));
+        for (int i = 0; i < config.numSmx; ++i)
+            injectors.push_back(std::make_unique<fault::FaultInjector>(
+                options.fault, static_cast<std::uint64_t>(i)));
+        sharedInjector = std::make_unique<fault::FaultInjector>(
+            options.fault,
+            static_cast<std::uint64_t>(config.numSmx) + 0x10000u);
+        shared.setFault(sharedInjector.get());
+    }
+
     // Two-phase construction: the Smx needs the kernel and the controller
     // needs the Smx (for shuffle-stat callbacks), so SMXs are built with a
     // placeholder and wired immediately after.
@@ -37,6 +54,8 @@ runGpu(const GpuConfig &config, const SmxFactory &factory,
                                          unit.setup.numWarps, shared);
         unit.smx->setDeferredMemory(true);
         unit.smx->setCheck(options.check);
+        if (options.fault.enabled())
+            unit.smx->setFault(injectors[static_cast<std::size_t>(i)].get());
         if (unit.setup.controller)
             unit.setup.controller->attach(*unit.smx);
         if (options.trace != nullptr) {
@@ -56,7 +75,9 @@ runGpu(const GpuConfig &config, const SmxFactory &factory,
     smxs.reserve(units.size());
     for (auto &unit : units)
         smxs.push_back(unit.smx.get());
-    runEngine(smxs, options.maxCycles, options.smxThreads);
+    fault::Watchdog watchdog(options.watchdogCycles);
+    runEngine(smxs, options.maxCycles, options.smxThreads,
+              watchdog.enabled() ? &watchdog : nullptr, options.cancel);
 
     SimStats total;
     for (std::size_t i = 0; i < units.size(); ++i) {
@@ -71,6 +92,12 @@ runGpu(const GpuConfig &config, const SmxFactory &factory,
     total.l2 = shared.l2Stats();
     total.counters.add("l2.access", total.l2.accesses);
     total.counters.add("l2.miss", total.l2.misses);
+    if (sharedInjector) {
+        const fault::FaultCounters &f = sharedInjector->counters();
+        total.counters.add("fault.cache_tag_flips", f.cacheTagFlips);
+        total.counters.add("fault.dram_delayed", f.dramDelayed);
+        total.counters.add("fault.dram_dropped", f.dramDropped);
+    }
     return total;
 }
 

@@ -12,6 +12,8 @@
 #include <memory>
 #include <vector>
 
+#include "exec/cancel.h"
+#include "fault/fault.h"
 #include "obs/trace.h"
 #include "simt/check.h"
 #include "simt/config.h"
@@ -78,6 +80,25 @@ struct GpuRunOptions
      * runGpu. See src/check and DESIGN.md, "Correctness".
      */
     const CheckContext *check = nullptr;
+    /**
+     * Fault-injection configuration (disabled by default: seed == 0).
+     * When enabled, every SMX gets a private deterministic injector
+     * (stream derived from seed and SMX index) arming L1 tag corruption
+     * and swap-boundary ray bit flips, and the shared L2/DRAM side gets
+     * its own injector whose RNG only advances at the commit barrier —
+     * so fault sequences are identical at any smxThreads. Disabled, no
+     * injector exists and execution is bit-identical to a build without
+     * the fault layer.
+     */
+    fault::FaultConfig fault{};
+    /**
+     * Forward-progress watchdog budget in cycles (0 = off). When no ray
+     * completes and no warp exits for this many cycles, runGpu throws
+     * fault::WatchdogTimeout with a diagnostic dump of every SMX.
+     */
+    std::uint64_t watchdogCycles = 0;
+    /** Cooperative stop/deadline token polled every cycle (may be null). */
+    const exec::CancelToken *cancel = nullptr;
 };
 
 /**

@@ -1,5 +1,7 @@
 #include "simt/memory.h"
 
+#include "fault/fault.h"
+
 #include <algorithm>
 #include <stdexcept>
 
@@ -15,7 +17,11 @@ std::uint32_t
 SharedMemorySide::accessLine(std::uint64_t address)
 {
     const bool hit = l2_.access(address);
-    return config_.l2.hitLatency + (hit ? 0u : config_.dramLatency);
+    std::uint32_t latency =
+        config_.l2.hitLatency + (hit ? 0u : config_.dramLatency);
+    if (!hit && fault_)
+        latency += fault_->rollDramFault();
+    return latency;
 }
 
 SmxMemory::SmxMemory(const MemoryConfig &config, SharedMemorySide &shared)

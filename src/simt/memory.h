@@ -34,9 +34,24 @@ class SharedMemorySide
     /** L2 structural invariants; throws std::logic_error on violation. */
     void verifyInvariants() const { l2_.verifyInvariants(); }
 
+    /**
+     * Attach a fault injector (nullptr detaches). Arms L2 tag corruption
+     * plus delayed/dropped DRAM responses: a delayed response adds extra
+     * cycles to the line latency, a dropped one charges a full retry
+     * penalty. Callers in the parallel engine must only reach this object
+     * from the cycle barrier (SMX-index order) so the injector's RNG
+     * stream stays deterministic.
+     */
+    void setFault(fault::FaultInjector *fault)
+    {
+        fault_ = fault;
+        l2_.setFault(fault);
+    }
+
   private:
     MemoryConfig config_;
     Cache l2_;
+    fault::FaultInjector *fault_ = nullptr;
 };
 
 /**
@@ -102,6 +117,13 @@ class SmxMemory
     {
         l1Data_.verifyInvariants();
         l1Texture_.verifyInvariants();
+    }
+
+    /** Arm L1 tag corruption on both private caches (nullptr detaches). */
+    void setFault(fault::FaultInjector *fault)
+    {
+        l1Data_.setFault(fault);
+        l1Texture_.setFault(fault);
     }
 
   private:

@@ -1,6 +1,9 @@
 #include "simt/smx.h"
 
+#include "fault/fault.h"
+
 #include <cassert>
+#include <ostream>
 #include <stdexcept>
 
 namespace drs::simt {
@@ -328,6 +331,61 @@ Smx::run(std::uint64_t max_cycles)
         step();
 }
 
+void
+Smx::setFault(fault::FaultInjector *fault)
+{
+    fault_ = fault;
+    memory_.setFault(fault);
+    if (controller_ != nullptr)
+        controller_->setFault(fault);
+}
+
+std::uint64_t
+Smx::progressCount() const
+{
+    std::uint64_t exited = 0;
+    for (const auto &w : warps_)
+        if (w.exited())
+            ++exited;
+    return kernel_.raysCompleted() + exited;
+}
+
+void
+Smx::describeState(std::ostream &out) const
+{
+    out << "  cycle=" << cycle_ << " raysCompleted="
+        << kernel_.raysCompleted() << '\n';
+    for (const auto &w : warps_) {
+        out << "  warp " << w.id();
+        if (w.exited()) {
+            out << " exited\n";
+            continue;
+        }
+        out << " row=" << w.row() << " age=" << w.age
+            << " readyCycle=" << w.readyCycle;
+        if (w.stalledOnRdctrl)
+            out << " STALLED-on-rdctrl since=" << w.stallStartCycle;
+        out << " stack=[";
+        for (std::size_t i = 0; i < w.stack().size(); ++i) {
+            const auto &e = w.stack()[i];
+            if (i)
+                out << ' ';
+            out << "{pc=" << e.pc << " rpc=" << e.rpc << " mask=0x"
+                << std::hex << e.mask << std::dec << '}';
+        }
+        out << "]\n";
+    }
+    if (!deferredAccesses_.empty()) {
+        out << "  pending deferred accesses:";
+        for (const DeferredAccess &d : deferredAccesses_)
+            out << " {warp=" << d.warp << " issued=" << d.issueCycle
+                << " missLines=" << d.pending.missLines.size() << '}';
+        out << '\n';
+    }
+    if (controller_ != nullptr)
+        controller_->describeState(out);
+}
+
 SimStats
 Smx::collectStats() const
 {
@@ -357,6 +415,14 @@ Smx::collectStats() const
     s.counters.add("l1d.miss", s.l1Data.misses);
     s.counters.add("l1t.access", s.l1Texture.accesses);
     s.counters.add("l1t.miss", s.l1Texture.misses);
+    if (fault_ != nullptr && fault_->enabled()) {
+        const fault::FaultCounters &f = fault_->counters();
+        s.counters.add("fault.swap_bit_flips", f.swapBitFlips);
+        s.counters.add("fault.cache_tag_flips", f.cacheTagFlips);
+        s.counters.add("fault.dram_delayed", f.dramDelayed);
+        s.counters.add("fault.dram_dropped", f.dramDropped);
+        s.counters.add("fault.alloc_failures", f.allocFailures);
+    }
     if (check_)
         check_->checkStats(s);
     return s;

@@ -109,6 +109,29 @@ class Smx
      */
     void setCheck(const CheckContext *check) { check_ = check; }
 
+    /**
+     * Attach a fault injector (nullptr = off, the default). Arms this
+     * SMX's private fault sites: L1 tag corruption and — via the
+     * controller — ray-payload bit flips at swap boundaries. Shared-side
+     * (L2/DRAM) faults are armed separately on the SharedMemorySide so
+     * their RNG stream is only advanced at the commit barrier.
+     */
+    void setFault(fault::FaultInjector *fault);
+
+    /**
+     * Monotone forward-progress measure for the watchdog: completed rays
+     * plus exited warps. While the SMX is not done() this must eventually
+     * grow; a stuck value over a large cycle budget means livelock.
+     */
+    std::uint64_t progressCount() const;
+
+    /**
+     * Append a human-readable dump of this SMX's architectural state
+     * (warp PCs/rows/stalls/IPDOM stacks, pending deferred accesses, the
+     * controller's row ownership) to @p out — the watchdog's diagnostic.
+     */
+    void describeState(std::ostream &out) const;
+
     const std::vector<Warp> &warps() const { return warps_; }
 
   private:
@@ -152,6 +175,7 @@ class Smx
 
     obs::Tracer *tracer_ = nullptr;
     const CheckContext *check_ = nullptr;
+    fault::FaultInjector *fault_ = nullptr;
 
     /** Per-block {instructions, active-thread sum} (see SimStats). */
     std::vector<std::pair<std::uint64_t, std::uint64_t>> blockIssue_;

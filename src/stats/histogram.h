@@ -71,6 +71,30 @@ class ActiveThreadHistogram
     /** Exact tally for instructions with exactly @p active threads. */
     std::uint64_t exactCount(int active) const { return exact_.at(active); }
 
+    /** Raw tally of bucket @p b (see bucketFraction for the numbering). */
+    std::uint64_t bucketCount(int b) const
+    {
+        return buckets_.at(static_cast<std::size_t>(b));
+    }
+
+    /**
+     * Rebuild a histogram from previously exported raw tallies (the
+     * sweep journal's lossless SimStats round trip). The inverse of
+     * reading instructions()/spawnInstructions()/activeThreads()/
+     * bucketCount()/exactCount().
+     */
+    void restore(std::uint64_t instructions, std::uint64_t spawn_instructions,
+                 std::uint64_t active_threads,
+                 const std::array<std::uint64_t, kNumBuckets> &buckets,
+                 const std::array<std::uint64_t, kWarpSize + 1> &exact)
+    {
+        instructions_ = instructions;
+        spawnInstructions_ = spawn_instructions;
+        activeThreads_ = active_threads;
+        buckets_ = buckets;
+        exact_ = exact;
+    }
+
     /** Merge another histogram into this one. */
     void merge(const ActiveThreadHistogram &other);
 

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Validate BENCH_<name>.json reports against schema version 1.
+"""Validate BENCH_<name>.json reports against schema version 2.
 
 Mirrors drs::obs::validateBenchReport (src/obs/report.cc) so reports can
 be checked without building the simulator, e.g. in CI after
@@ -15,9 +15,10 @@ checked.
 import json
 import sys
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
-STRING_FIELDS = ("scene", "arch", "bounce", "config")
+STRING_FIELDS = ("scene", "arch", "bounce", "config", "error")
+BOOL_FIELDS = ("failed", "from_journal")
 UNIT_FIELDS = (
     "simd_efficiency",
     "l1d_hit_rate",
@@ -35,6 +36,8 @@ NON_NEGATIVE_FIELDS = (
     "wall_seconds",
     "ray_swaps",
     "mean_swap_cycles",
+    "attempts",
+    "fault_seed",
 )
 
 
@@ -49,6 +52,9 @@ def validate_row(row, index):
     for field in STRING_FIELDS:
         if field in row and not isinstance(row[field], str):
             return f"{where}.{field} must be a string"
+    for field in BOOL_FIELDS:
+        if field in row and not isinstance(row[field], bool):
+            return f"{where}.{field} must be a boolean"
     for field in UNIT_FIELDS:
         if field in row:
             value = row[field]
@@ -82,6 +88,8 @@ def validate_report(document):
         return 'missing "schema_version"'
     if version != SCHEMA_VERSION:
         return f"unsupported schema_version {version}"
+    if not isinstance(document.get("degraded"), bool):
+        return 'missing "degraded" boolean'
     for field in ("scale", "options", "summary"):
         if not isinstance(document.get(field), dict):
             return f'missing "{field}" object'

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Replay determinism check for tools/fuzz_sim: running the same
+# configuration twice with --replay <seed> must produce bit-identical
+# SimStats, asserted through the stable digest line fuzz_sim prints for
+# every passing configuration.
+#
+# Usage: check_fuzz_replay.sh <path-to-fuzz_sim> [seed...]
+set -euo pipefail
+
+if [ "$#" -lt 1 ]; then
+    echo "usage: $0 <path-to-fuzz_sim> [seed...]" >&2
+    exit 2
+fi
+
+fuzz_sim=$1
+shift
+seeds=("$@")
+if [ "${#seeds[@]}" -eq 0 ]; then
+    # Distinct architectures at the default derivation (see deriveCase).
+    seeds=(0x1 0x2 0x5eed 0xdeadbeef)
+fi
+
+fail=0
+for seed in "${seeds[@]}"; do
+    first=$("$fuzz_sim" --replay "$seed" | grep '^digest ')
+    second=$("$fuzz_sim" --replay "$seed" | grep '^digest ')
+    if [ -z "$first" ]; then
+        echo "FAIL seed $seed: no digest line printed" >&2
+        fail=1
+    elif [ "$first" != "$second" ]; then
+        echo "FAIL seed $seed: replay digests differ" >&2
+        echo "  first:  $first" >&2
+        echo "  second: $second" >&2
+        fail=1
+    else
+        echo "ok   seed $seed: $first"
+    fi
+done
+exit "$fail"

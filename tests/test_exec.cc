@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include "exec/cancel.h"
 #include "exec/thread_pool.h"
 
 namespace drs::exec {
@@ -120,9 +121,117 @@ TEST(TaskGroup, PropagatesFirstException)
             ++completed;
         });
     EXPECT_THROW(group.wait(), std::runtime_error);
-    // The remaining tasks still ran (the group fails at the join, it
-    // does not cancel).
-    EXPECT_EQ(completed.load(), 19);
+    // The first error cancels the group: every sibling either ran before
+    // the failure was recorded or was skipped — none is lost.
+    EXPECT_EQ(completed.load() + static_cast<int>(group.skipped()), 19);
+}
+
+TEST(TaskGroup, ThrowingTaskUnderContentionIsSafe)
+{
+    // Regression: a task throwing while many siblings are in flight must
+    // neither terminate() (raw exception crossing a worker thread) nor
+    // deadlock the join, and exactly the first error must surface.
+    ThreadPool pool(4);
+    for (int round = 0; round < 20; ++round) {
+        TaskGroup group(pool);
+        std::atomic<int> completed{0};
+        for (int i = 0; i < 200; ++i)
+            group.run([&completed, i] {
+                if (i % 17 == 3)
+                    throw std::runtime_error("intentional failure");
+                ++completed;
+            });
+        EXPECT_THROW(group.wait(), std::runtime_error);
+        EXPECT_LE(completed.load() + static_cast<int>(group.skipped()), 200);
+        // A waited group is clean again: no stale error resurfaces.
+        group.run([] {});
+        EXPECT_NO_THROW(group.wait());
+    }
+}
+
+TEST(TaskGroup, CancelSkipsQueuedTasks)
+{
+    ThreadPool pool(1);
+    TaskGroup group(pool);
+    std::atomic<int> completed{0};
+    std::atomic<bool> started{false};
+    std::atomic<bool> release{false};
+    // Occupy the only worker so the rest of the batch stays queued; wait
+    // until it is actually running, or cancel() could skip it too.
+    group.run([&started, &release] {
+        started.store(true);
+        while (!release.load())
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    });
+    while (!started.load())
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    for (int i = 0; i < 32; ++i)
+        group.run([&completed] { ++completed; });
+    group.cancel();
+    EXPECT_TRUE(group.cancelled());
+    release.store(true);
+    group.wait(); // cancel() alone records no error
+    EXPECT_FALSE(group.cancelled()); // wait() re-arms the group
+    EXPECT_EQ(completed.load(), 0);
+    EXPECT_EQ(group.skipped(), 32u);
+}
+
+TEST(TaskGroup, DeadlineSkipsLateTasks)
+{
+    ThreadPool pool(1);
+    TaskGroup group(pool);
+    std::atomic<int> completed{0};
+    std::atomic<bool> release{false};
+    group.run([&release] {
+        while (!release.load())
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    });
+    // Already-expired deadline: tasks are skipped when dequeued and the
+    // group reports DeadlineExceeded at the join.
+    const auto past =
+        std::chrono::steady_clock::now() - std::chrono::milliseconds(10);
+    for (int i = 0; i < 8; ++i)
+        group.runWithDeadline([&completed] { ++completed; }, past);
+    release.store(true);
+    EXPECT_THROW(group.wait(), DeadlineExceeded);
+    EXPECT_EQ(completed.load(), 0);
+    EXPECT_EQ(group.skipped(), 8u);
+}
+
+TEST(TaskGroup, FutureDeadlineDoesNotSkip)
+{
+    ThreadPool pool(2);
+    TaskGroup group(pool);
+    std::atomic<int> completed{0};
+    const auto future =
+        std::chrono::steady_clock::now() + std::chrono::minutes(5);
+    for (int i = 0; i < 16; ++i)
+        group.runWithDeadline([&completed] { ++completed; }, future);
+    group.wait();
+    EXPECT_EQ(completed.load(), 16);
+    EXPECT_EQ(group.skipped(), 0u);
+}
+
+TEST(CancelToken, PollThrowsAfterCancel)
+{
+    CancelToken token;
+    EXPECT_NO_THROW(token.poll());
+    token.requestCancel();
+    EXPECT_TRUE(token.cancelled());
+    EXPECT_THROW(token.poll(), Cancelled);
+}
+
+TEST(CancelToken, DeadlineExpires)
+{
+    CancelToken token;
+    EXPECT_FALSE(token.hasDeadline());
+    token.setTimeout(0.0); // ignored
+    EXPECT_FALSE(token.hasDeadline());
+    token.setDeadline(CancelToken::Clock::now() -
+                      std::chrono::milliseconds(1));
+    EXPECT_TRUE(token.hasDeadline());
+    EXPECT_TRUE(token.deadlineExpired());
+    EXPECT_THROW(token.poll(), DeadlineExceeded);
 }
 
 TEST(TaskGroup, ReusableAfterWait)

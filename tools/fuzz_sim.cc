@@ -29,6 +29,7 @@
 #include "check/check.h"
 #include "geom/rng.h"
 #include "harness/harness.h"
+#include "harness/report.h"
 #include "harness/sweep.h"
 
 namespace {
@@ -100,6 +101,23 @@ deriveCase(std::uint64_t seed)
     return c;
 }
 
+/**
+ * Stable digest of a SimStats: FNV-1a over its lossless JSON form. Two
+ * runs of the same configuration must print the same digest — the
+ * replay regression test (tests/check_fuzz_replay.sh) depends on it.
+ */
+std::uint64_t
+statsDigest(const drs::simt::SimStats &stats)
+{
+    const std::string text = drs::harness::statsJsonFull(stats).dump();
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    for (const char ch : text) {
+        hash ^= static_cast<unsigned char>(ch);
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
 std::string
 describeCase(const FuzzCase &c)
 {
@@ -167,6 +185,13 @@ runCase(const FuzzCase &c, drs::harness::PreparedSceneCache &cache)
                          "FAIL %s: DRS_CHECK=1 altered SimStats\n",
                          describeCase(c).c_str());
             return false;
+        }
+        {
+            const std::lock_guard<std::mutex> lock(g_print_mutex);
+            std::printf("digest seed=0x%016" PRIx64 " stats=0x%016" PRIx64
+                        "\n",
+                        c.seed, statsDigest(sequential));
+            std::fflush(stdout);
         }
         return true;
     } catch (const std::exception &e) {

@@ -73,7 +73,8 @@ main(int argc, char **argv)
     stats::Table table({"variant", "SIMD eff", "issue util", "stall rate",
                         "Mrays/s"});
     for (std::size_t v = 0; v < std::size(variants); ++v) {
-        const auto &stats = results[variant_indices[v]].stats;
+        const auto &result = results[variant_indices[v]];
+        const auto &stats = result.stats;
         const double util =
             static_cast<double>(stats.histogram.instructions()) /
             (static_cast<double>(stats.cycles) *
@@ -84,7 +85,7 @@ main(int argc, char **argv)
                       stats::formatPercent(stats.rdctrlStallRate()),
                       stats::formatDouble(
                           stats.mraysPerSecond(defaults.gpu.clockGhz), 1)});
-        auto &json_row = report.addStats(conference, "drs", stats,
+        auto &json_row = report.addStats(conference, "drs", result,
                                          defaults.gpu.clockGhz);
         json_row["config"] = variants[v].name;
         json_row["bounce"] = "B2";
@@ -94,7 +95,8 @@ main(int argc, char **argv)
     table.print(std::cout);
 
     const auto &aila = results[aila_index].stats;
-    auto &aila_row = report.addStats(conference, "aila", aila,
+    auto &aila_row = report.addStats(conference, "aila",
+                                     results[aila_index],
                                      defaults.gpu.clockGhz);
     aila_row["config"] = "aila reference";
     aila_row["bounce"] = "B2";

@@ -156,6 +156,7 @@ makeRunConfig(const harness::ExperimentScale &scale, const Options &options)
     config.gpu.numSmx = scale.numSmx;
     config.smxThreads = options.smxThreads;
     config.trace = obs::TraceConfig::fromEnvironment();
+    config.sample = obs::SampleConfig::fromEnvironment();
     return config;
 }
 
@@ -209,6 +210,21 @@ class JsonReport
         row = harness::statsJson(stats, clock_ghz);
         row["scene"] = scene;
         row["arch"] = arch;
+        return row;
+    }
+
+    /**
+     * One result row prefilled from a sweep result. Same metric fields
+     * as the SimStats overload plus, when the run sampled (DRS_SAMPLE),
+     * the schema-v3 "attribution" and "timeline" profiler sections.
+     */
+    obs::Json &addStats(const std::string &scene, const std::string &arch,
+                        const harness::SweepResult &result, double clock_ghz)
+    {
+        obs::Json &row = addStats(scene, arch, result.stats, clock_ghz);
+        if (result.observations)
+            harness::addObservationsJson(row, *result.observations,
+                                         result.stats);
         return row;
     }
 

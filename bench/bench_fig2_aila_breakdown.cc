@@ -50,7 +50,7 @@ main(int argc, char **argv)
                       stats::formatPercent(stats.histogram.bucketFraction(3))});
 
         auto &row = report.addStats(scene::sceneName(scene::SceneId::Conference),
-                                    "aila", stats, clock_ghz);
+                                    "aila", result, clock_ghz);
         row["bounce"] = "B" + std::to_string(bounce);
         row["wall_seconds"] = result.seconds;
     }

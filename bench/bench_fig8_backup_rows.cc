@@ -86,8 +86,7 @@ main(int argc, char **argv)
                     continue;
                 auto &json_row = report.addStats(
                     scene::sceneName(id),
-                    configs[c].aila ? "aila" : "drs", result.stats,
-                    clock_ghz);
+                    configs[c].aila ? "aila" : "drs", result, clock_ghz);
                 json_row["config"] = configs[c].name;
                 json_row["bounce"] = "B" + std::to_string(bounce);
                 json_row["wall_seconds"] = result.seconds;

@@ -72,8 +72,7 @@ main(int argc, char **argv)
                     result.stats.mraysPerSecond(clock_ghz), 1));
 
                 auto &json_row = report.addStats(scene::sceneName(id),
-                                                 "drs", result.stats,
-                                                 clock_ghz);
+                                                 "drs", result, clock_ghz);
                 json_row["config"] =
                     std::to_string(backup_rows[r]) + "-row";
                 json_row["bounce"] = "B" + std::to_string(bounce);

@@ -62,8 +62,7 @@ main(int argc, char **argv)
                     mean_swap_samples[i] += 1;
                 }
                 auto &json_row = report.addStats(scene::sceneName(id),
-                                                 "drs", result.stats,
-                                                 clock_ghz);
+                                                 "drs", result, clock_ghz);
                 json_row["config"] =
                     std::to_string(buffer_configs[i]) + "-buffers";
                 json_row["bounce"] = "B" + std::to_string(b);

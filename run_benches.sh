@@ -4,15 +4,22 @@
 # DRS_JOBS controls how many simulations each bench runs concurrently
 # (default: all hardware threads); results are identical for any value.
 #
-# Usage: run_benches.sh [--json [DIR]]
+# Usage: run_benches.sh [--json [DIR]] [--compare BASELINE_DIR]
 #   --json        additionally write machine-readable BENCH_<name>.json
 #                 reports (default DIR: bench_reports). bench_micro uses
 #                 Google benchmark's own --benchmark_out JSON instead of
 #                 the shared schema. Validate with
 #                 tests/check_bench_schema.py DIR/BENCH_*.json
+#   --compare     after the sweep, diff the fresh reports against an
+#                 earlier report directory with tools/bench_compare.py
+#                 and exit non-zero on any metric regression. Implies
+#                 --json. The committed BENCH_baseline/ snapshot works as
+#                 a reference when run at its recorded scale (see
+#                 BENCH_baseline/README.md).
 #
 # Fails fast: the first bench that exits non-zero (or a failing schema
-# validation) aborts the whole sweep with that exit code.
+# validation, or a regression against --compare) aborts the whole sweep
+# with that exit code.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -20,10 +27,35 @@ export DRS_RAYS=${DRS_RAYS:-150000} DRS_SMX=${DRS_SMX:-4}
 export DRS_JOBS=${DRS_JOBS:-$(nproc 2>/dev/null || echo 1)}
 
 json_dir=""
-if [ "${1:-}" = "--json" ]; then
-  json_dir=${2:-bench_reports}
-  mkdir -p "$json_dir"
+compare_dir=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --json)
+      json_dir="bench_reports"
+      if [ $# -gt 1 ] && [ "${2#--}" = "$2" ]; then
+        json_dir=$2; shift
+      fi
+      ;;
+    --compare)
+      if [ $# -lt 2 ]; then
+        echo "error: --compare needs a baseline report directory" >&2
+        exit 2
+      fi
+      compare_dir=$2; shift
+      ;;
+    *)
+      echo "error: unknown argument $1" >&2
+      exit 2
+      ;;
+  esac
+  shift
+done
+
+# Comparing needs fresh reports to compare.
+if [ -n "$compare_dir" ] && [ -z "$json_dir" ]; then
+  json_dir="bench_reports"
 fi
+[ -z "$json_dir" ] || mkdir -p "$json_dir"
 
 for b in build/bench/bench_*; do
   [ -x "$b" ] && [ -f "$b" ] || continue
@@ -52,4 +84,9 @@ if [ -n "$json_dir" ]; then
   if command -v python3 >/dev/null 2>&1; then
     python3 tests/check_bench_schema.py "$json_dir"/BENCH_*.json
   fi
+fi
+
+if [ -n "$compare_dir" ]; then
+  echo; echo "######## bench_compare vs $compare_dir ########"; echo
+  python3 tools/bench_compare.py "$compare_dir" "$json_dir"
 fi

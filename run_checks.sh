@@ -14,6 +14,10 @@
 #    DRS_CHECK=1 -- and verifies both JSON reports validate against the
 #    schema (tests/check_bench_schema.py) and are identical except for
 #    wall-clock fields: invariant checking must be a pure observer.
+# 4. Profiler smoke: the same bench under DRS_SAMPLE + DRS_TRACE must
+#    emit a Chrome trace that passes tests/check_trace.py, a report that
+#    drs_profile can render, and bench_compare.py must pass a
+#    self-compare of that report and flag a perturbed copy.
 #
 # Usage: run_checks.sh [--skip-sanitizers]
 
@@ -118,5 +122,20 @@ if unchecked != checked:
              "(beyond wall-clock fields)")
 print("ok   bench report unchanged by DRS_CHECK=1")
 EOF
+
+echo; echo "######## profiler: trace + attribution + comparator smoke ########"
+echo
+cmake --build build -j"$JOBS" --target drs_profile
+mkdir -p "$json_dir/profiled"
+DRS_SAMPLE=500 DRS_TRACE="$json_dir/trace.json" \
+    build/bench/bench_fig2_aila_breakdown --jobs 1 \
+    --json "$json_dir/profiled/BENCH_fig2_aila_breakdown.json"
+python3 tests/check_trace.py "$json_dir/trace.json"
+python3 tests/check_bench_schema.py \
+    "$json_dir/profiled/BENCH_fig2_aila_breakdown.json"
+build/tools/drs_profile \
+    "$json_dir/profiled/BENCH_fig2_aila_breakdown.json" >/dev/null
+echo "ok   drs_profile renders the sampled report"
+bash tests/check_compare.sh python3 tools/bench_compare.py tests/fixtures
 
 echo; echo "run_checks.sh: all checks passed"

@@ -239,6 +239,11 @@ TbcSmx::issueFromBlock(ThreadBlock &block, int max_issues)
             normalRfAccesses_.add(kRfAccessesPerInstruction);
             --warp.remainingInstructions;
             ++issued;
+            if (attribution_)
+                attribution_->record(active == config_.simdLanes
+                                         ? obs::SlotBucket::IssuedFull
+                                         : obs::SlotBucket::IssuedPartial,
+                                     blk.phase);
         }
         if (warp.remainingInstructions == 0)
             completeWarp(block, warp);
@@ -379,8 +384,73 @@ TbcSmx::step()
                 }
             }
         }
+        if (attribution_)
+            attributeUnissued(s, per_scheduler - issued);
     }
+
+    // Close the attribution/sampling cycle last (see simt::Smx::step).
+    if (attribution_)
+        attribution_->endCycle();
+    if (sampler_)
+        sampler_->tick(histogram_.instructions(), histogram_.activeThreads(),
+                       kernel_.raysCompleted());
+
     ++cycle_;
+}
+
+void
+TbcSmx::attributeUnissued(int scheduler, int slots)
+{
+    if (slots <= 0)
+        return;
+
+    // Blame the first culprit block of this scheduler's partition, in
+    // partition order (deterministic). The TBC-specific stall is the
+    // block-wide divergence barrier, charged to stalled-scoreboard; a
+    // block whose compacted warps wait on memory is stalled-memory.
+    const ThreadBlock *barrier = nullptr;
+    const ThreadBlock *memory = nullptr;
+    const ThreadBlock *live = nullptr;
+    for (std::size_t b = static_cast<std::size_t>(scheduler);
+         b < blocks_.size();
+         b += static_cast<std::size_t>(config_.schedulersPerSmx)) {
+        const ThreadBlock &block = blocks_[b];
+        if (block.exited)
+            continue;
+        if (live == nullptr)
+            live = &block;
+        if (block.barrierUntil > cycle_) {
+            if (barrier == nullptr)
+                barrier = &block;
+        } else if (memory == nullptr) {
+            for (const auto &warp : block.stack.back().warps) {
+                if (warp.readyCycle > cycle_) {
+                    memory = &block;
+                    break;
+                }
+            }
+        }
+    }
+
+    obs::SlotBucket bucket = obs::SlotBucket::Drained;
+    const ThreadBlock *blame = nullptr;
+    if (live == nullptr) {
+        bucket = obs::SlotBucket::Drained;
+    } else if (barrier != nullptr) {
+        bucket = obs::SlotBucket::StalledScoreboard;
+        blame = barrier;
+    } else if (memory != nullptr) {
+        bucket = obs::SlotBucket::StalledMemory;
+        blame = memory;
+    } else {
+        bucket = obs::SlotBucket::NoReadyWarp;
+        blame = live;
+    }
+    const obs::TravPhase phase =
+        blame != nullptr
+            ? kernel_.program().block(blame->stack.back().pc).phase
+            : obs::TravPhase::None;
+    attribution_->record(bucket, phase, static_cast<std::uint64_t>(slots));
 }
 
 void
@@ -415,8 +485,23 @@ TbcSmx::collectStats() const
         s.counters.add("fault.dram_dropped", f.dramDropped);
         s.counters.add("fault.alloc_failures", f.allocFailures);
     }
-    if (check_ != nullptr)
+    if (check_ != nullptr) {
         check_->checkStats(s);
+        if (attribution_) {
+            attribution_->verifyConservation();
+            if (attribution_->cycles() != cycle_)
+                throw std::logic_error(
+                    "issue attribution: ledger cycles out of step with "
+                    "the TBC SMX");
+            const std::uint64_t issued =
+                attribution_->bucketTotal(obs::SlotBucket::IssuedFull) +
+                attribution_->bucketTotal(obs::SlotBucket::IssuedPartial);
+            if (issued != histogram_.instructions())
+                throw std::logic_error(
+                    "issue attribution: issued slots disagree with the "
+                    "instruction histogram");
+        }
+    }
     return s;
 }
 
@@ -502,6 +587,27 @@ runTbcGpu(const simt::GpuConfig &config, const TbcConfig &tbc,
         unit.smx->setCheck(options.check);
         if (options.fault.enabled())
             unit.smx->setFault(injectors[static_cast<std::size_t>(i)].get());
+        if (options.attribution != nullptr) {
+            if (i == 0) {
+                const Program &program = unit.kernel->program();
+                std::vector<std::string> names;
+                names.reserve(
+                    static_cast<std::size_t>(program.blockCount()));
+                for (int b = 0; b < program.blockCount(); ++b)
+                    names.push_back(program.block(b).name);
+                options.attribution->setBlockNames(std::move(names));
+            }
+            unit.smx->setAttribution(&options.attribution->smx(i));
+        }
+        if (options.sampler != nullptr) {
+            obs::TimeSampler &sampler = options.sampler->smx(i);
+            const obs::SampleConfig &sample = options.sampler->config();
+            sampler.enable(sample.interval, sample.capacity,
+                           options.attribution != nullptr
+                               ? &options.attribution->smx(i)
+                               : nullptr);
+            unit.smx->setSampler(&sampler);
+        }
         units.push_back(std::move(unit));
     }
 

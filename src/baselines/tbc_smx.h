@@ -20,7 +20,9 @@
 #include "exec/cancel.h"
 #include "fault/fault.h"
 #include "kernels/aila_kernel.h"
+#include "obs/attribution.h"
 #include "obs/counters.h"
+#include "obs/sampler.h"
 #include "simt/check.h"
 #include "simt/config.h"
 #include "simt/memory.h"
@@ -80,6 +82,19 @@ class TbcSmx
      * disables checking. Not owned; must outlive the SMX.
      */
     void setCheck(const simt::CheckContext *check) { check_ = check; }
+
+    /**
+     * Attach an issue-slot attribution ledger (see simt::Smx): every
+     * scheduler slot of every cycle is classified, with the TBC barrier
+     * charged to the stalled-scoreboard bucket. Pure observation.
+     */
+    void setAttribution(obs::IssueAttribution *attribution)
+    {
+        attribution_ = attribution;
+    }
+
+    /** Attach a windowed time-series sampler (see simt::Smx). */
+    void setSampler(obs::TimeSampler *sampler) { sampler_ = sampler; }
 
     /**
      * Block-stack invariants: every stack is non-empty with its bottom
@@ -160,6 +175,9 @@ class TbcSmx
     int issueFromBlock(ThreadBlock &block, int max_issues);
     void completeWarp(ThreadBlock &block, CompactedWarp &warp);
 
+    /** Charge scheduler @p scheduler's unissued slots (attribution). */
+    void attributeUnissued(int scheduler, int slots);
+
     int threadSlotIndex(const ThreadRef &t) const;
 
     const simt::GpuConfig &config_;
@@ -194,6 +212,8 @@ class TbcSmx
     std::vector<DeferredAccess> deferredAccesses_;
     const simt::CheckContext *check_ = nullptr;
     fault::FaultInjector *fault_ = nullptr;
+    obs::IssueAttribution *attribution_ = nullptr;
+    obs::TimeSampler *sampler_ = nullptr;
 };
 
 /** Execution options (mirrors simt::GpuRunOptions). */
@@ -210,6 +230,10 @@ struct TbcRunOptions
         onSmxRetire;
     /** Invariant checker (see simt::GpuRunOptions::check); null = off. */
     const simt::CheckContext *check = nullptr;
+    /** Issue-slot attribution (see simt::GpuRunOptions); null = off. */
+    obs::AttributionCollector *attribution = nullptr;
+    /** Time-series sampling (see simt::GpuRunOptions); null = off. */
+    obs::SamplerCollector *sampler = nullptr;
     /** Fault injection (see simt::GpuRunOptions::fault); seed 0 = off. */
     fault::FaultConfig fault{};
     /** Watchdog budget in cycles (see simt::GpuRunOptions); 0 = off. */

@@ -43,13 +43,26 @@ harvestHits(const kernels::TravWorkspace &workspace,
               out.begin() + static_cast<std::ptrdiff_t>(first));
 }
 
+/**
+ * The pure observers scoped to one batch (trace ring, issue-slot
+ * attribution, timeline sampler); any pointer may be null.
+ */
+struct Observers
+{
+    obs::TraceCollector *trace = nullptr;
+    obs::AttributionCollector *attribution = nullptr;
+    obs::SamplerCollector *sampler = nullptr;
+};
+
 simt::GpuRunOptions
-gpuRunOptions(const RunConfig &config, obs::TraceCollector *collector)
+gpuRunOptions(const RunConfig &config, const Observers &observers)
 {
     simt::GpuRunOptions options;
     options.maxCycles = config.maxCycles;
     options.smxThreads = config.smxThreads;
-    options.trace = collector;
+    options.trace = observers.trace;
+    options.attribution = observers.attribution;
+    options.sampler = observers.sampler;
     options.perSmxStats = config.perSmxStats;
     options.fault = config.fault;
     options.watchdogCycles = config.watchdogCycles;
@@ -59,10 +72,10 @@ gpuRunOptions(const RunConfig &config, obs::TraceCollector *collector)
 
 simt::SimStats
 runAila(const render::PathTracer &tracer, std::span<const geom::Ray> rays,
-        const RunConfig &config, obs::TraceCollector *collector,
+        const RunConfig &config, const Observers &observers,
         const check::Checker *checker)
 {
-    simt::GpuRunOptions options = gpuRunOptions(config, collector);
+    simt::GpuRunOptions options = gpuRunOptions(config, observers);
     options.check = checker;
     if (config.hitsOut != nullptr || checker != nullptr)
         options.onSmxRetire = [&config, checker](int,
@@ -91,10 +104,10 @@ runAila(const render::PathTracer &tracer, std::span<const geom::Ray> rays,
 
 simt::SimStats
 runDrs(const render::PathTracer &tracer, std::span<const geom::Ray> rays,
-       const RunConfig &config, obs::TraceCollector *collector,
+       const RunConfig &config, const Observers &observers,
        const check::Checker *checker)
 {
-    simt::GpuRunOptions options = gpuRunOptions(config, collector);
+    simt::GpuRunOptions options = gpuRunOptions(config, observers);
     options.check = checker;
     if (config.hitsOut != nullptr || checker != nullptr)
         options.onSmxRetire = [&config, checker](int,
@@ -129,10 +142,10 @@ runDrs(const render::PathTracer &tracer, std::span<const geom::Ray> rays,
 
 simt::SimStats
 runDmk(const render::PathTracer &tracer, std::span<const geom::Ray> rays,
-       const RunConfig &config, obs::TraceCollector *collector,
+       const RunConfig &config, const Observers &observers,
        const check::Checker *checker)
 {
-    simt::GpuRunOptions options = gpuRunOptions(config, collector);
+    simt::GpuRunOptions options = gpuRunOptions(config, observers);
     options.check = checker;
     if (config.hitsOut != nullptr || checker != nullptr)
         options.onSmxRetire = [&config, checker](int,
@@ -167,7 +180,8 @@ runDmk(const render::PathTracer &tracer, std::span<const geom::Ray> rays,
 
 simt::SimStats
 runTbc(const render::PathTracer &tracer, std::span<const geom::Ray> rays,
-       const RunConfig &config, const check::Checker *checker)
+       const RunConfig &config, const Observers &observers,
+       const check::Checker *checker)
 {
     kernels::AilaConfig aila = config.aila;
     aila.numWarps = config.tbc.numWarps;
@@ -176,6 +190,8 @@ runTbc(const render::PathTracer &tracer, std::span<const geom::Ray> rays,
     options.smxThreads = config.smxThreads;
     options.perSmxStats = config.perSmxStats;
     options.check = checker;
+    options.attribution = observers.attribution;
+    options.sampler = observers.sampler;
     options.fault = config.fault;
     options.watchdogCycles = config.watchdogCycles;
     options.cancel = config.cancel;
@@ -214,19 +230,38 @@ runBatchImpl(Arch arch, const render::PathTracer &tracer,
         collector = std::make_unique<obs::TraceCollector>(
             config.gpu.numSmx, config.trace.capacity);
 
+    // Issue-slot attribution runs whenever sampling asks for it or a
+    // checker is attached (the ledger's conservation invariant is part
+    // of the DRS_CHECK surface); the timeline sampler only on request.
+    // All of it is scoped to the batch, exactly like the trace ring.
+    std::unique_ptr<obs::AttributionCollector> attribution;
+    if (config.sample.enabled || checker != nullptr)
+        attribution = std::make_unique<obs::AttributionCollector>(
+            config.gpu.numSmx,
+            config.gpu.schedulersPerSmx * config.gpu.issuesPerScheduler());
+    std::unique_ptr<obs::SamplerCollector> sampler;
+    if (config.sample.enabled)
+        sampler = std::make_unique<obs::SamplerCollector>(config.gpu.numSmx,
+                                                          config.sample);
+
+    Observers observers;
+    observers.trace = collector.get();
+    observers.attribution = attribution.get();
+    observers.sampler = sampler.get();
+
     simt::SimStats stats;
     switch (arch) {
       case Arch::Aila:
-        stats = runAila(tracer, rays, config, collector.get(), checker);
+        stats = runAila(tracer, rays, config, observers, checker);
         break;
       case Arch::Drs:
-        stats = runDrs(tracer, rays, config, collector.get(), checker);
+        stats = runDrs(tracer, rays, config, observers, checker);
         break;
       case Arch::Dmk:
-        stats = runDmk(tracer, rays, config, collector.get(), checker);
+        stats = runDmk(tracer, rays, config, observers, checker);
         break;
       case Arch::Tbc:
-        stats = runTbc(tracer, rays, config, checker);
+        stats = runTbc(tracer, rays, config, observers, checker);
         break;
       default:
         throw std::invalid_argument("unknown architecture");
@@ -239,9 +274,16 @@ runBatchImpl(Arch arch, const render::PathTracer &tracer,
         static std::mutex write_mutex;
         const std::lock_guard<std::mutex> lock(write_mutex);
         std::string error;
-        if (!collector->writeFile(config.trace.path, &error))
+        if (!collector->writeFile(config.trace.path, &error,
+                                  sampler.get()))
             std::fprintf(stderr, "warning: trace not written: %s\n",
                          error.c_str());
+    }
+
+    if (config.observationsOut != nullptr && config.sample.enabled) {
+        config.observationsOut->attribution = std::move(attribution);
+        config.observationsOut->sampler = std::move(sampler);
+        config.observationsOut->simdLanes = config.gpu.simdLanes;
     }
     return stats;
 }

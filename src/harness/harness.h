@@ -20,6 +20,8 @@
 #include "core/drs_control.h"
 #include "kernels/aila_kernel.h"
 #include "kernels/drs_kernel.h"
+#include "obs/attribution.h"
+#include "obs/sampler.h"
 #include "obs/trace.h"
 #include "render/path_tracer.h"
 #include "scene/scenes.h"
@@ -37,6 +39,23 @@ enum class Arch
 };
 
 std::string archName(Arch arch);
+
+/**
+ * Profiler output of one runBatch call (cycle attribution + sampled
+ * timeline), harvested when RunConfig::observationsOut is set and
+ * sampling is enabled. Side channel by design: SimStats stay
+ * bit-identical with profiling on or off (the pure-observer contract),
+ * so profiler results must never live inside them.
+ */
+struct RunObservations
+{
+    /** Per-SMX issue-slot ledgers (merged view via collector). */
+    std::unique_ptr<obs::AttributionCollector> attribution;
+    /** Per-SMX windowed timelines. */
+    std::unique_ptr<obs::SamplerCollector> sampler;
+    /** SIMD width, for instantaneous-efficiency reporting. */
+    int simdLanes = 32;
+};
 
 /** Everything configurable about one experiment run. */
 struct RunConfig
@@ -63,6 +82,18 @@ struct RunConfig
      * this. Tracing never alters SimStats.
      */
     obs::TraceConfig trace{};
+    /**
+     * Windowed time-series sampling (see obs::SampleConfig, usually from
+     * the DRS_SAMPLE environment variable). Enabling it also enables
+     * issue-slot attribution, so timeline frames carry slot breakdowns.
+     * Pure observation: SimStats are bit-identical either way.
+     */
+    obs::SampleConfig sample{};
+    /**
+     * When set and sampling is enabled, runBatch deposits the profiler
+     * collectors (attribution + timeline) here after the run.
+     */
+    RunObservations *observationsOut = nullptr;
     /**
      * When set, runBatch stores each traced ray's hit record at the
      * ray's global batch index (resizing as needed). Used by the

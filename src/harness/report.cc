@@ -1,6 +1,8 @@
 #include "harness/report.h"
 
+#include <algorithm>
 #include <array>
+#include <numeric>
 #include <stdexcept>
 #include <string>
 
@@ -202,6 +204,44 @@ statsFromJson(const obs::Json &json)
         stats.counters.add(name, value.asUint());
     }
     return stats;
+}
+
+void
+addObservationsJson(obs::Json &row, const RunObservations &observations,
+                    const simt::SimStats &stats, std::size_t top_k)
+{
+    if (observations.attribution) {
+        obs::Json section = observations.attribution->toJson();
+
+        // Hottest blocks by issued instructions: block-issue tallies from
+        // the stats joined with the collector's name table.
+        std::vector<std::size_t> order(stats.blockIssue.size());
+        std::iota(order.begin(), order.end(), std::size_t{0});
+        std::stable_sort(order.begin(), order.end(),
+                         [&](std::size_t a, std::size_t b) {
+                             return stats.blockIssue[a].first >
+                                    stats.blockIssue[b].first;
+                         });
+        if (order.size() > top_k)
+            order.resize(top_k);
+
+        const auto &names = observations.attribution->blockNames();
+        obs::Json &blocks = section["blocks"];
+        blocks = obs::Json::array();
+        for (std::size_t index : order) {
+            if (stats.blockIssue[index].first == 0)
+                break; // sorted: everything after is idle too
+            obs::Json &block = blocks.push(obs::Json::object());
+            block["name"] = index < names.size()
+                                ? names[index]
+                                : "block " + std::to_string(index);
+            block["issues"] = stats.blockIssue[index].first;
+            block["active_threads"] = stats.blockIssue[index].second;
+        }
+        row["attribution"] = std::move(section);
+    }
+    if (observations.sampler)
+        row["timeline"] = observations.sampler->toJson(observations.simdLanes);
 }
 
 obs::Json

@@ -42,4 +42,17 @@ simt::SimStats statsFromJson(const obs::Json &json);
 /** The ExperimentScale knobs as a report "scale" object. */
 obs::Json scaleJson(const ExperimentScale &scale);
 
+/**
+ * Attach the optional schema-v3 profiler sections to a result row:
+ * "attribution" (issue-slot buckets x traversal phases plus the top
+ * @p top_k hottest blocks, joined from stats.blockIssue and the
+ * collector's block-name table) and "timeline" (merged windowed
+ * frames). No-op when @p observations holds no collectors — i.e. the
+ * run did not sample — so v2-shaped rows stay unchanged.
+ */
+void addObservationsJson(obs::Json &row,
+                         const RunObservations &observations,
+                         const simt::SimStats &stats,
+                         std::size_t top_k = 8);
+
 } // namespace drs::harness

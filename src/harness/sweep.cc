@@ -171,10 +171,22 @@ SweepRunner::runOne(const SweepJob &job)
     if (job.maxRays && rays.size() > job.maxRays)
         rays = rays.first(job.maxRays);
 
+    // The sweep owns the profiler side channel: jobs run concurrently,
+    // so a caller-provided observationsOut would be clobbered.
+    RunConfig config = job.config;
+    std::shared_ptr<RunObservations> observations;
+    if (config.sample.enabled) {
+        observations = std::make_shared<RunObservations>();
+        config.observationsOut = observations.get();
+    } else {
+        config.observationsOut = nullptr;
+    }
+
     const auto start = std::chrono::steady_clock::now();
-    result.stats = runBatch(job.arch, *prepared.tracer, rays, job.config);
+    result.stats = runBatch(job.arch, *prepared.tracer, rays, config);
     result.seconds = secondsSince(start);
     result.ran = true;
+    result.observations = std::move(observations);
     return result;
 }
 

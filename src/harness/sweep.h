@@ -93,6 +93,14 @@ struct SweepResult
     std::uint64_t faultSeed = 0;
     /** True when this result was replayed from a --resume journal. */
     bool fromJournal = false;
+    /**
+     * Profiler output (cycle attribution + sampled timeline), present
+     * only when the job's config enabled sampling (RunConfig::sample)
+     * and the job actually ran. Null for journal replays: the journal
+     * stores lossless SimStats, not profiler sections. Shared because
+     * results are copied around by value.
+     */
+    std::shared_ptr<const RunObservations> observations;
 };
 
 /**

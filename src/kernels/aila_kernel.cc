@@ -21,39 +21,46 @@ makeAilaProgram(const CostModel &cost)
     fetch.instructionCount = cost.fetchRay;
     fetch.successors = {AilaBlocks::kInnerHead, AilaBlocks::kExit};
     fetch.memSpace = MemSpace::Global;
+    fetch.phase = obs::TravPhase::Fetch;
 
     auto &ihead = blocks[AilaBlocks::kInnerHead];
     ihead.name = "INNER_HEAD";
     ihead.instructionCount = cost.innerLoopHead;
     ihead.successors = {AilaBlocks::kInnerTest, AilaBlocks::kLeafHead};
+    ihead.phase = obs::TravPhase::Inner;
 
     auto &itest = blocks[AilaBlocks::kInnerTest];
     itest.name = "INNER_TEST";
     itest.instructionCount = cost.innerTest;
     itest.successors = {AilaBlocks::kInnerHead};
     itest.memSpace = MemSpace::Texture;
+    itest.phase = obs::TravPhase::Inner;
 
     auto &lhead = blocks[AilaBlocks::kLeafHead];
     lhead.name = "LEAF_HEAD";
     lhead.instructionCount = cost.leafLoopHead;
     lhead.successors = {AilaBlocks::kLeafTest, AilaBlocks::kDoneCheck};
+    lhead.phase = obs::TravPhase::Leaf;
 
     auto &ltest = blocks[AilaBlocks::kLeafTest];
     ltest.name = "LEAF_TEST";
     ltest.instructionCount = cost.leafTest;
     ltest.successors = {AilaBlocks::kLeafHead};
     ltest.memSpace = MemSpace::Texture;
+    ltest.phase = obs::TravPhase::Leaf;
 
     auto &done = blocks[AilaBlocks::kDoneCheck];
     done.name = "DONE_CHECK";
     done.instructionCount = cost.doneCheck;
     done.successors = {AilaBlocks::kInnerHead, AilaBlocks::kStore};
+    done.phase = obs::TravPhase::Fetch;
 
     auto &store = blocks[AilaBlocks::kStore];
     store.name = "STORE";
     store.instructionCount = cost.storeResult;
     store.successors = {AilaBlocks::kFetch};
     store.memSpace = MemSpace::Global;
+    store.phase = obs::TravPhase::Fetch;
 
     blocks[AilaBlocks::kExit].name = "EXIT";
     blocks[AilaBlocks::kExit].instructionCount = 1;

@@ -28,33 +28,39 @@ makeDrsProgram(const CostModel &cost)
     fetch.instructionCount = cost.fetchRay;
     fetch.successors = {DrsBlocks::kRdctrl};
     fetch.memSpace = MemSpace::Global;
+    fetch.phase = obs::TravPhase::Fetch;
 
     auto &itest = blocks[DrsBlocks::kInnerTest];
     itest.name = "IF_INNER_TEST";
     itest.instructionCount = cost.innerTest;
     itest.successors = {DrsBlocks::kSetStateInner};
     itest.memSpace = MemSpace::Texture;
+    itest.phase = obs::TravPhase::Inner;
 
     auto &seti = blocks[DrsBlocks::kSetStateInner];
     seti.name = "SET_STATE_I";
     seti.instructionCount = cost.setRayState;
     seti.successors = {DrsBlocks::kRdctrl};
+    seti.phase = obs::TravPhase::Inner;
 
     auto &lhead = blocks[DrsBlocks::kLeafHead];
     lhead.name = "IF_LEAF_HEAD";
     lhead.instructionCount = cost.leafBodyHead;
     lhead.successors = {DrsBlocks::kLeafTest, DrsBlocks::kSetStateLeaf};
+    lhead.phase = obs::TravPhase::Leaf;
 
     auto &ltest = blocks[DrsBlocks::kLeafTest];
     ltest.name = "LEAF_TEST";
     ltest.instructionCount = cost.leafTest;
     ltest.successors = {DrsBlocks::kLeafHead};
     ltest.memSpace = MemSpace::Texture;
+    ltest.phase = obs::TravPhase::Leaf;
 
     auto &setl = blocks[DrsBlocks::kSetStateLeaf];
     setl.name = "SET_STATE_L";
     setl.instructionCount = cost.setRayState;
     setl.successors = {DrsBlocks::kRdctrl};
+    setl.phase = obs::TravPhase::Leaf;
 
     blocks[DrsBlocks::kExit].name = "EXIT";
     blocks[DrsBlocks::kExit].instructionCount = 1;

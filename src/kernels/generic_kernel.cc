@@ -115,19 +115,23 @@ makeWhileIfProgram()
                                        GenericBlocks::kPhaseB,
                                        GenericBlocks::kExit},
                                       simt::MemSpace::None,
-                                      SpecialOp::Rdctrl, false};
+                                      SpecialOp::Rdctrl, false,
+                                      obs::TravPhase::None};
     blocks[GenericBlocks::kFetchBody] = {"IF_FETCH", 12,
                                          {GenericBlocks::kRdctrl},
                                          simt::MemSpace::Global,
-                                         SpecialOp::None, false};
+                                         SpecialOp::None, false,
+                                         obs::TravPhase::Fetch};
     blocks[GenericBlocks::kPhaseA] = {"IF_PHASE_A", 40,
                                       {GenericBlocks::kRdctrl},
                                       simt::MemSpace::None,
-                                      SpecialOp::None, false};
+                                      SpecialOp::None, false,
+                                      obs::TravPhase::Inner};
     blocks[GenericBlocks::kPhaseB] = {"IF_PHASE_B", 28,
                                       {GenericBlocks::kRdctrl},
                                       simt::MemSpace::None,
-                                      SpecialOp::None, false};
+                                      SpecialOp::None, false,
+                                      obs::TravPhase::Leaf};
     blocks[GenericBlocks::kExit] = {"EXIT", 1, {}, simt::MemSpace::None,
                                     SpecialOp::None, false};
     return Program(std::move(blocks), GenericBlocks::kExit);
@@ -141,25 +145,30 @@ makeWhileWhileProgram()
                                        {GenericBlocks::kWwHeadA,
                                         GenericBlocks::kWwExit},
                                        simt::MemSpace::Global,
-                                       SpecialOp::None, false};
+                                       SpecialOp::None, false,
+                                       obs::TravPhase::Fetch};
     blocks[GenericBlocks::kWwHeadA] = {"HEAD_A", 2,
                                        {GenericBlocks::kWwBodyA,
                                         GenericBlocks::kWwHeadB},
                                        simt::MemSpace::None,
-                                       SpecialOp::None, false};
+                                       SpecialOp::None, false,
+                                       obs::TravPhase::Inner};
     blocks[GenericBlocks::kWwBodyA] = {"BODY_A", 40,
                                        {GenericBlocks::kWwHeadA},
                                        simt::MemSpace::None,
-                                       SpecialOp::None, false};
+                                       SpecialOp::None, false,
+                                       obs::TravPhase::Inner};
     blocks[GenericBlocks::kWwHeadB] = {"HEAD_B", 2,
                                        {GenericBlocks::kWwBodyB,
                                         GenericBlocks::kWwFetch},
                                        simt::MemSpace::None,
-                                       SpecialOp::None, false};
+                                       SpecialOp::None, false,
+                                       obs::TravPhase::Leaf};
     blocks[GenericBlocks::kWwBodyB] = {"BODY_B", 28,
                                        {GenericBlocks::kWwHeadB},
                                        simt::MemSpace::None,
-                                       SpecialOp::None, false};
+                                       SpecialOp::None, false,
+                                       obs::TravPhase::Leaf};
     blocks[GenericBlocks::kWwExit] = {"EXIT", 1, {}, simt::MemSpace::None,
                                       SpecialOp::None, false};
     return Program(std::move(blocks), GenericBlocks::kWwExit);

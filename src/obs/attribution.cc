@@ -1,0 +1,178 @@
+#include "obs/attribution.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/json.h"
+
+namespace drs::obs {
+
+const char *
+slotBucketName(SlotBucket bucket)
+{
+    switch (bucket) {
+    case SlotBucket::IssuedFull: return "issued_full";
+    case SlotBucket::IssuedPartial: return "issued_partial";
+    case SlotBucket::StalledRdctrl: return "stalled_rdctrl";
+    case SlotBucket::StalledMemory: return "stalled_memory";
+    case SlotBucket::StalledScoreboard: return "stalled_scoreboard";
+    case SlotBucket::NoReadyWarp: return "no_ready_warp";
+    case SlotBucket::Drained: return "drained";
+    }
+    return "unknown";
+}
+
+const char *
+travPhaseName(TravPhase phase)
+{
+    switch (phase) {
+    case TravPhase::None: return "none";
+    case TravPhase::Fetch: return "fetch";
+    case TravPhase::Inner: return "inner";
+    case TravPhase::Leaf: return "leaf";
+    }
+    return "unknown";
+}
+
+void
+IssueAttribution::enable(int slots_per_cycle)
+{
+    if (slots_per_cycle <= 0)
+        throw std::invalid_argument(
+            "IssueAttribution::enable: slots_per_cycle must be positive");
+    slotsPerCycle_ = slots_per_cycle;
+}
+
+void
+IssueAttribution::endCycle()
+{
+    if (!enabled())
+        return;
+    if (cycleSlots_ != static_cast<std::uint64_t>(slotsPerCycle_)) {
+        std::ostringstream out;
+        out << "issue-slot conservation violated: cycle " << cycles_
+            << " recorded " << cycleSlots_ << " slots, expected "
+            << slotsPerCycle_;
+        throw std::logic_error(out.str());
+    }
+    cycleSlots_ = 0;
+    ++cycles_;
+}
+
+std::uint64_t
+IssueAttribution::bucketTotal(SlotBucket bucket) const
+{
+    std::uint64_t total = 0;
+    for (int p = 0; p < kNumTravPhases; ++p)
+        total += count(bucket, static_cast<TravPhase>(p));
+    return total;
+}
+
+std::array<std::uint64_t, kNumSlotBuckets>
+IssueAttribution::bucketTotals() const
+{
+    std::array<std::uint64_t, kNumSlotBuckets> totals{};
+    for (int b = 0; b < kNumSlotBuckets; ++b)
+        totals[b] = bucketTotal(static_cast<SlotBucket>(b));
+    return totals;
+}
+
+std::uint64_t
+IssueAttribution::totalSlots() const
+{
+    std::uint64_t total = 0;
+    for (const std::uint64_t n : counts_)
+        total += n;
+    return total;
+}
+
+void
+IssueAttribution::merge(const IssueAttribution &other)
+{
+    if (!other.enabled())
+        return;
+    if (!enabled())
+        slotsPerCycle_ = other.slotsPerCycle_;
+    if (slotsPerCycle_ != other.slotsPerCycle_)
+        throw std::invalid_argument(
+            "IssueAttribution::merge: slotsPerCycle mismatch");
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    cycles_ += other.cycles_;
+}
+
+void
+IssueAttribution::verifyConservation() const
+{
+    if (!enabled())
+        return;
+    if (cycleSlots_ != 0)
+        throw std::logic_error(
+            "issue-slot conservation: unfinished cycle at verification");
+    const std::uint64_t expected =
+        static_cast<std::uint64_t>(slotsPerCycle_) * cycles_;
+    const std::uint64_t total = totalSlots();
+    if (total == expected)
+        return;
+    std::ostringstream out;
+    out << "issue-slot conservation violated: sum " << total << " != "
+        << slotsPerCycle_ << " slots x " << cycles_ << " cycles ("
+        << expected << ");";
+    for (int b = 0; b < kNumSlotBuckets; ++b)
+        out << ' ' << slotBucketName(static_cast<SlotBucket>(b)) << '='
+            << bucketTotal(static_cast<SlotBucket>(b));
+    throw std::logic_error(out.str());
+}
+
+AttributionCollector::AttributionCollector(int num_smx, int slots_per_cycle)
+{
+    if (num_smx <= 0)
+        throw std::invalid_argument(
+            "AttributionCollector: num_smx must be positive");
+    perSmx_.reserve(static_cast<std::size_t>(num_smx));
+    for (int i = 0; i < num_smx; ++i) {
+        perSmx_.push_back(std::make_unique<IssueAttribution>());
+        perSmx_.back()->enable(slots_per_cycle);
+    }
+}
+
+void
+AttributionCollector::setBlockNames(std::vector<std::string> names)
+{
+    blockNames_ = std::move(names);
+}
+
+IssueAttribution
+AttributionCollector::merged() const
+{
+    IssueAttribution total;
+    for (const auto &smx : perSmx_)
+        total.merge(*smx);
+    return total;
+}
+
+Json
+AttributionCollector::toJson() const
+{
+    const IssueAttribution total = merged();
+    Json section = Json::object();
+    section["slots_per_cycle"] =
+        static_cast<std::int64_t>(total.slotsPerCycle());
+    section["cycles"] = total.cycles();
+    section["total_slots"] = total.totalSlots();
+    Json &buckets = section["buckets"];
+    buckets = Json::object();
+    for (int b = 0; b < kNumSlotBuckets; ++b) {
+        const auto bucket = static_cast<SlotBucket>(b);
+        Json &entry = buckets[slotBucketName(bucket)];
+        entry = Json::object();
+        entry["total"] = total.bucketTotal(bucket);
+        for (int p = 0; p < kNumTravPhases; ++p) {
+            const auto phase = static_cast<TravPhase>(p);
+            entry[travPhaseName(phase)] = total.count(bucket, phase);
+        }
+    }
+    return section;
+}
+
+} // namespace drs::obs

@@ -68,6 +68,95 @@ isNonNegativeNumber(const Json &v)
     return v.isNumber() && v.asDouble() >= 0.0;
 }
 
+/** Validate an optional per-row "attribution" profiler section. */
+std::string
+validateAttribution(const Json &section, const std::string &where)
+{
+    if (!section.isObject())
+        return where + " must be an object";
+    for (const char *field : {"slots_per_cycle", "cycles", "total_slots"}) {
+        const Json *v = section.find(field);
+        if (!v || !isNonNegativeNumber(*v))
+            return where + "." + field +
+                   " must be a non-negative number";
+    }
+    const Json *buckets = section.find("buckets");
+    if (!buckets || !buckets->isObject())
+        return where + ".buckets must be an object";
+    for (const auto &[name, bucket] : buckets->asObject()) {
+        if (!bucket.isObject())
+            return where + ".buckets." + name + " must be an object";
+        for (const auto &[phase, value] : bucket.asObject())
+            if (!isNonNegativeNumber(value))
+                return where + ".buckets." + name + "." + phase +
+                       " must be a non-negative number";
+    }
+    if (const Json *blocks = section.find("blocks")) {
+        if (!blocks->isArray())
+            return where + ".blocks must be an array";
+        for (const Json &block : blocks->asArray()) {
+            if (!block.isObject())
+                return where + ".blocks entries must be objects";
+            const Json *name = block.find("name");
+            if (!name || !name->isString())
+                return where + ".blocks entries need a \"name\" string";
+            for (const char *field : {"issues", "active_threads"})
+                if (const Json *v = block.find(field);
+                    v && !isNonNegativeNumber(*v))
+                    return where + ".blocks." + field +
+                           " must be a non-negative number";
+        }
+    }
+    return "";
+}
+
+/** Validate an optional per-row "timeline" profiler section. */
+std::string
+validateTimeline(const Json &section, const std::string &where)
+{
+    if (!section.isObject())
+        return where + " must be an object";
+    for (const char *field : {"interval", "base_interval"}) {
+        const Json *v = section.find(field);
+        if (!v || !isNonNegativeNumber(*v))
+            return where + "." + field +
+                   " must be a non-negative number";
+    }
+    const Json *frames = section.find("frames");
+    if (!frames || !frames->isArray())
+        return where + ".frames must be an array";
+    double last_begin = -1.0;
+    for (std::size_t i = 0; i < frames->asArray().size(); ++i) {
+        const Json &frame = frames->asArray()[i];
+        const std::string at =
+            where + ".frames[" + std::to_string(i) + "]";
+        if (!frame.isObject())
+            return at + " must be an object";
+        for (const char *field : {"begin", "end", "instructions",
+                                  "active_threads", "rays_completed"})
+            if (const Json *v = frame.find(field);
+                !v || !isNonNegativeNumber(*v))
+                return at + "." + field +
+                       " must be a non-negative number";
+        if (frame.find("begin")->asDouble() > frame.find("end")->asDouble())
+            return at + " has begin > end";
+        if (frame.find("begin")->asDouble() <= last_begin)
+            return at + " windows must be strictly ordered by begin";
+        last_begin = frame.find("begin")->asDouble();
+        if (const Json *eff = frame.find("simd_efficiency");
+            !eff || !isUnitInterval(*eff))
+            return at + ".simd_efficiency must be a number in [0, 1]";
+        const Json *slots = frame.find("slots");
+        if (!slots || !slots->isObject())
+            return at + ".slots must be an object";
+        for (const auto &[name, value] : slots->asObject())
+            if (!isNonNegativeNumber(value))
+                return at + ".slots." + name +
+                       " must be a non-negative number";
+    }
+    return "";
+}
+
 /** Validate the well-known metric fields of one result row. */
 std::string
 validateRow(const Json &row, std::size_t index)
@@ -110,6 +199,16 @@ validateRow(const Json &row, std::size_t index)
                 return at("counters.") + name +
                        " must be a non-negative number";
     }
+    if (const Json *attribution = row.find("attribution"))
+        if (std::string reason =
+                validateAttribution(*attribution, at("attribution"));
+            !reason.empty())
+            return reason;
+    if (const Json *timeline = row.find("timeline"))
+        if (std::string reason =
+                validateTimeline(*timeline, at("timeline"));
+            !reason.empty())
+            return reason;
     return "";
 }
 
@@ -129,7 +228,9 @@ validateBenchReport(const Json &document)
     if (!version || !version->isNumber())
         return "missing \"schema_version\"";
     if (version->asUint() != static_cast<std::uint64_t>(kBenchSchemaVersion))
-        return "unsupported schema_version " + version->dump();
+        return "unsupported schema_version " + version->dump() +
+               " (this build reads version " +
+               std::to_string(kBenchSchemaVersion) + ")";
 
     const Json *degraded = document.find("degraded");
     if (!degraded || !degraded->isBool())

@@ -9,10 +9,10 @@
  * statistics into rows lives in the harness (harness/report.h), keeping
  * obs free of simulator dependencies.
  *
- * Schema (version 2):
+ * Schema (version 3):
  *   {
  *     "bench": <string>,          // e.g. "fig11_speedup"
- *     "schema_version": 2,
+ *     "schema_version": 3,
  *     "degraded": <bool>,         // true when any sweep job was
  *                                 // quarantined (results incomplete)
  *     "scale": { ... },           // ExperimentScale knobs
@@ -23,10 +23,14 @@
  *   }
  * Result rows are open-ended, but when the well-known metric fields are
  * present they must be well-formed (see validateBenchReport). Version 2
- * adds the top-level "degraded" flag plus the per-row robustness fields
+ * added the top-level "degraded" flag plus the per-row robustness fields
  * "attempts" (simulation attempts), "fault_seed" (derived per-job fault
  * seed), "failed"/"from_journal" (quarantine/resume markers) and the
- * "fault.*" counters inside "counters".
+ * "fault.*" counters inside "counters". Version 3 adds the optional
+ * per-row profiler sections, present only when the run sampled
+ * (DRS_SAMPLE): "attribution" (issue-slot buckets x traversal phases,
+ * hottest blocks) and "timeline" (windowed frames with slot breakdowns
+ * and instantaneous SIMD efficiency).
  */
 
 #include <string>
@@ -36,7 +40,7 @@
 namespace drs::obs {
 
 /** Current report schema version. */
-inline constexpr int kBenchSchemaVersion = 2;
+inline constexpr int kBenchSchemaVersion = 3;
 
 /** Builder for one bench report document. */
 class BenchReport
@@ -77,7 +81,7 @@ class BenchReport
 };
 
 /**
- * Validate a bench report document against schema version 2.
+ * Validate a bench report document against schema version 3.
  *
  * Checks the required top-level fields (including the "degraded" bool)
  * and, for every result row, the well-known metric fields when present:
@@ -85,7 +89,12 @@ class BenchReport
  * "cycles", "rays_traced", "wall_seconds", "mrays_per_s",
  * "speedup_vs_aila", "attempts" and "fault_seed" must be non-negative
  * numbers; "scene" and "arch" must be strings; "failed" and
- * "from_journal" must be booleans.
+ * "from_journal" must be booleans. The optional profiler sections are
+ * checked structurally: "attribution" needs slots_per_cycle/cycles/
+ * total_slots plus a "buckets" object of numeric breakdowns, "timeline"
+ * needs interval/base_interval plus a "frames" array whose windows are
+ * well-ordered with numeric counters and a [0, 1] simd_efficiency.
+ * Older schema versions are rejected with a clear version error.
  *
  * @return empty string when valid, else a human-readable reason.
  */

@@ -5,8 +5,11 @@
 #include <cstdlib>
 #include <fstream>
 #include <ostream>
+#include <set>
 
+#include "obs/attribution.h"
 #include "obs/json.h"
+#include "obs/sampler.h"
 
 namespace drs::obs {
 
@@ -99,7 +102,8 @@ TraceCollector::eventCount() const
 }
 
 void
-TraceCollector::writeChromeTrace(std::ostream &out) const
+TraceCollector::writeChromeTrace(std::ostream &out,
+                                 const SamplerCollector *sampler) const
 {
     // Streamed by hand: a full Json tree of every event would dwarf the
     // simulation's own memory use at large ring capacities.
@@ -117,7 +121,28 @@ TraceCollector::writeChromeTrace(std::ostream &out) const
             << ",\"args\":{\"name\":\"SMX " << smx << "\"}}";
 
         const auto &names = tracer.blockNames();
-        for (const TraceEvent &event : tracer.events()) {
+        const std::vector<TraceEvent> events = tracer.events();
+
+        // Name each track (tid) once so Perfetto shows "warp 3" / "swap
+        // engine" instead of bare thread ids.
+        std::set<int> tids;
+        std::uint64_t last_ts = 0;
+        for (const TraceEvent &event : events) {
+            tids.insert(event.warp < 0 ? 9999 : event.warp);
+            if (event.end > last_ts)
+                last_ts = event.end;
+        }
+        for (int tid : tids) {
+            out << ",{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" << smx
+                << ",\"tid\":" << tid << ",\"args\":{\"name\":\"";
+            if (tid == 9999)
+                out << "swap engine";
+            else
+                out << "warp " << tid;
+            out << "\"}}";
+        }
+
+        for (const TraceEvent &event : events) {
             out << ",{\"ph\":\"X\",\"pid\":" << smx << ",\"tid\":"
                 << (event.warp < 0 ? 9999 : event.warp) << ",\"ts\":"
                 << event.begin << ",\"dur\":"
@@ -132,14 +157,49 @@ TraceCollector::writeChromeTrace(std::ostream &out) const
                 << (event.kind == TraceEventKind::Block ? "warp" : "rayhw")
                 << "\",\"args\":{\"aux\":" << event.aux << "}}";
         }
+
+        // Final ring-drop count as a counter sample so lossy rings are
+        // visible in the UI, not only in the footer metadata.
+        out << ",{\"ph\":\"C\",\"pid\":" << smx
+            << ",\"ts\":" << last_ts << ",\"name\":\"ring_dropped\","
+            << "\"args\":{\"dropped\":" << tracer.dropped() << "}}";
     }
+
+    if (sampler != nullptr) {
+        // Timeline counter tracks under a dedicated pid: issue-slot
+        // breakdown plus raw work counters per window, merged across
+        // SMXs. Frame order gives monotonically increasing ts.
+        const std::size_t pid = tracers_.size();
+        if (!first)
+            out << ",";
+        first = false;
+        out << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << pid
+            << ",\"args\":{\"name\":\"timeline\"}}";
+        for (const SampleFrame &frame : sampler->mergedFrames()) {
+            out << ",{\"ph\":\"C\",\"pid\":" << pid << ",\"ts\":"
+                << frame.begin << ",\"name\":\"issue_slots\",\"args\":{";
+            for (int b = 0; b < kNumSlotBuckets; ++b) {
+                if (b != 0)
+                    out << ",";
+                out << "\"" << slotBucketName(static_cast<SlotBucket>(b))
+                    << "\":" << frame.slots[static_cast<std::size_t>(b)];
+            }
+            out << "}},{\"ph\":\"C\",\"pid\":" << pid << ",\"ts\":"
+                << frame.begin << ",\"name\":\"work\",\"args\":{"
+                << "\"instructions\":" << frame.instructions
+                << ",\"active_threads\":" << frame.activeThreads
+                << ",\"rays_completed\":" << frame.raysCompleted << "}}";
+        }
+    }
+
     out << "],\"displayTimeUnit\":\"ns\",\"otherData\":{"
         << "\"timestamp_unit\":\"core cycle\",\"dropped_events\":"
         << dropped_total << "}}";
 }
 
 bool
-TraceCollector::writeFile(const std::string &path, std::string *error) const
+TraceCollector::writeFile(const std::string &path, std::string *error,
+                          const SamplerCollector *sampler) const
 {
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
     if (!out) {
@@ -147,7 +207,7 @@ TraceCollector::writeFile(const std::string &path, std::string *error) const
             *error = "cannot open " + path + " for writing";
         return false;
     }
-    writeChromeTrace(out);
+    writeChromeTrace(out, sampler);
     out.flush();
     if (!out) {
         if (error)

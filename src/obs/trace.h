@@ -22,6 +22,8 @@
 
 namespace drs::obs {
 
+class SamplerCollector;
+
 /** What a trace event describes. */
 enum class TraceEventKind : std::uint8_t
 {
@@ -135,14 +137,23 @@ class TraceCollector
     /** Total events retained across all SMXs. */
     std::size_t eventCount() const;
 
-    /** Serialize as Chrome trace_event JSON. */
-    void writeChromeTrace(std::ostream &out) const;
+    /**
+     * Serialize as Chrome trace_event JSON: process/thread metadata
+     * ("ph":"M") labelling SMX and warp tracks, the event spans, a
+     * ring-drop counter track per SMX, and — when @p sampler is given —
+     * "ph":"C" counter tracks (instantaneous SIMD efficiency, issue-slot
+     * breakdown per timeline window) so Perfetto plots efficiency over
+     * time next to the spans.
+     */
+    void writeChromeTrace(std::ostream &out,
+                          const SamplerCollector *sampler = nullptr) const;
 
     /**
      * Write the trace to @p path. @return false on I/O failure, with the
      * reason in @p error when provided.
      */
-    bool writeFile(const std::string &path, std::string *error = nullptr) const;
+    bool writeFile(const std::string &path, std::string *error = nullptr,
+                   const SamplerCollector *sampler = nullptr) const;
 
   private:
     std::vector<Tracer> tracers_;

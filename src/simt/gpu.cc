@@ -68,6 +68,27 @@ runGpu(const GpuConfig &config, const SmxFactory &factory,
             tracer.setBlockNames(std::move(names));
             unit.smx->setTracer(&tracer);
         }
+        if (options.attribution != nullptr) {
+            if (i == 0) {
+                const Program &program = unit.setup.kernel->program();
+                std::vector<std::string> names;
+                names.reserve(
+                    static_cast<std::size_t>(program.blockCount()));
+                for (int b = 0; b < program.blockCount(); ++b)
+                    names.push_back(program.block(b).name);
+                options.attribution->setBlockNames(std::move(names));
+            }
+            unit.smx->setAttribution(&options.attribution->smx(i));
+        }
+        if (options.sampler != nullptr) {
+            obs::TimeSampler &sampler = options.sampler->smx(i);
+            const obs::SampleConfig &sample = options.sampler->config();
+            sampler.enable(sample.interval, sample.capacity,
+                           options.attribution != nullptr
+                               ? &options.attribution->smx(i)
+                               : nullptr);
+            unit.smx->setSampler(&sampler);
+        }
         units.push_back(std::move(unit));
     }
 

@@ -14,6 +14,8 @@
 
 #include "exec/cancel.h"
 #include "fault/fault.h"
+#include "obs/attribution.h"
+#include "obs/sampler.h"
 #include "obs/trace.h"
 #include "simt/check.h"
 #include "simt/config.h"
@@ -60,6 +62,20 @@ struct GpuRunOptions
      * Pure observation — SimStats are identical with tracing on or off.
      */
     obs::TraceCollector *trace = nullptr;
+    /**
+     * Optional issue-slot attribution: when set, SMX i records into
+     * ledger i (the collector must hold >= numSmx ledgers enabled for
+     * schedulersPerSmx x issuesPerScheduler slots per cycle). Pure
+     * observation, like the tracer.
+     */
+    obs::AttributionCollector *attribution = nullptr;
+    /**
+     * Optional windowed time-series sampling: when set, SMX i records
+     * into sampler i (the collector must hold >= numSmx samplers).
+     * Requires `attribution` when timeline slot breakdowns are wanted;
+     * pure observation either way.
+     */
+    obs::SamplerCollector *sampler = nullptr;
     /**
      * Observability hook: called once per SMX (in index order, after the
      * engine drained) with that SMX's own statistics, before they are

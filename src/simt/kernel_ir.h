@@ -16,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/attribution.h"
+
 namespace drs::simt {
 
 /** Which cache hierarchy path a block's memory instruction uses. */
@@ -53,6 +55,12 @@ struct Block
      * "SI" category of Figure 10) rather than useful traversal work.
      */
     bool spawnRelated = false;
+    /**
+     * Traversal phase the cycle-attribution profiler charges this block's
+     * issue slots (and stalls blamed on warps parked here) to. Control
+     * and exit blocks stay None.
+     */
+    obs::TravPhase phase = obs::TravPhase::None;
 };
 
 /**

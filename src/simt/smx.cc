@@ -103,6 +103,7 @@ Smx::resolveRdctrl(Warp &warp)
     warp.overheadInstructions = result.overheadInstructions;
     if (result.overheadStallCycles > 0) {
         warp.readyCycle = cycle_ + result.overheadStallCycles;
+        warp.waitReason = WarpWait::SpawnOverhead;
         spawnConflictCycles_.add(result.overheadStallCycles);
         if (tracer_ && tracer_->enabled())
             tracer_->record(obs::TraceEventKind::SpawnOverhead, warp.id(),
@@ -145,12 +146,20 @@ Smx::issueFromWarp(Warp &warp, int max_issues)
             // DMK spawn data movement: full-warp instructions tagged SI.
             histogram_.recordInstruction(config_.simdLanes, true);
             --warp.overheadInstructions;
+            if (attribution_)
+                attribution_->record(obs::SlotBucket::IssuedFull,
+                                     obs::TravPhase::None);
         } else {
             histogram_.recordInstruction(active, block.spawnRelated);
             auto &issue = blockIssue_[static_cast<std::size_t>(warp.pc())];
             issue.first += 1;
             issue.second += static_cast<std::uint64_t>(active);
             --warp.remainingInstructions;
+            if (attribution_)
+                attribution_->record(active == config_.simdLanes
+                                         ? obs::SlotBucket::IssuedFull
+                                         : obs::SlotBucket::IssuedPartial,
+                                     block.phase);
         }
         normalRfAccesses_.add(kRfAccessesPerInstruction);
         ++issued;
@@ -222,6 +231,7 @@ Smx::completeBlock(Warp &warp)
             const std::uint32_t latency =
                 memory_.warpAccess(block.memSpace, memAddresses_, bytes);
             warp.readyCycle = cycle_ + latency;
+            warp.waitReason = WarpWait::Memory;
         }
     }
 
@@ -294,6 +304,8 @@ Smx::step()
                 }
             }
         }
+        if (attribution_)
+            attributeUnissued(s, per_scheduler - issued);
         issued_total += issued;
     }
 
@@ -308,7 +320,75 @@ Smx::step()
     if (controller_ != nullptr)
         controller_->cycle(issued_total);
 
+    // Close the attribution/sampling cycle last so the ledgers see the
+    // whole cycle; endCycle enforces per-cycle slot conservation.
+    if (attribution_)
+        attribution_->endCycle();
+    if (sampler_)
+        sampler_->tick(histogram_.instructions(), histogram_.activeThreads(),
+                       kernel_.raysCompleted());
+
     ++cycle_;
+}
+
+void
+Smx::attributeUnissued(int scheduler, int slots)
+{
+    if (slots <= 0)
+        return;
+
+    // Blame the oldest culprit warp of this scheduler's partition, with
+    // the same priority the taxonomy lists: a warp parked by the ray
+    // hardware outranks a memory wait, which outranks an in-core hazard,
+    // which outranks plain "nothing eligible".
+    const Warp *rdctrl = nullptr;
+    const Warp *memory = nullptr;
+    const Warp *hazard = nullptr;
+    const Warp *live = nullptr;
+    const auto oldest = [](const Warp *best, const Warp &warp) {
+        return best == nullptr || warp.age < best->age ? &warp : best;
+    };
+    for (std::size_t w = static_cast<std::size_t>(scheduler);
+         w < warps_.size();
+         w += static_cast<std::size_t>(config_.schedulersPerSmx)) {
+        const Warp &warp = warps_[w];
+        if (warp.exited())
+            continue;
+        live = oldest(live, warp);
+        if (warp.stalledOnRdctrl)
+            rdctrl = oldest(rdctrl, warp);
+        else if (warp.readyCycle > cycle_) {
+            if (warp.waitReason == WarpWait::SpawnOverhead)
+                hazard = oldest(hazard, warp);
+            else
+                memory = oldest(memory, warp);
+        }
+    }
+
+    obs::SlotBucket bucket = obs::SlotBucket::Drained;
+    const Warp *blame = nullptr;
+    if (live == nullptr) {
+        bucket = obs::SlotBucket::Drained;
+    } else if (rdctrl != nullptr) {
+        bucket = obs::SlotBucket::StalledRdctrl;
+        blame = rdctrl;
+    } else if (memory != nullptr) {
+        bucket = obs::SlotBucket::StalledMemory;
+        blame = memory;
+    } else if (hazard != nullptr) {
+        bucket = obs::SlotBucket::StalledScoreboard;
+        blame = hazard;
+    } else {
+        // Every live warp is nominally ready yet the scheduler came up
+        // short — no eligible warp, or dual-issue width lost at a block
+        // boundary. Charge the oldest live warp's phase.
+        bucket = obs::SlotBucket::NoReadyWarp;
+        blame = live;
+    }
+    const obs::TravPhase phase =
+        blame != nullptr ? kernel_.program().block(blame->pc()).phase
+                         : obs::TravPhase::None;
+    attribution_->record(bucket, phase, static_cast<std::uint64_t>(slots));
 }
 
 void
@@ -318,8 +398,9 @@ Smx::commitMemory()
     // exactly the order the schedulers produced them within the cycle.
     for (const DeferredAccess &d : deferredAccesses_) {
         const std::uint32_t latency = memory_.commitAccess(d.pending);
-        warps_[static_cast<std::size_t>(d.warp)].readyCycle =
-            d.issueCycle + latency;
+        Warp &warp = warps_[static_cast<std::size_t>(d.warp)];
+        warp.readyCycle = d.issueCycle + latency;
+        warp.waitReason = WarpWait::Memory;
     }
     deferredAccesses_.clear();
 }
@@ -423,8 +504,26 @@ Smx::collectStats() const
         s.counters.add("fault.dram_dropped", f.dramDropped);
         s.counters.add("fault.alloc_failures", f.allocFailures);
     }
-    if (check_)
+    if (check_) {
         check_->checkStats(s);
+        if (attribution_) {
+            // Hard conservation invariant of the attribution ledger:
+            // every slot of every cycle classified exactly once, and the
+            // issued buckets must agree with the instruction histogram.
+            attribution_->verifyConservation();
+            if (attribution_->cycles() != cycle_)
+                throw std::logic_error(
+                    "issue attribution: ledger cycles out of step with "
+                    "the SMX");
+            const std::uint64_t issued =
+                attribution_->bucketTotal(obs::SlotBucket::IssuedFull) +
+                attribution_->bucketTotal(obs::SlotBucket::IssuedPartial);
+            if (issued != histogram_.instructions())
+                throw std::logic_error(
+                    "issue attribution: issued slots disagree with the "
+                    "instruction histogram");
+        }
+    }
     return s;
 }
 

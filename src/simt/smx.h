@@ -12,7 +12,9 @@
 #include <memory>
 #include <vector>
 
+#include "obs/attribution.h"
 #include "obs/counters.h"
+#include "obs/sampler.h"
 #include "obs/trace.h"
 #include "simt/check.h"
 #include "simt/config.h"
@@ -103,6 +105,24 @@ class Smx
     void setTracer(obs::Tracer *tracer) { tracer_ = tracer; }
 
     /**
+     * Attach an issue-slot attribution ledger (nullptr = off, the
+     * default). Must be enabled for schedulersPerSmx x
+     * issuesPerScheduler slots per cycle. Pure observation: every slot
+     * of every cycle is classified (DESIGN.md §9) but scheduling never
+     * reads the ledger, so SimStats are bit-identical either way.
+     */
+    void setAttribution(obs::IssueAttribution *attribution)
+    {
+        attribution_ = attribution;
+    }
+
+    /**
+     * Attach a windowed time-series sampler (nullptr = off, the
+     * default). Pure observation, like the tracer.
+     */
+    void setSampler(obs::TimeSampler *sampler) { sampler_ = sampler; }
+
+    /**
      * Attach an invariant checker (nullptr = off, the default). Checking
      * is pure observation — SimStats are bit-identical either way — but
      * every violation throws out of step()/collectStats().
@@ -146,6 +166,13 @@ class Smx
 
     bool warpReady(const Warp &warp) const;
 
+    /**
+     * Charge scheduler @p scheduler's @p slots unissued slots of this
+     * cycle to one stall bucket, blamed on the oldest culprit warp of
+     * its partition (attribution enabled only).
+     */
+    void attributeUnissued(int scheduler, int slots);
+
     const GpuConfig &config_;
     Kernel &kernel_;
     WarpController *controller_;
@@ -174,6 +201,8 @@ class Smx
     obs::Counter &issueIdleCycles_;
 
     obs::Tracer *tracer_ = nullptr;
+    obs::IssueAttribution *attribution_ = nullptr;
+    obs::TimeSampler *sampler_ = nullptr;
     const CheckContext *check_ = nullptr;
     fault::FaultInjector *fault_ = nullptr;
 

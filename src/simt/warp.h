@@ -13,6 +13,19 @@
 
 namespace drs::simt {
 
+/**
+ * Why a warp's readyCycle lies in the future. Attribution bookkeeping
+ * only — the scheduler never reads it, so it cannot alter simulation
+ * results; it lets the cycle-attribution profiler split wait slots into
+ * stalled-memory vs. stalled-scoreboard (spawn-overhead) buckets.
+ */
+enum class WarpWait : std::uint8_t
+{
+    None,
+    Memory,
+    SpawnOverhead,
+};
+
 /** One reconvergence-stack entry. */
 struct StackEntry
 {
@@ -106,6 +119,8 @@ class Warp
     int overheadInstructions = 0;
     /** Warp is blocked until this cycle (memory or overhead stalls). */
     std::uint64_t readyCycle = 0;
+    /** What readyCycle waits on (attribution bookkeeping only). */
+    WarpWait waitReason = WarpWait::None;
     /** Cycle of last issue, for greedy-then-oldest scheduling. */
     std::uint64_t lastIssueCycle = 0;
     /** Arrival order for the "oldest" policy. */

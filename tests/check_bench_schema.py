@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Validate BENCH_<name>.json reports against schema version 2.
+"""Validate BENCH_<name>.json reports against schema version 3.
 
 Mirrors drs::obs::validateBenchReport (src/obs/report.cc) so reports can
 be checked without building the simulator, e.g. in CI after
@@ -10,12 +10,16 @@ be checked without building the simulator, e.g. in CI after
 Google-benchmark output (BENCH_micro.json) uses its own schema and is
 recognised by its "benchmarks" key; only its JSON well-formedness is
 checked.
+
+With --expect-fail the exit status inverts: every listed report must
+FAIL validation (used to pin that old schema versions are rejected with
+a clear error instead of silently accepted).
 """
 
 import json
 import sys
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 STRING_FIELDS = ("scene", "arch", "bounce", "config", "error")
 BOOL_FIELDS = ("failed", "from_journal")
@@ -45,6 +49,85 @@ def is_number(value):
     return isinstance(value, (int, float)) and not isinstance(value, bool)
 
 
+def validate_attribution(section, where):
+    if not isinstance(section, dict):
+        return f"{where} must be an object"
+    for field in ("slots_per_cycle", "cycles", "total_slots"):
+        value = section.get(field)
+        if not is_number(value) or value < 0:
+            return f"{where}.{field} must be a non-negative number"
+    buckets = section.get("buckets")
+    if not isinstance(buckets, dict):
+        return f"{where}.buckets must be an object"
+    for name, bucket in buckets.items():
+        if not isinstance(bucket, dict):
+            return f"{where}.buckets.{name} must be an object"
+        for phase, value in bucket.items():
+            if not is_number(value) or value < 0:
+                return (f"{where}.buckets.{name}.{phase} must be a "
+                        "non-negative number")
+    # The conservation invariant survives serialization too.
+    total = sum(b.get("total", 0) for b in buckets.values())
+    if total != section["total_slots"]:
+        return (f"{where}: bucket totals sum to {total}, not total_slots "
+                f"{section['total_slots']}")
+    if section["total_slots"] != (section["slots_per_cycle"] *
+                                  section["cycles"]):
+        return (f"{where}: total_slots != slots_per_cycle x cycles "
+                "(conservation violated)")
+    blocks = section.get("blocks")
+    if blocks is not None:
+        if not isinstance(blocks, list):
+            return f"{where}.blocks must be an array"
+        for block in blocks:
+            if not isinstance(block, dict) or \
+                    not isinstance(block.get("name"), str):
+                return f'{where}.blocks entries need a "name" string'
+            for field in ("issues", "active_threads"):
+                if field in block and (not is_number(block[field]) or
+                                       block[field] < 0):
+                    return (f"{where}.blocks.{field} must be a "
+                            "non-negative number")
+    return ""
+
+
+def validate_timeline(section, where):
+    if not isinstance(section, dict):
+        return f"{where} must be an object"
+    for field in ("interval", "base_interval"):
+        value = section.get(field)
+        if not is_number(value) or value < 0:
+            return f"{where}.{field} must be a non-negative number"
+    frames = section.get("frames")
+    if not isinstance(frames, list):
+        return f"{where}.frames must be an array"
+    last_begin = -1
+    for index, frame in enumerate(frames):
+        at = f"{where}.frames[{index}]"
+        if not isinstance(frame, dict):
+            return f"{at} must be an object"
+        for field in ("begin", "end", "instructions", "active_threads",
+                      "rays_completed"):
+            value = frame.get(field)
+            if not is_number(value) or value < 0:
+                return f"{at}.{field} must be a non-negative number"
+        if frame["begin"] > frame["end"]:
+            return f"{at} has begin > end"
+        if frame["begin"] <= last_begin:
+            return f"{at} windows must be strictly ordered by begin"
+        last_begin = frame["begin"]
+        efficiency = frame.get("simd_efficiency")
+        if not is_number(efficiency) or not 0.0 <= efficiency <= 1.0:
+            return f"{at}.simd_efficiency must be a number in [0, 1]"
+        slots = frame.get("slots")
+        if not isinstance(slots, dict):
+            return f"{at}.slots must be an object"
+        for name, value in slots.items():
+            if not is_number(value) or value < 0:
+                return f"{at}.slots.{name} must be a non-negative number"
+    return ""
+
+
 def validate_row(row, index):
     where = f"results[{index}]"
     if not isinstance(row, dict):
@@ -72,6 +155,15 @@ def validate_row(row, index):
         for name, value in counters.items():
             if not is_number(value) or value < 0.0:
                 return f"{where}.counters.{name} must be non-negative"
+    if "attribution" in row:
+        reason = validate_attribution(row["attribution"],
+                                      f"{where}.attribution")
+        if reason:
+            return reason
+    if "timeline" in row:
+        reason = validate_timeline(row["timeline"], f"{where}.timeline")
+        if reason:
+            return reason
     return ""
 
 
@@ -87,7 +179,8 @@ def validate_report(document):
     if not is_number(version):
         return 'missing "schema_version"'
     if version != SCHEMA_VERSION:
-        return f"unsupported schema_version {version}"
+        return (f"unsupported schema_version {version} "
+                f"(this checker reads version {SCHEMA_VERSION})")
     if not isinstance(document.get("degraded"), bool):
         return 'missing "degraded" boolean'
     for field in ("scale", "options", "summary"):
@@ -107,11 +200,18 @@ def validate_report(document):
 
 
 def main(argv):
-    if len(argv) < 2:
-        print(f"usage: {argv[0]} BENCH_*.json", file=sys.stderr)
+    args = argv[1:]
+    expect_fail = False
+    if args and args[0] == "--expect-fail":
+        expect_fail = True
+        args = args[1:]
+    if not args:
+        print(f"usage: {argv[0]} [--expect-fail] BENCH_*.json",
+              file=sys.stderr)
         return 2
     failures = 0
-    for path in argv[1:]:
+    unexpected_passes = 0
+    for path in args:
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 document = json.load(handle)
@@ -126,6 +226,9 @@ def main(argv):
         else:
             rows = len(document.get("results", []))
             print(f"ok   {path} ({rows} result rows)")
+            unexpected_passes += 1
+    if expect_fail:
+        return 0 if unexpected_passes == 0 else 1
     return 1 if failures else 0
 
 

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# bench_compare.py regression check:
+#
+#  1. Comparing a report directory against itself must pass (exit 0) —
+#     the comparator has no false positives on identical data.
+#  2. Perturbing one metric past the tolerance (simd_efficiency -25%)
+#     must be flagged as a regression (exit 1) — no false negatives.
+#
+# Usage: check_compare.sh <python3> <bench_compare.py> <fixtures-dir>
+set -euo pipefail
+
+if [ "$#" -ne 3 ]; then
+    echo "usage: $0 <python3> <bench_compare.py> <fixtures-dir>" >&2
+    exit 2
+fi
+
+python=$1
+compare=$2
+fixtures=$3
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+mkdir -p "$tmp/base" "$tmp/cur"
+
+# Only the (non-degraded, schema-current) profile fixture participates;
+# the degraded and v2 fixtures exist to be rejected by other checks.
+cp "$fixtures/BENCH_profile_fixture.json" "$tmp/base/"
+cp "$fixtures/BENCH_profile_fixture.json" "$tmp/cur/"
+
+"$python" "$compare" "$tmp/base" "$tmp/cur"
+echo "ok   self-compare passes"
+
+"$python" - "$tmp/cur/BENCH_profile_fixture.json" <<'EOF'
+import json, sys
+path = sys.argv[1]
+with open(path) as handle:
+    document = json.load(handle)
+row = document["results"][0]
+row["simd_efficiency"] *= 0.75
+row["cycles"] = int(row["cycles"] * 1.3)
+with open(path, "w") as handle:
+    json.dump(document, handle)
+EOF
+
+if "$python" "$compare" "$tmp/base" "$tmp/cur"; then
+    echo "FAIL: perturbed report was not flagged as a regression" >&2
+    exit 1
+fi
+echo "ok   perturbed report flagged as regression"

@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace_event file written by obs::TraceCollector.
+
+Structural checks a chrome://tracing / Perfetto load would only fail
+silently on:
+
+ - top level is {"traceEvents": [...], "otherData": {...}} with a
+   non-negative "dropped_events" count;
+ - every event is ph "X" (complete span), "C" (counter sample) or "M"
+   (metadata), with non-negative integer timestamps; spans have dur >= 1;
+ - every pid that emits spans or counters carries a "process_name"
+   metadata record, and every (pid, tid) that emits spans carries a
+   "thread_name" record (the Perfetto track labels);
+ - counter samples of one (pid, name) track appear in non-decreasing
+   ts order (Perfetto draws unordered counters as garbage);
+ - when sampling was on, the dedicated "timeline" process pairs every
+   "issue_slots" sample with a "work" sample at the same ts.
+
+Usage: check_trace.py TRACE.json [...]
+"""
+
+import json
+import sys
+
+
+def is_count(value):
+    return isinstance(value, int) and not isinstance(value, bool) and value >= 0
+
+
+def validate_span(event, where):
+    for field in ("pid", "tid"):
+        if not isinstance(event.get(field), int):
+            return f"{where}: span needs integer {field}"
+    if not is_count(event.get("ts")):
+        return f"{where}: span needs non-negative ts"
+    dur = event.get("dur")
+    if not is_count(dur) or dur < 1:
+        return f"{where}: span needs dur >= 1"
+    if not isinstance(event.get("name"), str) or not event["name"]:
+        return f"{where}: span needs a name"
+    if event.get("cat") not in ("warp", "rayhw"):
+        return f"{where}: span cat must be warp or rayhw"
+    return ""
+
+
+def validate_counter(event, where):
+    if not isinstance(event.get("pid"), int):
+        return f"{where}: counter needs integer pid"
+    if not is_count(event.get("ts")):
+        return f"{where}: counter needs non-negative ts"
+    args = event.get("args")
+    if not isinstance(args, dict) or not args:
+        return f"{where}: counter needs a non-empty args object"
+    for name, value in args.items():
+        if not is_count(value):
+            return f"{where}: counter arg {name} must be a non-negative int"
+    return ""
+
+
+def validate_trace(document):
+    if not isinstance(document, dict):
+        return "document is not an object"
+    other = document.get("otherData")
+    if not isinstance(other, dict) or not is_count(other.get("dropped_events")):
+        return 'missing "otherData.dropped_events" count'
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return 'missing "traceEvents" array'
+
+    process_names = {}
+    thread_names = set()
+    span_tracks = set()
+    counter_pids = set()
+    counter_last_ts = {}
+    timeline_counts = {}
+
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            return f"{where} is not an object"
+        phase = event.get("ph")
+        if phase == "M":
+            name = event.get("name")
+            args = event.get("args", {})
+            if name == "process_name":
+                process_names[event.get("pid")] = args.get("name")
+            elif name == "thread_name":
+                thread_names.add((event.get("pid"), event.get("tid")))
+            else:
+                return f"{where}: unknown metadata record {name!r}"
+            if not isinstance(args.get("name"), str) or not args["name"]:
+                return f"{where}: metadata needs a non-empty args.name"
+        elif phase == "X":
+            reason = validate_span(event, where)
+            if reason:
+                return reason
+            span_tracks.add((event["pid"], event["tid"]))
+        elif phase == "C":
+            reason = validate_counter(event, where)
+            if reason:
+                return reason
+            counter_pids.add(event["pid"])
+            track = (event["pid"], event["name"])
+            if counter_last_ts.get(track, -1) > event["ts"]:
+                return (f"{where}: counter track {track} not in "
+                        "non-decreasing ts order")
+            counter_last_ts[track] = event["ts"]
+            if process_names.get(event["pid"]) == "timeline":
+                key = (event["name"], event["ts"])
+                timeline_counts[key] = timeline_counts.get(key, 0) + 1
+        else:
+            return f"{where}: unknown ph {phase!r}"
+
+    for pid, tid in span_tracks:
+        if (pid, tid) not in thread_names:
+            return f"span track pid={pid} tid={tid} has no thread_name"
+    for pid in counter_pids | {pid for pid, _ in span_tracks}:
+        if pid not in process_names:
+            return f"pid {pid} has no process_name"
+
+    # Sampling on => issue_slots and work come in pairs per window.
+    slots = {ts for name, ts in timeline_counts if name == "issue_slots"}
+    work = {ts for name, ts in timeline_counts if name == "work"}
+    if slots != work:
+        return ("timeline issue_slots and work samples are not paired "
+                f"({len(slots)} vs {len(work)} windows)")
+    return ""
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(f"usage: {argv[0]} TRACE.json [...]", file=sys.stderr)
+        return 2
+    failures = 0
+    for path in argv[1:]:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"FAIL {path}: {error}")
+            failures += 1
+            continue
+        reason = validate_trace(document)
+        if reason:
+            print(f"FAIL {path}: {reason}")
+            failures += 1
+        else:
+            spans = sum(1 for e in document["traceEvents"]
+                        if e.get("ph") == "X")
+            counters = sum(1 for e in document["traceEvents"]
+                           if e.get("ph") == "C")
+            print(f"ok   {path} ({spans} spans, {counters} counter samples)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -5,9 +5,11 @@
  * Generates random scenes × scales × architectures × configurations ×
  * thread counts, runs every one with full invariant checking (DRS_CHECK
  * machinery forced on) and asserts that SimStats are bit-identical across
- * smxThreads and that checking itself never alters a result. Every
- * configuration derives from one printed 64-bit seed: rerun a failure
- * with --replay <seed>.
+ * smxThreads, that checking itself never alters a result, and that
+ * profiling (issue-slot attribution + windowed sampling at a randomized
+ * interval/capacity) is a pure observer whose ledger conserves slots.
+ * Every configuration derives from one printed 64-bit seed: rerun a
+ * failure with --replay <seed>.
  *
  * Usage:
  *   fuzz_sim [--configs N] [--seed MASTER] [--jobs N] [--replay SEED]
@@ -29,6 +31,8 @@
 #include "check/check.h"
 #include "geom/rng.h"
 #include "harness/harness.h"
+#include "obs/attribution.h"
+#include "obs/sampler.h"
 #include "harness/report.h"
 #include "harness/sweep.h"
 
@@ -48,6 +52,8 @@ struct FuzzCase
     std::size_t maxRays = 128;
     Arch arch = Arch::Aila;
     int smxThreadsParallel = 2;
+    std::uint64_t sampleInterval = 64;
+    std::size_t sampleCapacity = 512;
     drs::harness::RunConfig run;
 };
 
@@ -69,6 +75,12 @@ deriveCase(std::uint64_t seed)
 
     c.run.gpu.numSmx = 1 + static_cast<int>(rng.nextUInt(2));
     c.run.check = 1;
+
+    // Randomized profiling: window size 16..512 cycles; a tiny frame
+    // budget now and then forces the timeline's coalescing path.
+    c.sampleInterval = 16 + rng.nextUInt(497);
+    static constexpr std::size_t kCapacityChoices[] = {4, 16, 512};
+    c.sampleCapacity = kCapacityChoices[rng.nextUInt(3)];
 
     static constexpr int kWarpChoices[] = {4, 8, 16};
     switch (c.arch) {
@@ -125,11 +137,12 @@ describeCase(const FuzzCase &c)
     std::snprintf(buffer, sizeof(buffer),
                   "seed=0x%016" PRIx64
                   " scene=%s scale=%.2f bounce=%zu rays=%zu arch=%s "
-                  "smx=%d threads=%d",
+                  "smx=%d threads=%d sample=%" PRIu64 "/%zu",
                   c.seed, drs::scene::sceneName(c.scene).c_str(),
                   static_cast<double>(c.sceneScale), c.bounceIndex,
                   c.maxRays, drs::harness::archName(c.arch).c_str(),
-                  c.run.gpu.numSmx, c.smxThreadsParallel);
+                  c.run.gpu.numSmx, c.smxThreadsParallel,
+                  c.sampleInterval, c.sampleCapacity);
     return buffer;
 }
 
@@ -186,6 +199,31 @@ runCase(const FuzzCase &c, drs::harness::PreparedSceneCache &cache)
                          describeCase(c).c_str());
             return false;
         }
+
+        // Profiling must be a pure observer at any window size, and the
+        // slot ledger it produces must conserve.
+        config.sample.enabled = true;
+        config.sample.interval = c.sampleInterval;
+        config.sample.capacity = c.sampleCapacity;
+        drs::harness::RunObservations observations;
+        config.observationsOut = &observations;
+        const drs::simt::SimStats sampled =
+            runBatch(c.arch, *prepared.tracer, rays, config);
+        if (!(unchecked == sampled)) {
+            const std::lock_guard<std::mutex> lock(g_print_mutex);
+            std::fprintf(stderr, "FAIL %s: sampling altered SimStats\n",
+                         describeCase(c).c_str());
+            return false;
+        }
+        if (!observations.attribution || !observations.sampler) {
+            const std::lock_guard<std::mutex> lock(g_print_mutex);
+            std::fprintf(stderr,
+                         "FAIL %s: sampling produced no observations\n",
+                         describeCase(c).c_str());
+            return false;
+        }
+        // Throws std::logic_error (caught below) on violation.
+        observations.attribution->merged().verifyConservation();
         {
             const std::lock_guard<std::mutex> lock(g_print_mutex);
             std::printf("digest seed=0x%016" PRIx64 " stats=0x%016" PRIx64

@@ -57,10 +57,29 @@ if [ -n "$compare_dir" ] && [ -z "$json_dir" ]; then
 fi
 [ -z "$json_dir" ] || mkdir -p "$json_dir"
 
-for b in build/bench/bench_*; do
-  [ -x "$b" ] && [ -f "$b" ] || continue
-  case "$b" in *.cmake) continue;; esac
-  name=$(basename "$b")
+# Enumerate the sweep from the bench sources, not from whatever happens
+# to sit in the build directory: a bench that failed to build (or was
+# never configured) must abort the sweep, not be skipped silently.
+benches=()
+for src in bench/bench_*.cc; do
+  benches+=("$(basename "$src" .cc)")
+done
+if [ "${#benches[@]}" -eq 0 ]; then
+  echo "error: no bench sources found under bench/" >&2
+  exit 1
+fi
+missing=0
+for name in "${benches[@]}"; do
+  if [ ! -x "build/bench/$name" ]; then
+    echo "error: bench binary build/bench/$name is missing or not" \
+         "executable (build it: cmake --build build --target $name)" >&2
+    missing=1
+  fi
+done
+[ "$missing" -eq 0 ] || exit 1
+
+for name in "${benches[@]}"; do
+  b="build/bench/$name"
   echo; echo "######## $name ########"; echo
   if [ "$name" = "bench_micro" ]; then
     if [ -n "$json_dir" ]; then

@@ -81,11 +81,20 @@ if [ "$skip_san" -eq 0 ]; then
     cmake -B "$dir" -S . -DDRS_SANITIZE="$san" >/dev/null
     cmake --build "$dir" -j"$JOBS"
     (cd "$dir" &&
-     DRS_CHECK=1 ctest -L 'check|fuzz-smoke|fault|resume' \
+     DRS_CHECK=1 ctest -L 'check|fuzz-smoke|fault|resume|registry' \
          --output-on-failure -j"$JOBS")
     resume_smoke "$dir"
   done
 fi
+
+echo; echo "######## regular build: registry fuzz smoke ########"; echo
+# The fuzzer draws its architecture from the plugin registry, so this leg
+# exercises the whole lineup (hardware + software reorderers) even when
+# the sanitizer builds are skipped. More configs than the ctest smoke:
+# the regular build is fast.
+cmake -B build -S . >/dev/null
+cmake --build build -j"$JOBS" --target fuzz_sim
+build/tools/fuzz_sim --configs 75 --seed 0x5eed --jobs "$JOBS"
 
 echo; echo "######## bench JSON: DRS_CHECK must be a pure observer ########"
 echo

@@ -1,0 +1,66 @@
+#pragma once
+
+/**
+ * @file
+ * Architecture handles. An Arch names one entry of the architecture
+ * plugin registry (harness/arch_plugin.h); all dispatch — benches, the
+ * checker, the fuzzer, the profiler — goes through the registry, so a
+ * new architecture that registers a plugin is picked up everywhere an
+ * Arch is accepted.
+ *
+ * Handles are plain value types holding the registry name. Construction
+ * never touches the registry (so the paper's four architectures can be
+ * inline constants without initialization-order concerns); resolution
+ * happens at use, inside runBatch(), and unknown names fail loudly
+ * there.
+ */
+
+#include <string>
+#include <string_view>
+
+namespace drs::harness {
+
+/** Names one registered architecture (see ArchRegistry). */
+class Arch
+{
+  public:
+    /** An empty (invalid) handle; runBatch rejects it. */
+    Arch() = default;
+
+    /** Handle for registry name @p name (validated at use, not here). */
+    explicit Arch(std::string_view name) : name_(name) {}
+
+    /** The registry name ("aila", "drs", "sort", ...). */
+    const std::string &name() const { return name_; }
+
+    /** True when the handle names something (not necessarily registered). */
+    bool valid() const { return !name_.empty(); }
+
+    bool operator==(const Arch &) const = default;
+
+    // The paper's architectures, as named handles. Kept as constants so
+    // figure/table benches that reproduce the paper's fixed lineups stay
+    // first-class; survey-style consumers should enumerate
+    // ArchRegistry::archs() instead.
+    static const Arch Aila; ///< software while-while kernel (baseline)
+    static const Arch Drs;  ///< while-if kernel + DRS hardware
+    static const Arch Dmk;  ///< while-if kernel + dynamic micro-kernels
+    static const Arch Tbc;  ///< while-while kernel + block compaction
+
+  private:
+    std::string name_;
+};
+
+inline const Arch Arch::Aila{"aila"};
+inline const Arch Arch::Drs{"drs"};
+inline const Arch Arch::Dmk{"dmk"};
+inline const Arch Arch::Tbc{"tbc"};
+
+/** The handle's registry name (kept for the pre-registry call sites). */
+inline std::string
+archName(const Arch &arch)
+{
+    return arch.name();
+}
+
+} // namespace drs::harness

@@ -1,0 +1,27 @@
+#pragma once
+
+/**
+ * @file
+ * Maker functions of the built-in architecture plugins. The registry
+ * constructor calls these directly (instead of relying on static
+ * self-registration) so the plugin translation units can never be
+ * dead-stripped out of the static harness library.
+ */
+
+#include <memory>
+
+#include "harness/arch_plugin.h"
+
+namespace drs::harness::detail {
+
+// arch_builtin.cc — the paper's lineup.
+std::unique_ptr<const ArchPlugin> makeAilaArch();
+std::unique_ptr<const ArchPlugin> makeDrsArch();
+std::unique_ptr<const ArchPlugin> makeDmkArch();
+std::unique_ptr<const ArchPlugin> makeTbcArch();
+
+// arch_reorder.cc — the software ray-reordering survey competitors.
+std::unique_ptr<const ArchPlugin> makeSortArch();
+std::unique_ptr<const ArchPlugin> makeCutCodeArch();
+
+} // namespace drs::harness::detail

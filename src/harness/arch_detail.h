@@ -1,0 +1,51 @@
+#pragma once
+
+/**
+ * @file
+ * Shared plumbing of the built-in architecture plugins (arch_builtin.cc,
+ * arch_reorder.cc): GpuRunOptions assembly from a RunConfig and per-SMX
+ * hit harvesting. Internal to src/harness.
+ */
+
+#include <algorithm>
+
+#include "harness/arch_plugin.h"
+#include "kernels/trav_workspace.h"
+
+namespace drs::harness::detail {
+
+/**
+ * Copy one SMX's per-stripe hit records into the global hits vector. The
+ * retire hooks run serially in SMX-index order, so plain resize+copy is
+ * safe.
+ */
+inline void
+harvestHits(const kernels::TravWorkspace &workspace,
+            std::vector<geom::Hit> &out)
+{
+    const auto &results = workspace.results();
+    const std::size_t first = workspace.firstRay();
+    if (out.size() < first + results.size())
+        out.resize(first + results.size());
+    std::copy(results.begin(), results.end(),
+              out.begin() + static_cast<std::ptrdiff_t>(first));
+}
+
+/** Engine options common to every runGpu-based architecture. */
+inline simt::GpuRunOptions
+gpuRunOptions(const RunConfig &config, const ArchObservers &observers)
+{
+    simt::GpuRunOptions options;
+    options.maxCycles = config.maxCycles;
+    options.smxThreads = config.smxThreads;
+    options.trace = observers.trace;
+    options.attribution = observers.attribution;
+    options.sampler = observers.sampler;
+    options.perSmxStats = config.perSmxStats;
+    options.fault = config.fault;
+    options.watchdogCycles = config.watchdogCycles;
+    options.cancel = config.cancel;
+    return options;
+}
+
+} // namespace drs::harness::detail

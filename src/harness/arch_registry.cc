@@ -1,0 +1,99 @@
+#include "harness/arch_plugin.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "harness/arch_builtin.h"
+
+namespace drs::harness {
+
+ArchRegistry &
+ArchRegistry::instance()
+{
+    // Construct-on-first-use: the built-in lineup registers inside the
+    // constructor, so no static-initialization-order games are possible
+    // and the registry works from static initializers of other TUs
+    // (ArchRegistrar).
+    static ArchRegistry registry;
+    return registry;
+}
+
+ArchRegistry::ArchRegistry()
+{
+    // Registration order is the survey lineup order: benches, the
+    // conformance suite and the fuzzer's arch draw all iterate in this
+    // deterministic order.
+    plugins_.push_back(detail::makeAilaArch());
+    plugins_.push_back(detail::makeDrsArch());
+    plugins_.push_back(detail::makeDmkArch());
+    plugins_.push_back(detail::makeTbcArch());
+    plugins_.push_back(detail::makeSortArch());
+    plugins_.push_back(detail::makeCutCodeArch());
+}
+
+Arch
+ArchRegistry::add(std::unique_ptr<const ArchPlugin> plugin)
+{
+    if (plugin == nullptr)
+        throw std::invalid_argument("ArchRegistry::add: null plugin");
+    const std::string name = plugin->name();
+    if (name.empty())
+        throw std::invalid_argument("ArchRegistry::add: empty plugin name");
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &existing : plugins_)
+        if (existing->name() == name)
+            throw std::invalid_argument(
+                "ArchRegistry::add: duplicate architecture \"" + name +
+                "\"");
+    plugins_.push_back(std::move(plugin));
+    return Arch(name);
+}
+
+const ArchPlugin *
+ArchRegistry::find(const Arch &arch) const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &plugin : plugins_)
+        if (plugin->name() == arch.name())
+            return plugin.get();
+    return nullptr;
+}
+
+const ArchPlugin &
+ArchRegistry::get(const Arch &arch) const
+{
+    if (const ArchPlugin *plugin = find(arch))
+        return *plugin;
+    std::string known;
+    for (const Arch &a : archs()) {
+        if (!known.empty())
+            known += ", ";
+        known += a.name();
+    }
+    throw std::invalid_argument("unknown architecture \"" + arch.name() +
+                                "\" (registered: " + known + ")");
+}
+
+std::vector<Arch>
+ArchRegistry::archs() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<Arch> result;
+    result.reserve(plugins_.size());
+    for (const auto &plugin : plugins_)
+        result.push_back(Arch(plugin->name()));
+    return result;
+}
+
+std::vector<const ArchPlugin *>
+ArchRegistry::plugins() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<const ArchPlugin *> result;
+    result.reserve(plugins_.size());
+    for (const auto &plugin : plugins_)
+        result.push_back(plugin.get());
+    return result;
+}
+
+} // namespace drs::harness

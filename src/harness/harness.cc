@@ -9,224 +9,23 @@
 
 #include "check/check.h"
 #include "check/reference.h"
+#include "harness/arch_plugin.h"
 
 namespace drs::harness {
 
-std::string
-archName(Arch arch)
-{
-    switch (arch) {
-      case Arch::Aila: return "aila";
-      case Arch::Drs: return "drs";
-      case Arch::Dmk: return "dmk";
-      case Arch::Tbc: return "tbc";
-    }
-    return "unknown";
-}
-
 namespace {
 
-/**
- * Copy one SMX's per-stripe hit records into the global hits vector. The
- * retire hooks run serially in SMX-index order, so plain resize+copy is
- * safe.
- */
-void
-harvestHits(const kernels::TravWorkspace &workspace,
-            std::vector<geom::Hit> &out)
-{
-    const auto &results = workspace.results();
-    const std::size_t first = workspace.firstRay();
-    if (out.size() < first + results.size())
-        out.resize(first + results.size());
-    std::copy(results.begin(), results.end(),
-              out.begin() + static_cast<std::ptrdiff_t>(first));
-}
-
-/**
- * The pure observers scoped to one batch (trace ring, issue-slot
- * attribution, timeline sampler); any pointer may be null.
- */
-struct Observers
-{
-    obs::TraceCollector *trace = nullptr;
-    obs::AttributionCollector *attribution = nullptr;
-    obs::SamplerCollector *sampler = nullptr;
-};
-
-simt::GpuRunOptions
-gpuRunOptions(const RunConfig &config, const Observers &observers)
-{
-    simt::GpuRunOptions options;
-    options.maxCycles = config.maxCycles;
-    options.smxThreads = config.smxThreads;
-    options.trace = observers.trace;
-    options.attribution = observers.attribution;
-    options.sampler = observers.sampler;
-    options.perSmxStats = config.perSmxStats;
-    options.fault = config.fault;
-    options.watchdogCycles = config.watchdogCycles;
-    options.cancel = config.cancel;
-    return options;
-}
-
 simt::SimStats
-runAila(const render::PathTracer &tracer, std::span<const geom::Ray> rays,
-        const RunConfig &config, const Observers &observers,
-        const check::Checker *checker)
-{
-    simt::GpuRunOptions options = gpuRunOptions(config, observers);
-    options.check = checker;
-    if (config.hitsOut != nullptr || checker != nullptr)
-        options.onSmxRetire = [&config, checker](int,
-                                                 simt::Kernel &kernel) {
-            auto &workspace =
-                static_cast<kernels::AilaKernel &>(kernel).travWorkspace();
-            if (checker != nullptr)
-                check::verifyWorkspace(workspace, /*strict=*/true);
-            if (config.hitsOut != nullptr)
-                harvestHits(workspace, *config.hitsOut);
-        };
-    return simt::runGpu(
-        config.gpu,
-        [&](int smx) {
-            auto [first, count] = simt::rayStripe(
-                rays.size(), config.gpu.numSmx, smx, config.gpu.simdLanes);
-            simt::SmxSetup setup;
-            setup.kernel = std::make_unique<kernels::AilaKernel>(
-                tracer.bvh(), tracer.sceneTriangles(),
-                rays.subspan(first, count), first, config.aila);
-            setup.numWarps = config.aila.numWarps;
-            return setup;
-        },
-        options);
-}
-
-simt::SimStats
-runDrs(const render::PathTracer &tracer, std::span<const geom::Ray> rays,
-       const RunConfig &config, const Observers &observers,
-       const check::Checker *checker)
-{
-    simt::GpuRunOptions options = gpuRunOptions(config, observers);
-    options.check = checker;
-    if (config.hitsOut != nullptr || checker != nullptr)
-        options.onSmxRetire = [&config, checker](int,
-                                                 simt::Kernel &kernel) {
-            auto &workspace =
-                static_cast<kernels::DrsKernel &>(kernel).travWorkspace();
-            if (checker != nullptr)
-                check::verifyWorkspace(workspace, /*strict=*/true);
-            if (config.hitsOut != nullptr)
-                harvestHits(workspace, *config.hitsOut);
-        };
-    return simt::runGpu(
-        config.gpu,
-        [&](int smx) {
-            auto [first, count] = simt::rayStripe(
-                rays.size(), config.gpu.numSmx, smx, config.gpu.simdLanes);
-            kernels::DrsKernelConfig kernel_config;
-            kernel_config.numWarps = config.drs.spawnableWarps();
-            kernel_config.backupRows = config.drs.backupRows;
-            auto kernel = std::make_unique<kernels::DrsKernel>(
-                tracer.bvh(), tracer.sceneTriangles(),
-                rays.subspan(first, count), first, kernel_config);
-            simt::SmxSetup setup;
-            setup.numWarps = kernel_config.numWarps;
-            setup.controller = std::make_unique<core::DrsControl>(
-                config.drs, kernel->workspace(), kernel_config.numWarps);
-            setup.kernel = std::move(kernel);
-            return setup;
-        },
-        options);
-}
-
-simt::SimStats
-runDmk(const render::PathTracer &tracer, std::span<const geom::Ray> rays,
-       const RunConfig &config, const Observers &observers,
-       const check::Checker *checker)
-{
-    simt::GpuRunOptions options = gpuRunOptions(config, observers);
-    options.check = checker;
-    if (config.hitsOut != nullptr || checker != nullptr)
-        options.onSmxRetire = [&config, checker](int,
-                                                 simt::Kernel &kernel) {
-            auto &workspace =
-                static_cast<kernels::DrsKernel &>(kernel).travWorkspace();
-            if (checker != nullptr)
-                check::verifyWorkspace(workspace, /*strict=*/true);
-            if (config.hitsOut != nullptr)
-                harvestHits(workspace, *config.hitsOut);
-        };
-    return simt::runGpu(
-        config.gpu,
-        [&](int smx) {
-            auto [first, count] = simt::rayStripe(
-                rays.size(), config.gpu.numSmx, smx, config.gpu.simdLanes);
-            kernels::DrsKernelConfig kernel_config;
-            kernel_config.numWarps = config.dmk.numWarps;
-            kernel_config.backupRows = 0; // DMK regroups via spawn memory
-            auto kernel = std::make_unique<kernels::DrsKernel>(
-                tracer.bvh(), tracer.sceneTriangles(),
-                rays.subspan(first, count), first, kernel_config);
-            simt::SmxSetup setup;
-            setup.numWarps = kernel_config.numWarps;
-            setup.controller = std::make_unique<baselines::DmkControl>(
-                config.dmk, kernel->travWorkspace());
-            setup.kernel = std::move(kernel);
-            return setup;
-        },
-        options);
-}
-
-simt::SimStats
-runTbc(const render::PathTracer &tracer, std::span<const geom::Ray> rays,
-       const RunConfig &config, const Observers &observers,
-       const check::Checker *checker)
-{
-    kernels::AilaConfig aila = config.aila;
-    aila.numWarps = config.tbc.numWarps;
-    baselines::TbcRunOptions options;
-    options.maxCycles = config.maxCycles;
-    options.smxThreads = config.smxThreads;
-    options.perSmxStats = config.perSmxStats;
-    options.check = checker;
-    options.attribution = observers.attribution;
-    options.sampler = observers.sampler;
-    options.fault = config.fault;
-    options.watchdogCycles = config.watchdogCycles;
-    options.cancel = config.cancel;
-    if (config.hitsOut != nullptr || checker != nullptr)
-        options.onSmxRetire = [&config,
-                               checker](int, kernels::AilaKernel &kernel) {
-            if (checker != nullptr)
-                check::verifyWorkspace(kernel.travWorkspace(),
-                                       /*strict=*/true);
-            if (config.hitsOut != nullptr)
-                harvestHits(kernel.travWorkspace(), *config.hitsOut);
-        };
-    return baselines::runTbcGpu(
-        config.gpu, config.tbc,
-        [&](int smx) {
-            auto [first, count] = simt::rayStripe(
-                rays.size(), config.gpu.numSmx, smx, config.gpu.simdLanes);
-            return std::make_unique<kernels::AilaKernel>(
-                tracer.bvh(), tracer.sceneTriangles(),
-                rays.subspan(first, count), first, aila);
-        },
-        options);
-}
-
-simt::SimStats
-runBatchImpl(Arch arch, const render::PathTracer &tracer,
+runBatchImpl(const ArchPlugin &plugin, const render::PathTracer &tracer,
              std::span<const geom::Ray> rays, const RunConfig &config,
              const check::Checker *checker)
 {
     // Trace collection is scoped to the batch: the collector is built
     // here, filled during the run, and written afterwards so tracing
-    // stays invisible to the simulation itself. TBC has no warp-level
-    // tracer (self-contained block executor).
+    // stays invisible to the simulation itself. Plugins without
+    // warp-level tracing (TBC's self-contained block executor) skip it.
     std::unique_ptr<obs::TraceCollector> collector;
-    if (config.trace.enabled && arch != Arch::Tbc)
+    if (config.trace.enabled && plugin.supportsWarpTrace())
         collector = std::make_unique<obs::TraceCollector>(
             config.gpu.numSmx, config.trace.capacity);
 
@@ -244,28 +43,13 @@ runBatchImpl(Arch arch, const render::PathTracer &tracer,
         sampler = std::make_unique<obs::SamplerCollector>(config.gpu.numSmx,
                                                           config.sample);
 
-    Observers observers;
+    ArchObservers observers;
     observers.trace = collector.get();
     observers.attribution = attribution.get();
     observers.sampler = sampler.get();
 
-    simt::SimStats stats;
-    switch (arch) {
-      case Arch::Aila:
-        stats = runAila(tracer, rays, config, observers, checker);
-        break;
-      case Arch::Drs:
-        stats = runDrs(tracer, rays, config, observers, checker);
-        break;
-      case Arch::Dmk:
-        stats = runDmk(tracer, rays, config, observers, checker);
-        break;
-      case Arch::Tbc:
-        stats = runTbc(tracer, rays, config, observers, checker);
-        break;
-      default:
-        throw std::invalid_argument("unknown architecture");
-    }
+    simt::SimStats stats =
+        plugin.run(tracer, rays, config, observers, checker);
 
     if (collector) {
         // Whole-file writes from concurrent sweep jobs would interleave;
@@ -288,45 +72,18 @@ runBatchImpl(Arch arch, const render::PathTracer &tracer,
     return stats;
 }
 
-/** Reference-interpreter inputs matching how run*() builds each arch. */
-check::BatchCheckInputs
-batchCheckInputs(Arch arch, const RunConfig &config)
-{
-    check::BatchCheckInputs inputs;
-    switch (arch) {
-      case Arch::Aila:
-        inputs.flavor = check::KernelFlavor::WhileWhile;
-        inputs.reference = config.aila;
-        inputs.simCost = config.aila.cost;
-        break;
-      case Arch::Tbc:
-        // TBC runs the while-while kernel with config.aila's semantics
-        // but reports no per-block issue stats: hits only.
-        inputs.flavor = check::KernelFlavor::WhileWhile;
-        inputs.hasBlockIssue = false;
-        inputs.reference = config.aila;
-        inputs.simCost = config.aila.cost;
-        break;
-      case Arch::Drs:
-      case Arch::Dmk:
-        // Both build their DrsKernel with a default-config traversal
-        // (no speculation, closest-hit, default cost model).
-        inputs.flavor = check::KernelFlavor::WhileIf;
-        inputs.reference = kernels::AilaConfig{};
-        inputs.simCost = kernels::DrsKernelConfig{}.cost;
-        break;
-    }
-    return inputs;
-}
-
 } // namespace
 
 simt::SimStats
-runBatch(Arch arch, const render::PathTracer &tracer,
+runBatch(const Arch &arch, const render::PathTracer &tracer,
          std::span<const geom::Ray> rays, const RunConfig &config)
 {
+    // Throws std::invalid_argument (naming the registered lineup) for an
+    // architecture nobody registered.
+    const ArchPlugin &plugin = ArchRegistry::instance().get(arch);
+
     if (!check::checkEnabled(config.check))
-        return runBatchImpl(arch, tracer, rays, config, nullptr);
+        return runBatchImpl(plugin, tracer, rays, config, nullptr);
 
     // Checked run: thread the checker through the simulators, collect
     // per-ray hits locally, and cross-check the finished run against the
@@ -338,10 +95,10 @@ runBatch(Arch arch, const render::PathTracer &tracer,
     RunConfig checked = config;
     checked.hitsOut = &hits;
     const simt::SimStats stats =
-        runBatchImpl(arch, tracer, rays, checked, &checker);
+        runBatchImpl(plugin, tracer, rays, checked, &checker);
 
     check::verifyBatch(tracer.bvh(), tracer.sceneTriangles(), rays, stats,
-                       hits, batchCheckInputs(arch, config));
+                       hits, plugin.checkInputs(config));
 
     if (config.hitsOut != nullptr) {
         if (config.hitsOut->size() < hits.size())

@@ -2,10 +2,14 @@
 
 /**
  * @file
- * Experiment harness: glues scenes, ray captures and the four simulated
- * architectures (Aila software baseline, DRS, DMK, TBC) into the runs the
- * paper's figures and tables report. Used by the bench binaries, the
- * examples and the integration tests.
+ * Experiment harness: glues scenes, ray captures and the simulated
+ * architectures into the runs the paper's figures and tables report.
+ * Used by the bench binaries, the examples and the integration tests.
+ *
+ * Architectures are resolved through the plugin registry
+ * (harness/arch_plugin.h): runBatch accepts any registered Arch handle,
+ * so the built-in lineup (aila, drs, dmk, tbc, sort, cutcode) and
+ * runtime-registered plugins all run through the same entry points.
  */
 
 #include <cstdint>
@@ -18,27 +22,18 @@
 #include "baselines/tbc_smx.h"
 #include "core/drs_config.h"
 #include "core/drs_control.h"
+#include "harness/arch.h"
 #include "kernels/aila_kernel.h"
 #include "kernels/drs_kernel.h"
 #include "obs/attribution.h"
 #include "obs/sampler.h"
 #include "obs/trace.h"
 #include "render/path_tracer.h"
+#include "reorder/reorder.h"
 #include "scene/scenes.h"
 #include "simt/gpu.h"
 
 namespace drs::harness {
-
-/** Which architecture traces the rays. */
-enum class Arch
-{
-    Aila, ///< software while-while kernel (baseline)
-    Drs,  ///< while-if kernel + DRS hardware
-    Dmk,  ///< while-if kernel + dynamic micro-kernel spawning
-    Tbc,  ///< while-while kernel + thread block compaction
-};
-
-std::string archName(Arch arch);
 
 /**
  * Profiler output of one runBatch call (cycle attribution + sampled
@@ -65,6 +60,8 @@ struct RunConfig
     baselines::DmkConfig dmk{};
     baselines::TbcConfig tbc{};
     kernels::AilaConfig aila{};
+    /** Software-reordering knobs (the "sort"/"cutcode" architectures). */
+    reorder::ReorderConfig reorder{};
     std::uint64_t maxCycles = 2'000'000'000ULL;
     /**
      * Worker threads stepping SMXs concurrently inside one simulation
@@ -143,13 +140,14 @@ struct RunConfig
  * subspan of @p rays (its stripe), so the caller must keep the batch
  * alive for the duration of the call.
  *
- * @param arch architecture to simulate
+ * @param arch registered architecture to simulate (see ArchRegistry)
  * @param tracer path tracer owning scene + BVH
  * @param rays the batch (one bounce of a capture)
  * @param config run configuration
  * @return aggregated GPU statistics
+ * @throws std::invalid_argument for an unregistered architecture
  */
-simt::SimStats runBatch(Arch arch, const render::PathTracer &tracer,
+simt::SimStats runBatch(const Arch &arch, const render::PathTracer &tracer,
                         std::span<const geom::Ray> rays,
                         const RunConfig &config = {});
 

@@ -1,11 +1,15 @@
 /**
  * @file
- * Differential tests: all four simulated architectures (Aila, DRS, DMK,
- * TBC) run different kernels and ray-management hardware, but they trace
- * the same rays through the same BVH — so every ray must report the same
+ * Differential tests: every registered architecture (the paper's four
+ * plus the software reordering survey entries) runs different kernels,
+ * ray-management hardware or batch permutations, but they trace the same
+ * rays through the same BVH — so every ray must report the same
  * intersection. For each paper scene the Aila software baseline is the
- * reference; the other three must match it per ray on the hit triangle id
- * and on the hit distance within 1e-5.
+ * reference; hardware architectures must match it per ray on the hit
+ * triangle id and on the hit distance within 1e-5, and the software
+ * reorderers ("reorder" counter namespace) must match it exactly — they
+ * run the very same kernel over a permuted batch, so any deviation means
+ * the hit scatter-back is broken.
  */
 
 #include <cmath>
@@ -14,6 +18,7 @@
 
 #include <gtest/gtest.h>
 
+#include "harness/arch_plugin.h"
 #include "harness/harness.h"
 
 namespace drs::harness {
@@ -62,7 +67,16 @@ TEST_P(DifferentialTest, AllArchitecturesAgreeOnEveryHit)
     const auto reference = traceHits(Arch::Aila, prepared, rays);
     ASSERT_EQ(reference.size(), rays.size());
 
-    for (const Arch arch : {Arch::Drs, Arch::Dmk, Arch::Tbc}) {
+    for (const ArchPlugin *plugin : ArchRegistry::instance().plugins()) {
+        const Arch arch(plugin->name());
+        if (arch == Arch::Aila)
+            continue;
+        // The software reorderers run the identical while-while kernel
+        // over a permuted batch: hits must be bitwise equal, not merely
+        // within tolerance.
+        const float tolerance = plugin->counterNamespace() == "reorder"
+                                    ? 0.0f
+                                    : kHitDistanceTolerance;
         const auto hits = traceHits(arch, prepared, rays);
         ASSERT_EQ(hits.size(), reference.size()) << archName(arch);
 
@@ -72,7 +86,7 @@ TEST_P(DifferentialTest, AllArchitecturesAgreeOnEveryHit)
                 hits[i].triangle != reference[i].triangle;
             const bool distance_differs =
                 reference[i].valid() &&
-                std::fabs(hits[i].t - reference[i].t) > kHitDistanceTolerance;
+                std::fabs(hits[i].t - reference[i].t) > tolerance;
             if (triangle_differs || distance_differs) {
                 if (++mismatches <= 5)
                     ADD_FAILURE()
@@ -114,9 +128,9 @@ TEST_P(DifferentialTest, CheckedRunsMatchUncheckedAtAllThreadCounts)
     ASSERT_FALSE(bounce_rays.empty());
     std::span<const geom::Ray> rays(bounce_rays);
     if (rays.size() > 1024)
-        rays = rays.first(1024); // keep the 4-arch grid affordable
+        rays = rays.first(1024); // keep the all-arch grid affordable
 
-    for (const Arch arch : {Arch::Aila, Arch::Drs, Arch::Dmk, Arch::Tbc}) {
+    for (const Arch arch : ArchRegistry::instance().archs()) {
         RunConfig config;
         config.gpu.numSmx = testScale().numSmx;
         config.check = 0;

@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Conformance suite of the architecture plugin registry: every
+ * registered architecture — current and future — must uphold the
+ * simulator-wide contracts the rest of the system assumes. For each
+ * plugin in the registry:
+ *
+ *   - SimStats are bit-identical at smxThreads 1 and 4 (the parallel
+ *     engine's determinism promise);
+ *   - the issue-slot attribution ledger conserves (every slot of every
+ *     cycle is attributed exactly once) and profiling never alters
+ *     SimStats;
+ *   - after a run, the plugin's counter namespace is non-empty — the
+ *     architecture cannot silently lose its observability wiring;
+ *   - a DRS_CHECK=1 run (lockstep reference interpreter + cycle-level
+ *     invariants) passes and leaves SimStats untouched.
+ *
+ * Plus the registry mechanics themselves: the built-in lineup, loud
+ * failure for unknown architectures, duplicate rejection, and runtime
+ * registration being picked up by runBatch immediately.
+ */
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness/arch_plugin.h"
+#include "harness/harness.h"
+
+namespace drs::harness {
+namespace {
+
+ExperimentScale
+testScale()
+{
+    ExperimentScale scale;
+    scale.sceneScale = 0.1f;
+    scale.width = 128;
+    scale.height = 96;
+    scale.samplesPerPixel = 1;
+    scale.raysPerBounce = 4096;
+    scale.numSmx = 2;
+    return scale;
+}
+
+/** One scene, prepared once for the whole suite. */
+const PreparedScene &
+prepared()
+{
+    static const PreparedScene scene =
+        prepareScene(scene::SceneId::Conference, testScale());
+    return scene;
+}
+
+std::span<const geom::Ray>
+testRays()
+{
+    const auto &rays = prepared().trace.bounce(2).rays;
+    std::span<const geom::Ray> span(rays);
+    return span.size() > 768 ? span.first(768) : span;
+}
+
+RunConfig
+baseConfig()
+{
+    RunConfig config;
+    config.gpu.numSmx = testScale().numSmx;
+    config.check = 0;
+    return config;
+}
+
+TEST(ArchRegistry, BuiltinLineupIsRegisteredInSurveyOrder)
+{
+    const auto archs = ArchRegistry::instance().archs();
+    ASSERT_GE(archs.size(), 6u);
+    const char *expected[] = {"aila", "drs", "dmk", "tbc", "sort",
+                              "cutcode"};
+    for (std::size_t i = 0; i < std::size(expected); ++i)
+        EXPECT_EQ(archs[i].name(), expected[i]) << "lineup position " << i;
+
+    // The paper's constants resolve to the same plugins.
+    for (const Arch &arch : {Arch::Aila, Arch::Drs, Arch::Dmk, Arch::Tbc})
+        EXPECT_NE(ArchRegistry::instance().find(arch), nullptr)
+            << arch.name();
+}
+
+TEST(ArchRegistry, PluginsDeclareDistinctNonEmptyIdentity)
+{
+    std::vector<std::string> seen;
+    for (const ArchPlugin *plugin : ArchRegistry::instance().plugins()) {
+        EXPECT_FALSE(plugin->name().empty());
+        EXPECT_FALSE(plugin->description().empty()) << plugin->name();
+        EXPECT_FALSE(plugin->counterNamespace().empty()) << plugin->name();
+        for (const std::string &name : seen)
+            EXPECT_NE(name, plugin->name()) << "duplicate registration";
+        seen.push_back(plugin->name());
+    }
+}
+
+TEST(ArchRegistry, UnknownArchitectureFailsLoudly)
+{
+    EXPECT_EQ(ArchRegistry::instance().find(Arch("no-such-arch")), nullptr);
+    try {
+        runBatch(Arch("no-such-arch"), *prepared().tracer, testRays(),
+                 baseConfig());
+        FAIL() << "runBatch accepted an unregistered architecture";
+    } catch (const std::invalid_argument &e) {
+        // The message must name the lineup so the failure is actionable.
+        EXPECT_NE(std::string(e.what()).find("no-such-arch"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("aila"), std::string::npos);
+    }
+
+    EXPECT_THROW(runBatch(Arch(), *prepared().tracer, testRays(),
+                          baseConfig()),
+                 std::invalid_argument)
+        << "an empty handle must be rejected";
+}
+
+TEST(ArchRegistry, DuplicateAndNullRegistrationsAreRejected)
+{
+    /** A minimal plugin whose only purpose is name collision. */
+    class Impostor : public ArchPlugin
+    {
+      public:
+        std::string name() const override { return "aila"; }
+        std::string description() const override { return "impostor"; }
+        std::string counterNamespace() const override { return "smx"; }
+        simt::SimStats run(const render::PathTracer &,
+                           std::span<const geom::Ray>, const RunConfig &,
+                           const ArchObservers &,
+                           const check::Checker *) const override
+        {
+            return {};
+        }
+        check::BatchCheckInputs
+        checkInputs(const RunConfig &) const override
+        {
+            return {};
+        }
+    };
+
+    EXPECT_THROW(ArchRegistry::instance().add(std::make_unique<Impostor>()),
+                 std::invalid_argument);
+    EXPECT_THROW(ArchRegistry::instance().add(nullptr),
+                 std::invalid_argument);
+}
+
+TEST(ArchRegistry, RuntimeRegistrationIsPickedUpEverywhere)
+{
+    /**
+     * A fully conformant external architecture: delegates to the aila
+     * plugin under a new name, exactly what an out-of-tree experiment
+     * would do to reuse an executor.
+     */
+    class Echo : public ArchPlugin
+    {
+      public:
+        std::string name() const override { return "echo-aila"; }
+        std::string description() const override
+        {
+            return "runtime-registered delegate of the aila plugin";
+        }
+        std::string counterNamespace() const override
+        {
+            return delegate().counterNamespace();
+        }
+        simt::SimStats run(const render::PathTracer &tracer,
+                           std::span<const geom::Ray> rays,
+                           const RunConfig &config,
+                           const ArchObservers &observers,
+                           const check::Checker *checker) const override
+        {
+            return delegate().run(tracer, rays, config, observers, checker);
+        }
+        check::BatchCheckInputs
+        checkInputs(const RunConfig &config) const override
+        {
+            return delegate().checkInputs(config);
+        }
+
+      private:
+        static const ArchPlugin &delegate()
+        {
+            return ArchRegistry::instance().get(Arch::Aila);
+        }
+    };
+
+    // Register once for the whole process (tests may run in any order).
+    static const ArchRegistrar registrar{std::make_unique<Echo>()};
+    const Arch arch = registrar.arch();
+    EXPECT_EQ(arch.name(), "echo-aila");
+    EXPECT_NE(ArchRegistry::instance().find(arch), nullptr);
+
+    // runBatch resolves it like any builtin — including the checked path
+    // (lockstep reference interpreter), with results identical to aila.
+    RunConfig config = baseConfig();
+    config.check = 1;
+    const auto echoed = runBatch(arch, *prepared().tracer, testRays(),
+                                 config);
+    const auto direct = runBatch(Arch::Aila, *prepared().tracer, testRays(),
+                                 config);
+    EXPECT_TRUE(echoed == direct)
+        << "the delegate must reproduce aila bit-for-bit";
+}
+
+class RegistryConformance : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    Arch arch() const { return Arch(GetParam()); }
+    const ArchPlugin &plugin() const
+    {
+        return ArchRegistry::instance().get(arch());
+    }
+};
+
+TEST_P(RegistryConformance, SimStatsAreDeterministicAcrossSmxThreads)
+{
+    RunConfig config = baseConfig();
+    config.smxThreads = 1;
+    const auto sequential =
+        runBatch(arch(), *prepared().tracer, testRays(), config);
+    EXPECT_EQ(sequential.raysTraced, testRays().size());
+    EXPECT_GT(sequential.cycles, 0u);
+
+    config.smxThreads = 4;
+    const auto parallel =
+        runBatch(arch(), *prepared().tracer, testRays(), config);
+    EXPECT_TRUE(sequential == parallel)
+        << "SimStats differ between smxThreads=1 and smxThreads=4";
+}
+
+TEST_P(RegistryConformance, CounterNamespaceIsPopulatedAfterARun)
+{
+    const auto stats =
+        runBatch(arch(), *prepared().tracer, testRays(), baseConfig());
+    const std::string prefix = plugin().counterNamespace() + ".";
+    bool found = false;
+    for (const auto &[name, value] : stats.counters.entries())
+        if (name.compare(0, prefix.size(), prefix) == 0) {
+            found = true;
+            break;
+        }
+    EXPECT_TRUE(found) << "no \"" << prefix
+                       << "*\" counter after a run — the architecture "
+                          "lost its observability wiring";
+}
+
+TEST_P(RegistryConformance, AttributionLedgerConservesAndObservesPurely)
+{
+    RunConfig config = baseConfig();
+    const auto plain =
+        runBatch(arch(), *prepared().tracer, testRays(), config);
+
+    config.sample.enabled = true;
+    config.sample.interval = 64;
+    config.sample.capacity = 256;
+    RunObservations observations;
+    config.observationsOut = &observations;
+    const auto sampled =
+        runBatch(arch(), *prepared().tracer, testRays(), config);
+
+    EXPECT_TRUE(plain == sampled) << "profiling altered SimStats";
+    ASSERT_NE(observations.attribution, nullptr);
+    ASSERT_NE(observations.sampler, nullptr);
+    // Throws std::logic_error when any issue slot went missing or was
+    // double-counted.
+    EXPECT_NO_THROW(observations.attribution->merged().verifyConservation());
+}
+
+TEST_P(RegistryConformance, LockstepCheckPassesAndIsAPureObserver)
+{
+    const auto unchecked =
+        runBatch(arch(), *prepared().tracer, testRays(), baseConfig());
+
+    RunConfig config = baseConfig();
+    config.check = 1;
+    std::vector<geom::Hit> hits;
+    config.hitsOut = &hits;
+    simt::SimStats checked;
+    ASSERT_NO_THROW(checked = runBatch(arch(), *prepared().tracer,
+                                       testRays(), config))
+        << "DRS_CHECK=1 found an invariant violation";
+    EXPECT_TRUE(unchecked == checked) << "DRS_CHECK=1 altered SimStats";
+    EXPECT_EQ(hits.size(), testRays().size());
+}
+
+std::vector<std::string>
+builtinLineup()
+{
+    // The parameter list is evaluated at static-init time, before any
+    // test could register extra plugins, so this enumerates exactly the
+    // built-in lineup.
+    std::vector<std::string> names;
+    for (const Arch &arch : ArchRegistry::instance().archs())
+        names.push_back(arch.name());
+    return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRegisteredArchs, RegistryConformance,
+                         ::testing::ValuesIn(builtinLineup()),
+                         [](const auto &info) { return info.param; });
+
+} // namespace
+} // namespace drs::harness

@@ -72,6 +72,11 @@ struct SceneMeasurement
     double drsSimdEfficiency = 0.0;
     /** Aila cycles / DRS cycles on the same batch. */
     double drsSpeedupVsAila = 0.0;
+    // Software reordering survey (bench_reorder_survey's tiny-scale rows).
+    double sortSimdEfficiency = 0.0;
+    double sortSpeedupVsAila = 0.0;
+    double cutcodeSimdEfficiency = 0.0;
+    double cutcodeSpeedupVsAila = 0.0;
 };
 
 /** Run the fixed-scale measurement sweep (all scenes, bounce 2). */
@@ -85,6 +90,8 @@ measure()
         scene::SceneId id;
         std::size_t aila;
         std::size_t drs;
+        std::size_t sort;
+        std::size_t cutcode;
     };
     std::vector<Slot> slots;
     for (scene::SceneId id : scene::allSceneIds()) {
@@ -96,7 +103,11 @@ measure()
         const std::size_t aila = runner.add(job);
         job.arch = Arch::Drs;
         const std::size_t drs = runner.add(job);
-        slots.push_back({id, aila, drs});
+        job.arch = Arch("sort");
+        const std::size_t sort = runner.add(job);
+        job.arch = Arch("cutcode");
+        const std::size_t cutcode = runner.add(job);
+        slots.push_back({id, aila, drs, sort, cutcode});
     }
     const auto results = runner.run();
 
@@ -104,13 +115,21 @@ measure()
     for (const Slot &slot : slots) {
         const auto &aila = results[slot.aila].stats;
         const auto &drs = results[slot.drs].stats;
+        const auto &sort = results[slot.sort].stats;
+        const auto &cutcode = results[slot.cutcode].stats;
+        auto speedup = [&aila](const simt::SimStats &s) {
+            return s.cycles ? static_cast<double>(aila.cycles) /
+                                  static_cast<double>(s.cycles)
+                            : 0.0;
+        };
         SceneMeasurement m;
         m.ailaSimdEfficiency = aila.histogram.simdEfficiency();
         m.drsSimdEfficiency = drs.histogram.simdEfficiency();
-        m.drsSpeedupVsAila = drs.cycles
-                                 ? static_cast<double>(aila.cycles) /
-                                       static_cast<double>(drs.cycles)
-                                 : 0.0;
+        m.drsSpeedupVsAila = speedup(drs);
+        m.sortSimdEfficiency = sort.histogram.simdEfficiency();
+        m.sortSpeedupVsAila = speedup(sort);
+        m.cutcodeSimdEfficiency = cutcode.histogram.simdEfficiency();
+        m.cutcodeSpeedupVsAila = speedup(cutcode);
         measurements[scene::sceneName(slot.id)] = m;
     }
     return measurements;
@@ -179,6 +198,52 @@ TEST_P(StatisticalTest, SpeedupAndEfficiencyWithinGoldenBand)
         << name;
 }
 
+TEST_P(StatisticalTest, ReorderSurveyWithinGoldenBand)
+{
+    // The software reordering survey rows (sort, cutcode) are pinned the
+    // same way the DRS headline numbers are: the simulator is
+    // deterministic, so drifting out of the band means the reordering
+    // passes or the cost model changed.
+    std::string error;
+    const auto golden = loadGolden(&error);
+    ASSERT_TRUE(golden.has_value()) << error;
+
+    const obs::Json *scenes = golden->find("scenes");
+    ASSERT_NE(scenes, nullptr) << "golden file has no \"scenes\" object";
+    const std::string name = scene::sceneName(GetParam());
+    const obs::Json *expected = scenes->find(name);
+    ASSERT_NE(expected, nullptr)
+        << "no golden entry for " << name
+        << " (regenerate with --update-golden)";
+    ASSERT_NE(expected->find("sort_speedup_vs_aila"), nullptr)
+        << "golden file predates the reorder survey "
+        << "(regenerate with --update-golden)";
+
+    const auto &m = measurements().at(name);
+    struct Row
+    {
+        const char *efficiencyKey;
+        const char *speedupKey;
+        double efficiency;
+        double speedup;
+    };
+    for (const Row &row :
+         {Row{"sort_simd_efficiency", "sort_speedup_vs_aila",
+              m.sortSimdEfficiency, m.sortSpeedupVsAila},
+          Row{"cutcode_simd_efficiency", "cutcode_speedup_vs_aila",
+              m.cutcodeSimdEfficiency, m.cutcodeSpeedupVsAila}}) {
+        EXPECT_NEAR(row.efficiency,
+                    expected->find(row.efficiencyKey)->asDouble(),
+                    kEfficiencyTolerance)
+            << name << ": " << row.efficiencyKey;
+        const double golden_speedup =
+            expected->find(row.speedupKey)->asDouble();
+        EXPECT_NEAR(row.speedup, golden_speedup,
+                    golden_speedup * kSpeedupTolerance)
+            << name << ": " << row.speedupKey;
+    }
+}
+
 INSTANTIATE_TEST_SUITE_P(AllScenes, StatisticalTest,
                          ::testing::ValuesIn(scene::allSceneIds()),
                          [](const auto &info) {
@@ -202,6 +267,10 @@ updateGolden()
         scene["aila_simd_efficiency"] = m.ailaSimdEfficiency;
         scene["drs_simd_efficiency"] = m.drsSimdEfficiency;
         scene["drs_speedup_vs_aila"] = m.drsSpeedupVsAila;
+        scene["sort_simd_efficiency"] = m.sortSimdEfficiency;
+        scene["sort_speedup_vs_aila"] = m.sortSpeedupVsAila;
+        scene["cutcode_simd_efficiency"] = m.cutcodeSimdEfficiency;
+        scene["cutcode_speedup_vs_aila"] = m.cutcodeSpeedupVsAila;
     }
 
     const std::string path = goldenPath();

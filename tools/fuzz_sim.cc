@@ -30,6 +30,7 @@
 
 #include "check/check.h"
 #include "geom/rng.h"
+#include "harness/arch_plugin.h"
 #include "harness/harness.h"
 #include "obs/attribution.h"
 #include "obs/sampler.h"
@@ -70,7 +71,13 @@ deriveCase(std::uint64_t seed)
     c.sceneScale = rng.nextUInt(2) == 0 ? 0.05f : 0.1f;
     c.bounceIndex = rng.nextUInt(2);
     c.maxRays = 128 + rng.nextUInt(385); // 128..512
-    c.arch = static_cast<Arch>(rng.nextUInt(4));
+
+    // Draw the architecture from the registry (in registration order, so
+    // a seed replays identically): every registered plugin — including
+    // ones added after this tool was written — gets fuzzed.
+    const auto &registry = drs::harness::ArchRegistry::instance();
+    const auto archs = registry.archs();
+    c.arch = archs[rng.nextUInt(static_cast<std::uint32_t>(archs.size()))];
     c.smxThreadsParallel = 2 + static_cast<int>(rng.nextUInt(3)); // 2..4
 
     c.run.gpu.numSmx = 1 + static_cast<int>(rng.nextUInt(2));
@@ -82,34 +89,9 @@ deriveCase(std::uint64_t seed)
     static constexpr std::size_t kCapacityChoices[] = {4, 16, 512};
     c.sampleCapacity = kCapacityChoices[rng.nextUInt(3)];
 
-    static constexpr int kWarpChoices[] = {4, 8, 16};
-    switch (c.arch) {
-      case Arch::Aila:
-        c.run.aila.numWarps = kWarpChoices[rng.nextUInt(3)];
-        c.run.aila.speculativeTraversal = rng.nextUInt(2) == 0;
-        c.run.aila.anyHit = rng.nextUInt(4) == 0;
-        break;
-      case Arch::Drs:
-        c.run.drs.backupRows = static_cast<int>(rng.nextUInt(3));
-        c.run.drs.swapBuffers = 6 + 3 * static_cast<int>(rng.nextUInt(2));
-        c.run.drs.dispatchMinorityTolerance =
-            static_cast<int>(rng.nextUInt(8));
-        c.run.drs.idealized = rng.nextUInt(4) == 0;
-        // Shrink the register file so runs stay small (~13 warps).
-        c.run.drs.registersPerSmx = 16384;
-        break;
-      case Arch::Dmk:
-        c.run.dmk.numWarps = kWarpChoices[rng.nextUInt(3)];
-        c.run.dmk.spawnBanks = rng.nextUInt(2) == 0 ? 8 : 32;
-        break;
-      case Arch::Tbc:
-        c.run.tbc.warpsPerBlock = 2 + static_cast<int>(rng.nextUInt(2));
-        c.run.tbc.numWarps =
-            c.run.tbc.warpsPerBlock * (2 + static_cast<int>(rng.nextUInt(3)));
-        c.run.aila.speculativeTraversal = rng.nextUInt(2) == 0;
-        c.run.aila.anyHit = rng.nextUInt(4) == 0;
-        break;
-    }
+    // Per-architecture tunables are the plugin's own business: each
+    // randomizeConfig consumes the RNG stream deterministically.
+    registry.get(c.arch).randomizeConfig(rng, c.run);
     return c;
 }
 

@@ -62,7 +62,10 @@ main(int argc, char **argv)
     }
 
     std::vector<double> geomean_accumulator(archs.size(), 0.0);
-    int scene_count = 0;
+    // Scenes contributing a valid ratio, per arch: a degraded run (zero
+    // cycles, watchdog abort) yields 0 or NaN Mrays/s, and log() of a
+    // non-positive ratio would poison the whole geomean with -inf/NaN.
+    std::vector<int> geomean_scenes(archs.size(), 0);
 
     std::size_t scene_index = 0;
     for (scene::SceneId id : scene::allSceneIds()) {
@@ -81,19 +84,29 @@ main(int argc, char **argv)
                 return stats::formatDouble(
                     capture.perBounce[b].mraysPerSecond(clock_ghz), 1);
             };
+            const double ratio =
+                aila_overall > 0.0 ? overall / aila_overall : 0.0;
             table.addRow(
                 {archs[a].name(), bounce_mrays(0), bounce_mrays(1),
                  bounce_mrays(2), stats::formatDouble(overall, 1),
                  stats::formatDouble(
                      capture.overall.histogram.simdEfficiency(), 3),
-                 stats::formatDouble(overall / aila_overall, 2) + "x"});
-            geomean_accumulator[a] += std::log(overall / aila_overall);
+                 stats::formatDouble(ratio, 2) + "x"});
+            if (ratio > 0.0 && std::isfinite(ratio)) {
+                geomean_accumulator[a] += std::log(ratio);
+                ++geomean_scenes[a];
+            } else {
+                std::cout << "warning: " << archs[a].name() << " on "
+                          << scene::sceneName(id)
+                          << " produced a non-positive speedup ratio ("
+                          << ratio << "); excluded from the geomean\n";
+            }
 
             auto &row = report.addStats(scene::sceneName(id),
                                         archs[a].name(), capture.overall,
                                         clock_ghz);
             row["mrays_per_s"] = overall;
-            row["speedup_vs_aila"] = overall / aila_overall;
+            row["speedup_vs_aila"] = ratio;
             // The software reorderers publish what the pass did through
             // their counter namespace; surface it as first-class fields.
             if (capture.overall.counters.contains("reorder.rays")) {
@@ -104,7 +117,6 @@ main(int argc, char **argv)
                         "reorder.displacement_sum");
             }
         }
-        ++scene_count;
         std::cout << "\n--- " << scene::sceneName(id) << " ---\n";
         table.print(std::cout);
         std::cout.flush();
@@ -113,8 +125,13 @@ main(int argc, char **argv)
 
     std::cout << "\nAverage speedup vs Aila (geometric mean over scenes):\n";
     for (std::size_t a = 0; a < archs.size(); ++a) {
+        if (geomean_scenes[a] == 0) {
+            std::cout << "  " << archs[a].name()
+                      << ": no valid scenes (skipped)\n";
+            continue;
+        }
         const double geomean =
-            std::exp(geomean_accumulator[a] / scene_count);
+            std::exp(geomean_accumulator[a] / geomean_scenes[a]);
         std::cout << "  " << archs[a].name() << ": "
                   << stats::formatDouble(geomean, 2) << "x\n";
         report.summary()[archs[a].name() + "_geomean_speedup"] = geomean;

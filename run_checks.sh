@@ -1,8 +1,9 @@
 #!/bin/bash
 # Correctness gate for the invariant-checking subsystem (src/check).
 #
-# 1. Builds the tree under -DDRS_SANITIZE=address and =thread and runs
-#    the `check`-labelled suites under each sanitizer with DRS_CHECK=1:
+# 1. Builds the tree under -DDRS_SANITIZE=address, =thread and
+#    =undefined and runs the `check`-labelled suites (plus the registry
+#    and fuzz-smoke legs) under each sanitizer with DRS_CHECK=1:
 #    test_check plus fuzz_smoke, the seeded randomized lockstep
 #    cross-check (fixed master seed 0x5eed -> deterministic configs,
 #    every seed printed for --replay).
@@ -75,8 +76,8 @@ PYEOF
 }
 
 if [ "$skip_san" -eq 0 ]; then
-  for san in address thread; do
-    dir="build-${san:0:1}san" # build-asan / build-tsan
+  for san in address thread undefined; do
+    dir="build-${san:0:1}san" # build-asan / build-tsan / build-usan
     echo; echo "######## sanitizer: $san ($dir) ########"; echo
     cmake -B "$dir" -S . -DDRS_SANITIZE="$san" >/dev/null
     cmake --build "$dir" -j"$JOBS"

@@ -1,0 +1,114 @@
+#include "baselines/ser_control.h"
+
+#include <algorithm>
+#include <ostream>
+
+namespace drs::baselines {
+
+using simt::RdctrlResult;
+using simt::TravState;
+
+SerControl::SerControl(const SerConfig &config, kernels::SerKernel &kernel)
+    : config_(config),
+      kernel_(kernel),
+      shadeBatch_(static_cast<std::size_t>(std::clamp(
+          config.shadeBatch, 1,
+          kernel.travWorkspace().laneCount()))),
+      dispatches_(counters_.get("ser.dispatches")),
+      shadeGroups_(counters_.get("ser.shade_groups")),
+      shadeRays_(counters_.get("ser.shade_rays")),
+      sortedKeySum_(counters_.get("ser.sorted_key_sum")),
+      depositKeySum_(counters_.get("ser.deposit_key_sum"))
+{
+}
+
+RdctrlResult
+SerControl::dispatchShade(int row)
+{
+    const int lanes = kernel_.travWorkspace().laneCount();
+    reorder::PullStats pull;
+    const std::size_t n = kernel_.fillShadeGroup(
+        row, static_cast<std::size_t>(lanes), &pull);
+    shadeGroups_.add();
+    shadeRays_.add(n);
+    sortedKeySum_.add(pull.sortedDistinctKeys);
+    depositKeySum_.add(pull.depositDistinctKeys);
+
+    RdctrlResult result;
+    result.row = row;
+    result.bodyBlock = kernels::SerBlocks::kShade;
+    result.mask = n >= 32 ? 0xffffffffu
+                          : ((1u << static_cast<unsigned>(n)) - 1u);
+    return result;
+}
+
+RdctrlResult
+SerControl::onRdctrl(int warp)
+{
+    auto &workspace = kernel_.travWorkspace();
+    const int row = warp; // fixed binding: no ray management hardware
+    const int lanes = workspace.laneCount();
+
+    std::uint32_t inner_mask = 0;
+    std::uint32_t leaf_mask = 0;
+    std::uint32_t hole_mask = 0;
+    int inner = 0;
+    int leaf = 0;
+    for (int lane = 0; lane < lanes; ++lane) {
+        const std::uint32_t bit = 1u << static_cast<unsigned>(lane);
+        switch (workspace.state(row, lane)) {
+          case TravState::Inner:
+            inner_mask |= bit;
+            ++inner;
+            break;
+          case TravState::Leaf:
+            leaf_mask |= bit;
+            ++leaf;
+            break;
+          case TravState::Fetch:
+            hole_mask |= bit;
+            break;
+        }
+    }
+
+    // A full coherent batch is waiting: shading takes priority, so the
+    // buffer cannot grow without bound while every warp traverses.
+    if (kernel_.shadeQueue().size() >= shadeBatch_)
+        return dispatchShade(row);
+
+    RdctrlResult result;
+    result.row = row;
+    if (inner + leaf > 0) {
+        dispatches_.add();
+        if (inner >= leaf) {
+            result.ctrl = TravState::Inner;
+            result.mask = inner_mask;
+        } else {
+            result.ctrl = TravState::Leaf;
+            result.mask = leaf_mask;
+        }
+        result.fetchMask = workspace.poolEmpty() ? 0 : hole_mask;
+        return result;
+    }
+    if (!workspace.poolEmpty()) {
+        dispatches_.add();
+        result.ctrl = TravState::Fetch;
+        result.mask = hole_mask;
+        return result;
+    }
+    // Row and pool exhausted: drain the sort buffer, then leave.
+    if (!kernel_.shadeQueue().empty())
+        return dispatchShade(row);
+    result.exit = true;
+    return result;
+}
+
+void
+SerControl::describeState(std::ostream &out) const
+{
+    out << "  ser control: " << kernel_.shadeQueue().size()
+        << " rays parked at the shading boundary (batch " << shadeBatch_
+        << ")\n";
+}
+
+} // namespace drs::baselines

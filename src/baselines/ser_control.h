@@ -1,0 +1,74 @@
+#pragma once
+
+/**
+ * @file
+ * SER-style control unit: the WarpController behind the "ser"
+ * architecture. Warps keep a fixed 1:1 row binding (no ray shuffling);
+ * the reorder point is at the traversal->shading boundary instead. At
+ * each rdctrl the controller either diverts the warp to the shade block
+ * — refilled with a coherent group pulled from the kernel's shared sort
+ * buffer — or dispatches the row's majority traversal state with the
+ * matching lane mask (hole lanes refill via the per-thread fetch mask,
+ * as in the DRS dispatch).
+ *
+ * Deadlock-free by construction: every rdctrl resolves to a dispatch or
+ * exit (never a stall), a warp only exits once its row, the ray pool and
+ * the sort buffer are all empty, and a terminating ray always deposits
+ * into the buffer before its warp can observe the empty row — so every
+ * deposited ray is shaded before the last warp leaves.
+ */
+
+#include "kernels/ser_kernel.h"
+#include "obs/counters.h"
+#include "simt/controller.h"
+
+namespace drs::baselines {
+
+/** Tuning knobs of the SER architecture (RunConfig::ser). */
+struct SerConfig
+{
+    /** Resident warps per SMX (rows are bound 1:1). */
+    int numWarps = 48;
+    /** BVH-cut size of the hit-point sort key. */
+    int cutSize = 64;
+    /**
+     * Minimum parked rays before a warp is diverted to shading (clamped
+     * to the warp width). Smaller batches shade sooner but less
+     * coherently; the buffer also drains below the threshold once
+     * traversal work runs out.
+     */
+    int shadeBatch = 32;
+};
+
+/** SER control for one SMX, bound to that SMX's SerKernel. */
+class SerControl : public simt::WarpController
+{
+  public:
+    SerControl(const SerConfig &config, kernels::SerKernel &kernel);
+
+    simt::RdctrlResult onRdctrl(int warp) override;
+    void cycle(int issued_instructions) override { (void)issued_instructions; }
+    obs::CounterSnapshot countersSnapshot() const override
+    {
+        return counters_.snapshot();
+    }
+    void describeState(std::ostream &out) const override;
+
+  private:
+    /** Divert @p warp to the shade block with a coherent group. */
+    simt::RdctrlResult dispatchShade(int row);
+
+    SerConfig config_;
+    kernels::SerKernel &kernel_;
+    std::size_t shadeBatch_;
+
+    /** Observability counters ("ser.*"). */
+    obs::Counters counters_;
+    obs::Counter &dispatches_;
+    obs::Counter &shadeGroups_;
+    obs::Counter &shadeRays_;
+    obs::Counter &sortedKeySum_;
+    obs::Counter &depositKeySum_;
+};
+
+} // namespace drs::baselines

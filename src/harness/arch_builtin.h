@@ -24,4 +24,8 @@ std::unique_ptr<const ArchPlugin> makeTbcArch();
 std::unique_ptr<const ArchPlugin> makeSortArch();
 std::unique_ptr<const ArchPlugin> makeCutCodeArch();
 
+// arch_survey.cc — SER-style shading reorder + ray-path prediction.
+std::unique_ptr<const ArchPlugin> makeSerArch();
+std::unique_ptr<const ArchPlugin> makePathPredArch();
+
 } // namespace drs::harness::detail

@@ -8,11 +8,36 @@
  */
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 
 #include "harness/arch_plugin.h"
 #include "kernels/trav_workspace.h"
 
 namespace drs::harness::detail {
+
+/**
+ * Scatter hits collected at sorted positions back to original batch
+ * indices: out[order[p]] = sorted_hits[p]. A short @p sorted_hits means
+ * the inner run dropped rays (a harness bug, not a user error) — fail
+ * loudly instead of reading past the end.
+ */
+inline void
+scatterHits(const std::vector<std::uint32_t> &order,
+            const std::vector<geom::Hit> &sorted_hits,
+            std::vector<geom::Hit> &out)
+{
+    if (sorted_hits.size() < order.size())
+        throw std::logic_error(
+            "scatterHits: inner run produced " +
+            std::to_string(sorted_hits.size()) + " hits for a " +
+            std::to_string(order.size()) +
+            "-ray permutation (rays were dropped)");
+    if (out.size() < order.size())
+        out.resize(order.size());
+    for (std::size_t p = 0; p < order.size(); ++p)
+        out[order[p]] = sorted_hits[p];
+}
 
 /**
  * Copy one SMX's per-stripe hit records into the global hits vector. The

@@ -29,6 +29,8 @@ ArchRegistry::ArchRegistry()
     plugins_.push_back(detail::makeTbcArch());
     plugins_.push_back(detail::makeSortArch());
     plugins_.push_back(detail::makeCutCodeArch());
+    plugins_.push_back(detail::makeSerArch());
+    plugins_.push_back(detail::makePathPredArch());
 }
 
 Arch

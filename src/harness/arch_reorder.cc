@@ -81,12 +81,8 @@ class ReorderArchBase : public ArchPlugin
             },
             options);
 
-        if (config.hitsOut != nullptr) {
-            if (config.hitsOut->size() < rays.size())
-                config.hitsOut->resize(rays.size());
-            for (std::size_t p = 0; p < order.size(); ++p)
-                (*config.hitsOut)[order[p]] = sorted_hits[p];
-        }
+        if (config.hitsOut != nullptr)
+            detail::scatterHits(order, sorted_hits, *config.hitsOut);
 
         // The reordering pass reports through the shared counter
         // namespace, like the hardware controllers do ("drs.*", ...):

@@ -82,7 +82,13 @@ runBatch(const Arch &arch, const render::PathTracer &tracer,
     // architecture nobody registered.
     const ArchPlugin &plugin = ArchRegistry::instance().get(arch);
 
-    if (!check::checkEnabled(config.check))
+    // Fault injection deliberately corrupts in-flight ray state (swap
+    // bit flips, cache tag corruption), so the fault-free lockstep
+    // reference cannot agree with a faulted run — checking would report
+    // every injected fault as a simulator bug. The checker only attaches
+    // to clean runs; fault campaigns validate determinism and
+    // conservation through their own suite instead.
+    if (config.fault.seed != 0 || !check::checkEnabled(config.check))
         return runBatchImpl(plugin, tracer, rays, config, nullptr);
 
     // Checked run: thread the checker through the simulators, collect

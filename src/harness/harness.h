@@ -8,8 +8,9 @@
  *
  * Architectures are resolved through the plugin registry
  * (harness/arch_plugin.h): runBatch accepts any registered Arch handle,
- * so the built-in lineup (aila, drs, dmk, tbc, sort, cutcode) and
- * runtime-registered plugins all run through the same entry points.
+ * so the built-in lineup (aila, drs, dmk, tbc, sort, cutcode, ser,
+ * pathpred) and runtime-registered plugins all run through the same
+ * entry points.
  */
 
 #include <cstdint>
@@ -19,12 +20,14 @@
 #include <vector>
 
 #include "baselines/dmk_control.h"
+#include "baselines/ser_control.h"
 #include "baselines/tbc_smx.h"
 #include "core/drs_config.h"
 #include "core/drs_control.h"
 #include "harness/arch.h"
 #include "kernels/aila_kernel.h"
 #include "kernels/drs_kernel.h"
+#include "kernels/pathpred_kernel.h"
 #include "obs/attribution.h"
 #include "obs/sampler.h"
 #include "obs/trace.h"
@@ -62,6 +65,10 @@ struct RunConfig
     kernels::AilaConfig aila{};
     /** Software-reordering knobs (the "sort"/"cutcode" architectures). */
     reorder::ReorderConfig reorder{};
+    /** SER-style shading-boundary reordering (the "ser" architecture). */
+    baselines::SerConfig ser{};
+    /** Ray-path prediction knobs (the "pathpred" architecture). */
+    kernels::PathPredConfig pathpred{};
     std::uint64_t maxCycles = 2'000'000'000ULL;
     /**
      * Worker threads stepping SMXs concurrently inside one simulation

@@ -40,6 +40,19 @@ struct CostModel
     int setRayState = 2;      ///< write reg_ray_state
     int leafBodyHead = 3;     ///< triangle-loop condition inside the leaf if
 
+    // Survey-lineup extensions (src/harness/arch_survey.cc).
+    /**
+     * Path-prediction table lookup (Demoullin et al.): hash of the
+     * quantized origin/direction plus one tag compare.
+     */
+    int predictLookup = 14;
+    /**
+     * Hit-shading body at the SER reorder point: material fetch plus a
+     * stand-in BRDF evaluation (the survey models shading coherence, not
+     * shading arithmetic, so one moderate block suffices).
+     */
+    int shade = 36;
+
     // DMK micro-kernel spawn overhead (the SI category): dumping and
     // reloading the 17 ray variables through spawn memory, plus queue
     // bookkeeping.

@@ -1,0 +1,209 @@
+#include "kernels/ser_kernel.h"
+
+#include <stdexcept>
+
+namespace drs::kernels {
+
+using simt::Block;
+using simt::MemSpace;
+using simt::Program;
+using simt::ThreadStep;
+using simt::TravState;
+
+simt::Program
+makeSerProgram(const CostModel &cost)
+{
+    // Blocks 0-7 are the while-if CFG with the exact names and
+    // instruction counts of makeDrsProgram, so the lockstep check's
+    // per-block visit comparison (blocks 2 and 5) applies unchanged.
+    std::vector<Block> blocks(SerBlocks::kSerCount);
+
+    auto &rdctrl = blocks[SerBlocks::kRdctrl];
+    rdctrl.name = "RDCTRL";
+    rdctrl.instructionCount = cost.rdctrl;
+    rdctrl.specialOp = simt::SpecialOp::Rdctrl;
+    rdctrl.successors = {SerBlocks::kFetchBody, SerBlocks::kInnerTest,
+                         SerBlocks::kLeafHead, SerBlocks::kExit,
+                         SerBlocks::kShade};
+
+    auto &fetch = blocks[SerBlocks::kFetchBody];
+    fetch.name = "IF_FETCH";
+    fetch.instructionCount = cost.fetchRay;
+    fetch.successors = {SerBlocks::kRdctrl};
+    fetch.memSpace = MemSpace::Global;
+    fetch.phase = obs::TravPhase::Fetch;
+
+    auto &itest = blocks[SerBlocks::kInnerTest];
+    itest.name = "IF_INNER_TEST";
+    itest.instructionCount = cost.innerTest;
+    itest.successors = {SerBlocks::kSetStateInner};
+    itest.memSpace = MemSpace::Texture;
+    itest.phase = obs::TravPhase::Inner;
+
+    auto &seti = blocks[SerBlocks::kSetStateInner];
+    seti.name = "SET_STATE_I";
+    seti.instructionCount = cost.setRayState;
+    seti.successors = {SerBlocks::kRdctrl};
+    seti.phase = obs::TravPhase::Inner;
+
+    auto &lhead = blocks[SerBlocks::kLeafHead];
+    lhead.name = "IF_LEAF_HEAD";
+    lhead.instructionCount = cost.leafBodyHead;
+    lhead.successors = {SerBlocks::kLeafTest, SerBlocks::kSetStateLeaf};
+    lhead.phase = obs::TravPhase::Leaf;
+
+    auto &ltest = blocks[SerBlocks::kLeafTest];
+    ltest.name = "LEAF_TEST";
+    ltest.instructionCount = cost.leafTest;
+    ltest.successors = {SerBlocks::kLeafHead};
+    ltest.memSpace = MemSpace::Texture;
+    ltest.phase = obs::TravPhase::Leaf;
+
+    auto &setl = blocks[SerBlocks::kSetStateLeaf];
+    setl.name = "SET_STATE_L";
+    setl.instructionCount = cost.setRayState;
+    setl.successors = {SerBlocks::kRdctrl};
+    setl.phase = obs::TravPhase::Leaf;
+
+    blocks[SerBlocks::kExit].name = "EXIT";
+    blocks[SerBlocks::kExit].instructionCount = 1;
+
+    auto &shade = blocks[SerBlocks::kShade];
+    shade.name = "SHADE";
+    shade.instructionCount = cost.shade;
+    shade.successors = {SerBlocks::kRdctrl};
+    shade.memSpace = MemSpace::Texture;
+    shade.phase = obs::TravPhase::Fetch;
+
+    return Program(std::move(blocks), SerBlocks::kExit);
+}
+
+SerKernel::SerKernel(const bvh::Bvh &bvh,
+                     const std::vector<geom::Triangle> &triangles,
+                     std::span<const geom::Ray> rays, std::size_t first_ray,
+                     const SerKernelConfig &config)
+    : config_(config),
+      program_(makeSerProgram(config.cost)),
+      workspace_(bvh, triangles, rays, first_ray, config.numWarps, 32,
+                 /*any_hit=*/false),
+      triangles_(triangles),
+      rays_(rays),
+      cut_(bvh, config.cutSize),
+      shadeGroups_(static_cast<std::size_t>(config.numWarps))
+{
+}
+
+int
+SerKernel::blockForState(TravState state) const
+{
+    switch (state) {
+      case TravState::Fetch: return SerBlocks::kFetchBody;
+      case TravState::Inner: return SerBlocks::kInnerTest;
+      case TravState::Leaf: return SerBlocks::kLeafHead;
+    }
+    throw std::logic_error("SerKernel: bad traversal state");
+}
+
+void
+SerKernel::deposit(std::int64_t ray_id)
+{
+    const std::size_t local =
+        static_cast<std::size_t>(ray_id) - workspace_.firstRay();
+    const geom::Hit &result = workspace_.results().at(local);
+    reorder::ShadeEntry entry;
+    entry.rayId = static_cast<std::int32_t>(ray_id);
+    if (result.triangle != geom::kNoHit) {
+        entry.material =
+            triangles_[static_cast<std::size_t>(result.triangle)].material;
+        const geom::Vec3 point = rays_[local].at(result.t);
+        entry.key =
+            (static_cast<std::uint64_t>(entry.material + 1) << 32) |
+            cut_.code(point);
+    } else {
+        // Misses shade the environment: one shared bucket, sorted last.
+        entry.material = -1;
+        entry.key = ~std::uint64_t{0};
+    }
+    queue_.push(entry);
+}
+
+std::size_t
+SerKernel::fillShadeGroup(int row, std::size_t max_entries,
+                          reorder::PullStats *stats)
+{
+    auto &group = shadeGroups_.at(static_cast<std::size_t>(row));
+    group = queue_.pull(max_entries, stats);
+    return group.size();
+}
+
+ThreadStep
+SerKernel::execute(int block, int row, int lane)
+{
+    ThreadStep step;
+    RaySlot &slot = workspace_.slot(row, lane);
+
+    switch (block) {
+      case SerBlocks::kFetchBody: {
+        const bool got = workspace_.fetchStep(row, lane);
+        step.nextBlock = SerBlocks::kRdctrl;
+        if (got) {
+            step.memAddress = workspace_.rayAddress(
+                workspace_.slot(row, lane).rayId);
+            step.memBytes = workspace_.addressMap().rayBytes;
+        }
+        return step;
+      }
+      case SerBlocks::kInnerTest: {
+        const std::int32_t node = slot.nodeIndex;
+        const std::int64_t ray = slot.rayId;
+        (void)workspace_.innerStep(row, lane);
+        if (ray >= 0 && slot.state == TravState::Fetch)
+            deposit(ray); // the ray reached the shading boundary
+        step.nextBlock = SerBlocks::kSetStateInner;
+        step.memAddress = workspace_.nodeAddress(node);
+        step.memBytes = workspace_.addressMap().nodeBytes;
+        return step;
+      }
+      case SerBlocks::kSetStateInner:
+      case SerBlocks::kSetStateLeaf:
+        step.nextBlock = SerBlocks::kRdctrl;
+        return step;
+      case SerBlocks::kLeafHead:
+        step.nextBlock = workspace_.leafHasWork(row, lane)
+                             ? SerBlocks::kLeafTest
+                             : SerBlocks::kSetStateLeaf;
+        return step;
+      case SerBlocks::kLeafTest: {
+        const std::int32_t cursor = slot.leafCursor;
+        const std::int64_t ray = slot.rayId;
+        (void)workspace_.leafStep(row, lane);
+        if (ray >= 0 && slot.state == TravState::Fetch)
+            deposit(ray);
+        step.nextBlock = SerBlocks::kLeafHead;
+        step.memAddress = workspace_.triangleAddress(cursor);
+        step.memBytes = workspace_.addressMap().triangleBytes;
+        return step;
+      }
+      case SerBlocks::kShade: {
+        const auto &group =
+            shadeGroups_.at(static_cast<std::size_t>(row));
+        step.nextBlock = SerBlocks::kRdctrl;
+        if (lane < static_cast<int>(group.size())) {
+            // Coherent groups hit the same material record, which is
+            // where SER's benefit shows up in the cache model.
+            step.memAddress =
+                kMaterialBase +
+                static_cast<std::uint64_t>(group[static_cast<std::size_t>(
+                                                     lane)].material +
+                                           1) *
+                    kMaterialBytes;
+            step.memBytes = kMaterialBytes;
+        }
+        return step;
+      }
+      default:
+        throw std::logic_error("SerKernel: unexpected block");
+    }
+}
+
+} // namespace drs::kernels

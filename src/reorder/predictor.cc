@@ -1,0 +1,115 @@
+#include "reorder/predictor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace drs::reorder {
+
+namespace {
+
+/** Quantize @p value in [lo, hi] to [0, 2^bits); non-finite -> 0. */
+std::uint32_t
+quantizeCell(float value, float lo, float hi, int bits)
+{
+    if (!std::isfinite(value))
+        return 0;
+    const float extent = hi - lo;
+    if (!(extent > 0.0f))
+        return 0;
+    const auto cells = static_cast<float>(1u << bits);
+    float cell = std::floor((value - lo) / extent * cells);
+    if (cell < 0.0f)
+        cell = 0.0f;
+    const float last = cells - 1.0f;
+    if (cell > last)
+        cell = last;
+    return static_cast<std::uint32_t>(cell);
+}
+
+/** Spread the low 10 bits of @p v with two zero bits between each. */
+std::uint64_t
+spreadBits10(std::uint64_t v)
+{
+    v &= 0x3ffu;
+    v = (v | (v << 16)) & 0x030000ffull;
+    v = (v | (v << 8)) & 0x0300f00full;
+    v = (v | (v << 4)) & 0x030c30c3ull;
+    v = (v | (v << 2)) & 0x09249249ull;
+    return v;
+}
+
+/** 64-bit finalizer (splitmix64) — spreads the key over the table. */
+std::uint64_t
+mix64(std::uint64_t v)
+{
+    v += 0x9e3779b97f4a7c15ull;
+    v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ull;
+    v = (v ^ (v >> 27)) * 0x94d049bb133111ebull;
+    return v ^ (v >> 31);
+}
+
+} // namespace
+
+std::uint64_t
+pathPredKey(const geom::Ray &ray, const geom::Aabb &bounds,
+            const PredictorConfig &config)
+{
+    const int origin_bits = std::clamp(config.originBits, 1, 10);
+    const std::uint64_t morton =
+        (spreadBits10(quantizeCell(ray.origin.x, bounds.lo.x, bounds.hi.x,
+                                   origin_bits))
+         << 2) |
+        (spreadBits10(quantizeCell(ray.origin.y, bounds.lo.y, bounds.hi.y,
+                                   origin_bits))
+         << 1) |
+        spreadBits10(quantizeCell(ray.origin.z, bounds.lo.z, bounds.hi.z,
+                                  origin_bits));
+
+    const std::uint32_t octant = (ray.direction.x < 0.0f ? 1u : 0u) |
+                                 (ray.direction.y < 0.0f ? 2u : 0u) |
+                                 (ray.direction.z < 0.0f ? 4u : 0u);
+    std::uint64_t key = (morton << 3) | octant;
+
+    const int dir_bits = std::clamp(config.directionBits, 0, 8);
+    if (dir_bits > 0) {
+        // Directions are unit-length in practice; quantize each
+        // component over [-1, 1] for angular resolution beyond the
+        // octant.
+        for (const float component :
+             {ray.direction.x, ray.direction.y, ray.direction.z})
+            key = (key << dir_bits) |
+                  quantizeCell(component, -1.0f, 1.0f, dir_bits);
+    }
+    return key;
+}
+
+PredictorTable::PredictorTable(const PredictorConfig &config)
+{
+    const int bits = std::clamp(config.tableBits, 1, 24);
+    entries_.assign(std::size_t{1} << bits, Entry{});
+}
+
+std::size_t
+PredictorTable::index(std::uint64_t key) const
+{
+    return mix64(key) & (entries_.size() - 1);
+}
+
+std::int32_t
+PredictorTable::lookup(std::uint64_t key) const
+{
+    const Entry &entry = entries_[index(key)];
+    if (entry.leaf >= 0 && entry.tag == key)
+        return entry.leaf;
+    return -1;
+}
+
+void
+PredictorTable::insert(std::uint64_t key, std::int32_t leaf)
+{
+    if (leaf < 0)
+        return;
+    entries_[index(key)] = Entry{key, leaf};
+}
+
+} // namespace drs::reorder

@@ -30,6 +30,11 @@ clampedOriginBits(const ReorderConfig &config)
 std::uint32_t
 quantize(float value, float lo, float hi, int bits)
 {
+    // Non-finite coordinates (NaN/Inf ray origins reach this through the
+    // fuzzer) would fall through both clamp comparisons below and make
+    // the float->uint32_t cast undefined. Pin them to cell 0.
+    if (!std::isfinite(value))
+        return 0;
     const float extent = hi - lo;
     if (!(extent > 0.0f))
         return 0;

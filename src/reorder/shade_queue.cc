@@ -1,0 +1,49 @@
+#include "reorder/shade_queue.h"
+
+namespace drs::reorder {
+
+void
+ShadeQueue::push(const ShadeEntry &entry)
+{
+    buckets_[entry.key].push_back(entry);
+    depositOrder_.push_back(entry.key);
+    ++size_;
+}
+
+std::vector<ShadeEntry>
+ShadeQueue::pull(std::size_t max_entries, PullStats *stats)
+{
+    std::vector<ShadeEntry> group;
+    group.reserve(std::min(max_entries, size_));
+    while (group.size() < max_entries && !buckets_.empty()) {
+        auto bucket = buckets_.begin();
+        std::deque<ShadeEntry> &entries = bucket->second;
+        while (group.size() < max_entries && !entries.empty()) {
+            group.push_back(entries.front());
+            entries.pop_front();
+        }
+        if (entries.empty())
+            buckets_.erase(bucket);
+    }
+    size_ -= group.size();
+
+    if (stats != nullptr) {
+        *stats = PullStats{};
+        for (std::size_t i = 0; i < group.size(); ++i)
+            if (i == 0 || group[i].key != group[i - 1].key)
+                ++stats->sortedDistinctKeys;
+        std::uint64_t previous = 0;
+        for (std::size_t i = 0; i < group.size(); ++i) {
+            const std::uint64_t key = depositOrder_[i];
+            if (i == 0 || key != previous)
+                ++stats->depositDistinctKeys;
+            previous = key;
+        }
+    }
+    depositOrder_.erase(depositOrder_.begin(),
+                        depositOrder_.begin() +
+                            static_cast<std::ptrdiff_t>(group.size()));
+    return group;
+}
+
+} // namespace drs::reorder

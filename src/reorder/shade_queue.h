@@ -1,0 +1,71 @@
+#pragma once
+
+/**
+ * @file
+ * The sort buffer behind the SER-style reorder point (NVIDIA's Shader
+ * Execution Reordering, applied at the traversal->hit-shading boundary):
+ * warps deposit rays that finished traversal, keyed by hit material plus
+ * the BVH-cut code of the hit point; the control unit later pulls groups
+ * of key-adjacent rays to refill warps for the shade block, so shading
+ * runs with coherent neighbors regardless of deposit order.
+ *
+ * Deterministic by construction: buckets are an ordered map, pulls take
+ * the smallest keys first and keep FIFO order inside a bucket, so the
+ * dispatch sequence is a pure function of the deposit sequence.
+ */
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+namespace drs::reorder {
+
+/** One ray parked at the shading boundary. */
+struct ShadeEntry
+{
+    /** Sort key: (material+1) in the high 32 bits, cut code below. */
+    std::uint64_t key = 0;
+    /** Global ray id (workspace result index). */
+    std::int32_t rayId = -1;
+    /** Hit material id, or -1 for a miss (environment shading). */
+    std::int32_t material = -1;
+};
+
+/** What one pull achieved versus FIFO dispatch (counter material). */
+struct PullStats
+{
+    /** Distinct keys in the coherence-sorted group actually pulled. */
+    std::uint64_t sortedDistinctKeys = 0;
+    /** Distinct keys a FIFO dispatch of the same size would have had. */
+    std::uint64_t depositDistinctKeys = 0;
+};
+
+/** Keyed deposit buffer with smallest-key-first, FIFO-in-bucket pulls. */
+class ShadeQueue
+{
+  public:
+    /** Deposit one ray at the shading boundary. */
+    void push(const ShadeEntry &entry);
+
+    /** Rays currently parked. */
+    std::size_t size() const { return size_; }
+
+    bool empty() const { return size_ == 0; }
+
+    /**
+     * Remove and return up to @p max_entries rays, coherent keys first.
+     * @p stats (optional) reports the pulled group's key diversity next
+     * to what dispatching in plain deposit order would have produced.
+     */
+    std::vector<ShadeEntry> pull(std::size_t max_entries,
+                                 PullStats *stats = nullptr);
+
+  private:
+    std::map<std::uint64_t, std::deque<ShadeEntry>> buckets_;
+    /** Keys in deposit order — the FIFO counterfactual for PullStats. */
+    std::deque<std::uint64_t> depositOrder_;
+    std::size_t size_ = 0;
+};
+
+} // namespace drs::reorder

@@ -105,6 +105,13 @@ struct RdctrlResult
      */
     std::uint32_t fetchMask = 0;
     /**
+     * Explicit body block to dispatch instead of the state-mapped one
+     * (kernel_.blockForState(ctrl)). Used by controllers whose kernels
+     * have bodies with no TravState equivalent — the SER control unit
+     * dispatches the shade block this way. -1 keeps the state mapping.
+     */
+    int bodyBlock = -1;
+    /**
      * Spawn-overhead warp instructions to issue before the body (the
      * DMK's data dump/load instructions; 0 for DRS).
      */

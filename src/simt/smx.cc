@@ -93,7 +93,10 @@ Smx::resolveRdctrl(Warp &warp)
     warp.stalledOnRdctrl = false;
     warp.rdctrlResolved = true;
     warp.pendingExit = result.exit;
-    warp.pendingBody = result.exit ? -1 : kernel_.blockForState(result.ctrl);
+    warp.pendingBody = result.exit      ? -1
+                       : result.bodyBlock >= 0
+                           ? result.bodyBlock
+                           : kernel_.blockForState(result.ctrl);
     warp.pendingMask = result.mask;
     warp.pendingFetchMask = result.fetchMask;
     warp.pendingFetchBody =

@@ -17,6 +17,7 @@ a clear error instead of silently accepted).
 """
 
 import json
+import math
 import sys
 
 SCHEMA_VERSION = 3
@@ -46,7 +47,28 @@ NON_NEGATIVE_FIELDS = (
 
 
 def is_number(value):
-    return isinstance(value, (int, float)) and not isinstance(value, bool)
+    # NaN/Infinity survive json.load (Python accepts them) but mean a
+    # degraded or buggy bench leaked an unguarded ratio — reject them
+    # everywhere a number is expected.
+    return (isinstance(value, (int, float)) and
+            not isinstance(value, bool) and math.isfinite(value))
+
+
+def find_non_finite(value, where):
+    """First path under `where` holding a NaN/Infinity number, or ""."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return where
+    if isinstance(value, dict):
+        for key, item in value.items():
+            found = find_non_finite(item, f"{where}.{key}")
+            if found:
+                return found
+    if isinstance(value, list):
+        for index, item in enumerate(value):
+            found = find_non_finite(item, f"{where}[{index}]")
+            if found:
+                return found
+    return ""
 
 
 def validate_attribution(section, where):
@@ -186,6 +208,9 @@ def validate_report(document):
     for field in ("scale", "options", "summary"):
         if not isinstance(document.get(field), dict):
             return f'missing "{field}" object'
+    non_finite = find_non_finite(document.get("summary"), "summary")
+    if non_finite:
+        return f"{non_finite} is not a finite number"
     wall = document.get("wall_seconds")
     if not is_number(wall) or wall < 0.0:
         return 'missing or negative "wall_seconds"'

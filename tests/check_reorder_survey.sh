@@ -25,7 +25,8 @@ import json
 import sys
 
 report = json.load(open(sys.argv[1]))
-required = ["aila", "drs", "dmk", "tbc", "sort", "cutcode"]
+required = ["aila", "drs", "dmk", "tbc", "sort", "cutcode", "ser",
+            "pathpred"]
 
 lineup = report["summary"]["architectures"]
 listed = [entry["arch"] for entry in lineup]

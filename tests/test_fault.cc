@@ -367,6 +367,31 @@ TEST_F(FaultHarness, SameSeedSameStats)
     EXPECT_GT(injected, 0u) << "aggressive seed should inject something";
 }
 
+TEST_F(FaultHarness, CheckedRunSkipsReferenceUnderFaultInjection)
+{
+    // Regression: fault injection corrupts in-flight rays by design, so
+    // a DRS_CHECK run used to flag every injected bit flip as a hit
+    // mismatch against the fault-free lockstep reference. runBatch must
+    // keep the checker detached whenever faults are armed — the faulted
+    // run completes, injects, and matches an unchecked faulted run.
+    harness::RunConfig config = baseConfig();
+    config.fault.seed = 0xabcdULL;
+    const auto unchecked =
+        runBatch(harness::Arch::Drs, *prepared_->tracer, rays(), config);
+
+    config.check = 1; // force DRS_CHECK on regardless of environment
+    simt::SimStats checked;
+    ASSERT_NO_THROW(checked = runBatch(harness::Arch::Drs,
+                                       *prepared_->tracer, rays(), config));
+    EXPECT_TRUE(unchecked == checked);
+
+    std::uint64_t injected = 0;
+    for (const auto &[name, value] : checked.counters.entries())
+        if (name.rfind("fault.", 0) == 0)
+            injected += value;
+    EXPECT_GT(injected, 0u) << "fault gating must not disable injection";
+}
+
 TEST_F(FaultHarness, FaultStreamIndependentOfSmxThreads)
 {
     harness::RunConfig config = baseConfig();

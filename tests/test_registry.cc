@@ -20,14 +20,17 @@
  * registration being picked up by runBatch immediately.
  */
 
+#include <limits>
 #include <memory>
 #include <stdexcept>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "harness/arch_detail.h"
 #include "harness/arch_plugin.h"
 #include "harness/harness.h"
+#include "reorder/reorder.h"
 
 namespace drs::harness {
 namespace {
@@ -74,9 +77,9 @@ baseConfig()
 TEST(ArchRegistry, BuiltinLineupIsRegisteredInSurveyOrder)
 {
     const auto archs = ArchRegistry::instance().archs();
-    ASSERT_GE(archs.size(), 6u);
+    ASSERT_GE(archs.size(), 8u);
     const char *expected[] = {"aila", "drs", "dmk", "tbc", "sort",
-                              "cutcode"};
+                              "cutcode", "ser", "pathpred"};
     for (std::size_t i = 0; i < std::size(expected); ++i)
         EXPECT_EQ(archs[i].name(), expected[i]) << "lineup position " << i;
 
@@ -270,6 +273,41 @@ TEST_P(RegistryConformance, AttributionLedgerConservesAndObservesPurely)
     EXPECT_NO_THROW(observations.attribution->merged().verifyConservation());
 }
 
+TEST_P(RegistryConformance, EmptyBatchCompletesWithZeroRays)
+{
+    RunConfig config = baseConfig();
+    config.check = 1;
+    std::vector<geom::Hit> hits;
+    config.hitsOut = &hits;
+    simt::SimStats stats;
+    ASSERT_NO_THROW(stats = runBatch(arch(), *prepared().tracer,
+                                     testRays().first(0), config));
+    EXPECT_EQ(stats.raysTraced, 0u);
+    EXPECT_TRUE(hits.empty());
+}
+
+TEST_P(RegistryConformance, SingleRayBatchTracesAndVerifies)
+{
+    RunConfig config = baseConfig();
+    config.check = 1; // the lockstep reference validates the hit too
+    std::vector<geom::Hit> hits;
+    config.hitsOut = &hits;
+    simt::SimStats stats;
+    ASSERT_NO_THROW(stats = runBatch(arch(), *prepared().tracer,
+                                     testRays().first(1), config));
+    EXPECT_EQ(stats.raysTraced, 1u);
+    ASSERT_EQ(hits.size(), 1u);
+
+    // And it is deterministic like any other batch size.
+    std::vector<geom::Hit> again_hits;
+    config.hitsOut = &again_hits;
+    const auto again = runBatch(arch(), *prepared().tracer,
+                                testRays().first(1), config);
+    EXPECT_TRUE(stats == again);
+    ASSERT_EQ(again_hits.size(), 1u);
+    EXPECT_EQ(hits[0].triangle, again_hits[0].triangle);
+}
+
 TEST_P(RegistryConformance, LockstepCheckPassesAndIsAPureObserver)
 {
     const auto unchecked =
@@ -285,6 +323,65 @@ TEST_P(RegistryConformance, LockstepCheckPassesAndIsAPureObserver)
         << "DRS_CHECK=1 found an invariant violation";
     EXPECT_TRUE(unchecked == checked) << "DRS_CHECK=1 altered SimStats";
     EXPECT_EQ(hits.size(), testRays().size());
+}
+
+// Regression: quantize() used to cast a non-finite float straight to
+// uint32_t (UB under UBSan); NaN/Inf ray origins — the fuzzer produces
+// them — must map to grid cell 0 instead of tripping the sanitizer.
+TEST(ReorderKeys, NonFiniteOriginsQuantizeToCellZero)
+{
+    const geom::Aabb bounds{{0.0f, 0.0f, 0.0f}, {10.0f, 10.0f, 10.0f}};
+    reorder::ReorderConfig config;
+
+    geom::Ray at_lo;
+    at_lo.origin = {0.0f, 0.0f, 0.0f};
+    at_lo.direction = {0.0f, 0.0f, 1.0f};
+
+    const float nan = std::numeric_limits<float>::quiet_NaN();
+    const float inf = std::numeric_limits<float>::infinity();
+    for (const float bad : {nan, inf, -inf}) {
+        geom::Ray ray = at_lo;
+        ray.origin = {bad, bad, bad};
+        EXPECT_EQ(reorder::hashGridKey(ray, bounds, config),
+                  reorder::hashGridKey(at_lo, bounds, config))
+            << "non-finite origin must land in cell 0";
+
+        geom::Ray mixed = at_lo;
+        mixed.origin.y = bad; // one bad axis, the others still quantize
+        geom::Ray mixed_lo = at_lo;
+        mixed_lo.origin.y = 0.0f;
+        EXPECT_EQ(reorder::hashGridKey(mixed, bounds, config),
+                  reorder::hashGridKey(mixed_lo, bounds, config));
+    }
+}
+
+// Regression: the reorder plugins' hit scatter used to index
+// sorted_hits[p] unchecked; a short inner-run hit vector (dropped rays)
+// must throw with the counts instead of reading out of bounds.
+TEST(ScatterHits, ShortHitVectorFailsLoudly)
+{
+    const std::vector<std::uint32_t> order = {1, 0, 2};
+    std::vector<geom::Hit> out;
+
+    std::vector<geom::Hit> sorted(3);
+    sorted[0].triangle = 7;
+    sorted[1].triangle = 8;
+    sorted[2].triangle = 9;
+    detail::scatterHits(order, sorted, out);
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(out[1].triangle, 7);
+    EXPECT_EQ(out[0].triangle, 8);
+    EXPECT_EQ(out[2].triangle, 9);
+
+    sorted.pop_back();
+    try {
+        detail::scatterHits(order, sorted, out);
+        FAIL() << "a short hit vector must be rejected";
+    } catch (const std::logic_error &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("2"), std::string::npos) << what;
+        EXPECT_NE(what.find("3"), std::string::npos) << what;
+    }
 }
 
 std::vector<std::string>

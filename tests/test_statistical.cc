@@ -77,6 +77,11 @@ struct SceneMeasurement
     double sortSpeedupVsAila = 0.0;
     double cutcodeSimdEfficiency = 0.0;
     double cutcodeSpeedupVsAila = 0.0;
+    // Survey completion: SER-style shading reorder + path prediction.
+    double serSimdEfficiency = 0.0;
+    double serSpeedupVsAila = 0.0;
+    double pathpredSimdEfficiency = 0.0;
+    double pathpredSpeedupVsAila = 0.0;
 };
 
 /** Run the fixed-scale measurement sweep (all scenes, bounce 2). */
@@ -92,6 +97,8 @@ measure()
         std::size_t drs;
         std::size_t sort;
         std::size_t cutcode;
+        std::size_t ser;
+        std::size_t pathpred;
     };
     std::vector<Slot> slots;
     for (scene::SceneId id : scene::allSceneIds()) {
@@ -107,7 +114,11 @@ measure()
         const std::size_t sort = runner.add(job);
         job.arch = Arch("cutcode");
         const std::size_t cutcode = runner.add(job);
-        slots.push_back({id, aila, drs, sort, cutcode});
+        job.arch = Arch("ser");
+        const std::size_t ser = runner.add(job);
+        job.arch = Arch("pathpred");
+        const std::size_t pathpred = runner.add(job);
+        slots.push_back({id, aila, drs, sort, cutcode, ser, pathpred});
     }
     const auto results = runner.run();
 
@@ -130,6 +141,12 @@ measure()
         m.sortSpeedupVsAila = speedup(sort);
         m.cutcodeSimdEfficiency = cutcode.histogram.simdEfficiency();
         m.cutcodeSpeedupVsAila = speedup(cutcode);
+        const auto &ser = results[slot.ser].stats;
+        const auto &pathpred = results[slot.pathpred].stats;
+        m.serSimdEfficiency = ser.histogram.simdEfficiency();
+        m.serSpeedupVsAila = speedup(ser);
+        m.pathpredSimdEfficiency = pathpred.histogram.simdEfficiency();
+        m.pathpredSpeedupVsAila = speedup(pathpred);
         measurements[scene::sceneName(slot.id)] = m;
     }
     return measurements;
@@ -231,7 +248,11 @@ TEST_P(StatisticalTest, ReorderSurveyWithinGoldenBand)
          {Row{"sort_simd_efficiency", "sort_speedup_vs_aila",
               m.sortSimdEfficiency, m.sortSpeedupVsAila},
           Row{"cutcode_simd_efficiency", "cutcode_speedup_vs_aila",
-              m.cutcodeSimdEfficiency, m.cutcodeSpeedupVsAila}}) {
+              m.cutcodeSimdEfficiency, m.cutcodeSpeedupVsAila},
+          Row{"ser_simd_efficiency", "ser_speedup_vs_aila",
+              m.serSimdEfficiency, m.serSpeedupVsAila},
+          Row{"pathpred_simd_efficiency", "pathpred_speedup_vs_aila",
+              m.pathpredSimdEfficiency, m.pathpredSpeedupVsAila}}) {
         EXPECT_NEAR(row.efficiency,
                     expected->find(row.efficiencyKey)->asDouble(),
                     kEfficiencyTolerance)
@@ -271,6 +292,10 @@ updateGolden()
         scene["sort_speedup_vs_aila"] = m.sortSpeedupVsAila;
         scene["cutcode_simd_efficiency"] = m.cutcodeSimdEfficiency;
         scene["cutcode_speedup_vs_aila"] = m.cutcodeSpeedupVsAila;
+        scene["ser_simd_efficiency"] = m.serSimdEfficiency;
+        scene["ser_speedup_vs_aila"] = m.serSpeedupVsAila;
+        scene["pathpred_simd_efficiency"] = m.pathpredSimdEfficiency;
+        scene["pathpred_speedup_vs_aila"] = m.pathpredSpeedupVsAila;
     }
 
     const std::string path = goldenPath();

@@ -63,10 +63,9 @@ main(int argc, char **argv)
     aila_job.bounce = 2;
     const std::size_t aila_index = runner.add(aila_job);
 
-    const auto results = runner.run();
-    const harness::RunConfig defaults = bench::makeRunConfig(scale, options);
     bench::JsonReport report("ablation_policy", scale, options);
-    report.noteSweep(results);
+    const auto results = bench::runSweep(runner, options, &report);
+    const harness::RunConfig defaults = bench::makeRunConfig(scale, options);
     const std::string conference =
         scene::sceneName(scene::SceneId::Conference);
 

@@ -18,6 +18,7 @@
 #include <string>
 
 #include "exec/thread_pool.h"
+#include "fleet/fleet.h"
 #include "harness/harness.h"
 #include "harness/report.h"
 #include "harness/sweep.h"
@@ -39,13 +40,21 @@ struct Options
     std::string journalPath;
     /** Replay the journal instead of re-running finished jobs. */
     bool resume = false;
+    /**
+     * Worker processes for the sweep (--fleet N / DRS_FLEET); 0 = run
+     * in-process. With a fleet the jobs are sharded across fork()ed
+     * workers with crash isolation and supervision (src/fleet), and the
+     * merged results are bit-identical to the in-process sweep.
+     */
+    int fleetWorkers = 0;
 };
 
 /**
  * Parse the shared bench flags: --jobs N (default: DRS_JOBS or the
- * hardware concurrency), --smx-threads N (default: DRS_SMX_THREADS
- * or 1), --json PATH, --journal PATH and --resume. Unknown arguments
- * warn on stderr and are ignored, keeping the binaries scriptable.
+ * hardware concurrency), --fleet N (default: DRS_FLEET or 0 = no
+ * fleet), --smx-threads N (default: DRS_SMX_THREADS or 1), --json
+ * PATH, --journal PATH and --resume. Unknown arguments warn on stderr
+ * and are ignored, keeping the binaries scriptable.
  */
 inline Options
 parseOptions(int argc, char **argv)
@@ -68,6 +77,8 @@ parseOptions(int argc, char **argv)
     if (const char *s = std::getenv("DRS_SMX_THREADS"))
         options.smxThreads =
             positive_int("DRS_SMX_THREADS", s, options.smxThreads);
+    if (const char *s = std::getenv("DRS_FLEET"))
+        options.fleetWorkers = positive_int("DRS_FLEET", s, 0);
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -82,6 +93,9 @@ parseOptions(int argc, char **argv)
         };
         if (const char *v = value_of("--jobs"))
             options.jobs = positive_int("--jobs", v, options.jobs);
+        else if (const char *v = value_of("--fleet"))
+            options.fleetWorkers =
+                positive_int("--fleet", v, options.fleetWorkers);
         else if (const char *v = value_of("--smx-threads"))
             options.smxThreads =
                 positive_int("--smx-threads", v, options.smxThreads);
@@ -142,6 +156,9 @@ printBanner(const std::string &title, const harness::ExperimentScale &scale,
                  "DRS_HEIGHT / DRS_SPP\n"
               << "running " << options.jobs << " concurrent simulation"
               << (options.jobs == 1 ? "" : "s") << " (--jobs N / DRS_JOBS)";
+    if (options.fleetWorkers > 0)
+        std::cout << " across a fleet of " << options.fleetWorkers
+                  << " worker processes (--fleet N / DRS_FLEET)";
     if (options.smxThreads > 1)
         std::cout << ", " << options.smxThreads << " SMX threads each";
     std::cout << "\n\n";
@@ -197,6 +214,7 @@ class JsonReport
         report_.scale() = harness::scaleJson(scale);
         report_.options()["jobs"] = options.jobs;
         report_.options()["smx_threads"] = options.smxThreads;
+        report_.options()["fleet"] = options.fleetWorkers;
     }
 
     /** One empty result row, to fill in place. */
@@ -276,6 +294,20 @@ class JsonReport
         sweep["quarantined"] = std::move(quarantined);
     }
 
+    /**
+     * Record a fleet run's supervision counters as summary.fleet and
+     * flip the top-level "degraded" flag when the fleet shrank to the
+     * point of dropping jobs (or was cancelled). Call after noteSweep —
+     * noteSweep recomputes "degraded" from the per-job outcomes, and
+     * this adds the fleet-level causes on top.
+     */
+    void noteFleet(const fleet::FleetSummary &summary)
+    {
+        report_.summary()["fleet"] = fleet::fleetSummaryJson(summary);
+        if (summary.degradedJobs > 0 || summary.cancelled)
+            report_.setDegraded(true);
+    }
+
     /** Validate and write the report; call once, at the end. */
     void write(const WallTimer &timer)
     {
@@ -299,6 +331,39 @@ class JsonReport
     obs::BenchReport report_;
     std::string path_;
 };
+
+/**
+ * Execute a bench's queued sweep, honouring --fleet: with
+ * options.fleetWorkers > 0 the queued jobs are taken off the runner and
+ * sharded across a supervised fleet of worker processes
+ * (FleetOptions::fromEnvironment with --fleet overriding the worker
+ * count); otherwise this is exactly runner.run(). Either way the
+ * results come back in grid order with identical SimStats — the fleet's
+ * bit-identity contract — and the sweep/fleet robustness summaries are
+ * recorded on @p report when one is given.
+ */
+inline std::vector<harness::SweepResult>
+runSweep(harness::SweepRunner &runner, const Options &options,
+         JsonReport *report = nullptr)
+{
+    if (options.fleetWorkers <= 0) {
+        std::vector<harness::SweepResult> results = runner.run();
+        if (report)
+            report->noteSweep(results);
+        return results;
+    }
+    fleet::FleetOptions fleetOptions = fleet::FleetOptions::fromEnvironment();
+    fleetOptions.workers = options.fleetWorkers;
+    fleet::FleetCoordinator coordinator(runner.scale(), runner.options(),
+                                        fleetOptions);
+    std::vector<harness::SweepResult> results =
+        coordinator.run(runner.takePending());
+    if (report) {
+        report->noteSweep(results);
+        report->noteFleet(coordinator.summary());
+    }
+    return results;
+}
 
 /** Print the closing wall-clock line of a bench. */
 inline void

@@ -37,10 +37,9 @@ main(int argc, char **argv)
                 runner.addCapture(id, arch, config, bench::kSweepBounces));
         }
     }
-    const auto results = runner.run();
-    const double clock_ghz = harness::RunConfig{}.gpu.clockGhz;
     bench::JsonReport report("fig10_simd_breakdown", scale, options);
-    report.noteSweep(results);
+    const auto results = bench::runSweep(runner, options, &report);
+    const double clock_ghz = harness::RunConfig{}.gpu.clockGhz;
 
     std::size_t scene_index = 0;
     for (scene::SceneId id : scene::allSceneIds()) {

@@ -37,10 +37,9 @@ main(int argc, char **argv)
                 runner.addCapture(id, arch, config, bench::kSweepBounces));
         }
     }
-    const auto results = runner.run();
-    const double clock_ghz = harness::RunConfig{}.gpu.clockGhz;
     bench::JsonReport report("fig11_speedup", scale, options);
-    report.noteSweep(results);
+    const auto results = bench::runSweep(runner, options, &report);
+    const double clock_ghz = harness::RunConfig{}.gpu.clockGhz;
 
     double geomean_accumulator[4] = {0, 0, 0, 0};
     int scene_count = 0;

@@ -27,13 +27,12 @@ main(int argc, char **argv)
     // the capture does not reach come back with ran = false).
     const auto indices = runner.addCapture(scene::SceneId::Conference,
                                            harness::Arch::Aila, config);
-    const auto results = runner.run();
+    bench::JsonReport report("fig2_aila_breakdown", scale, options);
+    const auto results = bench::runSweep(runner, options, &report);
     const auto &prepared = runner.prepared(scene::SceneId::Conference);
 
     stats::Table table({"bounce", "rays", "SIMD eff", "W1:8", "W9:16",
                         "W17:24", "W25:32"});
-    bench::JsonReport report("fig2_aila_breakdown", scale, options);
-    report.noteSweep(results);
     const double clock_ghz = harness::RunConfig{}.gpu.clockGhz;
     for (std::size_t b = 0; b < indices.size(); ++b) {
         const auto &result = results[indices[b]];

@@ -58,10 +58,9 @@ main(int argc, char **argv)
                 config, bench::kSweepBounces));
         }
     }
-    const auto results = runner.run();
-    const double clock_ghz = harness::RunConfig{}.gpu.clockGhz;
     bench::JsonReport report("fig8_backup_rows", scale, options);
-    report.noteSweep(results);
+    const auto results = bench::runSweep(runner, options, &report);
+    const double clock_ghz = harness::RunConfig{}.gpu.clockGhz;
 
     std::size_t scene_index = 0;
     for (scene::SceneId id : scene::allSceneIds()) {

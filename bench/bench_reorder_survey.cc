@@ -47,10 +47,9 @@ main(int argc, char **argv)
                 runner.addCapture(id, arch, config, bench::kSweepBounces));
         }
     }
-    const auto results = runner.run();
-    const double clock_ghz = harness::RunConfig{}.gpu.clockGhz;
     bench::JsonReport report("reorder_survey", scale, options);
-    report.noteSweep(results);
+    const auto results = bench::runSweep(runner, options, &report);
+    const double clock_ghz = harness::RunConfig{}.gpu.clockGhz;
 
     obs::Json &lineup = report.summary()["architectures"];
     lineup = obs::Json::array();

@@ -36,10 +36,9 @@ main(int argc, char **argv)
                                                   bench::kSweepBounces));
         }
     }
-    const auto results = runner.run();
-    const double clock_ghz = harness::RunConfig{}.gpu.clockGhz;
     bench::JsonReport report("table2_swap_buffers", scale, options);
-    report.noteSweep(results);
+    const auto results = bench::runSweep(runner, options, &report);
+    const double clock_ghz = harness::RunConfig{}.gpu.clockGhz;
 
     std::vector<double> mean_swap_cycles(4, 0.0);
     std::vector<int> mean_swap_samples(4, 0);

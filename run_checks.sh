@@ -19,6 +19,12 @@
 #    emit a Chrome trace that passes tests/check_trace.py, a report that
 #    drs_profile can render, and bench_compare.py must pass a
 #    self-compare of that report and flag a perturbed copy.
+# 5. Fleet chaos leg (regular build + asan; NOT tsan -- fork() under
+#    thread-sanitizer interceptors is unreliable): ctest -L fleet runs
+#    the multi-process fleet suites plus tests/check_fleet_chaos.sh,
+#    which SIGKILLs workers at random points, crash-injects the
+#    coordinator, resumes, and requires the recovered report to be
+#    bit-identical to a clean single-process run.
 #
 # Usage: run_checks.sh [--skip-sanitizers]
 
@@ -85,6 +91,11 @@ if [ "$skip_san" -eq 0 ]; then
      DRS_CHECK=1 ctest -L 'check|fuzz-smoke|fault|resume|registry' \
          --output-on-failure -j"$JOBS")
     resume_smoke "$dir"
+    # Fleet suites fork real worker processes: sound under asan, not
+    # under tsan interceptors, and redundant under usan -- asan only.
+    if [ "$san" = address ]; then
+      (cd "$dir" && ctest -L fleet --output-on-failure -j"$JOBS")
+    fi
   done
 fi
 
@@ -96,6 +107,14 @@ echo; echo "######## regular build: registry fuzz smoke ########"; echo
 cmake -B build -S . >/dev/null
 cmake --build build -j"$JOBS" --target fuzz_sim
 build/tools/fuzz_sim --configs 75 --seed 0x5eed --jobs "$JOBS"
+
+echo; echo "######## fleet: chaos recovery must be bit-identical ########"; echo
+# ctest -L fleet covers the protocol/supervision suites AND the
+# fleet_chaos harness (kill-mid-sweep -> --resume -> bit-identity with
+# zero jobs lost or double-reported, verified by drs_journal --expect).
+cmake -B build -S . >/dev/null
+cmake --build build -j"$JOBS"
+(cd build && ctest -L fleet --output-on-failure -j"$JOBS")
 
 echo; echo "######## bench JSON: DRS_CHECK must be a pure observer ########"
 echo

@@ -42,6 +42,12 @@ class DeadlineExceeded : public std::runtime_error
  * thread-safe; setDeadline()/setTimeout() must happen-before handing
  * the token to workers (the deadline is published through a release
  * store on hasDeadline_).
+ *
+ * Tokens can be chained: setParent() links a token to a longer-lived
+ * one (a sweep-wide or process-wide stop flag), and cancellation,
+ * deadlines and poll() then observe both. Used to fan a single
+ * coordinator-level cancel (e.g. a SIGTERM handler) out through the
+ * short-lived per-attempt tokens the sweep runner creates.
  */
 class CancelToken
 {
@@ -53,8 +59,20 @@ class CancelToken
 
     bool cancelled() const
     {
-        return cancelled_.load(std::memory_order_acquire);
+        if (cancelled_.load(std::memory_order_acquire))
+            return true;
+        return parent_ != nullptr && parent_->cancelled();
     }
+
+    /**
+     * Chain this token under @p parent: cancellation or an expired
+     * deadline on the parent stops holders of this token too. Must
+     * happen-before handing the token to workers; the parent must
+     * outlive this token. Null detaches.
+     */
+    void setParent(const CancelToken *parent) { parent_ = parent; }
+
+    const CancelToken *parent() const { return parent_; }
 
     /** Absolute deadline; polls past it throw DeadlineExceeded. */
     void setDeadline(Clock::time_point deadline)
@@ -75,17 +93,23 @@ class CancelToken
 
     bool hasDeadline() const
     {
-        return hasDeadline_.load(std::memory_order_acquire);
+        if (hasDeadline_.load(std::memory_order_acquire))
+            return true;
+        return parent_ != nullptr && parent_->hasDeadline();
     }
 
     /**
-     * True once the deadline has passed. Reads the clock — amortize in
-     * hot loops (the engines check every 1024 cycles); cancelled() is a
-     * plain atomic load and can be checked every cycle.
+     * True once the deadline (own or a chained parent's) has passed.
+     * Reads the clock — amortize in hot loops (the engines check every
+     * 1024 cycles); cancelled() is a plain atomic load plus at most one
+     * pointer chase and can be checked every cycle.
      */
     bool deadlineExpired() const
     {
-        return hasDeadline() && Clock::now() >= deadline_;
+        if (hasDeadline_.load(std::memory_order_acquire) &&
+            Clock::now() >= deadline_)
+            return true;
+        return parent_ != nullptr && parent_->deadlineExpired();
     }
 
     /** Throw Cancelled / DeadlineExceeded when asked to stop. */
@@ -101,6 +125,7 @@ class CancelToken
     std::atomic<bool> cancelled_{false};
     std::atomic<bool> hasDeadline_{false};
     Clock::time_point deadline_{};
+    const CancelToken *parent_ = nullptr;
 };
 
 } // namespace drs::exec

@@ -1,0 +1,123 @@
+#include "fleet/chaos.h"
+
+#include "fault/fault.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+namespace drs::fleet {
+
+namespace {
+
+/** Salt so chaos rolls never correlate with fault-injection seeds. */
+constexpr std::uint64_t kChaosRollSalt = 0x6368616f736b696cULL;
+/** Salt for the independent kill-delay draw. */
+constexpr std::uint64_t kChaosDelaySalt = 0x6368616f73646c79ULL;
+
+/** Uniform double in [0, 1) from the top 53 bits of a mixed seed. */
+double
+unitDraw(std::uint64_t seed, std::size_t job, int dispatch)
+{
+    const std::uint64_t mixed = fault::mixSeed(seed, job, dispatch);
+    return static_cast<double>(mixed >> 11) * 0x1.0p-53;
+}
+
+bool
+parseUint64(const char *text, std::uint64_t *out)
+{
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long value = std::strtoull(text, &end, 0);
+    if (errno != 0 || end == text || *end != '\0')
+        return false;
+    *out = value;
+    return true;
+}
+
+bool
+parseDouble(const char *text, double *out)
+{
+    char *end = nullptr;
+    errno = 0;
+    const double value = std::strtod(text, &end);
+    if (errno != 0 || end == text || *end != '\0')
+        return false;
+    *out = value;
+    return true;
+}
+
+} // namespace
+
+ChaosConfig
+ChaosConfig::fromEnvironment()
+{
+    ChaosConfig config;
+    if (const char *text = std::getenv("DRS_FLEET_CHAOS")) {
+        std::uint64_t seed = 0;
+        if (parseUint64(text, &seed))
+            config.seed = seed;
+        else
+            std::fprintf(stderr,
+                         "fleet: ignoring malformed DRS_FLEET_CHAOS=%s\n",
+                         text);
+    }
+    if (const char *text = std::getenv("DRS_FLEET_CHAOS_RATE")) {
+        double rate = 0.0;
+        if (parseDouble(text, &rate) && rate >= 0.0 && rate <= 1.0)
+            config.killRate = rate;
+        else
+            std::fprintf(
+                stderr,
+                "fleet: ignoring malformed DRS_FLEET_CHAOS_RATE=%s\n",
+                text);
+    }
+    if (const char *text = std::getenv("DRS_FLEET_CHAOS_KILLS")) {
+        std::uint64_t kills = 0;
+        if (parseUint64(text, &kills) && kills <= 1'000'000)
+            config.maxKillDispatches = static_cast<int>(kills);
+        else
+            std::fprintf(
+                stderr,
+                "fleet: ignoring malformed DRS_FLEET_CHAOS_KILLS=%s\n",
+                text);
+    }
+    return config;
+}
+
+ChaosPlan
+chaosPlanFor(const ChaosConfig &config, std::size_t job, int dispatch)
+{
+    ChaosPlan plan;
+    if (config.hangEveryClaim) {
+        plan.hang = true;
+        return plan;
+    }
+    if (config.killJobEveryDispatch >= 0 &&
+        job == static_cast<std::size_t>(config.killJobEveryDispatch)) {
+        plan.kill = true;
+        return plan;
+    }
+    if (config.hangJobFirstDispatch >= 0 &&
+        job == static_cast<std::size_t>(config.hangJobFirstDispatch) &&
+        dispatch == 1) {
+        plan.hang = true;
+        return plan;
+    }
+    if (config.seed == 0 || dispatch > config.maxKillDispatches)
+        return plan;
+    const double roll =
+        unitDraw(config.seed ^ kChaosRollSalt, job, dispatch);
+    if (roll >= config.killRate)
+        return plan;
+    plan.kill = true;
+    if (config.maxKillDelayMicros > 0) {
+        const double delay =
+            unitDraw(config.seed ^ kChaosDelaySalt, job, dispatch);
+        plan.delayMicros = static_cast<std::uint32_t>(
+            delay * static_cast<double>(config.maxKillDelayMicros));
+    }
+    return plan;
+}
+
+} // namespace drs::fleet

@@ -1,0 +1,951 @@
+#include "fleet/fleet.h"
+
+#include "exec/cancel.h"
+#include "fault/fault.h"
+#include "fleet/protocol.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <poll.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#ifdef __linux__
+#include <sys/prctl.h>
+#endif
+
+namespace drs::fleet {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using harness::SweepJob;
+using harness::SweepResult;
+
+/** Salt for the re-dispatch backoff jitter draw (distinct from the
+ * retry jitter inside SweepRunner and from the chaos rolls). */
+constexpr std::uint64_t kRedispatchJitterSalt = 0x666c65656a697400ULL;
+
+Clock::duration
+secondsToDuration(double seconds)
+{
+    return std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(seconds));
+}
+
+/** Deterministic jitter factor in [0.5, 1.0) for one re-dispatch. */
+double
+redispatchJitter(std::uint64_t seed, std::size_t job, int dispatch)
+{
+    const std::uint64_t mixed =
+        fault::mixSeed(seed ^ kRedispatchJitterSalt, job, dispatch);
+    const double unit = static_cast<double>(mixed >> 11) * 0x1.0p-53;
+    return 0.5 + 0.5 * unit;
+}
+
+bool
+parseEnvInt(const char *name, long long min, long long max, long long *out)
+{
+    const char *text = std::getenv(name);
+    if (!text)
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    const long long value = std::strtoll(text, &end, 0);
+    if (errno != 0 || end == text || *end != '\0' || value < min ||
+        value > max) {
+        std::fprintf(stderr, "fleet: ignoring malformed %s=%s\n", name, text);
+        return false;
+    }
+    *out = value;
+    return true;
+}
+
+bool
+parseEnvSeconds(const char *name, double *out)
+{
+    const char *text = std::getenv(name);
+    if (!text)
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    const double value = std::strtod(text, &end);
+    if (errno != 0 || end == text || *end != '\0' || value < 0.0) {
+        std::fprintf(stderr, "fleet: ignoring malformed %s=%s\n", name, text);
+        return false;
+    }
+    *out = value;
+    return true;
+}
+
+// --------------------------------------------------------------------
+// Signal plumbing. The coordinator's handlers only set a flag that the
+// supervision loop polls; the worker's handlers trip a process-wide
+// CancelToken that every in-flight simulation attempt is chained under
+// (SweepOptions::cancel), so a SIGTERM aborts the current job at its
+// next cancellation poll instead of waiting out the simulation.
+// --------------------------------------------------------------------
+
+volatile std::sig_atomic_t g_stopRequested = 0;
+
+void
+coordinatorStopHandler(int)
+{
+    g_stopRequested = 1;
+}
+
+exec::CancelToken g_workerCancel;
+
+void
+workerStopHandler(int)
+{
+    g_workerCancel.requestCancel();
+}
+
+// --------------------------------------------------------------------
+// Worker process
+// --------------------------------------------------------------------
+
+/**
+ * Body of one worker process; never returns. The worker inherits the
+ * full jobs vector through fork(), so a claim only names a grid index —
+ * and runs it with SweepRunner::runJob(job, index), which is the whole
+ * bit-identity argument: the worker derives exactly the fault seeds the
+ * single-process sweep would.
+ */
+[[noreturn]] void
+workerMain(int readFd, int writeFd, int workerId, int generation,
+           const harness::ExperimentScale &scale,
+           harness::SweepOptions sweep, const ChaosConfig &chaos,
+           const std::vector<SweepJob> &jobs, double heartbeatSeconds)
+{
+#ifdef __linux__
+    // Die with the coordinator, even when it is SIGKILLed (or chaos
+    // _Exit()s it): no orphaned simulators, ever.
+    ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+    if (::getppid() == 1)
+        ::_exit(0); // coordinator died between fork and prctl
+#endif
+    struct sigaction stop {};
+    stop.sa_handler = workerStopHandler;
+    ::sigemptyset(&stop.sa_mask);
+    stop.sa_flags = 0; // no SA_RESTART: blocked reads return EINTR
+    ::sigaction(SIGTERM, &stop, nullptr);
+    ::sigaction(SIGINT, &stop, nullptr);
+    struct sigaction ignore {};
+    ignore.sa_handler = SIG_IGN;
+    ::sigemptyset(&ignore.sa_mask);
+    ::sigaction(SIGPIPE, &ignore, nullptr);
+
+    // The coordinator is the only journal writer; the worker reports
+    // results over the pipe and keeps every other robustness knob
+    // (faults, watchdog, timeouts, retry) exactly as configured.
+    sweep.journalPath.clear();
+    sweep.resume = false;
+    sweep.crashAfter = 0;
+    sweep.cancel = &g_workerCancel;
+    harness::SweepRunner runner(scale, 1, sweep);
+
+    std::mutex writeMutex; // heartbeat thread vs. result writes
+    std::atomic<long long> beatJob{-1};
+    std::atomic<bool> wedged{false};
+
+    {
+        obs::Json hello = obs::Json::object();
+        hello["worker"] = obs::Json(workerId);
+        hello["generation"] = obs::Json(generation);
+        hello["pid"] = obs::Json(static_cast<long long>(::getpid()));
+        std::lock_guard<std::mutex> lock(writeMutex);
+        if (!writeFrame(writeFd, MsgType::Hello, hello.dump()))
+            ::_exit(0);
+    }
+
+    // Beat from the first instant, independent of scene builds and
+    // simulation: heartbeat silence means "wedged", never "busy".
+    std::thread([writeFd, heartbeatSeconds, &writeMutex, &beatJob, &wedged] {
+        const auto period =
+            secondsToDuration(heartbeatSeconds > 0 ? heartbeatSeconds : 0.25);
+        for (;;) {
+            if (wedged.load(std::memory_order_acquire))
+                return; // chaos hang: go silent so the deadline trips
+            {
+                obs::Json beat = obs::Json::object();
+                beat["job"] =
+                    obs::Json(beatJob.load(std::memory_order_acquire));
+                std::lock_guard<std::mutex> lock(writeMutex);
+                if (!writeFrame(writeFd, MsgType::Heartbeat, beat.dump()))
+                    return;
+            }
+            std::this_thread::sleep_for(period);
+        }
+    }).detach();
+
+    FrameParser parser;
+    char buffer[4096];
+    for (;;) {
+        if (g_workerCancel.cancelled())
+            ::_exit(0);
+        const ssize_t n = ::read(readFd, buffer, sizeof buffer);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue; // SIGTERM lands here; loop re-checks the token
+            ::_exit(0);
+        }
+        if (n == 0)
+            ::_exit(0); // coordinator closed its end
+        parser.feed(buffer, static_cast<std::size_t>(n));
+        while (auto frame = parser.next()) {
+            if (frame->type == MsgType::Shutdown)
+                ::_exit(0);
+            if (frame->type != MsgType::Claim)
+                continue;
+            std::string parseError;
+            const auto claim = obs::Json::parse(frame->payload, &parseError);
+            const obs::Json *jobField = claim ? claim->find("job") : nullptr;
+            const obs::Json *dispatchField =
+                claim ? claim->find("dispatch") : nullptr;
+            if (!jobField || !dispatchField)
+                ::_exit(64);
+            const std::size_t index =
+                static_cast<std::size_t>(jobField->asUint());
+            const int dispatch = static_cast<int>(dispatchField->asUint());
+            if (index >= jobs.size())
+                ::_exit(64);
+
+            const ChaosPlan plan = chaosPlanFor(chaos, index, dispatch);
+            if (plan.hang) {
+                wedged.store(true, std::memory_order_release);
+                for (;;)
+                    ::pause();
+            }
+            if (plan.kill) {
+                if (plan.delayMicros == 0) {
+                    ::kill(::getpid(), SIGKILL);
+                } else {
+                    // Delayed kill on a detached thread: it lands at an
+                    // arbitrary simulated cycle of the job below (or
+                    // right in the middle of the result write).
+                    const std::uint32_t delay = plan.delayMicros;
+                    std::thread([delay] {
+                        std::this_thread::sleep_for(
+                            std::chrono::microseconds(delay));
+                        ::kill(::getpid(), SIGKILL);
+                    }).detach();
+                }
+            }
+
+            beatJob.store(static_cast<long long>(index),
+                          std::memory_order_release);
+            SweepResult result;
+            try {
+                result = runner.runJob(jobs[index], index);
+            } catch (const std::exception &e) {
+                // runJob handles its own failures; this is a backstop
+                // (e.g. bad_alloc while preparing the scene).
+                result.failed = true;
+                result.error = e.what();
+            }
+            beatJob.store(-1, std::memory_order_release);
+            if (g_workerCancel.cancelled())
+                ::_exit(0); // never report a cancellation as an outcome
+            const obs::Json record = harness::sweepResultToJson(
+                index, harness::SweepRunner::jobKey(jobs[index]), result);
+            std::lock_guard<std::mutex> lock(writeMutex);
+            if (!writeFrame(writeFd, MsgType::Result, record.dump()))
+                ::_exit(0);
+        }
+        if (parser.corrupt())
+            ::_exit(64);
+    }
+}
+
+// --------------------------------------------------------------------
+// Coordinator
+// --------------------------------------------------------------------
+
+enum class JobState : unsigned char {
+    Pending,     ///< waiting for a worker (readyAt gates re-dispatch)
+    Inflight,    ///< claimed by a live worker
+    Done,        ///< result recorded (run, replayed, or failed in-worker)
+    Quarantined, ///< killed too many workers; recorded failed
+    Degraded,    ///< fleet exhausted before it could run; recorded failed
+    Cancelled,   ///< run stopped by SIGTERM/SIGINT or a cancel token
+};
+
+bool
+terminal(JobState state)
+{
+    return state != JobState::Pending && state != JobState::Inflight;
+}
+
+struct JobSlot
+{
+    JobState state = JobState::Pending;
+    int dispatches = 0; ///< claims sent (1-based dispatch counter)
+    int deaths = 0;     ///< workers that died holding this job
+    Clock::time_point readyAt{}; ///< earliest next dispatch
+};
+
+struct WorkerState
+{
+    pid_t pid = -1;
+    int toFd = -1;   ///< coordinator -> worker (claims, shutdown)
+    int fromFd = -1; ///< worker -> coordinator (hello, beats, results)
+    int id = 0;
+    int generation = 0; ///< 0 = initial crew, N = Nth replacement
+    FrameParser parser;
+    bool alive = false;
+    bool ready = false;  ///< Hello received
+    long long job = -1;  ///< inflight grid index, -1 = idle
+    Clock::time_point lastBeat{};
+};
+
+/** All mutable state of one FleetCoordinator::run, single-threaded. */
+struct FleetRun
+{
+    const harness::ExperimentScale &scale;
+    const harness::SweepOptions &sweep;
+    const FleetOptions &options;
+    FleetSummary &summary;
+    const std::vector<SweepJob> &jobs;
+    std::vector<SweepResult> &results;
+
+    std::vector<JobSlot> slots;
+    std::vector<WorkerState> workers;
+    harness::SweepJournal journal;
+    int nextWorkerId = 0;
+    int generationCounter = 0;
+    bool readyHookFired = false;
+    bool spawnBroken = false;
+
+    FleetRun(const harness::ExperimentScale &scale_,
+             const harness::SweepOptions &sweep_,
+             const FleetOptions &options_, FleetSummary &summary_,
+             const std::vector<SweepJob> &jobs_,
+             std::vector<SweepResult> &results_)
+        : scale(scale_), sweep(sweep_), options(options_), summary(summary_),
+          jobs(jobs_), results(results_), slots(jobs_.size())
+    {
+    }
+
+    int aliveCount() const
+    {
+        int n = 0;
+        for (const WorkerState &w : workers)
+            n += w.alive ? 1 : 0;
+        return n;
+    }
+
+    std::size_t remainingJobs() const
+    {
+        std::size_t n = 0;
+        for (const JobSlot &slot : slots)
+            n += terminal(slot.state) ? 0 : 1;
+        return n;
+    }
+
+    bool allTerminal() const { return remainingJobs() == 0; }
+
+    bool stopRequested() const
+    {
+        return g_stopRequested != 0 ||
+               (sweep.cancel != nullptr && sweep.cancel->cancelled());
+    }
+
+    bool fleetExhausted() const
+    {
+        return aliveCount() == 0 &&
+               (spawnBroken || summary.respawned >= options.maxRespawns);
+    }
+
+    bool spawnWorker(bool replacement)
+    {
+        int toPipe[2];
+        int fromPipe[2];
+        if (::pipe(toPipe) != 0) {
+            std::fprintf(stderr, "fleet: pipe failed: %s\n",
+                         std::strerror(errno));
+            return false;
+        }
+        if (::pipe(fromPipe) != 0) {
+            std::fprintf(stderr, "fleet: pipe failed: %s\n",
+                         std::strerror(errno));
+            ::close(toPipe[0]);
+            ::close(toPipe[1]);
+            return false;
+        }
+        const int id = nextWorkerId++;
+        const int generation = replacement ? ++generationCounter : 0;
+        const pid_t pid = ::fork();
+        if (pid < 0) {
+            std::fprintf(stderr, "fleet: fork failed: %s\n",
+                         std::strerror(errno));
+            ::close(toPipe[0]);
+            ::close(toPipe[1]);
+            ::close(fromPipe[0]);
+            ::close(fromPipe[1]);
+            return false;
+        }
+        if (pid == 0) {
+            // Child: keep only our two pipe ends. Holding another
+            // worker's fds would mask its EOF; holding the journal fd
+            // would let a child write where only the coordinator may.
+            ::close(toPipe[1]);
+            ::close(fromPipe[0]);
+            journal.close();
+            for (WorkerState &other : workers)
+                if (other.alive) {
+                    ::close(other.toFd);
+                    ::close(other.fromFd);
+                }
+            workerMain(toPipe[0], fromPipe[1], id, generation, scale, sweep,
+                       options.chaos, jobs, options.heartbeatSeconds);
+        }
+        ::close(toPipe[0]);
+        ::close(fromPipe[1]);
+        WorkerState worker;
+        worker.pid = pid;
+        worker.toFd = toPipe[1];
+        worker.fromFd = fromPipe[0];
+        worker.id = id;
+        worker.generation = generation;
+        worker.alive = true;
+        worker.lastBeat = Clock::now();
+        workers.push_back(std::move(worker));
+        ++summary.spawned;
+        if (replacement) {
+            ++summary.respawned;
+            std::fprintf(stderr,
+                         "fleet: respawned worker %d (pid %d, generation %d, "
+                         "%d/%d respawns used)\n",
+                         id, static_cast<int>(pid), generation,
+                         summary.respawned, options.maxRespawns);
+        }
+        return true;
+    }
+
+    void journalRecord(std::size_t index)
+    {
+        if (!journal.isOpen())
+            return;
+        const obs::Json entry = harness::sweepResultToJson(
+            index, harness::SweepRunner::jobKey(jobs[index]), results[index]);
+        std::string error;
+        if (!journal.append(entry, &error))
+            std::fprintf(stderr, "fleet: journal append failed: %s\n",
+                         error.c_str());
+        if (sweep.crashAfter > 0 && journal.appends() >= sweep.crashAfter) {
+            std::fprintf(stderr,
+                         "fleet: crash injection: DRS_CRASH_AFTER=%d journal "
+                         "appends reached, dying\n",
+                         sweep.crashAfter);
+            // Workers die with us via PR_SET_PDEATHSIG — the point is to
+            // simulate a coordinator crash, not a graceful stop.
+            std::_Exit(70);
+        }
+    }
+
+    void maybeFireReadyHook()
+    {
+        if (readyHookFired || !options.onFleetReady)
+            return;
+        int ready = 0;
+        for (const WorkerState &w : workers)
+            ready += (w.alive && w.ready) ? 1 : 0;
+        if (ready < options.workers)
+            return;
+        readyHookFired = true;
+        options.onFleetReady();
+    }
+
+    void handleResult(WorkerState &worker, const std::string &payload)
+    {
+        std::string parseError;
+        const auto parsed = obs::Json::parse(payload, &parseError);
+        std::uint64_t index = 0;
+        std::string key;
+        SweepResult result;
+        std::string reason = parsed ? harness::sweepResultFromJson(
+                                          *parsed, &index, &key, &result)
+                                    : ("bad JSON: " + parseError);
+        if (reason.empty() && index >= jobs.size())
+            reason = "job index out of range";
+        if (reason.empty() &&
+            key != harness::SweepRunner::jobKey(jobs[index]))
+            reason = "job key mismatch";
+        if (!reason.empty()) {
+            std::fprintf(stderr,
+                         "fleet: worker %d sent a bad result (%s), killing\n",
+                         worker.id, reason.c_str());
+            ::kill(worker.pid, SIGKILL);
+            return;
+        }
+        if (worker.job == static_cast<long long>(index))
+            worker.job = -1; // idle again
+        JobSlot &slot = slots[index];
+        if (terminal(slot.state))
+            return; // late duplicate: journal keeps exactly one record
+        slot.state = JobState::Done;
+        results[index] = std::move(result);
+        journalRecord(index);
+    }
+
+    void processFrames(WorkerState &worker)
+    {
+        while (auto frame = worker.parser.next()) {
+            switch (frame->type) {
+            case MsgType::Hello:
+                worker.ready = true;
+                worker.lastBeat = Clock::now();
+                maybeFireReadyHook();
+                break;
+            case MsgType::Heartbeat:
+                worker.lastBeat = Clock::now();
+                break;
+            case MsgType::Result:
+                handleResult(worker, frame->payload);
+                break;
+            default:
+                break; // Claim/Shutdown never flow worker -> coordinator
+            }
+        }
+        if (worker.parser.corrupt() && worker.alive) {
+            std::fprintf(stderr,
+                         "fleet: worker %d stream corrupt (%s), killing\n",
+                         worker.id, worker.parser.corruptReason().c_str());
+            ::kill(worker.pid, SIGKILL);
+        }
+    }
+
+    /**
+     * Read everything a dead worker left in its pipe and process the
+     * complete frames: a result sent moments before the kill still
+     * counts, and because this runs before the re-dispatch decision a
+     * completed job is never dispatched twice (no double-reports).
+     * Safe to loop: the writer end is closed, so read() cannot block.
+     */
+    void drainWorker(WorkerState &worker)
+    {
+        char buffer[4096];
+        for (;;) {
+            const ssize_t n = ::read(worker.fromFd, buffer, sizeof buffer);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                break;
+            }
+            if (n == 0)
+                break;
+            worker.parser.feed(buffer, static_cast<std::size_t>(n));
+        }
+        processFrames(worker);
+    }
+
+    void handleDeath(WorkerState &worker, int status, bool expected)
+    {
+        drainWorker(worker);
+        ::close(worker.toFd);
+        ::close(worker.fromFd);
+        worker.toFd = worker.fromFd = -1;
+        worker.alive = false;
+        const long long job = worker.job;
+        worker.job = -1;
+        if (expected)
+            return;
+        ++summary.workerDeaths;
+        if (WIFSIGNALED(status))
+            std::fprintf(stderr,
+                         "fleet: worker %d (pid %d) killed by signal %d\n",
+                         worker.id, static_cast<int>(worker.pid),
+                         WTERMSIG(status));
+        else
+            std::fprintf(stderr,
+                         "fleet: worker %d (pid %d) exited with status %d\n",
+                         worker.id, static_cast<int>(worker.pid),
+                         WIFEXITED(status) ? WEXITSTATUS(status) : -1);
+        if (job < 0)
+            return;
+        JobSlot &slot = slots[static_cast<std::size_t>(job)];
+        if (slot.state != JobState::Inflight)
+            return; // its result was drained above — nothing to redo
+        ++slot.deaths;
+        if (slot.deaths >= options.quarantineDeaths) {
+            quarantine(static_cast<std::size_t>(job), slot);
+            return;
+        }
+        // Seeded exponential backoff with jitter before the next try:
+        // deterministic per sweep, but concurrent casualties spread out.
+        slot.state = JobState::Pending;
+        const double jitter = redispatchJitter(
+            sweep.fault.seed, static_cast<std::size_t>(job), slot.dispatches);
+        const double delay =
+            options.backoffSeconds * std::ldexp(1.0, slot.deaths - 1) * jitter;
+        slot.readyAt = Clock::now() + secondsToDuration(delay);
+        ++summary.redispatched;
+    }
+
+    void quarantine(std::size_t index, JobSlot &slot)
+    {
+        slot.state = JobState::Quarantined;
+        SweepResult &result = results[index];
+        result.ran = false;
+        result.failed = true;
+        result.attempts = slot.dispatches;
+        result.error = "quarantined: job killed " +
+                       std::to_string(slot.deaths) + " workers in " +
+                       std::to_string(slot.dispatches) + " dispatches";
+        ++summary.quarantined;
+        std::fprintf(stderr, "fleet: job %zu (%s) %s\n", index,
+                     harness::SweepRunner::jobKey(jobs[index]).c_str(),
+                     result.error.c_str());
+        journalRecord(index);
+    }
+
+    void reapWorkers(bool expected)
+    {
+        for (WorkerState &worker : workers) {
+            if (!worker.alive)
+                continue;
+            int status = 0;
+            const pid_t pid = ::waitpid(worker.pid, &status, WNOHANG);
+            if (pid == worker.pid)
+                handleDeath(worker, status, expected);
+        }
+    }
+
+    void checkHeartbeats()
+    {
+        if (options.heartbeatTimeoutSeconds <= 0)
+            return;
+        const auto now = Clock::now();
+        const auto deadline = secondsToDuration(options.heartbeatTimeoutSeconds);
+        for (WorkerState &worker : workers) {
+            if (!worker.alive || now - worker.lastBeat < deadline)
+                continue;
+            std::fprintf(stderr,
+                         "fleet: worker %d (pid %d) silent for %.2fs "
+                         "(deadline %.2fs), killing\n",
+                         worker.id, static_cast<int>(worker.pid),
+                         std::chrono::duration<double>(now - worker.lastBeat)
+                             .count(),
+                         options.heartbeatTimeoutSeconds);
+            ++summary.heartbeatKills;
+            ::kill(worker.pid, SIGKILL);
+            worker.lastBeat = now; // one kill per deadline, then the reap
+        }
+    }
+
+    void dispatchJobs()
+    {
+        const auto now = Clock::now();
+        for (WorkerState &worker : workers) {
+            if (!worker.alive || !worker.ready || worker.job >= 0)
+                continue;
+            std::size_t pick = jobs.size();
+            for (std::size_t j = 0; j < slots.size(); ++j)
+                if (slots[j].state == JobState::Pending &&
+                    slots[j].readyAt <= now) {
+                    pick = j;
+                    break;
+                }
+            if (pick == jobs.size())
+                return; // nothing ready yet (backoff or all claimed)
+            JobSlot &slot = slots[pick];
+            ++slot.dispatches;
+            obs::Json claim = obs::Json::object();
+            claim["job"] = obs::Json(static_cast<unsigned long long>(pick));
+            claim["dispatch"] = obs::Json(slot.dispatches);
+            if (!writeFrame(worker.toFd, MsgType::Claim, claim.dump())) {
+                // Pipe gone: the worker is dying. Undo and let the reap
+                // re-dispatch cleanly.
+                --slot.dispatches;
+                ::kill(worker.pid, SIGKILL);
+                continue;
+            }
+            slot.state = JobState::Inflight;
+            worker.job = static_cast<long long>(pick);
+            worker.lastBeat = now;
+        }
+    }
+
+    void maybeRespawn()
+    {
+        while (!spawnBroken && aliveCount() < options.workers &&
+               summary.respawned < options.maxRespawns &&
+               remainingJobs() > static_cast<std::size_t>(aliveCount())) {
+            if (!spawnWorker(true)) {
+                spawnBroken = true;
+                break;
+            }
+        }
+    }
+
+    void pollWorkers(int timeoutMs)
+    {
+        std::vector<struct pollfd> fds;
+        std::vector<std::size_t> index;
+        for (std::size_t i = 0; i < workers.size(); ++i) {
+            if (!workers[i].alive)
+                continue;
+            struct pollfd p;
+            p.fd = workers[i].fromFd;
+            p.events = POLLIN;
+            p.revents = 0;
+            fds.push_back(p);
+            index.push_back(i);
+        }
+        if (fds.empty()) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(timeoutMs));
+            return;
+        }
+        const int n = ::poll(fds.data(), fds.size(), timeoutMs);
+        if (n <= 0)
+            return; // timeout or EINTR (stop flag checked by the loop)
+        for (std::size_t k = 0; k < fds.size(); ++k) {
+            if (!(fds[k].revents & (POLLIN | POLLHUP | POLLERR)))
+                continue;
+            WorkerState &worker = workers[index[k]];
+            char buffer[8192];
+            const ssize_t got =
+                ::read(worker.fromFd, buffer, sizeof buffer);
+            if (got > 0) {
+                worker.parser.feed(buffer, static_cast<std::size_t>(got));
+                processFrames(worker);
+            }
+            // got <= 0: EOF or error — the worker died; waitpid sees it.
+        }
+    }
+
+    /**
+     * Stop every worker and reap every pid. Three rungs: a Shutdown
+     * frame (drain and exit), SIGTERM on @p force (cancel token aborts
+     * the in-flight attempt), and after the grace period SIGKILL plus a
+     * blocking waitpid — the coordinator never returns with a child
+     * still breathing.
+     */
+    void shutdownAll(bool force)
+    {
+        for (WorkerState &worker : workers) {
+            if (!worker.alive)
+                continue;
+            writeFrame(worker.toFd, MsgType::Shutdown, "{}");
+            if (force)
+                ::kill(worker.pid, SIGTERM);
+        }
+        const auto deadline =
+            Clock::now() + secondsToDuration(options.shutdownGraceSeconds);
+        while (aliveCount() > 0 && Clock::now() < deadline) {
+            reapWorkers(true);
+            if (aliveCount() == 0)
+                break;
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+        for (WorkerState &worker : workers) {
+            if (!worker.alive)
+                continue;
+            std::fprintf(stderr,
+                         "fleet: worker %d ignored shutdown, SIGKILL\n",
+                         worker.id);
+            ::kill(worker.pid, SIGKILL);
+        }
+        for (WorkerState &worker : workers) {
+            if (!worker.alive)
+                continue;
+            int status = 0;
+            while (::waitpid(worker.pid, &status, 0) < 0 && errno == EINTR) {
+            }
+            handleDeath(worker, status, /*expected=*/true);
+        }
+    }
+
+    void cancelFleet()
+    {
+        summary.cancelled = true;
+        std::fprintf(stderr,
+                     "fleet: stop requested, cancelling %zu remaining jobs "
+                     "and reaping %d workers\n",
+                     remainingJobs(), aliveCount());
+        shutdownAll(/*force=*/true);
+        for (std::size_t j = 0; j < slots.size(); ++j) {
+            if (terminal(slots[j].state))
+                continue;
+            slots[j].state = JobState::Cancelled;
+            results[j].ran = false;
+            results[j].failed = true;
+            results[j].error = "fleet cancelled";
+            // Not journaled: a resumed run should execute these jobs.
+        }
+    }
+
+    void degradeRemaining()
+    {
+        for (std::size_t j = 0; j < slots.size(); ++j) {
+            if (terminal(slots[j].state))
+                continue;
+            slots[j].state = JobState::Degraded;
+            results[j].ran = false;
+            results[j].failed = true;
+            results[j].attempts = slots[j].dispatches;
+            results[j].error =
+                "degraded: fleet exhausted (respawn budget spent) before "
+                "this job could run";
+            ++summary.degradedJobs;
+            // Not journaled: the job never ran; --resume retries it.
+        }
+        std::fprintf(stderr,
+                     "fleet: exhausted with %d degraded jobs (spawned %d, "
+                     "respawn budget %d)\n",
+                     summary.degradedJobs, summary.spawned,
+                     options.maxRespawns);
+    }
+};
+
+} // namespace
+
+FleetOptions
+FleetOptions::fromEnvironment()
+{
+    FleetOptions options;
+    long long value = 0;
+    if (parseEnvInt("DRS_FLEET", 1, 1024, &value))
+        options.workers = static_cast<int>(value);
+    parseEnvSeconds("DRS_FLEET_HEARTBEAT", &options.heartbeatSeconds);
+    parseEnvSeconds("DRS_FLEET_HEARTBEAT_TIMEOUT",
+                    &options.heartbeatTimeoutSeconds);
+    if (parseEnvInt("DRS_FLEET_RESPAWNS", 0, 1'000'000, &value))
+        options.maxRespawns = static_cast<int>(value);
+    if (parseEnvInt("DRS_FLEET_QUARANTINE", 1, 1'000'000, &value))
+        options.quarantineDeaths = static_cast<int>(value);
+    parseEnvSeconds("DRS_FLEET_BACKOFF", &options.backoffSeconds);
+    options.chaos = ChaosConfig::fromEnvironment();
+    return options;
+}
+
+obs::Json
+fleetSummaryJson(const FleetSummary &summary)
+{
+    obs::Json out = obs::Json::object();
+    out["workers"] = obs::Json(summary.workers);
+    out["spawned"] = obs::Json(summary.spawned);
+    out["respawned"] = obs::Json(summary.respawned);
+    out["worker_deaths"] = obs::Json(summary.workerDeaths);
+    out["heartbeat_kills"] = obs::Json(summary.heartbeatKills);
+    out["redispatched"] = obs::Json(summary.redispatched);
+    out["quarantined"] = obs::Json(summary.quarantined);
+    out["degraded_jobs"] = obs::Json(summary.degradedJobs);
+    out["cancelled"] = obs::Json(summary.cancelled);
+    return out;
+}
+
+FleetCoordinator::FleetCoordinator(const harness::ExperimentScale &scale,
+                                   const harness::SweepOptions &sweep,
+                                   const FleetOptions &options)
+    : scale_(scale), sweep_(sweep), options_(options)
+{
+    options_.workers = std::max(options_.workers, 1);
+    options_.quarantineDeaths = std::max(options_.quarantineDeaths, 1);
+    options_.maxRespawns = std::max(options_.maxRespawns, 0);
+    if (options_.heartbeatSeconds <= 0)
+        options_.heartbeatSeconds = 0.25;
+}
+
+std::vector<harness::SweepResult>
+FleetCoordinator::run(std::vector<harness::SweepJob> jobs)
+{
+    summary_ = FleetSummary{};
+    summary_.workers = options_.workers;
+    std::vector<SweepResult> results(jobs.size());
+    if (jobs.empty())
+        return results;
+
+    const auto start = Clock::now();
+    FleetRun run(scale_, sweep_, options_, summary_, jobs, results);
+
+    std::vector<char> done(jobs.size(), 0);
+    if (sweep_.resume && !sweep_.journalPath.empty())
+        done = harness::replaySweepJournal(sweep_.journalPath, jobs, results);
+    std::size_t replayed = 0;
+    for (std::size_t i = 0; i < done.size(); ++i)
+        if (done[i]) {
+            run.slots[i].state = JobState::Done;
+            ++replayed;
+        }
+
+    if (!run.allTerminal()) {
+        if (!sweep_.journalPath.empty()) {
+            std::string error;
+            if (!run.journal.open(sweep_.journalPath, !sweep_.resume, &error))
+                std::fprintf(stderr,
+                             "fleet: %s (continuing without a journal)\n",
+                             error.c_str());
+        }
+
+        // Coordinator signal dispositions for the duration of the run:
+        // SIGTERM/SIGINT become a cooperative stop (fanned out to the
+        // workers), SIGPIPE must not kill us mid-write to a dead child.
+        g_stopRequested = 0;
+        struct sigaction stop {};
+        stop.sa_handler = coordinatorStopHandler;
+        ::sigemptyset(&stop.sa_mask);
+        stop.sa_flags = 0; // no SA_RESTART: poll() returns EINTR
+        struct sigaction ignore {};
+        ignore.sa_handler = SIG_IGN;
+        ::sigemptyset(&ignore.sa_mask);
+        struct sigaction oldTerm {}, oldInt {}, oldPipe {};
+        ::sigaction(SIGTERM, &stop, &oldTerm);
+        ::sigaction(SIGINT, &stop, &oldInt);
+        ::sigaction(SIGPIPE, &ignore, &oldPipe);
+
+        for (int i = 0; i < options_.workers && !run.spawnBroken; ++i)
+            if (!run.spawnWorker(false))
+                run.spawnBroken = true;
+
+        while (!run.allTerminal()) {
+            if (run.stopRequested()) {
+                run.cancelFleet();
+                break;
+            }
+            if (run.fleetExhausted()) {
+                run.degradeRemaining();
+                break;
+            }
+            run.pollWorkers(50);
+            run.reapWorkers(false);
+            run.checkHeartbeats();
+            run.maybeRespawn();
+            run.dispatchJobs();
+        }
+        if (!summary_.cancelled)
+            run.shutdownAll(false);
+        run.journal.close();
+
+        ::sigaction(SIGTERM, &oldTerm, nullptr);
+        ::sigaction(SIGINT, &oldInt, nullptr);
+        ::sigaction(SIGPIPE, &oldPipe, nullptr);
+    }
+
+    const double wall =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    std::printf("[fleet] %zu jobs (%zu replayed) across %d workers "
+                "(%d spawned, %d respawned) in %.2fs  deaths=%d "
+                "hb_kills=%d redispatched=%d quarantined=%d degraded=%d%s\n",
+                jobs.size(), replayed, options_.workers, summary_.spawned,
+                summary_.respawned, wall, summary_.workerDeaths,
+                summary_.heartbeatKills, summary_.redispatched,
+                summary_.quarantined, summary_.degradedJobs,
+                summary_.cancelled ? "  [cancelled]" : "");
+    return results;
+}
+
+} // namespace drs::fleet

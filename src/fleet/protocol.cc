@@ -1,0 +1,133 @@
+#include "fleet/protocol.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <unistd.h>
+
+namespace drs::fleet {
+
+bool
+validMsgType(std::uint32_t raw)
+{
+    return raw >= static_cast<std::uint32_t>(MsgType::Hello) &&
+           raw <= static_cast<std::uint32_t>(MsgType::Shutdown);
+}
+
+const char *
+msgTypeName(MsgType type)
+{
+    switch (type) {
+    case MsgType::Hello:
+        return "hello";
+    case MsgType::Claim:
+        return "claim";
+    case MsgType::Heartbeat:
+        return "heartbeat";
+    case MsgType::Result:
+        return "result";
+    case MsgType::Shutdown:
+        return "shutdown";
+    }
+    return "unknown";
+}
+
+namespace {
+
+void
+putU32(std::string &out, std::uint32_t value)
+{
+    char bytes[4];
+    std::memcpy(bytes, &value, sizeof value);
+    out.append(bytes, sizeof value);
+}
+
+std::uint32_t
+getU32(const char *data)
+{
+    std::uint32_t value;
+    std::memcpy(&value, data, sizeof value);
+    return value;
+}
+
+constexpr std::size_t kHeaderBytes = 12;
+
+} // namespace
+
+std::string
+encodeFrame(MsgType type, std::string_view payload)
+{
+    std::string out;
+    out.reserve(kHeaderBytes + payload.size());
+    putU32(out, kFrameMagic);
+    putU32(out, static_cast<std::uint32_t>(type));
+    putU32(out, static_cast<std::uint32_t>(payload.size()));
+    out.append(payload);
+    return out;
+}
+
+void
+FrameParser::feed(const char *data, std::size_t size)
+{
+    if (!corrupt_)
+        buffer_.append(data, size);
+}
+
+std::optional<Frame>
+FrameParser::next()
+{
+    if (corrupt_ || buffer_.size() < kHeaderBytes)
+        return std::nullopt;
+    const std::uint32_t magic = getU32(buffer_.data());
+    const std::uint32_t raw_type = getU32(buffer_.data() + 4);
+    const std::uint32_t length = getU32(buffer_.data() + 8);
+    if (magic != kFrameMagic) {
+        corrupt_ = true;
+        corruptReason_ = "bad frame magic";
+        return std::nullopt;
+    }
+    if (!validMsgType(raw_type)) {
+        corrupt_ = true;
+        corruptReason_ =
+            "unknown message type " + std::to_string(raw_type);
+        return std::nullopt;
+    }
+    if (length > kMaxPayloadBytes) {
+        corrupt_ = true;
+        corruptReason_ =
+            "oversized payload (" + std::to_string(length) + " bytes)";
+        return std::nullopt;
+    }
+    if (buffer_.size() < kHeaderBytes + length)
+        return std::nullopt;
+    Frame frame;
+    frame.type = static_cast<MsgType>(raw_type);
+    frame.payload = buffer_.substr(kHeaderBytes, length);
+    buffer_.erase(0, kHeaderBytes + length);
+    return frame;
+}
+
+bool
+writeAll(int fd, std::string_view data)
+{
+    std::size_t written = 0;
+    while (written < data.size()) {
+        const ssize_t n =
+            ::write(fd, data.data() + written, data.size() - written);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        written += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+writeFrame(int fd, MsgType type, std::string_view payload)
+{
+    return writeAll(fd, encodeFrame(type, payload));
+}
+
+} // namespace drs::fleet

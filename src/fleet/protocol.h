@@ -1,0 +1,109 @@
+#pragma once
+
+/**
+ * @file
+ * Length-prefixed pipe protocol between the fleet coordinator and its
+ * forked worker processes. Frames are:
+ *
+ *     uint32 magic ("DRSF")  |  uint32 type  |  uint32 payload length
+ *     payload bytes (UTF-8 JSON, possibly empty)
+ *
+ * all little-endian host order (coordinator and workers share one
+ * machine — workers are fork()ed from the coordinator). The parser is
+ * incremental: feed() whatever read() returned, next() yields complete
+ * frames, and a torn tail (a worker SIGKILLed mid-write) simply never
+ * completes — the coordinator discards it with the dead worker. A bad
+ * magic or an absurd length marks the stream corrupt, which the
+ * coordinator treats like a worker death.
+ *
+ * Message payloads (see fleet.h for the state machine):
+ *   Hello      worker -> coordinator   {"worker", "generation", "pid"}
+ *   Claim      coordinator -> worker   {"job", "dispatch"}
+ *   Heartbeat  worker -> coordinator   {"job"} (-1 = idle)
+ *   Result     worker -> coordinator   harness::sweepResultToJson record
+ *   Shutdown   coordinator -> worker   {} (drain and exit 0)
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace drs::fleet {
+
+/** Frame magic: "DRSF" in little-endian byte order. */
+inline constexpr std::uint32_t kFrameMagic = 0x46535244u;
+
+/** Upper bound on one payload; larger lengths mark the stream corrupt. */
+inline constexpr std::uint32_t kMaxPayloadBytes = 64u * 1024u * 1024u;
+
+enum class MsgType : std::uint32_t {
+    Hello = 1,
+    Claim = 2,
+    Heartbeat = 3,
+    Result = 4,
+    Shutdown = 5,
+};
+
+/** A frame type is one of the five protocol messages. */
+bool validMsgType(std::uint32_t raw);
+
+/** Printable name for diagnostics ("hello", "claim", ...). */
+const char *msgTypeName(MsgType type);
+
+struct Frame
+{
+    MsgType type = MsgType::Hello;
+    std::string payload;
+};
+
+/** Serialize one frame (header + payload) into a byte string. */
+std::string encodeFrame(MsgType type, std::string_view payload);
+
+/**
+ * Incremental frame decoder for one pipe direction. Not thread-safe;
+ * one parser per stream.
+ */
+class FrameParser
+{
+  public:
+    /** Buffer @p size bytes read from the stream. */
+    void feed(const char *data, std::size_t size);
+
+    /**
+     * Next complete frame, or std::nullopt when more bytes are needed
+     * (or the stream is corrupt — check corrupt()).
+     */
+    std::optional<Frame> next();
+
+    /**
+     * True once a malformed header was seen (bad magic, unknown type or
+     * oversized length). A corrupt stream yields no further frames; the
+     * peer must be torn down.
+     */
+    bool corrupt() const { return corrupt_; }
+
+    /** Human-readable reason once corrupt() is true. */
+    const std::string &corruptReason() const { return corruptReason_; }
+
+    /** Buffered bytes not yet consumed by a complete frame. */
+    std::size_t buffered() const { return buffer_.size(); }
+
+  private:
+    std::string buffer_;
+    bool corrupt_ = false;
+    std::string corruptReason_;
+};
+
+/**
+ * Write @p data fully to @p fd, retrying on EINTR and partial writes.
+ * @return false on any other error (EPIPE when the peer died — callers
+ * must have SIGPIPE ignored, which the coordinator and workers arrange).
+ */
+bool writeAll(int fd, std::string_view data);
+
+/** encodeFrame + writeAll in one call. */
+bool writeFrame(int fd, MsgType type, std::string_view payload);
+
+} // namespace drs::fleet

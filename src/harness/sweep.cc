@@ -1,11 +1,16 @@
 #include "harness/sweep.h"
 
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <span>
 #include <thread>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 #include "exec/cancel.h"
 #include "exec/thread_pool.h"
@@ -16,6 +21,8 @@ namespace drs::harness {
 
 namespace {
 
+using Clock = std::chrono::steady_clock;
+
 double
 secondsSince(std::chrono::steady_clock::time_point start)
 {
@@ -24,7 +31,214 @@ secondsSince(std::chrono::steady_clock::time_point start)
         .count();
 }
 
+/** Salt separating the backoff-jitter stream from the fault streams. */
+constexpr std::uint64_t kBackoffJitterSalt = 0x6a69747465720000ULL;
+
+/** Deterministic jitter factor in [0.5, 1.0) for one (job, attempt). */
+double
+backoffJitter(std::uint64_t seed, std::size_t index, int attempt)
+{
+    const std::uint64_t mixed =
+        fault::mixSeed(seed ^ kBackoffJitterSalt,
+                       static_cast<std::uint64_t>(index),
+                       static_cast<std::uint64_t>(attempt));
+    // Top 53 bits -> uniform double in [0, 1).
+    const double unit =
+        static_cast<double>(mixed >> 11) * 0x1.0p-53;
+    return 0.5 + 0.5 * unit;
+}
+
 } // namespace
+
+// ------------------------------------------------- Durable journal I/O
+
+SweepJournal::~SweepJournal() { close(); }
+
+bool
+SweepJournal::open(const std::string &path, bool truncate, std::string *error)
+{
+    close();
+    int flags = O_WRONLY | O_CREAT | O_APPEND;
+    if (truncate)
+        flags |= O_TRUNC;
+    fd_ = ::open(path.c_str(), flags, 0644);
+    if (fd_ < 0) {
+        if (error)
+            *error = "cannot open journal '" + path +
+                     "': " + std::strerror(errno);
+        return false;
+    }
+    return true;
+}
+
+bool
+SweepJournal::append(const obs::Json &entry, std::string *error)
+{
+    if (fd_ < 0) {
+        if (error)
+            *error = "journal is not open";
+        return false;
+    }
+    const std::string line = entry.dump() + "\n";
+    std::size_t written = 0;
+    while (written < line.size()) {
+        const ssize_t n =
+            ::write(fd_, line.data() + written, line.size() - written);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (error)
+                *error = std::string("journal write failed: ") +
+                         std::strerror(errno);
+            return false;
+        }
+        written += static_cast<std::size_t>(n);
+    }
+    // The durability contract: the record is on disk before append()
+    // returns, so a SIGKILL after this point cannot lose it.
+    if (::fsync(fd_) != 0) {
+        if (error)
+            *error = std::string("journal fsync failed: ") +
+                     std::strerror(errno);
+        return false;
+    }
+    ++appends_;
+    return true;
+}
+
+void
+SweepJournal::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+// ------------------------------------------- Result <-> JSON records
+
+obs::Json
+sweepResultToJson(std::size_t index, const std::string &key,
+                  const SweepResult &result)
+{
+    obs::Json entry = obs::Json::object();
+    entry["job"] = static_cast<std::uint64_t>(index);
+    entry["key"] = key;
+    entry["ran"] = result.ran;
+    entry["failed"] = result.failed;
+    entry["attempts"] = static_cast<std::int64_t>(result.attempts);
+    entry["fault_seed"] = result.faultSeed;
+    entry["seconds"] = result.seconds;
+    if (result.ran)
+        entry["stats"] = statsJsonFull(result.stats);
+    if (!result.error.empty())
+        entry["error"] = result.error;
+    return entry;
+}
+
+std::string
+sweepResultFromJson(const obs::Json &entry, std::uint64_t *index,
+                    std::string *key, SweepResult *result)
+{
+    if (!entry.isObject())
+        return "record is not an object";
+    const obs::Json *job_field = entry.find("job");
+    const obs::Json *key_field = entry.find("key");
+    if (job_field == nullptr || !job_field->isNumber() ||
+        key_field == nullptr || !key_field->isString())
+        return "record lacks job/key";
+    *index = job_field->asUint();
+    *key = key_field->asString();
+
+    SweepResult parsed;
+    const obs::Json *ran = entry.find("ran");
+    const obs::Json *failed = entry.find("failed");
+    parsed.ran = ran != nullptr && ran->isBool() && ran->asBool();
+    parsed.failed = failed != nullptr && failed->isBool() && failed->asBool();
+    if (const obs::Json *attempts = entry.find("attempts");
+        attempts != nullptr && attempts->isNumber())
+        parsed.attempts = static_cast<int>(attempts->asUint());
+    if (const obs::Json *seed = entry.find("fault_seed");
+        seed != nullptr && seed->isNumber())
+        parsed.faultSeed = seed->asUint();
+    if (const obs::Json *seconds = entry.find("seconds");
+        seconds != nullptr && seconds->isNumber())
+        parsed.seconds = seconds->asDouble();
+    if (const obs::Json *err = entry.find("error");
+        err != nullptr && err->isString())
+        parsed.error = err->asString();
+    if (parsed.ran) {
+        const obs::Json *stats = entry.find("stats");
+        if (stats == nullptr)
+            return "record has ran=true but no stats";
+        try {
+            parsed.stats = statsFromJson(*stats);
+        } catch (const std::exception &e) {
+            return std::string("record stats malformed: ") + e.what();
+        }
+    }
+    *result = std::move(parsed);
+    return "";
+}
+
+std::vector<char>
+replaySweepJournal(const std::string &path,
+                   const std::vector<SweepJob> &jobs,
+                   std::vector<SweepResult> &results)
+{
+    std::vector<char> done(jobs.size(), 0);
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr,
+                     "[sweep] resume: no journal at '%s', running all jobs\n",
+                     path.c_str());
+        return done;
+    }
+
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty())
+            continue;
+        std::string error;
+        std::optional<obs::Json> parsed = obs::Json::parse(line, &error);
+        if (!parsed || !parsed->isObject()) {
+            // A crash mid-append leaves a truncated last line; tolerate
+            // it (and anything after it) by re-running those jobs.
+            std::fprintf(stderr,
+                         "[sweep] resume: journal line %zu malformed (%s); "
+                         "ignoring the rest of the journal\n",
+                         line_no, error.empty() ? "not an object"
+                                                : error.c_str());
+            break;
+        }
+        std::uint64_t index = 0;
+        std::string key;
+        SweepResult result;
+        const std::string reason =
+            sweepResultFromJson(*parsed, &index, &key, &result);
+        if (!reason.empty()) {
+            std::fprintf(stderr,
+                         "[sweep] resume: journal line %zu: %s; "
+                         "ignoring the rest of the journal\n",
+                         line_no, reason.c_str());
+            break;
+        }
+        if (index >= jobs.size() || key != SweepRunner::jobKey(jobs[index])) {
+            std::fprintf(stderr,
+                         "[sweep] resume: journal line %zu does not match "
+                         "this sweep (job %llu, key '%s'); skipping entry\n",
+                         line_no, static_cast<unsigned long long>(index),
+                         key.c_str());
+            continue;
+        }
+        result.fromJournal = true;
+        results[index] = std::move(result);
+        done[index] = 1;
+    }
+    return done;
+}
 
 SweepOptions
 SweepOptions::fromEnvironment()
@@ -41,6 +255,17 @@ SweepOptions::fromEnvironment()
             std::fprintf(
                 stderr,
                 "[sweep] warning: ignoring malformed DRS_JOB_TIMEOUT='%s'\n",
+                s);
+    }
+    if (const char *s = std::getenv("DRS_RETRY_DEADLINE")) {
+        char *end = nullptr;
+        const double v = std::strtod(s, &end);
+        if (end != s && *end == '\0' && v > 0)
+            options.retryDeadlineSeconds = v;
+        else
+            std::fprintf(
+                stderr,
+                "[sweep] warning: ignoring malformed DRS_RETRY_DEADLINE='%s'\n",
                 s);
     }
     if (const char *s = std::getenv("DRS_CRASH_AFTER")) {
@@ -131,6 +356,14 @@ SweepRunner::add(const SweepJob &job)
     return pending_.size() - 1;
 }
 
+std::vector<SweepJob>
+SweepRunner::takePending()
+{
+    std::vector<SweepJob> jobs;
+    jobs.swap(pending_);
+    return jobs;
+}
+
 std::vector<std::size_t>
 SweepRunner::addCapture(scene::SceneId scene, Arch arch,
                         const RunConfig &config, int max_bounces,
@@ -194,6 +427,16 @@ SweepResult
 SweepRunner::runWithRetry(const SweepJob &job, std::size_t index)
 {
     SweepResult result;
+    // The retry deadline spans the whole loop: every attempt and every
+    // backoff sleep draws from the same wall-clock budget.
+    const bool has_retry_deadline = options_.retryDeadlineSeconds > 0;
+    const Clock::time_point retry_deadline =
+        has_retry_deadline
+            ? Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                 std::chrono::duration<double>(
+                                     options_.retryDeadlineSeconds))
+            : Clock::time_point::max();
+
     for (int attempt = 1; attempt <= options_.maxAttempts; ++attempt) {
         SweepJob tried = job;
         std::uint64_t attempt_seed = 0;
@@ -214,13 +457,34 @@ SweepRunner::runWithRetry(const SweepJob &job, std::size_t index)
             tried.config.watchdogCycles = options_.watchdogCycles;
 
         exec::CancelToken token;
-        if (options_.jobTimeoutSeconds > 0) {
-            token.setTimeout(options_.jobTimeoutSeconds);
+        token.setParent(tried.config.cancel != nullptr ? tried.config.cancel
+                                                       : options_.cancel);
+        // The attempt's deadline is the tighter of the per-attempt
+        // timeout and the whole-job retry deadline.
+        Clock::time_point deadline = retry_deadline;
+        if (options_.jobTimeoutSeconds > 0)
+            deadline = std::min(
+                deadline,
+                Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double>(
+                                       options_.jobTimeoutSeconds)));
+        if (deadline != Clock::time_point::max())
+            token.setDeadline(deadline);
+        if (token.hasDeadline() || token.parent() != nullptr)
             tried.config.cancel = &token;
-        }
 
         try {
             result = runOne(tried);
+            result.attempts = attempt;
+            result.faultSeed = attempt_seed;
+            return result;
+        } catch (const exec::Cancelled &e) {
+            // A sweep-wide cancel (signal fan-out): report the job
+            // failed and stop immediately — retrying a cancelled job
+            // would fight the shutdown.
+            result = SweepResult{};
+            result.failed = true;
+            result.error = e.what();
             result.attempts = attempt;
             result.faultSeed = attempt_seed;
             return result;
@@ -234,12 +498,32 @@ SweepRunner::runWithRetry(const SweepJob &job, std::size_t index)
                          "[sweep] job %zu (%s) attempt %d/%d failed: %s\n",
                          index, jobKey(job).c_str(), attempt,
                          options_.maxAttempts, e.what());
+            if (options_.cancel != nullptr && options_.cancel->cancelled())
+                return result;
             if (attempt < options_.maxAttempts &&
                 options_.backoffSeconds > 0) {
                 const double scale =
                     static_cast<double>(std::uint64_t{1} << (attempt - 1));
-                std::this_thread::sleep_for(std::chrono::duration<double>(
-                    options_.backoffSeconds * scale));
+                // Deterministic jitter desynchronizes concurrent
+                // retries; same sweep, same waits (see SweepOptions).
+                const double delay = options_.backoffSeconds * scale *
+                                     backoffJitter(options_.fault.seed,
+                                                   index, attempt);
+                const auto wake =
+                    Clock::now() +
+                    std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(delay));
+                if (wake >= retry_deadline) {
+                    // Sleeping would overrun the retry budget:
+                    // quarantine now instead of wasting the wall-clock.
+                    result.error += " (retry deadline of " +
+                                    std::to_string(
+                                        options_.retryDeadlineSeconds) +
+                                    " s exhausted)";
+                    return result;
+                }
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double>(delay));
             }
         }
     }
@@ -255,142 +539,26 @@ SweepRunner::journalAppend(std::size_t index, const SweepJob &job,
     if (options_.journalPath.empty())
         return;
 
-    obs::Json entry = obs::Json::object();
-    entry["job"] = static_cast<std::uint64_t>(index);
-    entry["key"] = jobKey(job);
-    entry["ran"] = result.ran;
-    entry["failed"] = result.failed;
-    entry["attempts"] = static_cast<std::int64_t>(result.attempts);
-    entry["fault_seed"] = result.faultSeed;
-    entry["seconds"] = result.seconds;
-    if (result.ran)
-        entry["stats"] = statsJsonFull(result.stats);
-    if (!result.error.empty())
-        entry["error"] = result.error;
+    const obs::Json entry = sweepResultToJson(index, jobKey(job), result);
 
     std::lock_guard<std::mutex> lock(journalMutex_);
-    {
-        std::ofstream out(options_.journalPath,
-                          std::ios::app | std::ios::binary);
-        if (!out) {
-            std::fprintf(stderr,
-                         "[sweep] warning: cannot append to journal '%s'\n",
-                         options_.journalPath.c_str());
-            return;
-        }
-        out << entry.dump() << '\n';
-        out.flush();
+    std::string error;
+    if (!journal_.isOpen() || !journal_.append(entry, &error)) {
+        std::fprintf(stderr,
+                     "[sweep] warning: cannot append to journal '%s'%s%s\n",
+                     options_.journalPath.c_str(),
+                     error.empty() ? "" : ": ", error.c_str());
+        return;
     }
-    ++journalAppends_;
-    if (options_.crashAfter > 0 && journalAppends_ >= options_.crashAfter) {
+    if (options_.crashAfter > 0 && journal_.appends() >= options_.crashAfter) {
         // Crash injection for the resume tests: die without unwinding,
         // exactly like a kill -9 after the append hit the disk.
         std::fprintf(stderr, "[sweep] DRS_CRASH_AFTER: exiting after %d "
                              "journal append%s\n",
-                     journalAppends_, journalAppends_ == 1 ? "" : "s");
+                     journal_.appends(), journal_.appends() == 1 ? "" : "s");
         std::fflush(stderr);
         std::_Exit(70);
     }
-}
-
-std::vector<char>
-SweepRunner::journalReplay(const std::vector<SweepJob> &jobs,
-                           std::vector<SweepResult> &results)
-{
-    std::vector<char> done(jobs.size(), 0);
-    std::ifstream in(options_.journalPath, std::ios::binary);
-    if (!in) {
-        std::fprintf(stderr,
-                     "[sweep] resume: no journal at '%s', running all jobs\n",
-                     options_.journalPath.c_str());
-        return done;
-    }
-
-    std::string line;
-    std::size_t line_no = 0;
-    while (std::getline(in, line)) {
-        ++line_no;
-        if (line.empty())
-            continue;
-        std::string error;
-        std::optional<obs::Json> parsed = obs::Json::parse(line, &error);
-        if (!parsed || !parsed->isObject()) {
-            // A crash mid-append leaves a truncated last line; tolerate
-            // it (and anything after it) by re-running those jobs.
-            std::fprintf(stderr,
-                         "[sweep] resume: journal line %zu malformed (%s); "
-                         "ignoring the rest of the journal\n",
-                         line_no, error.empty() ? "not an object"
-                                                : error.c_str());
-            break;
-        }
-        const obs::Json &entry = *parsed;
-        const obs::Json *job_field = entry.find("job");
-        const obs::Json *key_field = entry.find("key");
-        if (job_field == nullptr || !job_field->isNumber() ||
-            key_field == nullptr || !key_field->isString()) {
-            std::fprintf(stderr,
-                         "[sweep] resume: journal line %zu lacks job/key; "
-                         "ignoring the rest of the journal\n",
-                         line_no);
-            break;
-        }
-        const std::uint64_t index = job_field->asUint();
-        if (index >= jobs.size() ||
-            key_field->asString() != jobKey(jobs[index])) {
-            std::fprintf(stderr,
-                         "[sweep] resume: journal line %zu does not match "
-                         "this sweep (job %llu, key '%s'); skipping entry\n",
-                         line_no,
-                         static_cast<unsigned long long>(index),
-                         key_field->asString().c_str());
-            continue;
-        }
-
-        SweepResult result;
-        const obs::Json *ran = entry.find("ran");
-        const obs::Json *failed = entry.find("failed");
-        result.ran = ran != nullptr && ran->isBool() && ran->asBool();
-        result.failed =
-            failed != nullptr && failed->isBool() && failed->asBool();
-        if (const obs::Json *attempts = entry.find("attempts");
-            attempts != nullptr && attempts->isNumber())
-            result.attempts = static_cast<int>(attempts->asUint());
-        if (const obs::Json *seed = entry.find("fault_seed");
-            seed != nullptr && seed->isNumber())
-            result.faultSeed = seed->asUint();
-        if (const obs::Json *seconds = entry.find("seconds");
-            seconds != nullptr && seconds->isNumber())
-            result.seconds = seconds->asDouble();
-        if (const obs::Json *err = entry.find("error");
-            err != nullptr && err->isString())
-            result.error = err->asString();
-        if (result.ran) {
-            const obs::Json *stats = entry.find("stats");
-            if (stats == nullptr) {
-                std::fprintf(stderr,
-                             "[sweep] resume: journal line %zu has ran=true "
-                             "but no stats; re-running job %llu\n",
-                             line_no,
-                             static_cast<unsigned long long>(index));
-                continue;
-            }
-            try {
-                result.stats = statsFromJson(*stats);
-            } catch (const std::exception &e) {
-                std::fprintf(stderr,
-                             "[sweep] resume: journal line %zu stats "
-                             "malformed (%s); re-running job %llu\n",
-                             line_no, e.what(),
-                             static_cast<unsigned long long>(index));
-                continue;
-            }
-        }
-        result.fromJournal = true;
-        results[index] = std::move(result);
-        done[index] = 1;
-    }
-    return done;
 }
 
 std::vector<SweepResult>
@@ -402,14 +570,14 @@ SweepRunner::run()
 
     std::vector<char> done(jobs.size(), 0);
     if (!options_.journalPath.empty()) {
-        if (options_.resume) {
-            done = journalReplay(jobs, results);
-        } else {
-            // Fresh run: truncate any stale journal so a later --resume
-            // cannot merge entries from a different invocation.
-            std::ofstream out(options_.journalPath,
-                              std::ios::trunc | std::ios::binary);
-        }
+        if (options_.resume)
+            done = replaySweepJournal(options_.journalPath, jobs, results);
+        // Fresh run: truncate any stale journal so a later --resume
+        // cannot merge entries from a different invocation. Resumed
+        // runs append after the replayed records.
+        std::string error;
+        if (!journal_.open(options_.journalPath, !options_.resume, &error))
+            std::fprintf(stderr, "[sweep] warning: %s\n", error.c_str());
     }
 
     std::vector<std::size_t> todo;
@@ -420,6 +588,13 @@ SweepRunner::run()
 
     const auto start = std::chrono::steady_clock::now();
     auto execute = [this, &jobs, &results](std::size_t i) {
+        if (options_.cancel != nullptr && options_.cancel->cancelled()) {
+            // Cancelled sweep: fail the job instead of starting it so
+            // the result vector stays complete (reported, not dropped).
+            results[i].failed = true;
+            results[i].error = "sweep cancelled";
+            return;
+        }
         results[i] = runWithRetry(jobs[i], i);
         journalAppend(i, jobs[i], results[i]);
     };
@@ -433,6 +608,8 @@ SweepRunner::run()
             group.run([&execute, i] { execute(i); });
         group.wait();
     }
+
+    journal_.close();
 
     std::size_t replayed = 0;
     std::size_t quarantined = 0;

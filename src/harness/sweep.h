@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "harness/harness.h"
+#include "obs/json.h"
 
 namespace drs::harness {
 
@@ -130,8 +131,32 @@ struct SweepOptions
     double jobTimeoutSeconds = 0.0;
     /** Attempts per job before quarantine (>= 1). */
     int maxAttempts = 3;
-    /** Base of the exponential retry backoff (seconds). */
+    /**
+     * Base of the exponential retry backoff (seconds). The actual delay
+     * before attempt N+1 is backoffSeconds * 2^(N-1) scaled by a
+     * deterministic jitter factor in [0.5, 1.0] seeded from (fault
+     * seed, job index, attempt) — retries of concurrent jobs spread out
+     * instead of stampeding in lockstep, and the same sweep always
+     * waits the same amount.
+     */
     double backoffSeconds = 0.05;
+    /**
+     * Cap on a job's total wall-clock across all attempts and backoff
+     * sleeps (seconds); <= 0 = none. Enforced through the cancel-token
+     * deadline plumbing: the deadline spans the whole retry loop, a
+     * pending backoff that would overrun it quarantines the job
+     * immediately instead of sleeping, and the in-flight attempt is
+     * aborted via DeadlineExceeded. DRS_RETRY_DEADLINE.
+     */
+    double retryDeadlineSeconds = 0.0;
+    /**
+     * Sweep-wide cooperative stop flag (may be null). Chained as the
+     * parent of every per-attempt token, so one requestCancel() — e.g.
+     * from a signal handler — aborts the running simulations and fails
+     * the remaining jobs instead of starting them. Cancelled jobs are
+     * reported failed, never retried.
+     */
+    const exec::CancelToken *cancel = nullptr;
     /**
      * Append-only JSONL journal of completed jobs (lossless SimStats via
      * statsJsonFull). Empty = no journal. A fresh run truncates the
@@ -155,10 +180,82 @@ struct SweepOptions
     /**
      * Populate from the environment: DRS_FAULT_SEED (see
      * fault::FaultConfig::fromEnvironment), DRS_WATCHDOG (cycles),
-     * DRS_JOB_TIMEOUT (seconds), DRS_CRASH_AFTER (journal appends).
+     * DRS_JOB_TIMEOUT (seconds), DRS_RETRY_DEADLINE (seconds),
+     * DRS_CRASH_AFTER (journal appends).
      */
     static SweepOptions fromEnvironment();
 };
+
+/**
+ * Durable append-only JSONL writer backing the sweep journal. Every
+ * append writes the full line and fsync()s the file descriptor before
+ * returning, so a record the caller saw succeed is on disk — a SIGKILL
+ * (or DRS_CRASH_AFTER _Exit) one instruction later cannot lose it to a
+ * libc or page-cache buffer. Not thread-safe; callers serialize (the
+ * sweep runner holds its journal mutex across append()).
+ */
+class SweepJournal
+{
+  public:
+    SweepJournal() = default;
+    ~SweepJournal();
+    SweepJournal(const SweepJournal &) = delete;
+    SweepJournal &operator=(const SweepJournal &) = delete;
+
+    /**
+     * Open @p path for appending; @p truncate discards existing content
+     * (a fresh run), otherwise appends (a --resume continuation).
+     * @return false with a reason in @p error on failure.
+     */
+    bool open(const std::string &path, bool truncate,
+              std::string *error = nullptr);
+
+    bool isOpen() const { return fd_ >= 0; }
+
+    /** Append one record as a single line, flushed + fsync'd. */
+    bool append(const obs::Json &entry, std::string *error = nullptr);
+
+    /** Records appended through this writer (not lines in the file). */
+    int appends() const { return appends_; }
+
+    void close();
+
+  private:
+    int fd_ = -1;
+    int appends_ = 0;
+};
+
+/**
+ * One sweep outcome as a journal/protocol record: {"job", "key",
+ * "ran", "failed", "attempts", "fault_seed", "seconds", "stats"
+ * (lossless, when ran), "error" (when failed)}. The fleet result
+ * protocol reuses this shape verbatim, so a worker's result frame and a
+ * journal line are interchangeable.
+ */
+obs::Json sweepResultToJson(std::size_t index, const std::string &key,
+                            const SweepResult &result);
+
+/**
+ * Parse one sweepResultToJson record. @return empty string on success
+ * (with @p index, @p key and @p result filled, result.fromJournal
+ * left untouched), else a human-readable reason.
+ */
+std::string sweepResultFromJson(const obs::Json &entry, std::uint64_t *index,
+                                std::string *key, SweepResult *result);
+
+/**
+ * Replay a JSONL journal at @p path into @p results (sized like
+ * @p jobs): entries whose index/key match the job at that index are
+ * marked done; a malformed line (torn tail of a crash) stops the replay
+ * and everything after it re-runs. Shared by SweepRunner::run(--resume)
+ * and the fleet coordinator, so a journal written by either is
+ * resumable by both.
+ *
+ * @return per-job done flags (1 = replayed from the journal)
+ */
+std::vector<char> replaySweepJournal(const std::string &path,
+                                     const std::vector<SweepJob> &jobs,
+                                     std::vector<SweepResult> &results);
 
 /**
  * Declarative experiment sweep over a shared scene cache.
@@ -219,6 +316,22 @@ class SweepRunner
     const SweepOptions &options() const { return options_; }
 
     /**
+     * Execute one job under the full robustness policy (fault seeds,
+     * watchdog, timeout, retry + jitter backoff, retry deadline) without
+     * touching the queue or the journal. @p index is the job's identity
+     * in its grid: per-attempt fault seeds derive from it, so a fleet
+     * worker executing job 7 of a sharded grid produces bit-identical
+     * results to the single-process sweep running job 7 itself.
+     */
+    SweepResult runJob(const SweepJob &job, std::size_t index)
+    {
+        return runWithRetry(job, index);
+    }
+
+    /** Take (and clear) the queued jobs, e.g. to shard them elsewhere. */
+    std::vector<SweepJob> takePending();
+
+    /**
      * Journal/identity key of @p job ("scene/arch/b<bounce>/r<maxRays>"):
      * a --resume run only replays an entry when its key still matches
      * the job at the same index, so a journal from a different sweep is
@@ -231,9 +344,6 @@ class SweepRunner
     SweepResult runWithRetry(const SweepJob &job, std::size_t index);
     void journalAppend(std::size_t index, const SweepJob &job,
                        const SweepResult &result);
-    /** Replay the journal into @p results; true entries are done. */
-    std::vector<char> journalReplay(const std::vector<SweepJob> &jobs,
-                                    std::vector<SweepResult> &results);
 
     ExperimentScale scale_;
     int jobs_count_;
@@ -241,7 +351,7 @@ class SweepRunner
     PreparedSceneCache cache_;
     std::vector<SweepJob> pending_;
     std::mutex journalMutex_;
-    int journalAppends_ = 0;
+    SweepJournal journal_;
 };
 
 /**

@@ -1,6 +1,12 @@
 #include "obs/report.h"
 
-#include <fstream>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 namespace drs::obs {
 
@@ -37,18 +43,55 @@ BenchReport::setDegraded(bool degraded)
 bool
 BenchReport::writeFile(const std::string &path, std::string *error) const
 {
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    if (!out) {
+    // Atomic publication: write + fsync a sibling temp file, then
+    // rename over the target. A crash (or DRS_CRASH_AFTER / SIGKILL
+    // chaos) mid-write leaves either the old report or the new one —
+    // never a torn half-document.
+    std::ostringstream buffer;
+    document_.dump(buffer, 2);
+    buffer << "\n";
+    const std::string text = buffer.str();
+
+    const std::string tmp_path =
+        path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+    const int fd =
+        ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
         if (error)
-            *error = "cannot open " + path + " for writing";
+            *error = "cannot open " + tmp_path +
+                     " for writing: " + std::strerror(errno);
         return false;
     }
-    document_.dump(out, 2);
-    out << "\n";
-    out.flush();
-    if (!out) {
+    std::size_t written = 0;
+    while (written < text.size()) {
+        const ssize_t n =
+            ::write(fd, text.data() + written, text.size() - written);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (error)
+                *error = "write to " + tmp_path +
+                         " failed: " + std::strerror(errno);
+            ::close(fd);
+            std::remove(tmp_path.c_str());
+            return false;
+        }
+        written += static_cast<std::size_t>(n);
+    }
+    const bool synced = ::fsync(fd) == 0;
+    ::close(fd);
+    if (!synced) {
         if (error)
-            *error = "write to " + path + " failed";
+            *error = "fsync of " + tmp_path +
+                     " failed: " + std::strerror(errno);
+        std::remove(tmp_path.c_str());
+        return false;
+    }
+    if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+        if (error)
+            *error = "rename " + tmp_path + " -> " + path +
+                     " failed: " + std::strerror(errno);
+        std::remove(tmp_path.c_str());
         return false;
     }
     return true;

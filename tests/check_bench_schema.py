@@ -113,6 +113,34 @@ def validate_attribution(section, where):
     return ""
 
 
+FLEET_COUNTERS = (
+    "workers",
+    "spawned",
+    "respawned",
+    "worker_deaths",
+    "heartbeat_kills",
+    "redispatched",
+    "quarantined",
+    "degraded_jobs",
+)
+
+
+def validate_fleet(section, where):
+    """summary.fleet: supervision counters of a multi-process sweep."""
+    if not isinstance(section, dict):
+        return f"{where} must be an object"
+    for field in FLEET_COUNTERS:
+        value = section.get(field)
+        if not is_number(value) or value < 0:
+            return f"{where}.{field} must be a non-negative number"
+    if section["respawned"] > section["spawned"]:
+        return (f"{where}: respawned ({section['respawned']}) exceeds "
+                f"spawned ({section['spawned']})")
+    if not isinstance(section.get("cancelled"), bool):
+        return f'{where}.cancelled must be a boolean'
+    return ""
+
+
 def validate_timeline(section, where):
     if not isinstance(section, dict):
         return f"{where} must be an object"
@@ -211,6 +239,11 @@ def validate_report(document):
     non_finite = find_non_finite(document.get("summary"), "summary")
     if non_finite:
         return f"{non_finite} is not a finite number"
+    if "fleet" in document["summary"]:
+        reason = validate_fleet(document["summary"]["fleet"],
+                                "summary.fleet")
+        if reason:
+            return reason
     wall = document.get("wall_seconds")
     if not is_number(wall) or wall < 0.0:
         return 'missing or negative "wall_seconds"'

@@ -1,0 +1,109 @@
+#!/bin/bash
+# Fleet chaos harness: prove bit-identical recovery end to end.
+#
+#   1. Reference: a clean single-process sweep -> ref.json.
+#   2. Chaos: the same sweep across a 3-worker fleet with seeded SIGKILL
+#      chaos (workers die at random points mid-job) AND a coordinator
+#      crash injected after two journal appends (DRS_CRASH_AFTER ->
+#      exit 70, workers die with the coordinator via PDEATHSIG).
+#   3. The partial journal must already verify: parseable, no job
+#      double-reported, at most one torn tail line.
+#   4. Resume: --resume under the same chaos finishes the sweep.
+#   5. The recovered report must pass the schema check (including the
+#      summary.fleet supervision section) and the final journal must
+#      hold every job exactly once (drs_journal --expect).
+#   6. Bit-identity: after stripping wall-clock and provenance
+#      (wall_seconds, options, summary.sweep, summary.fleet) the
+#      recovered fleet report equals the clean single-process report
+#      byte for byte — crash isolation changed nothing but the clock.
+#
+# Usage: check_fleet_chaos.sh BENCH_BINARY DRS_JOURNAL PYTHON SCHEMA_CHECKER
+set -euo pipefail
+
+bench=$1
+drs_journal=$2
+python=$3
+schema_checker=$4
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+scale_env=(DRS_RAYS=2048 DRS_SCALE=0.05 DRS_SMX=2)
+chaos_env=(DRS_FLEET_CHAOS=1234 DRS_FLEET_CHAOS_RATE=0.8
+           DRS_FLEET_RESPAWNS=64 DRS_FLEET_QUARANTINE=50
+           DRS_FLEET_BACKOFF=0.001)
+
+echo "== fleet chaos: clean single-process reference =="
+env "${scale_env[@]}" \
+    "$bench" --jobs 2 --json "$tmp/ref.json" > "$tmp/ref.log"
+
+echo "== fleet chaos: chaos fleet + coordinator crash (expect exit 70) =="
+status=0
+env "${scale_env[@]}" "${chaos_env[@]}" DRS_CRASH_AFTER=2 \
+    "$bench" --jobs 2 --fleet 3 --journal "$tmp/sweep.jsonl" \
+    --json "$tmp/fleet.json" > "$tmp/crash.log" 2>&1 || status=$?
+if [ "$status" -ne 70 ]; then
+    echo "FAIL: crash-injected coordinator exited $status, expected 70"
+    cat "$tmp/crash.log"
+    exit 1
+fi
+
+echo "== fleet chaos: partial journal verifies =="
+"$drs_journal" "$tmp/sweep.jsonl"
+
+echo "== fleet chaos: resume under continued chaos =="
+env "${scale_env[@]}" "${chaos_env[@]}" \
+    "$bench" --jobs 2 --fleet 3 --journal "$tmp/sweep.jsonl" --resume \
+    --json "$tmp/fleet.json" > "$tmp/resume.log"
+grep -q 'replayed' "$tmp/resume.log" || {
+    echo "FAIL: resumed run does not mention replayed jobs"
+    cat "$tmp/resume.log"
+    exit 1
+}
+
+echo "== fleet chaos: recovered report passes the schema =="
+"$python" "$schema_checker" "$tmp/fleet.json"
+
+echo "== fleet chaos: final journal holds every job exactly once =="
+jobs=$("$python" -c '
+import json, sys
+report = json.load(open(sys.argv[1]))
+print(report["summary"]["sweep"]["total_jobs"])' "$tmp/fleet.json")
+"$drs_journal" "$tmp/sweep.jsonl" --expect "$jobs"
+
+echo "== fleet chaos: bit-identity against the clean reference =="
+"$python" - "$tmp/ref.json" "$tmp/fleet.json" <<'PYEOF'
+import json
+import sys
+
+
+def strip(value):
+    """Drop wall-clock timing recursively; it is the one thing allowed
+    to differ between a clean run and a crash-recovered fleet run."""
+    if isinstance(value, dict):
+        return {k: strip(v) for k, v in value.items() if k != "wall_seconds"}
+    if isinstance(value, list):
+        return [strip(v) for v in value]
+    return value
+
+
+reference = json.load(open(sys.argv[1]))
+fleet = json.load(open(sys.argv[2]))
+summary = fleet["summary"].get("fleet", {})
+for document in (reference, fleet):
+    document.pop("options", None)  # --fleet/--journal flags differ by design
+    document.get("summary", {}).pop("sweep", None)  # replay provenance
+    document.get("summary", {}).pop("fleet", None)  # supervision counters
+reference, fleet = strip(reference), strip(fleet)
+if reference != fleet:
+    for key in set(reference) | set(fleet):
+        if reference.get(key) != fleet.get(key):
+            print(f"FAIL: '{key}' differs between reference and fleet run")
+    sys.exit("FAIL: recovered fleet report is not bit-identical")
+deaths = summary.get("worker_deaths", 0)
+print(f"ok   bit-identical after {deaths} worker deaths, "
+      f"{summary.get('redispatched', 0)} re-dispatches and one "
+      "coordinator crash")
+PYEOF
+
+echo "check_fleet_chaos.sh: all checks passed"

@@ -10,11 +10,14 @@
  * simulations execute concurrently and scenes are prepared once.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
+#include <mutex>
 #include <string>
 
 #include "exec/thread_pool.h"
@@ -47,14 +50,22 @@ struct Options
      * merged results are bit-identical to the in-process sweep.
      */
     int fleetWorkers = 0;
+    /**
+     * Live progress ticker on stderr (--progress / DRS_PROGRESS=1):
+     * one repainted status line with jobs done/total and an ETA; fleet
+     * runs add live worker states and the degraded-job count. Pure
+     * observer — results and reports are identical either way.
+     */
+    bool progress = false;
 };
 
 /**
  * Parse the shared bench flags: --jobs N (default: DRS_JOBS or the
  * hardware concurrency), --fleet N (default: DRS_FLEET or 0 = no
  * fleet), --smx-threads N (default: DRS_SMX_THREADS or 1), --json
- * PATH, --journal PATH and --resume. Unknown arguments warn on stderr
- * and are ignored, keeping the binaries scriptable.
+ * PATH, --journal PATH, --resume and --progress (default:
+ * DRS_PROGRESS). Unknown arguments warn on stderr and are ignored,
+ * keeping the binaries scriptable.
  */
 inline Options
 parseOptions(int argc, char **argv)
@@ -79,6 +90,17 @@ parseOptions(int argc, char **argv)
             positive_int("DRS_SMX_THREADS", s, options.smxThreads);
     if (const char *s = std::getenv("DRS_FLEET"))
         options.fleetWorkers = positive_int("DRS_FLEET", s, 0);
+    if (const char *s = std::getenv("DRS_PROGRESS")) {
+        if (std::strcmp(s, "0") == 0)
+            options.progress = false;
+        else if (std::strcmp(s, "1") == 0)
+            options.progress = true;
+        else
+            std::fprintf(stderr,
+                         "warning: ignoring DRS_PROGRESS=\"%s\" "
+                         "(want 0 or 1)\n",
+                         s);
+    }
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -118,6 +140,8 @@ parseOptions(int argc, char **argv)
                 options.journalPath = v;
         } else if (arg == "--resume")
             options.resume = true;
+        else if (arg == "--progress")
+            options.progress = true;
         else
             std::fprintf(stderr, "warning: ignoring unknown argument %s\n",
                          arg.c_str());
@@ -178,10 +202,106 @@ makeRunConfig(const harness::ExperimentScale &scale, const Options &options)
 }
 
 /**
+ * Live progress ticker (--progress / DRS_PROGRESS=1): one stderr
+ * status line, repainted in place (\r), with jobs done/total and an
+ * ETA. In-process sweeps feed it per-completion (ETA from the mean
+ * completion rate); fleet runs feed it the coordinator's FleetProgress
+ * (EWMA-based ETA plus live worker states and the degraded count).
+ * Pure observer: it reads progress, never influences it, and paints
+ * only to stderr so piped stdout tables stay clean.
+ */
+class ProgressTicker
+{
+  public:
+    /** In-process sweep callback (called from worker threads). */
+    void onSweep(std::size_t done, std::size_t total)
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        double eta = -1.0;
+        const double elapsed =
+            std::chrono::duration<double>(Clock::now() - start_).count();
+        if (done > 0 && done < total)
+            eta = elapsed / static_cast<double>(done) *
+                  static_cast<double>(total - done);
+        char text[192];
+        std::snprintf(text, sizeof text, "[progress] %zu/%zu jobs (%.0f%%)%s",
+                      done, total,
+                      total ? 100.0 * static_cast<double>(done) /
+                                  static_cast<double>(total)
+                            : 100.0,
+                      etaText(done >= total ? 0.0 : eta).c_str());
+        paint(text, done >= total);
+    }
+
+    /** Fleet coordinator callback (called from the supervision loop). */
+    void onFleet(const fleet::FleetProgress &progress)
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        char text[256];
+        char degraded[48] = "";
+        if (progress.degraded > 0)
+            std::snprintf(degraded, sizeof degraded, ", %d degraded",
+                          progress.degraded);
+        std::snprintf(text, sizeof text,
+                      "[progress] %zu/%zu jobs (%zu in flight), "
+                      "%d/%d workers running%s%s",
+                      progress.jobsDone, progress.jobsTotal,
+                      progress.jobsInflight, progress.workersRunning,
+                      progress.workersAlive, degraded,
+                      etaText(progress.etaSeconds).c_str());
+        paint(text, progress.jobsDone >= progress.jobsTotal);
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    static std::string etaText(double seconds)
+    {
+        if (seconds < 0.0)
+            return "";
+        char buffer[48];
+        if (seconds >= 90.0)
+            std::snprintf(buffer, sizeof buffer, ", eta %.1f min",
+                          seconds / 60.0);
+        else
+            std::snprintf(buffer, sizeof buffer, ", eta %.0f s", seconds);
+        return buffer;
+    }
+
+    /** Repaint the line; pad over the previous one, newline when done. */
+    void paint(const char *text, bool final)
+    {
+        if (finished_)
+            return;
+        const auto now = Clock::now();
+        if (!final && painted_ &&
+            std::chrono::duration<double>(now - lastPaint_).count() < 0.1)
+            return;
+        lastPaint_ = now;
+        painted_ = true;
+        std::string line(text);
+        const std::size_t width = std::max(line.size(), lastWidth_);
+        lastWidth_ = line.size();
+        line.resize(width, ' ');
+        std::fprintf(stderr, "\r%s%s", line.c_str(), final ? "\n" : "");
+        std::fflush(stderr);
+        if (final)
+            finished_ = true;
+    }
+
+    std::mutex mutex_;
+    Clock::time_point start_ = Clock::now();
+    Clock::time_point lastPaint_{};
+    std::size_t lastWidth_ = 0;
+    bool painted_ = false;
+    bool finished_ = false;
+};
+
+/**
  * Robust-execution policy for the bench's sweep: environment knobs
  * (DRS_FAULT_SEED, DRS_WATCHDOG, DRS_JOB_TIMEOUT, DRS_CRASH_AFTER) plus
- * the --journal/--resume flags. With none of them set this is the
- * all-defaults policy and the sweep behaves exactly as before.
+ * the --journal/--resume/--progress flags. With none of them set this
+ * is the all-defaults policy and the sweep behaves exactly as before.
  */
 inline harness::SweepOptions
 makeSweepOptions(const Options &options)
@@ -194,6 +314,15 @@ makeSweepOptions(const Options &options)
                      "warning: --resume without --journal PATH does "
                      "nothing\n");
         sweep.resume = false;
+    }
+    if (options.progress) {
+        // The ticker outlives this scope through the callback's copy.
+        // Fleet workers clear the callback after fork (workerMain), so
+        // only the in-process sweep ever paints through it.
+        auto ticker = std::make_shared<ProgressTicker>();
+        sweep.progress = [ticker](std::size_t done, std::size_t total) {
+            ticker->onSweep(done, total);
+        };
     }
     return sweep;
 }
@@ -234,7 +363,9 @@ class JsonReport
     /**
      * One result row prefilled from a sweep result. Same metric fields
      * as the SimStats overload plus, when the run sampled (DRS_SAMPLE),
-     * the schema-v3 "attribution" and "timeline" profiler sections.
+     * the "attribution" and "timeline" profiler sections (schema v3+),
+     * and, when it traced (DRS_TRACE), the schema-v4 "trace" ring
+     * counters.
      */
     obs::Json &addStats(const std::string &scene, const std::string &arch,
                         const harness::SweepResult &result, double clock_ghz)
@@ -354,6 +485,13 @@ runSweep(harness::SweepRunner &runner, const Options &options,
     }
     fleet::FleetOptions fleetOptions = fleet::FleetOptions::fromEnvironment();
     fleetOptions.workers = options.fleetWorkers;
+    std::shared_ptr<ProgressTicker> ticker;
+    if (options.progress) {
+        ticker = std::make_shared<ProgressTicker>();
+        fleetOptions.onProgress = [ticker](const fleet::FleetProgress &p) {
+            ticker->onFleet(p);
+        };
+    }
     fleet::FleetCoordinator coordinator(runner.scale(), runner.options(),
                                         fleetOptions);
     std::vector<harness::SweepResult> results =

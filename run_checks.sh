@@ -24,7 +24,14 @@
 #    the multi-process fleet suites plus tests/check_fleet_chaos.sh,
 #    which SIGKILLs workers at random points, crash-injects the
 #    coordinator, resumes, and requires the recovered report to be
-#    bit-identical to a clean single-process run.
+#    bit-identical to a clean single-process run -- with the event log,
+#    trace stitching and --progress ticker on, cross-checked against
+#    summary.fleet.
+# 6. Telemetry smoke (regular build): a fleet bench under DRS_LOG +
+#    DRS_TRACE; the event log must analyze cleanly (drs_events), the
+#    trace shards must merge (drs_tracecat) into a document that passes
+#    tests/check_trace.py, and logging must be a pure observer (report
+#    identical to a telemetry-off run, wall-clock aside).
 #
 # Usage: run_checks.sh [--skip-sanitizers]
 
@@ -88,7 +95,7 @@ if [ "$skip_san" -eq 0 ]; then
     cmake -B "$dir" -S . -DDRS_SANITIZE="$san" >/dev/null
     cmake --build "$dir" -j"$JOBS"
     (cd "$dir" &&
-     DRS_CHECK=1 ctest -L 'check|fuzz-smoke|fault|resume|registry' \
+     DRS_CHECK=1 ctest -L 'check|fuzz-smoke|fault|resume|registry|obs' \
          --output-on-failure -j"$JOBS")
     resume_smoke "$dir"
     # Fleet suites fork real worker processes: sound under asan, not
@@ -151,6 +158,55 @@ if unchecked != checked:
              "(beyond wall-clock fields)")
 print("ok   bench report unchanged by DRS_CHECK=1")
 EOF
+
+echo; echo "######## telemetry: event log + stitched fleet trace smoke ########"
+echo
+cmake --build build -j"$JOBS" --target drs_events drs_tracecat
+telemetry_dir=$(mktemp -d)
+DRS_LOG="$telemetry_dir/events.jsonl" DRS_LOG_LEVEL=debug DRS_LOG_RATE=0 \
+    DRS_TRACE="$telemetry_dir/trace" \
+    build/bench/bench_fig2_aila_breakdown --jobs 2 --fleet 2 --progress \
+    --json "$telemetry_dir/BENCH_logged.json" >/dev/null 2>&1
+build/tools/drs_events "$telemetry_dir/events.jsonl" >/dev/null
+dispatches=$(build/tools/drs_events --count fleet.dispatch \
+    "$telemetry_dir/events.jsonl")
+if [ "$dispatches" -lt 1 ]; then
+  echo "FAIL: fleet run logged no fleet.dispatch events"
+  exit 1
+fi
+build/tools/drs_tracecat -o "$telemetry_dir/merged.json" \
+    "$telemetry_dir"/trace.w*.j* "$telemetry_dir/trace.coord"
+python3 tests/check_trace.py "$telemetry_dir/merged.json"
+build/bench/bench_fig2_aila_breakdown --jobs 2 --fleet 2 \
+    --json "$telemetry_dir/BENCH_quiet.json" >/dev/null
+python3 tests/check_bench_schema.py "$telemetry_dir"/BENCH_*.json
+python3 - "$telemetry_dir/BENCH_quiet.json" \
+    "$telemetry_dir/BENCH_logged.json" <<'EOF'
+import json
+import sys
+
+
+def strip(node):
+    """Drop wall-clock + supervision telemetry (resource usage and
+    timing are wall-clock facts); simulation results must be
+    bit-identical."""
+    if isinstance(node, dict):
+        return {k: strip(v) for k, v in node.items()
+                if k not in ("wall_seconds", "fleet")}
+    if isinstance(node, list):
+        return [strip(v) for v in node]
+    return node
+
+
+quiet, logged = (json.load(open(p)) for p in sys.argv[1:3])
+for document in (quiet, logged):
+    document.pop("options", None)  # --progress / DRS_TRACE provenance
+quiet, logged = strip(quiet), strip(logged)
+if quiet != logged:
+    sys.exit("FAIL: DRS_LOG/DRS_TRACE/--progress changed the bench report")
+print("ok   bench report unchanged by the telemetry pipeline")
+EOF
+rm -rf "$telemetry_dir"
 
 echo; echo "######## profiler: trace + attribution + comparator smoke ########"
 echo

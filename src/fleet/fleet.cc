@@ -3,6 +3,8 @@
 #include "exec/cancel.h"
 #include "fault/fault.h"
 #include "fleet/protocol.h"
+#include "obs/log.h"
+#include "obs/trace.h"
 
 #include <algorithm>
 #include <atomic>
@@ -13,11 +15,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include <poll.h>
+#include <sys/resource.h>
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -155,11 +159,13 @@ workerMain(int readFd, int writeFd, int workerId, int generation,
     sweep.resume = false;
     sweep.crashAfter = 0;
     sweep.cancel = &g_workerCancel;
+    sweep.progress = nullptr; // only the coordinator reports progress
     harness::SweepRunner runner(scale, 1, sweep);
 
     std::mutex writeMutex; // heartbeat thread vs. result writes
     std::atomic<long long> beatJob{-1};
     std::atomic<bool> wedged{false};
+    std::atomic<std::uint64_t> beatLagMicros{0}; // worst loop overrun
 
     {
         obs::Json hello = obs::Json::object();
@@ -172,10 +178,16 @@ workerMain(int readFd, int writeFd, int workerId, int generation,
     }
 
     // Beat from the first instant, independent of scene builds and
-    // simulation: heartbeat silence means "wedged", never "busy".
-    std::thread([writeFd, heartbeatSeconds, &writeMutex, &beatJob, &wedged] {
-        const auto period =
-            secondsToDuration(heartbeatSeconds > 0 ? heartbeatSeconds : 0.25);
+    // simulation: heartbeat silence means "wedged", never "busy". The
+    // loop also measures its own overrun past the nominal period — a
+    // proxy for scheduler starvation on an overloaded host — which the
+    // Telemetry frames report as heartbeat_lag_us.
+    std::thread([writeFd, heartbeatSeconds, &writeMutex, &beatJob, &wedged,
+                 &beatLagMicros] {
+        const double periodSeconds =
+            heartbeatSeconds > 0 ? heartbeatSeconds : 0.25;
+        const auto period = secondsToDuration(periodSeconds);
+        auto lastWake = Clock::now();
         for (;;) {
             if (wedged.load(std::memory_order_acquire))
                 return; // chaos hang: go silent so the deadline trips
@@ -188,6 +200,21 @@ workerMain(int readFd, int writeFd, int workerId, int generation,
                     return;
             }
             std::this_thread::sleep_for(period);
+            const auto now = Clock::now();
+            const double lag =
+                std::chrono::duration<double>(now - lastWake).count() -
+                periodSeconds;
+            lastWake = now;
+            if (lag > 0) {
+                const auto lagMicros =
+                    static_cast<std::uint64_t>(lag * 1e6);
+                std::uint64_t prev =
+                    beatLagMicros.load(std::memory_order_relaxed);
+                while (lagMicros > prev &&
+                       !beatLagMicros.compare_exchange_weak(
+                           prev, lagMicros, std::memory_order_relaxed)) {
+                }
+            }
         }
     }).detach();
 
@@ -223,13 +250,38 @@ workerMain(int readFd, int writeFd, int workerId, int generation,
             if (index >= jobs.size())
                 ::_exit(64);
 
+            {
+                obs::Json data = obs::Json::object();
+                data["worker"] = obs::Json(workerId);
+                data["job"] =
+                    obs::Json(static_cast<unsigned long long>(index));
+                data["dispatch"] = obs::Json(dispatch);
+                obs::logEvent(obs::LogLevel::Debug, "fleet", "claim",
+                              std::move(data));
+            }
+
             const ChaosPlan plan = chaosPlanFor(chaos, index, dispatch);
             if (plan.hang) {
+                obs::Json data = obs::Json::object();
+                data["worker"] = obs::Json(workerId);
+                data["job"] =
+                    obs::Json(static_cast<unsigned long long>(index));
+                obs::logEvent(obs::LogLevel::Warn, "chaos", "hang",
+                              std::move(data));
                 wedged.store(true, std::memory_order_release);
                 for (;;)
                     ::pause();
             }
             if (plan.kill) {
+                obs::Json data = obs::Json::object();
+                data["worker"] = obs::Json(workerId);
+                data["job"] =
+                    obs::Json(static_cast<unsigned long long>(index));
+                data["delay_us"] =
+                    obs::Json(static_cast<unsigned long long>(
+                        plan.delayMicros));
+                obs::logEvent(obs::LogLevel::Warn, "chaos", "kill",
+                              std::move(data));
                 if (plan.delayMicros == 0) {
                     ::kill(::getpid(), SIGKILL);
                 } else {
@@ -247,9 +299,17 @@ workerMain(int readFd, int writeFd, int workerId, int generation,
 
             beatJob.store(static_cast<long long>(index),
                           std::memory_order_release);
+            // Per-claim trace shard: every (worker, job) pair writes its
+            // own file, so a worker's later jobs never overwrite earlier
+            // shards and tools/drs_tracecat can stitch them all. Pure
+            // observer — the path never feeds back into the simulation.
+            SweepJob job = jobs[index];
+            if (job.config.trace.enabled && !job.config.trace.path.empty())
+                job.config.trace.path += ".w" + std::to_string(workerId) +
+                                         ".j" + std::to_string(index);
             SweepResult result;
             try {
-                result = runner.runJob(jobs[index], index);
+                result = runner.runJob(job, index);
             } catch (const std::exception &e) {
                 // runJob handles its own failures; this is a backstop
                 // (e.g. bad_alloc while preparing the scene).
@@ -261,9 +321,44 @@ workerMain(int readFd, int writeFd, int workerId, int generation,
                 ::_exit(0); // never report a cancellation as an outcome
             const obs::Json record = harness::sweepResultToJson(
                 index, harness::SweepRunner::jobKey(jobs[index]), result);
-            std::lock_guard<std::mutex> lock(writeMutex);
-            if (!writeFrame(writeFd, MsgType::Result, record.dump()))
-                ::_exit(0);
+            {
+                std::lock_guard<std::mutex> lock(writeMutex);
+                if (!writeFrame(writeFd, MsgType::Result, record.dump()))
+                    ::_exit(0);
+            }
+            // Resource digest for the job just reported. getrusage gives
+            // cumulative per-process values; the coordinator keeps each
+            // worker's latest sample (see handleTelemetry). Sent after
+            // the Result on purpose: losing the digest to a kill must
+            // never lose the result.
+            struct rusage usage
+            {
+            };
+            ::getrusage(RUSAGE_SELF, &usage);
+            obs::Json digest = obs::Json::object();
+            digest["worker"] = obs::Json(workerId);
+            digest["job"] = obs::Json(static_cast<unsigned long long>(index));
+            digest["seconds"] = obs::Json(result.seconds);
+            digest["cycles"] = obs::Json(
+                static_cast<unsigned long long>(result.stats.cycles));
+            digest["rays"] = obs::Json(
+                static_cast<unsigned long long>(result.stats.raysTraced));
+            digest["peak_rss_kb"] = obs::Json(
+                static_cast<unsigned long long>(usage.ru_maxrss));
+            digest["user_cpu_s"] =
+                obs::Json(static_cast<double>(usage.ru_utime.tv_sec) +
+                          static_cast<double>(usage.ru_utime.tv_usec) * 1e-6);
+            digest["sys_cpu_s"] =
+                obs::Json(static_cast<double>(usage.ru_stime.tv_sec) +
+                          static_cast<double>(usage.ru_stime.tv_usec) * 1e-6);
+            digest["heartbeat_lag_us"] =
+                obs::Json(static_cast<unsigned long long>(
+                    beatLagMicros.load(std::memory_order_relaxed)));
+            {
+                std::lock_guard<std::mutex> lock(writeMutex);
+                if (!writeFrame(writeFd, MsgType::Telemetry, digest.dump()))
+                    ::_exit(0);
+            }
         }
         if (parser.corrupt())
             ::_exit(64);
@@ -309,6 +404,12 @@ struct WorkerState
     bool ready = false;  ///< Hello received
     long long job = -1;  ///< inflight grid index, -1 = idle
     Clock::time_point lastBeat{};
+    /** Latest cumulative CPU sample from a Telemetry frame. */
+    double userCpuSeconds = 0.0;
+    double sysCpuSeconds = 0.0;
+    /** Trace-relative dispatch time of the open claim (microseconds). */
+    std::uint64_t claimTsMicros = 0;
+    int claimDispatch = 0; ///< dispatch counter of the open claim; 0 = none
 };
 
 /** All mutable state of one FleetCoordinator::run, single-threaded. */
@@ -329,6 +430,33 @@ struct FleetRun
     bool readyHookFired = false;
     bool spawnBroken = false;
 
+    // Cross-process trace stitching: job-lifecycle spans and supervision
+    // instants on the coordinator's own timeline (pid 0, tid = worker
+    // id), written to "<tracePath>.coord" after the run.
+    struct CoordSpan
+    {
+        std::string name;
+        int tid = 0;
+        std::uint64_t ts = 0;
+        std::uint64_t dur = 1;
+    };
+    struct CoordInstant
+    {
+        std::string name;
+        int tid = 0;
+        std::uint64_t ts = 0;
+    };
+    std::vector<CoordSpan> traceSpans;
+    std::vector<CoordInstant> traceInstants;
+    const std::uint64_t traceEpochMicros = obs::logNowMicros();
+
+    // Live progress: EWMA over inter-completion wall deltas drives the
+    // ETA; emits are throttled except on completions/terminal events.
+    Clock::time_point runStart = Clock::now();
+    Clock::time_point lastProgressEmit{};
+    Clock::time_point lastCompletion{};
+    double ewmaJobInterval = -1.0;
+
     FleetRun(const harness::ExperimentScale &scale_,
              const harness::SweepOptions &sweep_,
              const FleetOptions &options_, FleetSummary &summary_,
@@ -337,6 +465,103 @@ struct FleetRun
         : scale(scale_), sweep(sweep_), options(options_), summary(summary_),
           jobs(jobs_), results(results_), slots(jobs_.size())
     {
+    }
+
+    bool tracing() const { return !options.tracePath.empty(); }
+
+    std::uint64_t traceNow() const
+    {
+        return obs::logNowMicros() - traceEpochMicros;
+    }
+
+    void traceInstant(std::string name, int tid)
+    {
+        if (tracing())
+            traceInstants.push_back({std::move(name), tid, traceNow()});
+    }
+
+    /** Close the span of @p worker's open claim (job done or lost). */
+    void closeJobSpan(WorkerState &worker, const char *suffix)
+    {
+        if (worker.claimDispatch == 0)
+            return;
+        if (tracing() && worker.job >= 0) {
+            CoordSpan span;
+            span.name = "job " + std::to_string(worker.job) + " d" +
+                        std::to_string(worker.claimDispatch) + suffix;
+            span.tid = worker.id;
+            span.ts = worker.claimTsMicros;
+            span.dur = std::max<std::uint64_t>(
+                1, traceNow() - worker.claimTsMicros);
+            traceSpans.push_back(std::move(span));
+        }
+        worker.claimDispatch = 0;
+        worker.claimTsMicros = 0;
+    }
+
+    void noteCompletion()
+    {
+        const auto now = Clock::now();
+        const double delta = std::chrono::duration<double>(
+                                 now - (lastCompletion.time_since_epoch()
+                                                .count() != 0
+                                            ? lastCompletion
+                                            : runStart))
+                                 .count();
+        ewmaJobInterval = ewmaJobInterval < 0
+                              ? delta
+                              : 0.7 * ewmaJobInterval + 0.3 * delta;
+        lastCompletion = now;
+        emitProgress(true);
+    }
+
+    void emitProgress(bool force)
+    {
+        if (!options.onProgress)
+            return;
+        const auto now = Clock::now();
+        if (!force && lastProgressEmit.time_since_epoch().count() != 0 &&
+            now - lastProgressEmit < std::chrono::milliseconds(200))
+            return;
+        lastProgressEmit = now;
+        FleetProgress progress;
+        progress.jobsTotal = jobs.size();
+        for (std::size_t j = 0; j < slots.size(); ++j) {
+            switch (slots[j].state) {
+            case JobState::Inflight:
+                ++progress.jobsInflight;
+                break;
+            case JobState::Done:
+                ++progress.jobsDone;
+                if (results[j].failed)
+                    ++progress.jobsFailed;
+                break;
+            case JobState::Quarantined:
+            case JobState::Degraded:
+            case JobState::Cancelled:
+                ++progress.jobsDone;
+                ++progress.jobsFailed;
+                break;
+            case JobState::Pending:
+                break;
+            }
+        }
+        progress.workersAlive = aliveCount();
+        for (const WorkerState &worker : workers)
+            progress.workersRunning +=
+                (worker.alive && worker.job >= 0) ? 1 : 0;
+        progress.workerDeaths = summary.workerDeaths;
+        progress.degraded = summary.degradedJobs;
+        progress.elapsedSeconds =
+            std::chrono::duration<double>(now - runStart).count();
+        const std::size_t remaining =
+            progress.jobsTotal - progress.jobsDone;
+        if (ewmaJobInterval >= 0 && remaining > 0)
+            progress.etaSeconds =
+                ewmaJobInterval * static_cast<double>(remaining);
+        else if (remaining == 0)
+            progress.etaSeconds = 0.0;
+        options.onProgress(progress);
     }
 
     int aliveCount() const
@@ -374,13 +599,11 @@ struct FleetRun
         int toPipe[2];
         int fromPipe[2];
         if (::pipe(toPipe) != 0) {
-            std::fprintf(stderr, "fleet: pipe failed: %s\n",
-                         std::strerror(errno));
+            spawnFailed("pipe", std::strerror(errno));
             return false;
         }
         if (::pipe(fromPipe) != 0) {
-            std::fprintf(stderr, "fleet: pipe failed: %s\n",
-                         std::strerror(errno));
+            spawnFailed("pipe", std::strerror(errno));
             ::close(toPipe[0]);
             ::close(toPipe[1]);
             return false;
@@ -389,8 +612,7 @@ struct FleetRun
         const int generation = replacement ? ++generationCounter : 0;
         const pid_t pid = ::fork();
         if (pid < 0) {
-            std::fprintf(stderr, "fleet: fork failed: %s\n",
-                         std::strerror(errno));
+            spawnFailed("fork", std::strerror(errno));
             ::close(toPipe[0]);
             ::close(toPipe[1]);
             ::close(fromPipe[0]);
@@ -424,15 +646,36 @@ struct FleetRun
         worker.lastBeat = Clock::now();
         workers.push_back(std::move(worker));
         ++summary.spawned;
+        {
+            obs::Json data = obs::Json::object();
+            data["worker"] = obs::Json(id);
+            data["pid"] = obs::Json(static_cast<long long>(pid));
+            data["generation"] = obs::Json(generation);
+            obs::logEvent(obs::LogLevel::Info, "fleet", "spawn",
+                          std::move(data));
+        }
         if (replacement) {
             ++summary.respawned;
-            std::fprintf(stderr,
-                         "fleet: respawned worker %d (pid %d, generation %d, "
-                         "%d/%d respawns used)\n",
-                         id, static_cast<int>(pid), generation,
-                         summary.respawned, options.maxRespawns);
+            obs::Json data = obs::Json::object();
+            data["worker"] = obs::Json(id);
+            data["pid"] = obs::Json(static_cast<long long>(pid));
+            data["generation"] = obs::Json(generation);
+            data["respawns_used"] = obs::Json(summary.respawned);
+            data["respawn_budget"] = obs::Json(options.maxRespawns);
+            obs::logEvent(obs::LogLevel::Warn, "fleet", "respawn",
+                          std::move(data));
+            traceInstant("respawn w" + std::to_string(id), id);
         }
         return true;
+    }
+
+    void spawnFailed(const char *stage, const char *error)
+    {
+        obs::Json data = obs::Json::object();
+        data["stage"] = obs::Json(stage);
+        data["error"] = obs::Json(error);
+        obs::logEvent(obs::LogLevel::Error, "fleet", "spawn_failed",
+                      std::move(data));
     }
 
     void journalRecord(std::size_t index)
@@ -442,14 +685,18 @@ struct FleetRun
         const obs::Json entry = harness::sweepResultToJson(
             index, harness::SweepRunner::jobKey(jobs[index]), results[index]);
         std::string error;
-        if (!journal.append(entry, &error))
-            std::fprintf(stderr, "fleet: journal append failed: %s\n",
-                         error.c_str());
+        if (!journal.append(entry, &error)) {
+            obs::Json data = obs::Json::object();
+            data["error"] = obs::Json(error);
+            obs::logEvent(obs::LogLevel::Error, "fleet",
+                          "journal_append_failed", std::move(data));
+        }
         if (sweep.crashAfter > 0 && journal.appends() >= sweep.crashAfter) {
-            std::fprintf(stderr,
-                         "fleet: crash injection: DRS_CRASH_AFTER=%d journal "
-                         "appends reached, dying\n",
-                         sweep.crashAfter);
+            obs::Json data = obs::Json::object();
+            data["appends"] = obs::Json(journal.appends());
+            data["crash_after"] = obs::Json(sweep.crashAfter);
+            obs::logEvent(obs::LogLevel::Warn, "fleet", "crash_injection",
+                          std::move(data));
             // Workers die with us via PR_SET_PDEATHSIG — the point is to
             // simulate a coordinator crash, not a graceful stop.
             std::_Exit(70);
@@ -485,20 +732,84 @@ struct FleetRun
             key != harness::SweepRunner::jobKey(jobs[index]))
             reason = "job key mismatch";
         if (!reason.empty()) {
-            std::fprintf(stderr,
-                         "fleet: worker %d sent a bad result (%s), killing\n",
-                         worker.id, reason.c_str());
+            obs::Json data = obs::Json::object();
+            data["worker"] = obs::Json(worker.id);
+            data["reason"] = obs::Json(reason);
+            obs::logEvent(obs::LogLevel::Warn, "fleet", "bad_result",
+                          std::move(data));
             ::kill(worker.pid, SIGKILL);
             return;
         }
-        if (worker.job == static_cast<long long>(index))
+        if (worker.job == static_cast<long long>(index)) {
+            closeJobSpan(worker, "");
             worker.job = -1; // idle again
+        }
         JobSlot &slot = slots[index];
         if (terminal(slot.state))
             return; // late duplicate: journal keeps exactly one record
         slot.state = JobState::Done;
         results[index] = std::move(result);
+        {
+            obs::Json data = obs::Json::object();
+            data["job"] = obs::Json(static_cast<unsigned long long>(index));
+            data["worker"] = obs::Json(worker.id);
+            data["failed"] = obs::Json(results[index].failed);
+            obs::logEvent(obs::LogLevel::Debug, "fleet", "job_done",
+                          std::move(data));
+        }
         journalRecord(index);
+        noteCompletion();
+    }
+
+    /**
+     * Fold one worker resource digest into the run's telemetry. CPU
+     * seconds are cumulative per process, so only the worker's latest
+     * sample is kept (summed across workers when the run finishes);
+     * everything else is per-job and accumulates directly. Malformed
+     * digests are logged and dropped — telemetry is advisory and must
+     * never kill a worker that just delivered a good Result.
+     */
+    void handleTelemetry(WorkerState &worker, const std::string &payload)
+    {
+        std::string parseError;
+        const auto parsed = obs::Json::parse(payload, &parseError);
+        if (!parsed || !parsed->isObject()) {
+            obs::Json data = obs::Json::object();
+            data["worker"] = obs::Json(worker.id);
+            data["error"] = obs::Json(parseError);
+            obs::logEvent(obs::LogLevel::Warn, "fleet", "bad_telemetry",
+                          std::move(data));
+            return;
+        }
+        const auto asUint = [&](const char *key) -> std::uint64_t {
+            const obs::Json *field = parsed->find(key);
+            return field ? field->asUint() : 0;
+        };
+        const auto asDouble = [&](const char *key) -> double {
+            const obs::Json *field = parsed->find(key);
+            return field ? field->asDouble() : 0.0;
+        };
+        FleetTelemetry &telemetry = summary.telemetry;
+        ++telemetry.frames;
+        ++telemetry.jobsReported;
+        telemetry.cycles += asUint("cycles");
+        telemetry.raysTraced += asUint("rays");
+        telemetry.jobSeconds += asDouble("seconds");
+        telemetry.peakRssKb =
+            std::max(telemetry.peakRssKb, asUint("peak_rss_kb"));
+        telemetry.maxHeartbeatLagMicros = std::max(
+            telemetry.maxHeartbeatLagMicros, asUint("heartbeat_lag_us"));
+        worker.userCpuSeconds = asDouble("user_cpu_s");
+        worker.sysCpuSeconds = asDouble("sys_cpu_s");
+    }
+
+    /** Sum per-worker CPU samples into the telemetry (end of run). */
+    void finalizeTelemetry()
+    {
+        for (const WorkerState &worker : workers) {
+            summary.telemetry.userCpuSeconds += worker.userCpuSeconds;
+            summary.telemetry.sysCpuSeconds += worker.sysCpuSeconds;
+        }
     }
 
     void processFrames(WorkerState &worker)
@@ -516,14 +827,19 @@ struct FleetRun
             case MsgType::Result:
                 handleResult(worker, frame->payload);
                 break;
+            case MsgType::Telemetry:
+                handleTelemetry(worker, frame->payload);
+                break;
             default:
                 break; // Claim/Shutdown never flow worker -> coordinator
             }
         }
         if (worker.parser.corrupt() && worker.alive) {
-            std::fprintf(stderr,
-                         "fleet: worker %d stream corrupt (%s), killing\n",
-                         worker.id, worker.parser.corruptReason().c_str());
+            obs::Json data = obs::Json::object();
+            data["worker"] = obs::Json(worker.id);
+            data["reason"] = obs::Json(worker.parser.corruptReason());
+            obs::logEvent(obs::LogLevel::Warn, "fleet", "stream_corrupt",
+                          std::move(data));
             ::kill(worker.pid, SIGKILL);
         }
     }
@@ -559,21 +875,29 @@ struct FleetRun
         ::close(worker.fromFd);
         worker.toFd = worker.fromFd = -1;
         worker.alive = false;
+        closeJobSpan(worker, " (lost)");
         const long long job = worker.job;
         worker.job = -1;
         if (expected)
             return;
         ++summary.workerDeaths;
-        if (WIFSIGNALED(status))
-            std::fprintf(stderr,
-                         "fleet: worker %d (pid %d) killed by signal %d\n",
-                         worker.id, static_cast<int>(worker.pid),
-                         WTERMSIG(status));
-        else
-            std::fprintf(stderr,
-                         "fleet: worker %d (pid %d) exited with status %d\n",
-                         worker.id, static_cast<int>(worker.pid),
-                         WIFEXITED(status) ? WEXITSTATUS(status) : -1);
+        {
+            obs::Json data = obs::Json::object();
+            data["worker"] = obs::Json(worker.id);
+            data["pid"] = obs::Json(static_cast<long long>(worker.pid));
+            if (WIFSIGNALED(status))
+                data["signal"] = obs::Json(WTERMSIG(status));
+            else
+                data["status"] = obs::Json(
+                    WIFEXITED(status) ? WEXITSTATUS(status) : -1);
+            if (job >= 0)
+                data["job"] =
+                    obs::Json(static_cast<unsigned long long>(job));
+            obs::logEvent(obs::LogLevel::Warn, "fleet", "worker_death",
+                          std::move(data));
+        }
+        traceInstant("worker_death w" + std::to_string(worker.id),
+                     worker.id);
         if (job < 0)
             return;
         JobSlot &slot = slots[static_cast<std::size_t>(job)];
@@ -593,6 +917,15 @@ struct FleetRun
             options.backoffSeconds * std::ldexp(1.0, slot.deaths - 1) * jitter;
         slot.readyAt = Clock::now() + secondsToDuration(delay);
         ++summary.redispatched;
+        {
+            obs::Json data = obs::Json::object();
+            data["job"] = obs::Json(static_cast<unsigned long long>(job));
+            data["deaths"] = obs::Json(slot.deaths);
+            data["delay_s"] = obs::Json(delay);
+            obs::logEvent(obs::LogLevel::Info, "fleet", "redispatch",
+                          std::move(data));
+        }
+        traceInstant("redispatch job" + std::to_string(job), worker.id);
     }
 
     void quarantine(std::size_t index, JobSlot &slot)
@@ -606,10 +939,18 @@ struct FleetRun
                        std::to_string(slot.deaths) + " workers in " +
                        std::to_string(slot.dispatches) + " dispatches";
         ++summary.quarantined;
-        std::fprintf(stderr, "fleet: job %zu (%s) %s\n", index,
-                     harness::SweepRunner::jobKey(jobs[index]).c_str(),
-                     result.error.c_str());
+        {
+            obs::Json data = obs::Json::object();
+            data["job"] = obs::Json(static_cast<unsigned long long>(index));
+            data["key"] =
+                obs::Json(harness::SweepRunner::jobKey(jobs[index]));
+            data["error"] = obs::Json(result.error);
+            obs::logEvent(obs::LogLevel::Warn, "fleet", "quarantine",
+                          std::move(data));
+        }
+        traceInstant("quarantine job" + std::to_string(index), 0);
         journalRecord(index);
+        noteCompletion();
     }
 
     void reapWorkers(bool expected)
@@ -633,13 +974,20 @@ struct FleetRun
         for (WorkerState &worker : workers) {
             if (!worker.alive || now - worker.lastBeat < deadline)
                 continue;
-            std::fprintf(stderr,
-                         "fleet: worker %d (pid %d) silent for %.2fs "
-                         "(deadline %.2fs), killing\n",
-                         worker.id, static_cast<int>(worker.pid),
-                         std::chrono::duration<double>(now - worker.lastBeat)
-                             .count(),
-                         options.heartbeatTimeoutSeconds);
+            {
+                obs::Json data = obs::Json::object();
+                data["worker"] = obs::Json(worker.id);
+                data["pid"] = obs::Json(static_cast<long long>(worker.pid));
+                data["silent_s"] = obs::Json(
+                    std::chrono::duration<double>(now - worker.lastBeat)
+                        .count());
+                data["deadline_s"] =
+                    obs::Json(options.heartbeatTimeoutSeconds);
+                obs::logEvent(obs::LogLevel::Warn, "fleet",
+                              "heartbeat_kill", std::move(data));
+            }
+            traceInstant("heartbeat_kill w" + std::to_string(worker.id),
+                         worker.id);
             ++summary.heartbeatKills;
             ::kill(worker.pid, SIGKILL);
             worker.lastBeat = now; // one kill per deadline, then the reap
@@ -676,6 +1024,14 @@ struct FleetRun
             slot.state = JobState::Inflight;
             worker.job = static_cast<long long>(pick);
             worker.lastBeat = now;
+            worker.claimTsMicros = traceNow();
+            worker.claimDispatch = slot.dispatches;
+            obs::Json data = obs::Json::object();
+            data["job"] = obs::Json(static_cast<unsigned long long>(pick));
+            data["dispatch"] = obs::Json(slot.dispatches);
+            data["worker"] = obs::Json(worker.id);
+            obs::logEvent(obs::LogLevel::Debug, "fleet", "dispatch",
+                          std::move(data));
         }
     }
 
@@ -736,6 +1092,13 @@ struct FleetRun
      */
     void shutdownAll(bool force)
     {
+        {
+            obs::Json data = obs::Json::object();
+            data["force"] = obs::Json(force);
+            data["alive"] = obs::Json(aliveCount());
+            obs::logEvent(obs::LogLevel::Info, "fleet", "shutdown",
+                          std::move(data));
+        }
         for (WorkerState &worker : workers) {
             if (!worker.alive)
                 continue;
@@ -754,9 +1117,10 @@ struct FleetRun
         for (WorkerState &worker : workers) {
             if (!worker.alive)
                 continue;
-            std::fprintf(stderr,
-                         "fleet: worker %d ignored shutdown, SIGKILL\n",
-                         worker.id);
+            obs::Json data = obs::Json::object();
+            data["worker"] = obs::Json(worker.id);
+            obs::logEvent(obs::LogLevel::Warn, "fleet", "shutdown_ignored",
+                          std::move(data));
             ::kill(worker.pid, SIGKILL);
         }
         for (WorkerState &worker : workers) {
@@ -772,10 +1136,14 @@ struct FleetRun
     void cancelFleet()
     {
         summary.cancelled = true;
-        std::fprintf(stderr,
-                     "fleet: stop requested, cancelling %zu remaining jobs "
-                     "and reaping %d workers\n",
-                     remainingJobs(), aliveCount());
+        {
+            obs::Json data = obs::Json::object();
+            data["remaining"] = obs::Json(
+                static_cast<unsigned long long>(remainingJobs()));
+            data["workers"] = obs::Json(aliveCount());
+            obs::logEvent(obs::LogLevel::Warn, "fleet", "cancelled",
+                          std::move(data));
+        }
         shutdownAll(/*force=*/true);
         for (std::size_t j = 0; j < slots.size(); ++j) {
             if (terminal(slots[j].state))
@@ -786,6 +1154,7 @@ struct FleetRun
             results[j].error = "fleet cancelled";
             // Not journaled: a resumed run should execute these jobs.
         }
+        emitProgress(true);
     }
 
     void degradeRemaining()
@@ -803,11 +1172,92 @@ struct FleetRun
             ++summary.degradedJobs;
             // Not journaled: the job never ran; --resume retries it.
         }
-        std::fprintf(stderr,
-                     "fleet: exhausted with %d degraded jobs (spawned %d, "
-                     "respawn budget %d)\n",
-                     summary.degradedJobs, summary.spawned,
-                     options.maxRespawns);
+        {
+            obs::Json data = obs::Json::object();
+            data["jobs"] = obs::Json(summary.degradedJobs);
+            data["spawned"] = obs::Json(summary.spawned);
+            data["respawn_budget"] = obs::Json(options.maxRespawns);
+            obs::logEvent(obs::LogLevel::Warn, "fleet", "degraded",
+                          std::move(data));
+        }
+        emitProgress(true);
+    }
+
+    /**
+     * Write the coordinator's job-lifecycle spans and supervision
+     * instants as a standalone Chrome trace document (pid 0, one thread
+     * per worker id). tools/drs_tracecat merges it with the workers'
+     * per-claim shards into the stitched fleet trace.
+     */
+    void writeCoordinatorTrace(const std::string &path)
+    {
+        obs::Json events = obs::Json::array();
+        {
+            obs::Json meta = obs::Json::object();
+            meta["ph"] = obs::Json("M");
+            meta["pid"] = obs::Json(0);
+            meta["name"] = obs::Json("process_name");
+            obs::Json args = obs::Json::object();
+            args["name"] = obs::Json("fleet coordinator");
+            meta["args"] = std::move(args);
+            events.push(std::move(meta));
+        }
+        std::vector<int> tids;
+        for (const CoordSpan &span : traceSpans)
+            tids.push_back(span.tid);
+        for (const CoordInstant &instant : traceInstants)
+            tids.push_back(instant.tid);
+        std::sort(tids.begin(), tids.end());
+        tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+        for (int tid : tids) {
+            obs::Json meta = obs::Json::object();
+            meta["ph"] = obs::Json("M");
+            meta["pid"] = obs::Json(0);
+            meta["tid"] = obs::Json(tid);
+            meta["name"] = obs::Json("thread_name");
+            obs::Json args = obs::Json::object();
+            args["name"] = obs::Json("worker " + std::to_string(tid));
+            meta["args"] = std::move(args);
+            events.push(std::move(meta));
+        }
+        for (const CoordSpan &span : traceSpans) {
+            obs::Json event = obs::Json::object();
+            event["ph"] = obs::Json("X");
+            event["cat"] = obs::Json("fleet");
+            event["pid"] = obs::Json(0);
+            event["tid"] = obs::Json(span.tid);
+            event["ts"] = obs::Json(
+                static_cast<unsigned long long>(span.ts));
+            event["dur"] = obs::Json(
+                static_cast<unsigned long long>(span.dur));
+            event["name"] = obs::Json(span.name);
+            events.push(std::move(event));
+        }
+        for (const CoordInstant &instant : traceInstants) {
+            obs::Json event = obs::Json::object();
+            event["ph"] = obs::Json("i");
+            event["s"] = obs::Json("p");
+            event["cat"] = obs::Json("fleet");
+            event["pid"] = obs::Json(0);
+            event["tid"] = obs::Json(instant.tid);
+            event["ts"] = obs::Json(
+                static_cast<unsigned long long>(instant.ts));
+            event["name"] = obs::Json(instant.name);
+            events.push(std::move(event));
+        }
+        obs::Json document = obs::Json::object();
+        document["traceEvents"] = std::move(events);
+        obs::Json other = obs::Json::object();
+        other["dropped_events"] = obs::Json(0);
+        document["otherData"] = std::move(other);
+        std::ofstream out(path, std::ios::trunc);
+        out << document.dump(2) << "\n";
+        if (!out) {
+            obs::Json data = obs::Json::object();
+            data["path"] = obs::Json(path);
+            obs::logEvent(obs::LogLevel::Error, "fleet",
+                          "trace_write_failed", std::move(data));
+        }
     }
 };
 
@@ -828,6 +1278,9 @@ FleetOptions::fromEnvironment()
     if (parseEnvInt("DRS_FLEET_QUARANTINE", 1, 1'000'000, &value))
         options.quarantineDeaths = static_cast<int>(value);
     parseEnvSeconds("DRS_FLEET_BACKOFF", &options.backoffSeconds);
+    const obs::TraceConfig trace = obs::TraceConfig::fromEnvironment();
+    if (trace.enabled)
+        options.tracePath = trace.path;
     options.chaos = ChaosConfig::fromEnvironment();
     return options;
 }
@@ -845,6 +1298,26 @@ fleetSummaryJson(const FleetSummary &summary)
     out["quarantined"] = obs::Json(summary.quarantined);
     out["degraded_jobs"] = obs::Json(summary.degradedJobs);
     out["cancelled"] = obs::Json(summary.cancelled);
+    obs::Json telemetry = obs::Json::object();
+    telemetry["frames"] = obs::Json(
+        static_cast<unsigned long long>(summary.telemetry.frames));
+    telemetry["jobs_reported"] = obs::Json(
+        static_cast<unsigned long long>(summary.telemetry.jobsReported));
+    telemetry["cycles"] = obs::Json(
+        static_cast<unsigned long long>(summary.telemetry.cycles));
+    telemetry["rays_traced"] = obs::Json(
+        static_cast<unsigned long long>(summary.telemetry.raysTraced));
+    telemetry["job_seconds"] = obs::Json(summary.telemetry.jobSeconds);
+    telemetry["user_cpu_seconds"] =
+        obs::Json(summary.telemetry.userCpuSeconds);
+    telemetry["sys_cpu_seconds"] =
+        obs::Json(summary.telemetry.sysCpuSeconds);
+    telemetry["peak_rss_kb"] = obs::Json(
+        static_cast<unsigned long long>(summary.telemetry.peakRssKb));
+    telemetry["max_heartbeat_lag_us"] =
+        obs::Json(static_cast<unsigned long long>(
+            summary.telemetry.maxHeartbeatLagMicros));
+    out["telemetry"] = std::move(telemetry);
     return out;
 }
 
@@ -885,10 +1358,13 @@ FleetCoordinator::run(std::vector<harness::SweepJob> jobs)
     if (!run.allTerminal()) {
         if (!sweep_.journalPath.empty()) {
             std::string error;
-            if (!run.journal.open(sweep_.journalPath, !sweep_.resume, &error))
-                std::fprintf(stderr,
-                             "fleet: %s (continuing without a journal)\n",
-                             error.c_str());
+            if (!run.journal.open(sweep_.journalPath, !sweep_.resume,
+                                  &error)) {
+                obs::Json data = obs::Json::object();
+                data["error"] = obs::Json(error);
+                obs::logEvent(obs::LogLevel::Warn, "fleet",
+                              "journal_open_failed", std::move(data));
+            }
         }
 
         // Coordinator signal dispositions for the duration of the run:
@@ -925,15 +1401,21 @@ FleetCoordinator::run(std::vector<harness::SweepJob> jobs)
             run.checkHeartbeats();
             run.maybeRespawn();
             run.dispatchJobs();
+            run.emitProgress(false);
         }
         if (!summary_.cancelled)
             run.shutdownAll(false);
         run.journal.close();
+        run.emitProgress(true);
 
         ::sigaction(SIGTERM, &oldTerm, nullptr);
         ::sigaction(SIGINT, &oldInt, nullptr);
         ::sigaction(SIGPIPE, &oldPipe, nullptr);
     }
+
+    run.finalizeTelemetry();
+    if (!options_.tracePath.empty())
+        run.writeCoordinatorTrace(options_.tracePath + ".coord");
 
     const double wall =
         std::chrono::duration<double>(Clock::now() - start).count();

@@ -48,6 +48,8 @@
 
 namespace drs::fleet {
 
+struct FleetProgress;
+
 struct FleetOptions
 {
     /** Worker processes to keep running (>= 1). */
@@ -85,20 +87,84 @@ struct FleetOptions
     /** Chaos injection (off by default). */
     ChaosConfig chaos{};
     /**
+     * Base path for cross-process trace stitching (usually the DRS_TRACE
+     * path). When set, the coordinator writes its job-lifecycle spans
+     * (dispatch -> result, plus death/respawn/kill/redispatch/quarantine
+     * instants) to "<tracePath>.coord"; workers write per-claim shards
+     * to "<tracePath>.w<id>.j<index>". tools/drs_tracecat merges them.
+     * Empty = no coordinator trace.
+     */
+    std::string tracePath;
+    /**
      * Test hook: invoked once, in the coordinator, when every worker of
      * the initial crew has sent its Hello. The shutdown tests use it to
      * signal "fleet is live, kill it now" without racing the spawn.
      */
     std::function<void()> onFleetReady;
+    /**
+     * Live-progress callback, invoked from the supervision loop (single
+     * thread) after every job completion and terminal supervision event,
+     * throttled to a few Hz in between. Pure observer. The benches use
+     * it to drive the --progress stderr ticker.
+     */
+    std::function<void(const FleetProgress &)> onProgress;
 
     /**
      * Populate from the environment: DRS_FLEET (workers),
      * DRS_FLEET_HEARTBEAT / DRS_FLEET_HEARTBEAT_TIMEOUT (seconds),
      * DRS_FLEET_RESPAWNS, DRS_FLEET_QUARANTINE (deaths),
-     * DRS_FLEET_BACKOFF (seconds), plus ChaosConfig::fromEnvironment.
-     * Malformed values warn on stderr and keep the default.
+     * DRS_FLEET_BACKOFF (seconds), DRS_TRACE (tracePath), plus
+     * ChaosConfig::fromEnvironment. Malformed values warn on stderr and
+     * keep the default.
      */
     static FleetOptions fromEnvironment();
+};
+
+/** One live-progress snapshot (FleetOptions::onProgress). */
+struct FleetProgress
+{
+    std::size_t jobsTotal = 0;
+    std::size_t jobsDone = 0;     ///< terminal jobs, incl. failures
+    std::size_t jobsInflight = 0;
+    std::size_t jobsFailed = 0;   ///< quarantined / degraded / cancelled
+    int workersAlive = 0;
+    int workersRunning = 0;       ///< alive workers holding a job
+    int workerDeaths = 0;
+    int degraded = 0;
+    double elapsedSeconds = 0.0;
+    /** EWMA-based remaining-time estimate; < 0 = unknown yet. */
+    double etaSeconds = -1.0;
+};
+
+/**
+ * Worker-side resource telemetry aggregated by the coordinator
+ * (protocol Telemetry frames, one per finished job). CPU seconds and
+ * peak RSS come from getrusage(RUSAGE_SELF) in the worker, so they are
+ * per-process cumulative values: the coordinator keeps each worker's
+ * latest sample and sums across workers at the end of the run.
+ */
+struct FleetTelemetry
+{
+    /** Telemetry frames received (a worker killed between its Result
+     * and Telemetry writes loses the digest, so this may trail the
+     * accepted-result count). */
+    std::uint64_t frames = 0;
+    /** Jobs covered by a received digest. */
+    std::uint64_t jobsReported = 0;
+    /** Simulated cycles summed over reported jobs. */
+    std::uint64_t cycles = 0;
+    /** Rays traced summed over reported jobs. */
+    std::uint64_t raysTraced = 0;
+    /** Simulation wall-clock summed over reported jobs (seconds). */
+    double jobSeconds = 0.0;
+    /** User CPU seconds summed across workers (latest sample each). */
+    double userCpuSeconds = 0.0;
+    /** System CPU seconds summed across workers (latest sample each). */
+    double sysCpuSeconds = 0.0;
+    /** Max peak RSS over all workers (KiB, ru_maxrss). */
+    std::uint64_t peakRssKb = 0;
+    /** Worst observed heartbeat-loop overrun (microseconds). */
+    std::uint64_t maxHeartbeatLagMicros = 0;
 };
 
 /** Supervision counters for one FleetCoordinator::run. */
@@ -126,9 +192,14 @@ struct FleetSummary
     int degradedJobs = 0;
     /** True when the run was stopped by SIGTERM/SIGINT or a token. */
     bool cancelled = false;
+    /** Aggregated worker resource telemetry. */
+    FleetTelemetry telemetry{};
 };
 
-/** Summary as the bench reports' "summary.fleet" object. */
+/**
+ * Summary as the bench reports' "summary.fleet" object (schema v4 adds
+ * the nested "telemetry" section).
+ */
 obs::Json fleetSummaryJson(const FleetSummary &summary);
 
 /**

@@ -11,7 +11,7 @@ bool
 validMsgType(std::uint32_t raw)
 {
     return raw >= static_cast<std::uint32_t>(MsgType::Hello) &&
-           raw <= static_cast<std::uint32_t>(MsgType::Shutdown);
+           raw <= static_cast<std::uint32_t>(MsgType::Telemetry);
 }
 
 const char *
@@ -28,6 +28,8 @@ msgTypeName(MsgType type)
         return "result";
     case MsgType::Shutdown:
         return "shutdown";
+    case MsgType::Telemetry:
+        return "telemetry";
     }
     return "unknown";
 }

@@ -22,6 +22,10 @@
  *   Heartbeat  worker -> coordinator   {"job"} (-1 = idle)
  *   Result     worker -> coordinator   harness::sweepResultToJson record
  *   Shutdown   coordinator -> worker   {} (drain and exit 0)
+ *   Telemetry  worker -> coordinator   {"worker", "job", "seconds",
+ *              "cycles", "rays", "peak_rss_kb", "user_cpu_s",
+ *              "sys_cpu_s", "heartbeat_lag_us"} — per-job resource
+ *              digest sent right after the matching Result frame
  */
 
 #include <cstddef>
@@ -44,9 +48,10 @@ enum class MsgType : std::uint32_t {
     Heartbeat = 3,
     Result = 4,
     Shutdown = 5,
+    Telemetry = 6,
 };
 
-/** A frame type is one of the five protocol messages. */
+/** A frame type is one of the six protocol messages. */
 bool validMsgType(std::uint32_t raw);
 
 /** Printable name for diagnostics ("hello", "claim", ...). */

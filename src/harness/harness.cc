@@ -64,10 +64,22 @@ runBatchImpl(const ArchPlugin &plugin, const render::PathTracer &tracer,
                          error.c_str());
     }
 
-    if (config.observationsOut != nullptr && config.sample.enabled) {
-        config.observationsOut->attribution = std::move(attribution);
-        config.observationsOut->sampler = std::move(sampler);
+    if (config.observationsOut != nullptr &&
+        (config.sample.enabled || collector)) {
+        if (config.sample.enabled) {
+            config.observationsOut->attribution = std::move(attribution);
+            config.observationsOut->sampler = std::move(sampler);
+        }
         config.observationsOut->simdLanes = config.gpu.simdLanes;
+        if (collector) {
+            config.observationsOut->traced = true;
+            for (int i = 0; i < collector->smxCount(); ++i) {
+                config.observationsOut->traceRecorded +=
+                    collector->smx(i).recorded();
+                config.observationsOut->traceDropped +=
+                    collector->smx(i).dropped();
+            }
+        }
     }
     return stats;
 }

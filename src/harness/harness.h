@@ -53,6 +53,12 @@ struct RunObservations
     std::unique_ptr<obs::SamplerCollector> sampler;
     /** SIMD width, for instantaneous-efficiency reporting. */
     int simdLanes = 32;
+    /** True when the run had tracing enabled (counters below valid). */
+    bool traced = false;
+    /** Trace events recorded across all SMX rings (incl. overwritten). */
+    std::uint64_t traceRecorded = 0;
+    /** Trace events lost to ring wrap-around (capacity exceeded). */
+    std::uint64_t traceDropped = 0;
 };
 
 /** Everything configurable about one experiment run. */

@@ -242,6 +242,12 @@ addObservationsJson(obs::Json &row, const RunObservations &observations,
     }
     if (observations.sampler)
         row["timeline"] = observations.sampler->toJson(observations.simdLanes);
+    if (observations.traced) {
+        obs::Json trace = obs::Json::object();
+        trace["recorded"] = observations.traceRecorded;
+        trace["ring_dropped"] = observations.traceDropped;
+        row["trace"] = std::move(trace);
+    }
 }
 
 obs::Json

@@ -43,12 +43,13 @@ simt::SimStats statsFromJson(const obs::Json &json);
 obs::Json scaleJson(const ExperimentScale &scale);
 
 /**
- * Attach the optional schema-v3 profiler sections to a result row:
+ * Attach the optional profiler sections to a result row (schema v3+):
  * "attribution" (issue-slot buckets x traversal phases plus the top
  * @p top_k hottest blocks, joined from stats.blockIssue and the
  * collector's block-name table) and "timeline" (merged windowed
- * frames). No-op when @p observations holds no collectors — i.e. the
- * run did not sample — so v2-shaped rows stay unchanged.
+ * frames); plus, since schema v4, "trace" (ring recorded/ring_dropped
+ * counters when the run traced). No-op when @p observations holds no
+ * collectors and no trace — so v2-shaped rows stay unchanged.
  */
 void addObservationsJson(obs::Json &row,
                          const RunObservations &observations,

@@ -12,10 +12,13 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <atomic>
+
 #include "exec/cancel.h"
 #include "exec/thread_pool.h"
 #include "harness/report.h"
 #include "obs/json.h"
+#include "obs/log.h"
 
 namespace drs::harness {
 
@@ -189,9 +192,10 @@ replaySweepJournal(const std::string &path,
     std::vector<char> done(jobs.size(), 0);
     std::ifstream in(path, std::ios::binary);
     if (!in) {
-        std::fprintf(stderr,
-                     "[sweep] resume: no journal at '%s', running all jobs\n",
-                     path.c_str());
+        obs::Json data = obs::Json::object();
+        data["path"] = obs::Json(path);
+        obs::logEvent(obs::LogLevel::Warn, "sweep", "resume_no_journal",
+                      std::move(data));
         return done;
     }
 
@@ -206,11 +210,13 @@ replaySweepJournal(const std::string &path,
         if (!parsed || !parsed->isObject()) {
             // A crash mid-append leaves a truncated last line; tolerate
             // it (and anything after it) by re-running those jobs.
-            std::fprintf(stderr,
-                         "[sweep] resume: journal line %zu malformed (%s); "
-                         "ignoring the rest of the journal\n",
-                         line_no, error.empty() ? "not an object"
-                                                : error.c_str());
+            obs::Json data = obs::Json::object();
+            data["line"] = obs::Json(
+                static_cast<unsigned long long>(line_no));
+            data["error"] =
+                obs::Json(error.empty() ? "not an object" : error);
+            obs::logEvent(obs::LogLevel::Warn, "sweep",
+                          "resume_truncated", std::move(data));
             break;
         }
         std::uint64_t index = 0;
@@ -219,18 +225,22 @@ replaySweepJournal(const std::string &path,
         const std::string reason =
             sweepResultFromJson(*parsed, &index, &key, &result);
         if (!reason.empty()) {
-            std::fprintf(stderr,
-                         "[sweep] resume: journal line %zu: %s; "
-                         "ignoring the rest of the journal\n",
-                         line_no, reason.c_str());
+            obs::Json data = obs::Json::object();
+            data["line"] = obs::Json(
+                static_cast<unsigned long long>(line_no));
+            data["error"] = obs::Json(reason);
+            obs::logEvent(obs::LogLevel::Warn, "sweep",
+                          "resume_truncated", std::move(data));
             break;
         }
         if (index >= jobs.size() || key != SweepRunner::jobKey(jobs[index])) {
-            std::fprintf(stderr,
-                         "[sweep] resume: journal line %zu does not match "
-                         "this sweep (job %llu, key '%s'); skipping entry\n",
-                         line_no, static_cast<unsigned long long>(index),
-                         key.c_str());
+            obs::Json data = obs::Json::object();
+            data["line"] = obs::Json(
+                static_cast<unsigned long long>(line_no));
+            data["job"] = obs::Json(static_cast<unsigned long long>(index));
+            data["key"] = obs::Json(key);
+            obs::logEvent(obs::LogLevel::Warn, "sweep",
+                          "resume_mismatch", std::move(data));
             continue;
         }
         result.fromJournal = true;
@@ -405,10 +415,12 @@ SweepRunner::runOne(const SweepJob &job)
         rays = rays.first(job.maxRays);
 
     // The sweep owns the profiler side channel: jobs run concurrently,
-    // so a caller-provided observationsOut would be clobbered.
+    // so a caller-provided observationsOut would be clobbered. Tracing
+    // also deposits observations (the ring recorded/dropped counters
+    // surface in bench reports).
     RunConfig config = job.config;
     std::shared_ptr<RunObservations> observations;
-    if (config.sample.enabled) {
+    if (config.sample.enabled || config.trace.enabled) {
         observations = std::make_shared<RunObservations>();
         config.observationsOut = observations.get();
     } else {
@@ -494,10 +506,35 @@ SweepRunner::runWithRetry(const SweepJob &job, std::size_t index)
             result.error = e.what();
             result.attempts = attempt;
             result.faultSeed = attempt_seed;
-            std::fprintf(stderr,
-                         "[sweep] job %zu (%s) attempt %d/%d failed: %s\n",
-                         index, jobKey(job).c_str(), attempt,
-                         options_.maxAttempts, e.what());
+            if (const auto *timeout =
+                    dynamic_cast<const fault::WatchdogTimeout *>(&e)) {
+                // The diagnostic dump rides in the event payload: one
+                // structured record instead of a multi-line stderr
+                // interleave (the stderr sink renders it truncated).
+                obs::Json data = obs::Json::object();
+                data["job"] =
+                    obs::Json(static_cast<unsigned long long>(index));
+                data["key"] = obs::Json(jobKey(job));
+                data["cycle"] = obs::Json(static_cast<unsigned long long>(
+                    timeout->cycle()));
+                data["budget_cycles"] =
+                    obs::Json(static_cast<unsigned long long>(
+                        timeout->budgetCycles()));
+                data["dump"] = obs::Json(timeout->dump());
+                obs::logEvent(obs::LogLevel::Error, "watchdog", "timeout",
+                              std::move(data));
+            }
+            {
+                obs::Json data = obs::Json::object();
+                data["job"] =
+                    obs::Json(static_cast<unsigned long long>(index));
+                data["key"] = obs::Json(jobKey(job));
+                data["attempt"] = obs::Json(attempt);
+                data["max_attempts"] = obs::Json(options_.maxAttempts);
+                data["error"] = obs::Json(std::string(e.what()));
+                obs::logEvent(obs::LogLevel::Warn, "sweep",
+                              "attempt_failed", std::move(data));
+            }
             if (options_.cancel != nullptr && options_.cancel->cancelled())
                 return result;
             if (attempt < options_.maxAttempts &&
@@ -544,15 +581,20 @@ SweepRunner::journalAppend(std::size_t index, const SweepJob &job,
     std::lock_guard<std::mutex> lock(journalMutex_);
     std::string error;
     if (!journal_.isOpen() || !journal_.append(entry, &error)) {
-        std::fprintf(stderr,
-                     "[sweep] warning: cannot append to journal '%s'%s%s\n",
-                     options_.journalPath.c_str(),
-                     error.empty() ? "" : ": ", error.c_str());
+        obs::Json data = obs::Json::object();
+        data["path"] = obs::Json(options_.journalPath);
+        data["error"] = obs::Json(error);
+        obs::logEvent(obs::LogLevel::Error, "sweep",
+                      "journal_append_failed", std::move(data));
         return;
     }
     if (options_.crashAfter > 0 && journal_.appends() >= options_.crashAfter) {
         // Crash injection for the resume tests: die without unwinding,
         // exactly like a kill -9 after the append hit the disk.
+        obs::Json data = obs::Json::object();
+        data["appends"] = obs::Json(journal_.appends());
+        obs::logEvent(obs::LogLevel::Warn, "sweep", "crash_injection",
+                      std::move(data));
         std::fprintf(stderr, "[sweep] DRS_CRASH_AFTER: exiting after %d "
                              "journal append%s\n",
                      journal_.appends(), journal_.appends() == 1 ? "" : "s");
@@ -576,8 +618,12 @@ SweepRunner::run()
         // cannot merge entries from a different invocation. Resumed
         // runs append after the replayed records.
         std::string error;
-        if (!journal_.open(options_.journalPath, !options_.resume, &error))
-            std::fprintf(stderr, "[sweep] warning: %s\n", error.c_str());
+        if (!journal_.open(options_.journalPath, !options_.resume, &error)) {
+            obs::Json data = obs::Json::object();
+            data["error"] = obs::Json(error);
+            obs::logEvent(obs::LogLevel::Warn, "sweep",
+                          "journal_open_failed", std::move(data));
+        }
     }
 
     std::vector<std::size_t> todo;
@@ -587,7 +633,12 @@ SweepRunner::run()
             todo.push_back(i);
 
     const auto start = std::chrono::steady_clock::now();
-    auto execute = [this, &jobs, &results](std::size_t i) {
+    // Progress accounting: replayed jobs count as done up front, and
+    // each completion bumps the shared counter before the callback.
+    std::atomic<std::size_t> completed{jobs.size() - todo.size()};
+    if (options_.progress && !jobs.empty())
+        options_.progress(completed.load(), jobs.size());
+    auto execute = [this, &jobs, &results, &completed](std::size_t i) {
         if (options_.cancel != nullptr && options_.cancel->cancelled()) {
             // Cancelled sweep: fail the job instead of starting it so
             // the result vector stays complete (reported, not dropped).
@@ -597,6 +648,8 @@ SweepRunner::run()
         }
         results[i] = runWithRetry(jobs[i], i);
         journalAppend(i, jobs[i], results[i]);
+        if (options_.progress)
+            options_.progress(completed.fetch_add(1) + 1, jobs.size());
     };
     if (jobs_count_ <= 1 || todo.size() <= 1) {
         for (const std::size_t i : todo)

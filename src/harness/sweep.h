@@ -15,6 +15,7 @@
  */
 
 #include <cstddef>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -176,6 +177,14 @@ struct SweepOptions
      * off. Requires a journalPath.
      */
     int crashAfter = 0;
+    /**
+     * Completion callback: invoked after every finished job with (jobs
+     * done so far, jobs total). Called from worker threads under the
+     * runner's bookkeeping; keep it cheap (the --progress ticker just
+     * repaints one stderr line). Pure observer — never affects results.
+     * Cleared by fleet workers: only the coordinator reports progress.
+     */
+    std::function<void(std::size_t done, std::size_t total)> progress;
 
     /**
      * Populate from the environment: DRS_FAULT_SEED (see

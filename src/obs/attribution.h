@@ -158,7 +158,7 @@ class AttributionCollector
     IssueAttribution merged() const;
 
     /**
-     * "attribution" section of a bench-report row (schema v3):
+     * "attribution" section of a bench-report row (schema v3+):
      * slots_per_cycle, cycles, and per-bucket totals with a traversal-
      * phase breakdown.
      */

@@ -1,0 +1,168 @@
+#pragma once
+
+/**
+ * @file
+ * Structured, leveled, rate-limited event log for the whole fleet
+ * (coordinator, workers, sweep runner, watchdog). One event is one JSONL
+ * line:
+ *
+ *   {"ts_us": <monotonic us>, "pid": <pid>, "level": "warn",
+ *    "subsystem": "fleet", "event": "worker_death", "data": {...}}
+ *
+ * Two sinks:
+ *  - a file sink (DRS_LOG=<path>) opened O_APPEND and written with one
+ *    write(2) per line, so fork()ed fleet workers share the same file
+ *    without interleaving torn lines;
+ *  - a stderr sink (warn and above by default) that renders exactly one
+ *    pid-prefixed line per event, replacing the old freeform fprintf
+ *    interleaving of coordinator + worker diagnostics.
+ *
+ * Timestamps come from CLOCK_MONOTONIC, which fork() preserves, so
+ * coordinator and worker events stitched from one log file order
+ * correctly without wall-clock skew.
+ *
+ * Logging is a pure observer: nothing in the simulation reads the log,
+ * and SimStats are bit-identical with DRS_LOG set or unset (the fleet
+ * chaos harness pins this end to end).
+ */
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace drs::obs {
+
+/** Event severity; also used as a sink threshold (Off passes nothing). */
+enum class LogLevel : int {
+    Debug = 0,
+    Info = 1,
+    Warn = 2,
+    Error = 3,
+    Off = 4, ///< threshold only: disables a sink entirely
+};
+
+/** Lower-case level name ("debug", "info", "warn", "error", "off"). */
+const char *logLevelName(LogLevel level);
+
+/**
+ * Parse a level name or digit ("warn", "2", "off"). @return false (and
+ * leaves @p out untouched) for anything else.
+ */
+bool parseLogLevel(std::string_view text, LogLevel *out);
+
+/** Event-log configuration, usually from the environment. */
+struct LogConfig
+{
+    /** JSONL destination; empty = no file sink. */
+    std::string path;
+    /** Minimum severity for the file sink. */
+    LogLevel level = LogLevel::Info;
+    /** Minimum severity for the one-line stderr sink. */
+    LogLevel stderrLevel = LogLevel::Warn;
+    /**
+     * Per-(subsystem, event) rate limit: at most this many events per
+     * rateWindowSeconds window; the surplus is counted and reported in a
+     * "log"/"rate_limited" summary event when the window rolls over.
+     * 0 = unlimited.
+     */
+    int maxEventsPerWindow = 64;
+    /** Rate-limit window length (seconds). */
+    double rateWindowSeconds = 1.0;
+
+    /**
+     * Read DRS_LOG (path), DRS_LOG_LEVEL (file-sink threshold),
+     * DRS_LOG_STDERR (stderr-sink threshold, "off" disables) and
+     * DRS_LOG_RATE (events per window, 0 = unlimited). Strict parse:
+     * malformed values warn on stderr and keep the default.
+     */
+    static LogConfig fromEnvironment();
+};
+
+/**
+ * The event log. Thread-safe; one instance may be shared by every
+ * thread of a process. The global() instance is additionally shared
+ * with fork()ed children: the O_APPEND file descriptor is inherited, so
+ * coordinator and workers append to one file (pid is recorded per
+ * event, never cached).
+ */
+class EventLog
+{
+  public:
+    EventLog() = default;
+    explicit EventLog(const LogConfig &config) { configure(config); }
+    ~EventLog();
+    EventLog(const EventLog &) = delete;
+    EventLog &operator=(const EventLog &) = delete;
+
+    /** (Re)configure; opens the file sink O_APPEND (created 0644). */
+    void configure(const LogConfig &config);
+
+    const LogConfig &config() const { return config_; }
+    bool fileOpen() const { return fd_ >= 0; }
+
+    /** Would an event at @p level reach any sink? (Cheap pre-check.) */
+    bool wouldLog(LogLevel level) const
+    {
+        return level >= config_.level || level >= config_.stderrLevel;
+    }
+
+    /**
+     * Log one event. @p data is an optional object of key/value payload
+     * fields, serialized under "data". The stderr sink renders long or
+     * multiline values (e.g. a watchdog dump) truncated and escaped so
+     * every event stays exactly one line.
+     */
+    void log(LogLevel level, std::string_view subsystem,
+             std::string_view event, Json data = Json());
+
+    /** Events that reached at least one sink. */
+    std::uint64_t emitted() const;
+    /** Events dropped by the rate limiter. */
+    std::uint64_t suppressed() const;
+
+    /** Close the file sink (stderr sink keeps working). */
+    void close();
+
+    /**
+     * Process-wide instance, lazily configured from the environment on
+     * first use (subsequent configure() calls override). Everything in
+     * the tree logs through this unless it owns a private instance.
+     */
+    static EventLog &global();
+
+  private:
+    struct RateEntry
+    {
+        std::string key;
+        std::uint64_t windowStartMicros = 0;
+        int count = 0;
+        std::uint64_t suppressed = 0;
+    };
+
+    /** @return false when the event must be dropped (limit exceeded). */
+    bool admit(std::string_view subsystem, std::string_view event,
+               std::uint64_t now_us);
+    void emitLine(LogLevel level, std::string_view subsystem,
+                  std::string_view event, const Json *data,
+                  std::uint64_t ts_us);
+
+    mutable std::mutex mutex_;
+    LogConfig config_{};
+    int fd_ = -1;
+    std::uint64_t emitted_ = 0;
+    std::uint64_t suppressedTotal_ = 0;
+    std::vector<RateEntry> rate_;
+};
+
+/** Convenience: EventLog::global().log(...). */
+void logEvent(LogLevel level, std::string_view subsystem,
+              std::string_view event, Json data = Json());
+
+/** Monotonic microseconds (CLOCK_MONOTONIC), the event-log timebase. */
+std::uint64_t logNowMicros();
+
+} // namespace drs::obs

@@ -200,6 +200,55 @@ validateTimeline(const Json &section, const std::string &where)
     return "";
 }
 
+/** Validate an optional per-row "trace" ring-counter section (v4). */
+std::string
+validateTrace(const Json &section, const std::string &where)
+{
+    if (!section.isObject())
+        return where + " must be an object";
+    for (const char *field : {"recorded", "ring_dropped"}) {
+        const Json *v = section.find(field);
+        if (!v || !isNonNegativeNumber(*v))
+            return where + "." + field +
+                   " must be a non-negative number";
+    }
+    return "";
+}
+
+/** Validate the fleet benches' "summary.fleet" aggregate (v4). */
+std::string
+validateFleetSummary(const Json &fleet)
+{
+    if (!fleet.isObject())
+        return "summary.fleet must be an object";
+    static const char *kCounters[] = {
+        "workers",      "spawned",      "respawned",     "worker_deaths",
+        "heartbeat_kills", "redispatched", "quarantined", "degraded_jobs"};
+    for (const char *field : kCounters) {
+        const Json *v = fleet.find(field);
+        if (!v || !isNonNegativeNumber(*v))
+            return std::string("summary.fleet.") + field +
+                   " must be a non-negative number";
+    }
+    if (const Json *cancelled = fleet.find("cancelled");
+        cancelled && !cancelled->isBool())
+        return "summary.fleet.cancelled must be a boolean";
+    const Json *telemetry = fleet.find("telemetry");
+    if (!telemetry || !telemetry->isObject())
+        return "summary.fleet.telemetry must be an object";
+    static const char *kTelemetry[] = {
+        "frames",       "jobs_reported",    "cycles",
+        "rays_traced",  "job_seconds",      "user_cpu_seconds",
+        "sys_cpu_seconds", "peak_rss_kb",   "max_heartbeat_lag_us"};
+    for (const char *field : kTelemetry) {
+        const Json *v = telemetry->find(field);
+        if (!v || !isNonNegativeNumber(*v))
+            return std::string("summary.fleet.telemetry.") + field +
+                   " must be a non-negative number";
+    }
+    return "";
+}
+
 /** Validate the well-known metric fields of one result row. */
 std::string
 validateRow(const Json &row, std::size_t index)
@@ -252,6 +301,10 @@ validateRow(const Json &row, std::size_t index)
                 validateTimeline(*timeline, at("timeline"));
             !reason.empty())
             return reason;
+    if (const Json *trace = row.find("trace"))
+        if (std::string reason = validateTrace(*trace, at("trace"));
+            !reason.empty())
+            return reason;
     return "";
 }
 
@@ -297,9 +350,14 @@ validateBenchReport(const Json &document)
             !reason.empty())
             return reason;
 
-    if (const Json *summary = document.find("summary");
-        summary && !summary->isObject())
-        return "\"summary\" must be an object";
+    if (const Json *summary = document.find("summary")) {
+        if (!summary->isObject())
+            return "\"summary\" must be an object";
+        if (const Json *fleet = summary->find("fleet"))
+            if (std::string reason = validateFleetSummary(*fleet);
+                !reason.empty())
+                return reason;
+    }
 
     return "";
 }

@@ -9,10 +9,10 @@
  * statistics into rows lives in the harness (harness/report.h), keeping
  * obs free of simulator dependencies.
  *
- * Schema (version 3):
+ * Schema (version 4):
  *   {
  *     "bench": <string>,          // e.g. "fig11_speedup"
- *     "schema_version": 3,
+ *     "schema_version": 4,
  *     "degraded": <bool>,         // true when any sweep job was
  *                                 // quarantined (results incomplete)
  *     "scale": { ... },           // ExperimentScale knobs
@@ -30,7 +30,12 @@
  * per-row profiler sections, present only when the run sampled
  * (DRS_SAMPLE): "attribution" (issue-slot buckets x traversal phases,
  * hottest blocks) and "timeline" (windowed frames with slot breakdowns
- * and instantaneous SIMD efficiency).
+ * and instantaneous SIMD efficiency). Version 4 adds the optional
+ * per-row "trace" section (ring "recorded"/"ring_dropped" counters,
+ * present only when the run traced via DRS_TRACE) and, inside the fleet
+ * benches' "summary.fleet", the "telemetry" aggregate (worker digest
+ * frames, per-job cycles/rays/seconds, summed user/sys CPU time, peak
+ * RSS and max heartbeat lag across the fleet).
  */
 
 #include <string>
@@ -40,7 +45,7 @@
 namespace drs::obs {
 
 /** Current report schema version. */
-inline constexpr int kBenchSchemaVersion = 3;
+inline constexpr int kBenchSchemaVersion = 4;
 
 /** Builder for one bench report document. */
 class BenchReport
@@ -81,7 +86,7 @@ class BenchReport
 };
 
 /**
- * Validate a bench report document against schema version 3.
+ * Validate a bench report document against schema version 4.
  *
  * Checks the required top-level fields (including the "degraded" bool)
  * and, for every result row, the well-known metric fields when present:
@@ -93,7 +98,10 @@ class BenchReport
  * checked structurally: "attribution" needs slots_per_cycle/cycles/
  * total_slots plus a "buckets" object of numeric breakdowns, "timeline"
  * needs interval/base_interval plus a "frames" array whose windows are
- * well-ordered with numeric counters and a [0, 1] simd_efficiency.
+ * well-ordered with numeric counters and a [0, 1] simd_efficiency, a
+ * row "trace" section needs non-negative recorded/ring_dropped
+ * counters, and a "summary.fleet" object must carry the supervision
+ * counters plus a complete "telemetry" aggregate.
  * Older schema versions are rejected with a clear version error.
  *
  * @return empty string when valid, else a human-readable reason.

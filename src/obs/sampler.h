@@ -15,7 +15,7 @@
  * simulated cycles (deterministic at any --jobs/--smx-threads).
  *
  * Enabled with DRS_SAMPLE=<cycles> (or RunConfig::sample); exported as
- * the `timeline` section of bench JSON (schema v3) and as Chrome
+ * the `timeline` section of bench JSON (schema v3+) and as Chrome
  * trace_event counter tracks ("ph":"C") next to the event spans.
  */
 
@@ -139,7 +139,7 @@ class SamplerCollector
     std::vector<SampleFrame> mergedFrames() const;
 
     /**
-     * "timeline" section of a bench-report row (schema v3): the merged
+     * "timeline" section of a bench-report row (schema v3+): the merged
      * frames with per-window instantaneous SIMD efficiency
      * (activeThreads / (instructions x simd_lanes)).
      */

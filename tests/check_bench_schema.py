@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Validate BENCH_<name>.json reports against schema version 3.
+"""Validate BENCH_<name>.json reports against schema version 4.
 
 Mirrors drs::obs::validateBenchReport (src/obs/report.cc) so reports can
 be checked without building the simulator, e.g. in CI after
@@ -20,7 +20,7 @@ import json
 import math
 import sys
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 STRING_FIELDS = ("scene", "arch", "bounce", "config", "error")
 BOOL_FIELDS = ("failed", "from_journal")
@@ -125,6 +125,19 @@ FLEET_COUNTERS = (
 )
 
 
+TELEMETRY_FIELDS = (
+    "frames",
+    "jobs_reported",
+    "cycles",
+    "rays_traced",
+    "job_seconds",
+    "user_cpu_seconds",
+    "sys_cpu_seconds",
+    "peak_rss_kb",
+    "max_heartbeat_lag_us",
+)
+
+
 def validate_fleet(section, where):
     """summary.fleet: supervision counters of a multi-process sweep."""
     if not isinstance(section, dict):
@@ -138,6 +151,30 @@ def validate_fleet(section, where):
                 f"spawned ({section['spawned']})")
     if not isinstance(section.get("cancelled"), bool):
         return f'{where}.cancelled must be a boolean'
+    # Schema v4: worker telemetry digests aggregated by the coordinator.
+    telemetry = section.get("telemetry")
+    if not isinstance(telemetry, dict):
+        return f"{where}.telemetry must be an object"
+    for field in TELEMETRY_FIELDS:
+        value = telemetry.get(field)
+        if not is_number(value) or value < 0:
+            return (f"{where}.telemetry.{field} must be a "
+                    "non-negative number")
+    if telemetry["jobs_reported"] > telemetry["frames"]:
+        return (f"{where}.telemetry: jobs_reported "
+                f"({telemetry['jobs_reported']}) exceeds frames "
+                f"({telemetry['frames']})")
+    return ""
+
+
+def validate_trace(section, where):
+    """Per-row trace ring counters (schema v4, DRS_TRACE runs only)."""
+    if not isinstance(section, dict):
+        return f"{where} must be an object"
+    for field in ("recorded", "ring_dropped"):
+        value = section.get(field)
+        if not is_number(value) or value < 0:
+            return f"{where}.{field} must be a non-negative number"
     return ""
 
 
@@ -212,6 +249,10 @@ def validate_row(row, index):
             return reason
     if "timeline" in row:
         reason = validate_timeline(row["timeline"], f"{where}.timeline")
+        if reason:
+            return reason
+    if "trace" in row:
+        reason = validate_trace(row["trace"], f"{where}.trace")
         if reason:
             return reason
     return ""

@@ -5,7 +5,7 @@
 #     drops as read-control buffers are added) must render, and the
 #     stalled_rdctrl percentages must appear in strictly decreasing
 #     order — i.e. the tool reproduces the paper's Fig. 9 ordering from
-#     a schema-v3 report alone.
+#     a schema-valid report alone.
 #  2. A schema_version 2 report must be rejected (non-zero exit), so
 #     stale baselines fail loudly instead of mis-parsing.
 #

@@ -1,6 +1,6 @@
 #!/bin/bash
 # Reorder-survey smoke: run bench_reorder_survey at a tiny scale, then
-# require (1) a schema-v3 JSON report, (2) result rows for the complete
+# require (1) a schema-valid JSON report, (2) result rows for the complete
 # registry lineup on every scene, (3) reorder counters on the software
 # reorderers' rows, (4) a summary lineup section naming every plugin.
 #

@@ -6,8 +6,10 @@ silently on:
 
  - top level is {"traceEvents": [...], "otherData": {...}} with a
    non-negative "dropped_events" count;
- - every event is ph "X" (complete span), "C" (counter sample) or "M"
-   (metadata), with non-negative integer timestamps; spans have dur >= 1;
+ - every event is ph "X" (complete span), "C" (counter sample), "i"
+   (instant, used by the fleet coordinator for kill/respawn/redispatch
+   marks) or "M" (metadata), with non-negative integer timestamps;
+   spans have dur >= 1;
  - every pid that emits spans or counters carries a "process_name"
    metadata record, and every (pid, tid) that emits spans carries a
    "thread_name" record (the Perfetto track labels);
@@ -38,8 +40,18 @@ def validate_span(event, where):
         return f"{where}: span needs dur >= 1"
     if not isinstance(event.get("name"), str) or not event["name"]:
         return f"{where}: span needs a name"
-    if event.get("cat") not in ("warp", "rayhw"):
-        return f"{where}: span cat must be warp or rayhw"
+    if event.get("cat") not in ("warp", "rayhw", "fleet"):
+        return f"{where}: span cat must be warp, rayhw or fleet"
+    return ""
+
+
+def validate_instant(event, where):
+    if not isinstance(event.get("pid"), int):
+        return f"{where}: instant needs integer pid"
+    if not is_count(event.get("ts")):
+        return f"{where}: instant needs non-negative ts"
+    if not isinstance(event.get("name"), str) or not event["name"]:
+        return f"{where}: instant needs a name"
     return ""
 
 
@@ -108,6 +120,10 @@ def validate_trace(document):
             if process_names.get(event["pid"]) == "timeline":
                 key = (event["name"], event["ts"])
                 timeline_counts[key] = timeline_counts.get(key, 0) + 1
+        elif phase == "i":
+            reason = validate_instant(event, where)
+            if reason:
+                return reason
         else:
             return f"{where}: unknown ph {phase!r}"
 

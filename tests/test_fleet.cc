@@ -5,8 +5,10 @@
  * single-process sweep's results, with or without chaos kills), journal
  * interop between the fleet coordinator and the in-process runner,
  * heartbeat-timeout re-dispatch, quarantine of poison jobs, graceful
- * degradation when the respawn budget runs out, and the no-orphans
- * shutdown guarantee.
+ * degradation when the respawn budget runs out, the no-orphans
+ * shutdown guarantee, and the telemetry surface (worker digest
+ * aggregation into FleetSummary, live FleetProgress snapshots, and the
+ * coordinator's stitched job-lifecycle trace shard).
  */
 
 #include <gtest/gtest.h>
@@ -28,6 +30,7 @@
 #include "fleet/fleet.h"
 #include "fleet/protocol.h"
 #include "harness/sweep.h"
+#include "obs/json.h"
 
 namespace drs::fleet {
 namespace {
@@ -449,6 +452,160 @@ TEST(FleetSupervision, ExhaustedFleetDegradesInsteadOfAborting)
     EXPECT_EQ(degraded->asUint(), 3u);
     ASSERT_NE(json.find("cancelled"), nullptr);
     EXPECT_FALSE(json.find("cancelled")->asBool());
+}
+
+// --------------------------------------------------------- Telemetry
+
+TEST(FleetProtocol, TelemetryIsTheSixthAndLastMessageType)
+{
+    EXPECT_TRUE(validMsgType(static_cast<std::uint32_t>(MsgType::Telemetry)));
+    EXPECT_FALSE(validMsgType(
+        static_cast<std::uint32_t>(MsgType::Telemetry) + 1));
+    EXPECT_STREQ(msgTypeName(MsgType::Telemetry), "telemetry");
+
+    const std::string payload = "{\"worker\": 1, \"peak_rss_kb\": 4096}";
+    const std::string wire = encodeFrame(MsgType::Telemetry, payload);
+    FrameParser parser;
+    parser.feed(wire.data(), wire.size());
+    const auto frame = parser.next();
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->type, MsgType::Telemetry);
+    EXPECT_EQ(frame->payload, payload);
+}
+
+TEST(FleetTelemetry, CleanRunAggregatesOneDigestPerJob)
+{
+    SweepOptions sweep;
+    FleetOptions options;
+    options.workers = 2;
+    FleetSummary summary;
+    const auto fleet = runFleet(sweep, options, &summary);
+
+    // Every job sends its digest right after its Result; a clean run
+    // loses none of them.
+    const FleetTelemetry &telemetry = summary.telemetry;
+    EXPECT_EQ(telemetry.frames, fleet.size());
+    EXPECT_EQ(telemetry.jobsReported, fleet.size());
+    std::uint64_t cycles = 0;
+    std::uint64_t rays = 0;
+    for (const SweepResult &result : fleet) {
+        cycles += result.stats.cycles;
+        rays += result.stats.raysTraced;
+    }
+    EXPECT_EQ(telemetry.cycles, cycles);
+    EXPECT_EQ(telemetry.raysTraced, rays);
+    EXPECT_GT(telemetry.jobSeconds, 0.0);
+    EXPECT_GT(telemetry.peakRssKb, 0u) << "getrusage must report RSS";
+    EXPECT_GE(telemetry.userCpuSeconds, 0.0);
+    EXPECT_GE(telemetry.sysCpuSeconds, 0.0);
+
+    // The digest aggregate serializes under summary.fleet.telemetry.
+    obs::Json json = fleetSummaryJson(summary);
+    const obs::Json *section = json.find("telemetry");
+    ASSERT_NE(section, nullptr);
+    EXPECT_EQ(section->find("frames")->asUint(), telemetry.frames);
+    EXPECT_EQ(section->find("cycles")->asUint(), telemetry.cycles);
+    EXPECT_EQ(section->find("rays_traced")->asUint(), telemetry.raysTraced);
+    ASSERT_NE(section->find("max_heartbeat_lag_us"), nullptr);
+    ASSERT_NE(section->find("peak_rss_kb"), nullptr);
+}
+
+TEST(FleetTelemetry, ProgressSnapshotsReachCompletion)
+{
+    SweepOptions sweep;
+    FleetOptions options;
+    options.workers = 2;
+    std::vector<FleetProgress> snapshots;
+    options.onProgress = [&snapshots](const FleetProgress &progress) {
+        snapshots.push_back(progress);
+    };
+    FleetCoordinator coordinator(tinyScale(), sweep, options);
+    const auto results = coordinator.run(tinyJobs());
+
+    ASSERT_FALSE(snapshots.empty());
+    std::size_t lastDone = 0;
+    for (const FleetProgress &progress : snapshots) {
+        EXPECT_EQ(progress.jobsTotal, results.size());
+        EXPECT_GE(progress.jobsDone, lastDone) << "done count went backwards";
+        EXPECT_LE(progress.jobsDone + progress.jobsInflight,
+                  progress.jobsTotal);
+        EXPECT_LE(progress.workersRunning, progress.workersAlive);
+        lastDone = progress.jobsDone;
+    }
+    const FleetProgress &last = snapshots.back();
+    EXPECT_EQ(last.jobsDone, results.size()) << "final snapshot incomplete";
+    EXPECT_EQ(last.jobsFailed, 0u);
+    EXPECT_EQ(last.degraded, 0);
+    EXPECT_GE(last.elapsedSeconds, 0.0);
+}
+
+TEST(FleetTrace, CoordinatorWritesJobSpansWorkersWriteShards)
+{
+    const std::string base = tempPath("fleet_trace");
+    SweepOptions sweep;
+    FleetOptions options;
+    options.workers = 2;
+    options.tracePath = base;
+
+    std::vector<SweepJob> jobs = tinyJobs();
+    for (SweepJob &job : jobs) {
+        job.config.trace.enabled = true;
+        job.config.trace.path = base;
+        job.config.trace.capacity = 4096;
+    }
+    FleetCoordinator coordinator(tinyScale(), sweep, options);
+    const auto results = coordinator.run(std::move(jobs));
+    ASSERT_EQ(results.size(), 3u);
+
+    // The coordinator shard holds one cat="fleet" span per job on
+    // pid 0, plus process/thread metadata — a self-contained Chrome
+    // trace document.
+    std::ifstream in(base + ".coord");
+    ASSERT_TRUE(in.good()) << "no coordinator trace at " << base << ".coord";
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    std::string parseError;
+    const auto trace = obs::Json::parse(buffer.str(), &parseError);
+    ASSERT_TRUE(trace.has_value()) << parseError;
+    const obs::Json *events = trace->find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    std::size_t spans = 0;
+    bool processNamed = false;
+    for (const obs::Json &event : events->asArray()) {
+        const std::string phase = event.find("ph")->asString();
+        if (phase == "X") {
+            EXPECT_EQ(event.find("cat")->asString(), "fleet");
+            EXPECT_EQ(event.find("pid")->asUint(), 0u);
+            EXPECT_GE(event.find("dur")->asUint(), 1u);
+            EXPECT_EQ(event.find("name")->asString().rfind("job ", 0), 0u);
+            ++spans;
+        } else if (phase == "M" &&
+                   event.find("name")->asString() == "process_name") {
+            processNamed = true;
+        }
+    }
+    EXPECT_EQ(spans, 3u) << "one lifecycle span per job";
+    EXPECT_TRUE(processNamed);
+    ASSERT_NE(trace->find("otherData"), nullptr);
+    EXPECT_EQ(trace->find("otherData")->find("dropped_events")->asUint(),
+              0u);
+    std::remove((base + ".coord").c_str());
+
+    // Each job left exactly one per-(worker, job) shard, named so
+    // concurrent workers can never overwrite each other.
+    for (std::size_t job = 0; job < results.size(); ++job) {
+        int shards = 0;
+        for (int worker = 0; worker < options.workers; ++worker) {
+            const std::string shard = base + ".w" + std::to_string(worker) +
+                                      ".j" + std::to_string(job);
+            std::ifstream file(shard);
+            if (!file.good())
+                continue;
+            ++shards;
+            std::remove(shard.c_str());
+        }
+        EXPECT_EQ(shards, 1) << "job " << job;
+    }
 }
 
 // ------------------------------------------------- No-orphans shutdown

@@ -1,0 +1,305 @@
+/**
+ * @file
+ * Telemetry-pipeline tests: the structured event log (obs::EventLog —
+ * level parsing, environment configuration, JSONL emission, level
+ * filtering, the per-(subsystem, event) rate limiter) and the trace-ring
+ * overflow surface (ring_dropped must show up in the Chrome trace's
+ * counter track, in RunObservations, and in the schema-v4 bench-report
+ * "trace" row section). Everything here is a pure observer: the sim
+ * tests assert counters only, never SimStats differences.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include "harness/harness.h"
+#include "harness/report.h"
+#include "obs/json.h"
+#include "obs/log.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+
+namespace drs::obs {
+namespace {
+
+std::string
+tempPath(const char *stem)
+{
+    return ::testing::TempDir() + stem + "." +
+           std::to_string(static_cast<long>(::getpid()));
+}
+
+std::vector<Json>
+readJsonl(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << path;
+    std::vector<Json> records;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::string error;
+        const auto parsed = Json::parse(line, &error);
+        EXPECT_TRUE(parsed.has_value()) << error << ": " << line;
+        if (parsed)
+            records.push_back(*parsed);
+    }
+    return records;
+}
+
+// ---------------------------------------------------------------- levels
+
+TEST(LogLevel, NamesRoundTrip)
+{
+    EXPECT_STREQ(logLevelName(LogLevel::Debug), "debug");
+    EXPECT_STREQ(logLevelName(LogLevel::Info), "info");
+    EXPECT_STREQ(logLevelName(LogLevel::Warn), "warn");
+    EXPECT_STREQ(logLevelName(LogLevel::Error), "error");
+    EXPECT_STREQ(logLevelName(LogLevel::Off), "off");
+    for (LogLevel level : {LogLevel::Debug, LogLevel::Info, LogLevel::Warn,
+                           LogLevel::Error, LogLevel::Off}) {
+        LogLevel parsed = LogLevel::Info;
+        EXPECT_TRUE(parseLogLevel(logLevelName(level), &parsed));
+        EXPECT_EQ(parsed, level);
+    }
+}
+
+TEST(LogLevel, ParsesDigitsAndRejectsGarbage)
+{
+    LogLevel level = LogLevel::Info;
+    EXPECT_TRUE(parseLogLevel("0", &level));
+    EXPECT_EQ(level, LogLevel::Debug);
+    EXPECT_TRUE(parseLogLevel("3", &level));
+    EXPECT_EQ(level, LogLevel::Error);
+    level = LogLevel::Warn;
+    EXPECT_FALSE(parseLogLevel("loud", &level));
+    EXPECT_FALSE(parseLogLevel("", &level));
+    EXPECT_FALSE(parseLogLevel("7", &level));
+    EXPECT_EQ(level, LogLevel::Warn); // untouched on failure
+}
+
+// ----------------------------------------------------------- environment
+
+TEST(LogConfig, FromEnvironmentReadsAllKnobs)
+{
+    setenv("DRS_LOG", "/tmp/events.jsonl", 1);
+    setenv("DRS_LOG_LEVEL", "debug", 1);
+    setenv("DRS_LOG_STDERR", "off", 1);
+    setenv("DRS_LOG_RATE", "0", 1);
+    const LogConfig config = LogConfig::fromEnvironment();
+    unsetenv("DRS_LOG");
+    unsetenv("DRS_LOG_LEVEL");
+    unsetenv("DRS_LOG_STDERR");
+    unsetenv("DRS_LOG_RATE");
+    EXPECT_EQ(config.path, "/tmp/events.jsonl");
+    EXPECT_EQ(config.level, LogLevel::Debug);
+    EXPECT_EQ(config.stderrLevel, LogLevel::Off);
+    EXPECT_EQ(config.maxEventsPerWindow, 0);
+}
+
+TEST(LogConfig, MalformedValuesKeepDefaults)
+{
+    setenv("DRS_LOG_LEVEL", "shouty", 1);
+    setenv("DRS_LOG_RATE", "-5", 1);
+    const LogConfig config = LogConfig::fromEnvironment();
+    unsetenv("DRS_LOG_LEVEL");
+    unsetenv("DRS_LOG_RATE");
+    const LogConfig defaults;
+    EXPECT_EQ(config.level, defaults.level);
+    EXPECT_EQ(config.maxEventsPerWindow, defaults.maxEventsPerWindow);
+}
+
+// -------------------------------------------------------------- emission
+
+TEST(EventLog, WritesParseableJsonlRecords)
+{
+    const std::string path = tempPath("events");
+    LogConfig config;
+    config.path = path;
+    config.level = LogLevel::Debug;
+    config.stderrLevel = LogLevel::Off;
+    EventLog log(config);
+    ASSERT_TRUE(log.fileOpen());
+
+    Json data = Json::object();
+    data["worker"] = 3;
+    data["reason"] = "test";
+    data["failed"] = false;
+    log.log(LogLevel::Info, "fleet", "spawn", std::move(data));
+    log.log(LogLevel::Error, "sweep", "attempt_failed");
+    log.close();
+
+    const std::vector<Json> records = readJsonl(path);
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(log.emitted(), 2u);
+
+    const Json &first = records[0];
+    EXPECT_EQ(first.find("pid")->asUint(),
+              static_cast<std::uint64_t>(::getpid()));
+    EXPECT_EQ(first.find("level")->asString(), "info");
+    EXPECT_EQ(first.find("subsystem")->asString(), "fleet");
+    EXPECT_EQ(first.find("event")->asString(), "spawn");
+    const Json *payload = first.find("data");
+    ASSERT_NE(payload, nullptr);
+    EXPECT_EQ(payload->find("worker")->asUint(), 3u);
+    EXPECT_EQ(payload->find("reason")->asString(), "test");
+    EXPECT_FALSE(payload->find("failed")->asBool());
+
+    // Monotonic timebase: record order == timestamp order.
+    EXPECT_LE(records[0].find("ts_us")->asUint(),
+              records[1].find("ts_us")->asUint());
+    EXPECT_EQ(records[1].find("level")->asString(), "error");
+    std::remove(path.c_str());
+}
+
+TEST(EventLog, FileSinkFiltersBelowThreshold)
+{
+    const std::string path = tempPath("filtered");
+    LogConfig config;
+    config.path = path;
+    config.level = LogLevel::Warn;
+    config.stderrLevel = LogLevel::Off;
+    EventLog log(config);
+
+    EXPECT_FALSE(log.wouldLog(LogLevel::Debug));
+    EXPECT_FALSE(log.wouldLog(LogLevel::Info));
+    EXPECT_TRUE(log.wouldLog(LogLevel::Warn));
+
+    log.log(LogLevel::Debug, "fleet", "claim");
+    log.log(LogLevel::Info, "fleet", "dispatch");
+    log.log(LogLevel::Warn, "fleet", "worker_death");
+    log.log(LogLevel::Error, "fleet", "spawn_failed");
+    log.close();
+
+    const std::vector<Json> records = readJsonl(path);
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].find("event")->asString(), "worker_death");
+    EXPECT_EQ(records[1].find("event")->asString(), "spawn_failed");
+    std::remove(path.c_str());
+}
+
+TEST(EventLog, RateLimiterSuppressesPerEventAndSummarizes)
+{
+    const std::string path = tempPath("ratelimited");
+    LogConfig config;
+    config.path = path;
+    config.level = LogLevel::Debug;
+    config.stderrLevel = LogLevel::Off;
+    config.maxEventsPerWindow = 2;
+    config.rateWindowSeconds = 0.05;
+    EventLog log(config);
+
+    for (int i = 0; i < 5; ++i)
+        log.log(LogLevel::Info, "fleet", "heartbeat");
+    // A different (subsystem, event) has its own budget.
+    log.log(LogLevel::Info, "fleet", "dispatch");
+    EXPECT_EQ(log.suppressed(), 3u);
+
+    // Window rollover reports the suppressed tally as a summary event.
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+    log.log(LogLevel::Info, "fleet", "heartbeat");
+    log.close();
+
+    const std::vector<Json> records = readJsonl(path);
+    std::size_t heartbeats = 0;
+    std::uint64_t reportedSuppressed = 0;
+    for (const Json &record : records) {
+        const std::string subsystem = record.find("subsystem")->asString();
+        const std::string event = record.find("event")->asString();
+        if (subsystem == "fleet" && event == "heartbeat")
+            ++heartbeats;
+        if (subsystem == "log" && event == "rate_limited")
+            reportedSuppressed +=
+                record.find("data")->find("suppressed")->asUint();
+    }
+    EXPECT_EQ(heartbeats, 3u); // 2 in the first window + 1 after rollover
+    EXPECT_EQ(reportedSuppressed, 3u);
+    std::remove(path.c_str());
+}
+
+TEST(EventLog, GlobalInstanceIsASingleton)
+{
+    EXPECT_EQ(&EventLog::global(), &EventLog::global());
+}
+
+// --------------------------------------------------- trace ring overflow
+
+TEST(TraceRingOverflow, DroppedEventsSurfaceInTraceAndReport)
+{
+    harness::ExperimentScale scale;
+    scale.sceneScale = 0.15f;
+    scale.width = 128;
+    scale.height = 96;
+    scale.samplesPerPixel = 1;
+    scale.raysPerBounce = 4096;
+    scale.numSmx = 2;
+    const harness::PreparedScene prepared =
+        harness::prepareScene(scene::SceneId::Conference, scale);
+
+    const std::string path = tempPath("overflow.trace");
+    harness::RunObservations observations;
+    harness::RunConfig config;
+    config.gpu.numSmx = 2;
+    config.trace.enabled = true;
+    config.trace.path = path;
+    config.trace.capacity = 64; // tiny on purpose: must wrap
+    config.observationsOut = &observations;
+
+    const simt::SimStats stats =
+        harness::runBatch(harness::Arch::Drs, *prepared.tracer,
+                          prepared.trace.bounce(1).rays, config);
+    EXPECT_GT(stats.raysTraced, 0u);
+    EXPECT_TRUE(observations.traced);
+    EXPECT_GT(observations.traceRecorded, observations.traceDropped);
+    ASSERT_GT(observations.traceDropped, 0u) << "ring did not overflow";
+
+    // 1. The Chrome trace carries the loss in its counter track and
+    //    footer metadata.
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << path;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    std::string parseError;
+    const auto trace = Json::parse(buffer.str(), &parseError);
+    ASSERT_TRUE(trace.has_value()) << parseError;
+    EXPECT_GT(trace->find("otherData")->find("dropped_events")->asUint(),
+              0u);
+    std::uint64_t counterDropped = 0;
+    for (const Json &event : trace->find("traceEvents")->asArray()) {
+        const Json *name = event.find("name");
+        if (event.find("ph")->asString() == "C" && name != nullptr &&
+            name->asString() == "ring_dropped")
+            counterDropped += event.find("args")->find("dropped")->asUint();
+    }
+    EXPECT_EQ(counterDropped, observations.traceDropped);
+
+    // 2. The bench-report row carries the same counters ("trace"
+    //    section, schema v4) and the document still validates.
+    BenchReport report("overflow_test");
+    Json &row = report.addResult();
+    row = harness::statsJson(stats, 0.98);
+    row["scene"] = "conference";
+    row["arch"] = "drs";
+    harness::addObservationsJson(row, observations, stats);
+    const Json *section = row.find("trace");
+    ASSERT_NE(section, nullptr);
+    EXPECT_EQ(section->find("recorded")->asUint(),
+              observations.traceRecorded);
+    EXPECT_EQ(section->find("ring_dropped")->asUint(),
+              observations.traceDropped);
+    EXPECT_EQ(validateBenchReport(report.document()), "");
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace drs::obs

@@ -4,7 +4,7 @@
 Usage:
     bench_compare.py BASELINE_DIR CURRENT_DIR [--tolerance REL]
 
-Both directories hold BENCH_*.json reports (schema v3, see
+Both directories hold BENCH_*.json reports (schema v4, see
 src/obs/report.h). Reports are paired by file name, rows by their
 (scene, arch, config, bounce) identity, and each well-known metric is
 compared with a directional relative tolerance: a metric only fails in

@@ -8,10 +8,16 @@
  *     line at the end of the file is tolerated — that is the expected
  *     debris of a crash mid-append — but torn lines anywhere else are
  *     an error);
- *   - no (job, key) may appear twice: a duplicate means some job was
- *     double-reported, which the fleet's drain-before-redispatch logic
- *     exists to prevent;
+ *   - no job index may appear twice — neither as an exact (job, key)
+ *     duplicate (some job was double-reported, which the fleet's
+ *     drain-before-redispatch logic exists to prevent) nor as the same
+ *     index under two different keys (two sweeps interleaved into one
+ *     journal); both are hard failures;
  *   - with --expect N, jobs 0..N-1 must all be present: nothing lost.
+ *
+ * Besides the verdict line the tool prints a per-job summary table
+ * (attempts, wall-clock seconds, outcome) so a chaotic run's retry
+ * behaviour can be read at a glance.
  *
  * Usage: drs_journal JOURNAL [--expect N]
  *
@@ -21,6 +27,7 @@
  * invariant: every job exactly once.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -75,6 +82,18 @@ main(int argc, char **argv)
     // (job, key) -> line number of the first record, for duplicate
     // diagnostics.
     std::map<std::pair<std::uint64_t, std::string>, std::size_t> seen;
+    // job index -> first record, for the summary table and the
+    // same-index-different-key corruption check.
+    struct JobRecord
+    {
+        std::string key;
+        int attempts = 0;
+        double seconds = 0.0;
+        bool ran = false;
+        bool failed = false;
+        bool fromJournal = false;
+    };
+    std::map<std::uint64_t, JobRecord> byIndex;
     std::size_t records = 0;
     std::size_t failed = 0;
     std::size_t ran = 0;
@@ -122,6 +141,22 @@ main(int argc, char **argv)
                          it->second, lineNumber);
             ok = false;
         }
+        JobRecord record;
+        record.key = key;
+        record.attempts = result.attempts;
+        record.seconds = result.seconds;
+        record.ran = result.ran;
+        record.failed = result.failed;
+        record.fromJournal = result.fromJournal;
+        const auto [jt, fresh] = byIndex.emplace(index, std::move(record));
+        if (!fresh && jt->second.key != key) {
+            std::fprintf(stderr,
+                         "drs_journal: job %llu reported under two keys "
+                         "(%s and %s) — journals interleaved?\n",
+                         static_cast<unsigned long long>(index),
+                         jt->second.key.c_str(), key.c_str());
+            ok = false;
+        }
     }
     if (torn > 1) {
         std::fprintf(stderr, "drs_journal: %zu torn lines (at most one — a "
@@ -150,6 +185,27 @@ main(int argc, char **argv)
                          "drs_journal: %zu records, expected exactly %lld\n",
                          records, expect);
             ok = false;
+        }
+    }
+    if (!byIndex.empty()) {
+        std::size_t keyWidth = 3;
+        for (const auto &[index, record] : byIndex)
+            keyWidth = std::max(keyWidth, record.key.size());
+        std::printf("%6s  %-*s  %8s  %9s  %s\n", "job",
+                    static_cast<int>(keyWidth), "key", "attempts",
+                    "seconds", "outcome");
+        for (const auto &[index, record] : byIndex) {
+            const char *outcome = record.failed       ? "quarantined"
+                                  : record.fromJournal ? "replayed"
+                                  : record.ran         ? "ok"
+                                                       : "skipped";
+            std::printf("%6llu  %-*s  %8d  %9.3f  %s%s\n",
+                        static_cast<unsigned long long>(index),
+                        static_cast<int>(keyWidth), record.key.c_str(),
+                        record.attempts, record.seconds, outcome,
+                        record.attempts > 1 && !record.failed
+                            ? " (retried)"
+                            : "");
         }
     }
     std::printf("journal %s: %zu records (%zu ran, %zu failed), %zu torn "

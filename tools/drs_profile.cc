@@ -1,6 +1,6 @@
 /**
  * @file
- * Offline profile analyzer: turns the schema-v3 bench reports (and
+ * Offline profile analyzer: turns the schema-v3+ bench reports (and
  * optionally a Chrome trace) into human-readable profiles — per-row
  * issue-slot stall breakdowns, traversal-phase splits, timeline
  * sparklines and hottest-block tables.

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Fleet trace stitcher. A fleet run under DRS_TRACE leaves one Chrome
+ * trace shard per (worker, job) — obs::TraceCollector files named
+ * <trace>.w<worker>.j<job> — plus the coordinator's own job-lifecycle
+ * shard <trace>.coord (dispatch→result spans, kill/respawn/redispatch
+ * instants). Each shard is internally consistent but uses its own pid
+ * namespace (SMX index, or 0 for the coordinator), so loading them
+ * together would splice unrelated tracks.
+ *
+ * This tool merges shards into one Perfetto-loadable document:
+ *
+ *   - every shard's pids are shifted onto a disjoint range, so no two
+ *     shards share a track;
+ *   - every process_name metadata record is prefixed with its shard's
+ *     basename, so the UI shows "sweep.trc.w1.j3: SMX 0" next to
+ *     "sweep.trc.coord: fleet coordinator";
+ *   - "otherData.dropped_events" is summed across shards (the merged
+ *     trace still passes tests/check_trace.py);
+ *   - a torn shard — the expected debris of a SIGKILLed worker dying
+ *     mid-write — is skipped with a warning, never a hard error.
+ *
+ * Timestamps are NOT rebased: worker shards tick in core cycles, the
+ * coordinator in wall-clock microseconds (recorded per shard in its
+ * own timestamp_unit). The merge is for side-by-side inspection, not
+ * cross-shard time alignment.
+ *
+ * Usage: drs_tracecat -o MERGED.json SHARD.json...
+ *
+ * Exit status: 0 = merged (>= 1 readable shard), 1 = every shard was
+ * unreadable, 2 = usage / cannot write the output.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(stderr, "usage: drs_tracecat -o MERGED.json SHARD.json...\n");
+    return 2;
+}
+
+std::string
+basenameOf(const std::string &path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string outPath;
+    std::vector<std::string> inputs;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "-o" || arg == "--out") {
+            if (i + 1 >= argc)
+                return usage();
+            outPath = argv[++i];
+        } else {
+            inputs.push_back(arg);
+        }
+    }
+    if (outPath.empty() || inputs.empty())
+        return usage();
+
+    drs::obs::Json merged = drs::obs::Json::object();
+    drs::obs::Json &events = merged["traceEvents"];
+    events = drs::obs::Json::array();
+
+    std::uint64_t pidBase = 0;
+    std::uint64_t droppedTotal = 0;
+    std::size_t shardsMerged = 0;
+    std::size_t shardsSkipped = 0;
+    std::size_t eventCount = 0;
+
+    for (const std::string &path : inputs) {
+        std::ifstream in(path, std::ios::binary);
+        if (!in) {
+            std::fprintf(stderr,
+                         "drs_tracecat: skipping %s (cannot open)\n",
+                         path.c_str());
+            ++shardsSkipped;
+            continue;
+        }
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        std::string parseError;
+        const auto shard = drs::obs::Json::parse(buffer.str(), &parseError);
+        if (!shard || !shard->isObject()) {
+            // Torn shard: a worker SIGKILLed mid-write. Expected under
+            // chaos; the job was redispatched, its trace is just lost.
+            std::fprintf(stderr, "drs_tracecat: skipping torn shard %s (%s)\n",
+                         path.c_str(),
+                         parseError.empty() ? "not an object"
+                                            : parseError.c_str());
+            ++shardsSkipped;
+            continue;
+        }
+        const drs::obs::Json *shardEvents = shard->find("traceEvents");
+        if (shardEvents == nullptr || !shardEvents->isArray()) {
+            std::fprintf(stderr,
+                         "drs_tracecat: skipping %s (no traceEvents array)\n",
+                         path.c_str());
+            ++shardsSkipped;
+            continue;
+        }
+        if (const drs::obs::Json *other = shard->find("otherData"))
+            if (const drs::obs::Json *dropped = other->find("dropped_events");
+                dropped && dropped->isNumber())
+                droppedTotal += dropped->asUint();
+
+        const std::string label = basenameOf(path);
+        std::uint64_t maxPid = 0;
+        for (const drs::obs::Json &event : shardEvents->asArray()) {
+            if (!event.isObject())
+                continue;
+            drs::obs::Json copy = event;
+            std::uint64_t pid = 0;
+            if (const drs::obs::Json *p = event.find("pid");
+                p && p->isNumber())
+                pid = p->asUint();
+            if (pid > maxPid)
+                maxPid = pid;
+            copy["pid"] = drs::obs::Json(pidBase + pid);
+            // Qualify process names with the shard so merged tracks
+            // stay attributable ("...w1.j3: SMX 0" vs "...coord: ...").
+            if (const drs::obs::Json *name = event.find("name");
+                name && name->isString() &&
+                name->asString() == "process_name")
+                if (const drs::obs::Json *args = event.find("args"))
+                    if (const drs::obs::Json *pname = args->find("name");
+                        pname && pname->isString())
+                        copy["args"]["name"] = drs::obs::Json(
+                            label + ": " + pname->asString());
+            events.push(std::move(copy));
+            ++eventCount;
+        }
+        pidBase += maxPid + 1;
+        ++shardsMerged;
+    }
+
+    if (shardsMerged == 0) {
+        std::fprintf(stderr, "drs_tracecat: no readable shards\n");
+        return 1;
+    }
+
+    merged["displayTimeUnit"] = drs::obs::Json("ns");
+    drs::obs::Json &other = merged["otherData"];
+    other = drs::obs::Json::object();
+    other["timestamp_unit"] = drs::obs::Json("per shard (see sources)");
+    other["dropped_events"] = drs::obs::Json(droppedTotal);
+    other["shards_merged"] =
+        drs::obs::Json(static_cast<std::uint64_t>(shardsMerged));
+    other["shards_skipped"] =
+        drs::obs::Json(static_cast<std::uint64_t>(shardsSkipped));
+
+    std::ofstream out(outPath, std::ios::binary | std::ios::trunc);
+    if (!out) {
+        std::fprintf(stderr, "drs_tracecat: cannot open %s for writing\n",
+                     outPath.c_str());
+        return 2;
+    }
+    merged.dump(out);
+    out << "\n";
+    out.flush();
+    if (!out) {
+        std::fprintf(stderr, "drs_tracecat: write to %s failed\n",
+                     outPath.c_str());
+        return 2;
+    }
+
+    std::printf("merged %zu shard%s (%zu skipped): %zu events, "
+                "%llu dropped -> %s\n",
+                shardsMerged, shardsMerged == 1 ? "" : "s", shardsSkipped,
+                eventCount, static_cast<unsigned long long>(droppedTotal),
+                outPath.c_str());
+    return 0;
+}
